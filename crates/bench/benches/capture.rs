@@ -1,0 +1,35 @@
+//! Criterion benches for the signal-model + converter capture path:
+//! evaluating the analytic QPSK passband and taking BP-TIADC captures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfbist_bench::paper_stimulus;
+use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig};
+use rfbist_signal::traits::ContinuousSignal;
+use std::hint::black_box;
+
+fn bench_signal_eval(c: &mut Criterion) {
+    let tx = paper_stimulus(96, 0xACE1);
+    c.bench_function("qpsk_passband_eval", |b| {
+        let mut t = 1.3e-6;
+        b.iter(|| {
+            t += 1.1e-10;
+            if t > 8e-6 {
+                t = 1.3e-6;
+            }
+            black_box(tx.eval(black_box(t)))
+        })
+    });
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let tx = paper_stimulus(96, 0xACE1);
+    c.bench_function("bptiadc_capture_300pairs", |b| {
+        b.iter(|| {
+            let mut adc = BpTiadc::new(BpTiadcConfig::paper_section_v(180e-12));
+            black_box(adc.capture(black_box(&tx), 80, 300))
+        })
+    });
+}
+
+criterion_group!(benches, bench_signal_eval, bench_capture);
+criterion_main!(benches);

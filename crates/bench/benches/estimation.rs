@@ -1,0 +1,49 @@
+//! Criterion benches for the skew estimators: one dual-rate cost
+//! evaluation (the LMS inner loop), a full LMS run (Fig. 6 unit), and
+//! the sine-fit baseline (Table I rows 1–2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfbist_bench::{paper_cost, Frontend};
+use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig};
+use rfbist_core::jamal::{estimate_skew_jamal, test_tone_for_ratio};
+use rfbist_core::lms::{estimate_skew_lms, LmsConfig};
+use rfbist_signal::tone::Tone;
+use std::hint::black_box;
+
+fn bench_cost_evaluation(c: &mut Criterion) {
+    let cost = paper_cost(Frontend::Paper, 300, 42);
+    c.bench_function("dual_rate_cost_eval_300probes", |b| {
+        let mut d = 150e-12;
+        b.iter(|| {
+            d += 1e-12;
+            if d > 250e-12 {
+                d = 150e-12;
+            }
+            black_box(cost.evaluate(black_box(d)))
+        })
+    });
+}
+
+fn bench_full_lms(c: &mut Criterion) {
+    let cost = paper_cost(Frontend::Paper, 300, 42);
+    c.bench_function("lms_full_run_from_50ps", |b| {
+        b.iter(|| {
+            black_box(estimate_skew_lms(
+                &cost,
+                LmsConfig::paper_default(black_box(50e-12)),
+            ))
+        })
+    });
+}
+
+fn bench_jamal(c: &mut Criterion) {
+    let f_rf = test_tone_for_ratio(1e9, 90e6, 0.46);
+    let mut adc = BpTiadc::new(BpTiadcConfig::paper_section_v(180e-12));
+    let cap = adc.capture(&Tone::new(f_rf, 0.9, 0.37), 0, 300);
+    c.bench_function("jamal_sine_fit_300pairs", |b| {
+        b.iter(|| black_box(estimate_skew_jamal(black_box(&cap), f_rf)))
+    });
+}
+
+criterion_group!(benches, bench_cost_evaluation, bench_full_lms, bench_jamal);
+criterion_main!(benches);

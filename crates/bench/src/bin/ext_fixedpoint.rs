@@ -1,0 +1,55 @@
+//! **Extension experiment**: fixed-point precision of the
+//! reconstruction filter — the paper's stated future work ("an
+//! efficient mapping to hardware of our nonuniform sampler").
+//!
+//! Sweeps the fractional bit-width of the (pre-windowed) Kohlenberg
+//! kernel coefficients and measures the reconstruction error of the
+//! paper's QPSK stimulus, against the floating-point and front-end
+//! error floors. The knee of this curve is the coefficient ROM width a
+//! hardware implementation actually needs.
+
+use rfbist_bench::{paper_stimulus, print_header, print_row};
+use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig};
+use rfbist_dsp::window::Window;
+use rfbist_math::rng::Randomizer;
+use rfbist_math::stats::nrmse;
+use rfbist_sampling::band::BandSpec;
+use rfbist_sampling::fixedpoint::FixedPointReconstructor;
+use rfbist_sampling::reconstruct::PnbsReconstructor;
+use rfbist_signal::traits::ContinuousSignal;
+
+fn main() {
+    let band = BandSpec::centered(1e9, 90e6);
+    let d = 180e-12;
+    let stimulus = paper_stimulus(96, 0xACE1);
+    let mut adc = BpTiadc::new(BpTiadcConfig::paper_section_v(d));
+    let cap = adc.capture(&stimulus, 80, 260);
+    let float_rec = PnbsReconstructor::new(band, d, 61, Window::Kaiser(8.0))
+        .expect("paper delay is valid");
+
+    let mut rng = Randomizer::from_seed(23);
+    let (lo, hi) = float_rec.coverage(&cap).expect("capture long enough");
+    let times: Vec<f64> = (0..250).map(|_| rng.uniform(lo, hi)).collect();
+    let truth = stimulus.sample(&times);
+
+    let float_err = nrmse(&float_rec.reconstruct(&cap, &times), &truth);
+
+    println!("# Extension — fixed-point reconstruction-filter precision");
+    println!("floating-point error floor (10-bit front-end): {:.3} %", float_err * 100.0);
+    println!();
+    print_header(&["coeff fractional bits", "delta_eps [%]", "penalty vs float [dB]"]);
+    for bits in [4u32, 6, 8, 10, 12, 14, 16, 20, 24] {
+        let fxp = FixedPointReconstructor::new(float_rec.clone(), bits);
+        let got: Vec<f64> = times.iter().map(|&t| fxp.reconstruct_at(&cap, t)).collect();
+        let err = nrmse(&got, &truth);
+        let penalty_db = 20.0 * (err / float_err).log10();
+        print_row(&[
+            bits.to_string(),
+            format!("{:.3}", err * 100.0),
+            format!("{penalty_db:+.2}"),
+        ]);
+    }
+    println!();
+    println!("Reading: beyond the knee, coefficient width no longer matters — the");
+    println!("front-end (10-bit, 3 ps jitter) dominates, sizing the hardware ROM.");
+}

@@ -1,0 +1,256 @@
+//! Sampling clocks with jitter, and the digitally controlled delay
+//! element (DCDE).
+//!
+//! Jitter is generated *per edge index* from a seeded hash, so edge
+//! times are deterministic and order-independent — a capture can be
+//! replayed exactly, which the experiment harnesses rely on.
+
+use rfbist_math::rng::Randomizer;
+
+/// Clock-jitter model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum JitterModel {
+    /// Ideal clock.
+    None,
+    /// White Gaussian edge jitter with the given RMS (seconds) — the
+    /// paper's "gaussian distributed time-skew jitter of 3 ps rms".
+    Gaussian {
+        /// RMS jitter in seconds.
+        rms: f64,
+    },
+}
+
+impl JitterModel {
+    /// The paper's Section V jitter: 3 ps rms.
+    pub fn paper_default() -> Self {
+        JitterModel::Gaussian { rms: 3e-12 }
+    }
+}
+
+/// A sampling clock: nominal period plus per-edge jitter.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_converter::clock::{ClockGenerator, JitterModel};
+///
+/// let clk = ClockGenerator::new(1.0 / 90e6, JitterModel::None, 1);
+/// assert_eq!(clk.edge(0), 0.0);
+/// assert!((clk.edge(9) - 0.1e-6).abs() < 1e-15);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClockGenerator {
+    period: f64,
+    jitter: JitterModel,
+    seed: u64,
+    phase_offset: f64,
+}
+
+impl ClockGenerator {
+    /// Creates a clock with the given nominal period, jitter model and
+    /// jitter seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period <= 0`.
+    pub fn new(period: f64, jitter: JitterModel, seed: u64) -> Self {
+        assert!(period > 0.0, "clock period must be positive");
+        ClockGenerator { period, jitter, seed, phase_offset: 0.0 }
+    }
+
+    /// Adds a constant phase offset (seconds) to every edge — how the
+    /// DCDE's delay is injected into the second channel's clock.
+    pub fn with_phase_offset(mut self, offset: f64) -> Self {
+        self.phase_offset = offset;
+        self
+    }
+
+    /// Nominal period in seconds.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// The configured jitter model.
+    pub fn jitter(&self) -> JitterModel {
+        self.jitter
+    }
+
+    /// The time of edge `n`: `n·T + offset + jitter(n)`.
+    pub fn edge(&self, n: i64) -> f64 {
+        let nominal = n as f64 * self.period + self.phase_offset;
+        match self.jitter {
+            JitterModel::None => nominal,
+            JitterModel::Gaussian { rms } => nominal + rms * self.unit_jitter(n),
+        }
+    }
+
+    /// Deterministic per-index standard-normal variate (seeded hash).
+    fn unit_jitter(&self, n: i64) -> f64 {
+        // SplitMix-style avalanche of (seed, n) so neighbouring indices
+        // decorrelate, then one Box–Muller draw.
+        let mut z = self.seed ^ (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Randomizer::from_seed(z).standard_normal()
+    }
+}
+
+/// Digitally controlled delay element (the red block of paper Fig. 4).
+///
+/// Holds an integer code; the produced delay is `code · resolution`,
+/// clamped to the programmable range. Real DCDEs have ps-class
+/// resolution (the paper cites hardware achieving "a granularity of few
+/// ps").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Dcde {
+    resolution: f64,
+    max_code: u32,
+    code: u32,
+}
+
+impl Dcde {
+    /// Creates a DCDE with the given step `resolution` (seconds) and
+    /// `max_code` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution <= 0` or `max_code == 0`.
+    pub fn new(resolution: f64, max_code: u32) -> Self {
+        assert!(resolution > 0.0, "resolution must be positive");
+        assert!(max_code > 0, "max code must be positive");
+        Dcde { resolution, max_code, code: 0 }
+    }
+
+    /// A 1 ps / 10-bit DCDE — comfortably covering the paper's
+    /// 0–483 ps usable delay interval.
+    pub fn fine_ps() -> Self {
+        Dcde::new(1e-12, 1023)
+    }
+
+    /// Step resolution in seconds.
+    pub fn resolution(&self) -> f64 {
+        self.resolution
+    }
+
+    /// Current code.
+    pub fn code(&self) -> u32 {
+        self.code
+    }
+
+    /// Sets the raw code (clamped to the range).
+    pub fn set_code(&mut self, code: u32) {
+        self.code = code.min(self.max_code);
+    }
+
+    /// Programs the closest achievable delay to `target` seconds and
+    /// returns the actually produced delay.
+    pub fn set_delay(&mut self, target: f64) -> f64 {
+        let code = (target / self.resolution).round().clamp(0.0, self.max_code as f64);
+        self.code = code as u32;
+        self.delay()
+    }
+
+    /// The delay currently produced.
+    pub fn delay(&self) -> f64 {
+        self.code as f64 * self.resolution
+    }
+
+    /// Largest programmable delay.
+    pub fn max_delay(&self) -> f64 {
+        self.max_code as f64 * self.resolution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfbist_math::stats;
+
+    #[test]
+    fn ideal_clock_edges_are_exact() {
+        let clk = ClockGenerator::new(1e-8, JitterModel::None, 0);
+        for n in [-5i64, 0, 1, 100] {
+            assert_eq!(clk.edge(n), n as f64 * 1e-8);
+        }
+    }
+
+    #[test]
+    fn phase_offset_shifts_all_edges() {
+        let clk = ClockGenerator::new(1e-8, JitterModel::None, 0).with_phase_offset(180e-12);
+        assert!((clk.edge(0) - 180e-12).abs() < 1e-20);
+        assert!((clk.edge(10) - (1e-7 + 180e-12)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_order_independent() {
+        let clk = ClockGenerator::new(1e-8, JitterModel::paper_default(), 42);
+        let a = clk.edge(17);
+        let _ = clk.edge(3);
+        let b = clk.edge(17);
+        assert_eq!(a, b);
+        let clk2 = ClockGenerator::new(1e-8, JitterModel::paper_default(), 42);
+        assert_eq!(clk2.edge(17), a);
+    }
+
+    #[test]
+    fn jitter_rms_matches_configuration() {
+        let rms = 3e-12;
+        let clk = ClockGenerator::new(1e-8, JitterModel::Gaussian { rms }, 7);
+        let deviations: Vec<f64> = (0..20000)
+            .map(|n| clk.edge(n) - n as f64 * 1e-8)
+            .collect();
+        let measured = stats::rms(&deviations);
+        assert!((measured - rms).abs() / rms < 0.05, "rms {measured}");
+        // zero mean
+        assert!(stats::mean(&deviations).abs() < 0.1e-12);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_jitter() {
+        let a = ClockGenerator::new(1e-8, JitterModel::paper_default(), 1);
+        let b = ClockGenerator::new(1e-8, JitterModel::paper_default(), 2);
+        assert_ne!(a.edge(5), b.edge(5));
+    }
+
+    #[test]
+    fn neighbouring_edges_are_uncorrelated() {
+        let clk = ClockGenerator::new(1e-8, JitterModel::Gaussian { rms: 1e-12 }, 11);
+        let dev: Vec<f64> = (0..10000).map(|n| clk.edge(n) - n as f64 * 1e-8).collect();
+        let r = stats::autocorrelation(&dev, 1);
+        assert!(r[1].abs() / r[0] < 0.05, "lag-1 correlation {}", r[1] / r[0]);
+    }
+
+    #[test]
+    fn dcde_quantizes_target_delay() {
+        let mut dcde = Dcde::fine_ps();
+        let got = dcde.set_delay(180.4e-12);
+        assert!((got - 180e-12).abs() < 1e-18);
+        assert_eq!(dcde.code(), 180);
+        let got2 = dcde.set_delay(180.6e-12);
+        assert!((got2 - 181e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn dcde_clamps_to_range() {
+        let mut dcde = Dcde::new(1e-12, 100);
+        assert_eq!(dcde.set_delay(1.0), 100e-12);
+        assert_eq!(dcde.set_delay(-5.0), 0.0);
+        dcde.set_code(500);
+        assert_eq!(dcde.code(), 100);
+        assert_eq!(dcde.max_delay(), 100e-12);
+    }
+
+    #[test]
+    fn paper_usable_range_is_covered() {
+        let dcde = Dcde::fine_ps();
+        assert!(dcde.max_delay() > 483e-12);
+        assert!(dcde.resolution() <= 2e-12, "needs ps-class resolution (eq. 5)");
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn bad_period_panics() {
+        let _ = ClockGenerator::new(0.0, JitterModel::None, 0);
+    }
+}

@@ -1,0 +1,307 @@
+//! The dual-rate self-consistency cost function (paper eqs. 7–8).
+//!
+//! Two captures of the *same* transmitter output, taken at rates `B` and
+//! `B1` with the same physical skew `D`, are each reconstructed assuming
+//! a candidate `D̂`. The mean-squared disagreement between the two
+//! reconstructions over a probe-time set `t`,
+//!
+//! ```text
+//! ε(D̂) = (1/N) Σᵢ ( f^T_D̂(tᵢ) − f^{T1}_D̂(tᵢ) )²
+//! ```
+//!
+//! vanishes only when `D̂ = D` (both reconstructions then equal the true
+//! signal), and under the eq. (9) conditions has a *unique* minimum on
+//! `]0, m[` — no reference signal required.
+
+use rfbist_dsp::window::Window;
+use rfbist_math::rng::Randomizer;
+use rfbist_sampling::dualrate::DualRateConfig;
+use rfbist_sampling::reconstruct::{NonuniformCapture, PnbsReconstructor};
+
+/// A bound cost function: captures + probe times + filter settings.
+#[derive(Clone, Debug)]
+pub struct DualRateCost {
+    fast: NonuniformCapture,
+    slow: NonuniformCapture,
+    config: DualRateConfig,
+    times: Vec<f64>,
+    num_taps: usize,
+    window: Window,
+}
+
+impl DualRateCost {
+    /// Builds the cost from explicit probe times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times` is empty, if either capture's rate disagrees
+    /// with `config`, or if any probe time falls outside both captures'
+    /// reconstruction coverage (checked against the paper's 61-tap
+    /// filter span).
+    pub fn new(
+        fast: NonuniformCapture,
+        slow: NonuniformCapture,
+        config: DualRateConfig,
+        times: Vec<f64>,
+        num_taps: usize,
+        window: Window,
+    ) -> Self {
+        assert!(!times.is_empty(), "at least one probe time required");
+        assert!(
+            (1.0 / fast.period() - config.fast_rate()).abs() < 1e-3,
+            "fast capture rate disagrees with config"
+        );
+        assert!(
+            (1.0 / slow.period() - config.slow_rate()).abs() < 1e-3,
+            "slow capture rate disagrees with config"
+        );
+        let cost = DualRateCost { fast, slow, config, times, num_taps, window };
+        // verify coverage with a representative (valid) delay
+        let probe = cost.config.delay().min(cost.config.m_bound() * 0.5);
+        let (fast_rec, slow_rec) = cost.reconstructors(probe);
+        for &t in &cost.times {
+            assert!(
+                fast_rec.try_reconstruct_at(&cost.fast, t).is_some(),
+                "probe time {t:.3e} s outside fast-capture coverage"
+            );
+            assert!(
+                slow_rec.try_reconstruct_at(&cost.slow, t).is_some(),
+                "probe time {t:.3e} s outside slow-capture coverage"
+            );
+        }
+        cost
+    }
+
+    /// The paper's probe setup: `n` random times drawn uniformly from
+    /// the intersection of both captures' coverage (the paper uses
+    /// N = 300 over a 1230 ns window), 61-tap Kaiser reconstruction.
+    pub fn paper_probes(
+        fast: NonuniformCapture,
+        slow: NonuniformCapture,
+        config: DualRateConfig,
+        n: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(n > 0, "at least one probe time required");
+        let num_taps = 61;
+        let window = Window::Kaiser(8.0);
+        // coverage intersection at a representative delay
+        let probe_delay = config.delay().min(config.m_bound() * 0.5);
+        let fast_rec = PnbsReconstructor::new(config.fast_band(), probe_delay, num_taps, window)
+            .expect("valid probe delay");
+        let slow_rec = PnbsReconstructor::new(config.slow_band(), probe_delay, num_taps, window)
+            .expect("valid probe delay");
+        let (f_lo, f_hi) = fast_rec.coverage(&fast).expect("fast capture too short");
+        let (s_lo, s_hi) = slow_rec.coverage(&slow).expect("slow capture too short");
+        let lo = f_lo.max(s_lo);
+        let hi = f_hi.min(s_hi);
+        assert!(hi > lo, "captures do not overlap in time");
+        let mut rng = Randomizer::from_seed(seed);
+        let times = (0..n).map(|_| rng.uniform(lo, hi)).collect();
+        DualRateCost { fast, slow, config, times, num_taps, window }
+    }
+
+    /// The dual-rate configuration.
+    pub fn config(&self) -> &DualRateConfig {
+        &self.config
+    }
+
+    /// The probe times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The fast-rate capture.
+    pub fn fast_capture(&self) -> &NonuniformCapture {
+        &self.fast
+    }
+
+    /// The slow-rate capture.
+    pub fn slow_capture(&self) -> &NonuniformCapture {
+        &self.slow
+    }
+
+    fn reconstructors(&self, d_hat: f64) -> (PnbsReconstructor, PnbsReconstructor) {
+        (
+            PnbsReconstructor::new_unchecked(
+                self.config.fast_band(),
+                d_hat,
+                self.num_taps,
+                self.window,
+            ),
+            PnbsReconstructor::new_unchecked(
+                self.config.slow_band(),
+                d_hat,
+                self.num_taps,
+                self.window,
+            ),
+        )
+    }
+
+    /// Evaluates `ε(D̂)` (paper eq. 8).
+    ///
+    /// Candidates are clamped into the open search interval `]0, m[`
+    /// with a 0.1 ps margin, so optimizer overshoot cannot hit the
+    /// kernel singularities at the interval ends.
+    pub fn evaluate(&self, d_hat: f64) -> f64 {
+        let margin = 0.1e-12;
+        let d = d_hat.clamp(margin, self.config.m_bound() - margin);
+        let (fast_rec, slow_rec) = self.reconstructors(d);
+        let mut acc = 0.0;
+        for &t in &self.times {
+            let a = fast_rec.reconstruct_at(&self.fast, t);
+            let b = slow_rec.reconstruct_at(&self.slow, t);
+            acc += (a - b) * (a - b);
+        }
+        acc / self.times.len() as f64
+    }
+
+    /// Evaluates the cost on a uniform grid of `n` candidates across
+    /// `]0, m[` — the paper's Fig. 5 sweep.
+    pub fn sweep(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "sweep needs at least two points");
+        let m = self.config.m_bound();
+        (0..n)
+            .map(|i| {
+                let d = m * (i as f64 + 0.5) / n as f64;
+                (d, self.evaluate(d))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig};
+    use rfbist_signal::baseband::ShapedBaseband;
+    use rfbist_signal::bandpass::BandpassSignal;
+
+    fn paper_setup(ideal: bool) -> DualRateCost {
+        let cfg = DualRateConfig::paper_section_v();
+        let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 96, 0xACE1);
+        let tx = BandpassSignal::new(bb, 1e9);
+        let (fast_cfg, slow_cfg) = if ideal {
+            (
+                BpTiadcConfig::ideal(cfg.fast_rate(), cfg.delay()),
+                BpTiadcConfig::ideal(cfg.slow_rate(), cfg.delay()),
+            )
+        } else {
+            (
+                BpTiadcConfig::paper_section_v(cfg.delay()),
+                BpTiadcConfig::paper_section_v(cfg.delay())
+                    .with_sample_rate(cfg.slow_rate())
+                    .with_seed(0x51DE),
+            )
+        };
+        let mut fast = BpTiadc::new(fast_cfg);
+        let mut slow = BpTiadc::new(slow_cfg);
+        DualRateCost::paper_probes(
+            fast.capture(&tx, 80, 260),
+            slow.capture(&tx, 40, 160),
+            cfg,
+            120,
+            7,
+        )
+    }
+
+    #[test]
+    fn cost_vanishes_at_true_delay_ideal_frontend() {
+        let cost = paper_setup(true);
+        let at_truth = cost.evaluate(180e-12);
+        let away = cost.evaluate(120e-12);
+        assert!(at_truth < 1e-3, "cost at truth {at_truth}");
+        assert!(away > 20.0 * at_truth, "contrast {away} vs {at_truth}");
+    }
+
+    #[test]
+    fn minimum_is_at_true_delay() {
+        let cost = paper_setup(true);
+        let sweep = cost.sweep(60);
+        let (d_min, _) = sweep
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(
+            (d_min - 180e-12).abs() < 5e-12,
+            "minimum at {} ps",
+            d_min * 1e12
+        );
+    }
+
+    #[test]
+    fn minimum_is_unique_on_the_interval() {
+        // count strict local minima of the sweep — conditions (9) promise one
+        let cost = paper_setup(true);
+        let sweep = cost.sweep(80);
+        let mut minima = 0;
+        for w in sweep.windows(3) {
+            if w[1].1 < w[0].1 && w[1].1 < w[2].1 {
+                minima += 1;
+            }
+        }
+        assert_eq!(minima, 1, "expected exactly one local minimum");
+    }
+
+    #[test]
+    fn noisy_frontend_keeps_minimum_near_truth() {
+        let cost = paper_setup(false);
+        let sweep = cost.sweep(60);
+        let (d_min, _) = sweep
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(
+            (d_min - 180e-12).abs() < 10e-12,
+            "minimum at {} ps",
+            d_min * 1e12
+        );
+    }
+
+    #[test]
+    fn cost_is_finite_across_search_interval() {
+        let cost = paper_setup(true);
+        for (d, v) in cost.sweep(40) {
+            assert!(v.is_finite(), "cost at {} ps is {v}", d * 1e12);
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn clamping_protects_interval_ends() {
+        let cost = paper_setup(true);
+        // m and 0 are outside ]0, m[; evaluation must still be finite
+        assert!(cost.evaluate(0.0).is_finite());
+        assert!(cost.evaluate(cost.config().m_bound()).is_finite());
+        assert!(cost.evaluate(-5e-12).is_finite());
+    }
+
+    #[test]
+    fn accessors_expose_setup() {
+        let cost = paper_setup(true);
+        assert_eq!(cost.times().len(), 120);
+        assert_eq!(cost.fast_capture().len(), 260);
+        assert_eq!(cost.slow_capture().len(), 160);
+        assert!((cost.config().m_bound() * 1e12 - 483.09).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate disagrees")]
+    fn mismatched_rates_panic() {
+        let cfg = DualRateConfig::paper_section_v();
+        let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 96, 1);
+        let tx = BandpassSignal::new(bb, 1e9);
+        let mut fast = BpTiadc::new(BpTiadcConfig::ideal(80e6, cfg.delay()));
+        let mut slow = BpTiadc::new(BpTiadcConfig::ideal(45e6, cfg.delay()));
+        let _ = DualRateCost::new(
+            fast.capture(&tx, 80, 200),
+            slow.capture(&tx, 40, 160),
+            cfg,
+            vec![1.5e-6],
+            61,
+            Window::Kaiser(8.0),
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Sine-fit time-skew estimation — the baseline technique the paper
+//! adapts from Jamal et al., "Calibration of sample-time error in a
+//! two-channel time-interleaved analog-to-digital converter"
+//! (TCAS-I 2004), and finds "restrictive and unreliable".
+//!
+//! A *known* sinusoid of RF frequency `f₀` is captured by the
+//! BP-TIADC. Each channel's stream is a bandpass-aliased tone at the
+//! apparent frequency `f_a = fold(f₀, f_s)`; a three-parameter sine fit
+//! per channel recovers each stream's phase, and the inter-channel
+//! phase difference divided by `2π·f₀` is the skew.
+//!
+//! The method's weakness — the reason the paper built the LMS estimator
+//! — is its dependence on the test frequency `ω₀`: when `ω₀/B` is a
+//! small-denominator rational (e.g. the paper's `0.4·B = 2B/5`), the
+//! channels revisit only a handful of distinct tone phases, so
+//! quantization error stops averaging out and biases the fit; and the
+//! method needs a dedicated known stimulus, where LMS works on the
+//! mission-mode signal.
+
+use crate::skew::SkewEstimate;
+use rfbist_math::linalg::Matrix;
+use rfbist_sampling::reconstruct::NonuniformCapture;
+use std::f64::consts::PI;
+
+/// Phase wrap to `(-π, π]`.
+fn wrap_phase(x: f64) -> f64 {
+    let mut y = x % (2.0 * PI);
+    if y > PI {
+        y -= 2.0 * PI;
+    } else if y <= -PI {
+        y += 2.0 * PI;
+    }
+    y
+}
+
+/// Folds an RF frequency into the first Nyquist zone of rate `fs`,
+/// returning `(apparent_frequency, parity)`; `parity = -1` means the
+/// folded tone's phase is conjugated.
+pub fn fold_frequency(f_rf: f64, fs: f64) -> (f64, f64) {
+    assert!(fs > 0.0, "sample rate must be positive");
+    let z = f_rf.rem_euclid(fs);
+    if z <= fs / 2.0 {
+        (z, 1.0)
+    } else {
+        (fs - z, -1.0)
+    }
+}
+
+/// Least-squares three-parameter sine fit at known frequency:
+/// `y[n] ≈ a·cos(2πf·tₙ) + b·sin(2πf·tₙ) + c`, returning the phase
+/// `ψ` of `cos(2πf·tₙ + ψ)` (i.e. `atan2(−b, a)`) and the amplitude.
+pub fn sine_fit_phase(samples: &[f64], times: &[f64], freq: f64) -> (f64, f64) {
+    assert_eq!(samples.len(), times.len(), "length mismatch");
+    assert!(samples.len() >= 4, "need at least 4 samples for a 3-parameter fit");
+    let rows: Vec<Vec<f64>> = times
+        .iter()
+        .map(|&t| {
+            let th = 2.0 * PI * freq * t;
+            vec![th.cos(), th.sin(), 1.0]
+        })
+        .collect();
+    let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let beta = Matrix::from_rows(&row_refs)
+        .lstsq(samples)
+        .expect("sine-fit normal equations are singular");
+    let (a, b) = (beta[0], beta[1]);
+    ((-b).atan2(a), (a * a + b * b).sqrt())
+}
+
+/// Estimates the BP-TIADC skew from a capture of a known sinusoid at
+/// RF frequency `f_rf` (Hz).
+///
+/// # Panics
+///
+/// Panics if the capture is shorter than 4 pairs or `f_rf <= 0`.
+pub fn estimate_skew_jamal(capture: &NonuniformCapture, f_rf: f64) -> SkewEstimate {
+    assert!(f_rf > 0.0, "test frequency must be positive");
+    assert!(capture.len() >= 4, "capture too short for sine fitting");
+    let fs = 1.0 / capture.period();
+    let (f_a, parity) = fold_frequency(f_rf, fs);
+
+    // Both streams are fitted against the *nominal* grid n·T; the odd
+    // stream's extra phase is exactly 2π·f_rf·D.
+    let times: Vec<f64> = (0..capture.len())
+        .map(|i| (capture.n_start() + i as i64) as f64 * capture.period())
+        .collect();
+    let (psi_even_fit, _) = sine_fit_phase(capture.even(), &times, f_a);
+    let (psi_odd_fit, _) = sine_fit_phase(capture.odd(), &times, f_a);
+
+    // Undo folding parity, then difference.
+    let dpsi = wrap_phase(parity * (psi_odd_fit - psi_even_fit));
+    let delay = dpsi / (2.0 * PI * f_rf);
+    // The phase difference is only defined modulo the carrier period;
+    // report the positive representative (skews are < 1/f_rf here).
+    let delay = if delay < 0.0 { delay + 1.0 / f_rf } else { delay };
+    SkewEstimate::from_delay(delay)
+}
+
+/// Picks the RF test frequency whose bandpass alias lands at
+/// `ratio · fs` (the paper's `ω₀ = 0.4·B`, `0.46·B` choices), placed in
+/// the Nyquist zone containing `f_center`.
+///
+/// # Panics
+///
+/// Panics unless `0 < ratio < 0.5`.
+pub fn test_tone_for_ratio(f_center: f64, fs: f64, ratio: f64) -> f64 {
+    assert!(ratio > 0.0 && ratio < 0.5, "ratio must be in (0, 0.5)");
+    let zone_base = (f_center / fs).floor() * fs;
+    zone_base + ratio * fs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig};
+    use rfbist_signal::tone::Tone;
+
+    const FS: f64 = 90e6;
+    const D: f64 = 180e-12;
+
+    fn capture_tone(f_rf: f64, ideal: bool, count: usize) -> NonuniformCapture {
+        let cfg = if ideal {
+            BpTiadcConfig::ideal(FS, D)
+        } else {
+            BpTiadcConfig::paper_section_v(D)
+        };
+        let mut adc = BpTiadc::new(cfg);
+        adc.capture(&Tone::new(f_rf, 0.9, 0.37), 0, count)
+    }
+
+    #[test]
+    fn fold_frequency_zones() {
+        let (f, p) = fold_frequency(36e6, FS);
+        assert!((f - 36e6).abs() < 1.0);
+        assert_eq!(p, 1.0);
+        // second half of the zone folds with conjugation
+        let (f2, p2) = fold_frequency(54e6, FS);
+        assert!((f2 - 36e6).abs() < 1.0);
+        assert_eq!(p2, -1.0);
+        // high zones
+        let (f3, p3) = fold_frequency(1026e6, FS); // 1026 = 11·90 + 36
+        assert!((f3 - 36e6).abs() < 1.0);
+        assert_eq!(p3, 1.0);
+        let (f4, _) = fold_frequency(90e6, FS);
+        assert!(f4.abs() < 1.0);
+    }
+
+    #[test]
+    fn sine_fit_recovers_phase_and_amplitude() {
+        let f = 0.11e6;
+        let times: Vec<f64> = (0..200).map(|n| n as f64 * 1e-7).collect();
+        let samples: Vec<f64> = times
+            .iter()
+            .map(|&t| 0.8 * (2.0 * PI * f * t + 0.9).cos() + 0.1)
+            .collect();
+        let (psi, amp) = sine_fit_phase(&samples, &times, f);
+        assert!((psi - 0.9).abs() < 1e-9, "phase {psi}");
+        assert!((amp - 0.8).abs() < 1e-9, "amp {amp}");
+    }
+
+    #[test]
+    fn ideal_frontend_estimate_is_exact() {
+        let f_rf = test_tone_for_ratio(1e9, FS, 0.46);
+        let cap = capture_tone(f_rf, true, 300);
+        let est = estimate_skew_jamal(&cap, f_rf);
+        assert!(
+            (est.delay - D).abs() < 0.01e-12,
+            "estimate {} ps",
+            est.delay * 1e12
+        );
+    }
+
+    #[test]
+    fn paper_frontend_estimate_is_subps_at_good_ratio() {
+        let f_rf = test_tone_for_ratio(1e9, FS, 0.46);
+        let cap = capture_tone(f_rf, false, 300);
+        let est = estimate_skew_jamal(&cap, f_rf);
+        assert!(
+            (est.delay - D).abs() < 1e-12,
+            "estimate {} ps",
+            est.delay * 1e12
+        );
+    }
+
+    #[test]
+    fn rational_ratio_is_less_accurate_than_irrationalish() {
+        // ω0 = 0.4B revisits only 5 tone phases; quantization error stops
+        // averaging. Compare median |error| across seeds at both ratios.
+        let err_at = |ratio: f64| -> f64 {
+            let f_rf = test_tone_for_ratio(1e9, FS, ratio);
+            let mut errs: Vec<f64> = (0..7)
+                .map(|seed| {
+                    let cfg = BpTiadcConfig::paper_section_v(D).with_seed(seed);
+                    let mut adc = BpTiadc::new(cfg);
+                    let cap = adc.capture(&Tone::new(f_rf, 0.9, 0.37), 0, 300);
+                    (estimate_skew_jamal(&cap, f_rf).delay - D).abs()
+                })
+                .collect();
+            errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            errs[errs.len() / 2]
+        };
+        let bad = err_at(0.4);
+        let good = err_at(0.46);
+        assert!(
+            bad > good,
+            "0.4B median err {} ps vs 0.46B {} ps",
+            bad * 1e12,
+            good * 1e12
+        );
+    }
+
+    #[test]
+    fn test_tone_lands_in_expected_zone() {
+        let f = test_tone_for_ratio(1e9, FS, 0.4);
+        assert!((f - 1026e6).abs() < 1.0);
+        let (fa, parity) = fold_frequency(f, FS);
+        assert!((fa - 36e6).abs() < 1.0);
+        assert_eq!(parity, 1.0);
+    }
+
+    #[test]
+    fn works_for_conjugate_zone_tones() {
+        // a tone whose alias folds with parity −1
+        let f_rf = 990e6 + 54e6; // alias 36 MHz, parity −1
+        let cap = capture_tone(f_rf, true, 300);
+        let est = estimate_skew_jamal(&cap, f_rf);
+        assert!(
+            (est.delay - D).abs() < 0.05e-12,
+            "estimate {} ps",
+            est.delay * 1e12
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn bad_ratio_panics() {
+        let _ = test_tone_for_ratio(1e9, FS, 0.6);
+    }
+}

@@ -1,0 +1,53 @@
+//! RF BIST core — the paper's contribution.
+//!
+//! Reproduces the DATE 2014 strategy end to end:
+//!
+//! - [`cost`]: the dual-rate self-consistency cost `ε^{T,D̂}_{T1,D̂}(t)`
+//!   (paper eqs. 7–8) whose unique minimum sits at the true skew,
+//! - [`lms`]: the normalized variable-step LMS estimator (Algorithm 1),
+//! - [`jamal`]: the sine-fit baseline adapted from Jamal et al. [14],
+//! - [`skew`]: estimate/error-metric types shared by both estimators,
+//! - [`mask`]: spectral masks and compliance checking (the BIST's
+//!   verdict machinery),
+//! - [`bist`]: the end-to-end engine (capture → calibrate → estimate →
+//!   reconstruct → mask check),
+//! - [`report`]: serializable result records.
+//!
+//! # Example: estimating a 180 ps skew
+//!
+//! ```
+//! use rfbist_core::cost::DualRateCost;
+//! use rfbist_core::lms::{estimate_skew_lms, LmsConfig};
+//! use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig};
+//! use rfbist_sampling::dualrate::DualRateConfig;
+//! use rfbist_signal::prelude::*;
+//!
+//! let cfg = DualRateConfig::paper_section_v();
+//! let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 96, 0xACE1);
+//! let tx = BandpassSignal::new(bb, 1e9);
+//!
+//! let mut fast = BpTiadc::new(BpTiadcConfig::ideal(cfg.fast_rate(), cfg.delay()));
+//! let mut slow = BpTiadc::new(BpTiadcConfig::ideal(cfg.slow_rate(), cfg.delay()));
+//! let cost = DualRateCost::paper_probes(
+//!     fast.capture(&tx, 80, 260),
+//!     slow.capture(&tx, 40, 160),
+//!     cfg,
+//!     300,
+//!     1,
+//! );
+//! let result = estimate_skew_lms(&cost, LmsConfig::paper_default(50e-12));
+//! assert!((result.estimate - 180e-12).abs() < 1e-12);
+//! ```
+
+pub mod bist;
+pub mod cost;
+pub mod jamal;
+pub mod lms;
+pub mod mask;
+pub mod report;
+pub mod skew;
+
+pub use bist::{BistConfig, BistEngine};
+pub use cost::DualRateCost;
+pub use lms::{estimate_skew_lms, LmsConfig, LmsResult};
+pub use mask::{MaskReport, SpectralMask};

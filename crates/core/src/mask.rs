@@ -1,0 +1,296 @@
+//! Spectral masks and compliance checking.
+//!
+//! The paper's motivation: "Our initial efforts are focused to the
+//! characterization of the transmitter (Tx) chain with respect to
+//! compliance to the spectral mask … the most vexing post-manufacture
+//! test issue for tactical radio units." A mask is a set of offset
+//! ranges around the carrier with maximum allowed PSD relative to the
+//! in-band peak density (dBc); the BIST verdict is the worst margin.
+
+use rfbist_dsp::psd::PsdEstimate;
+
+/// One mask segment: limits on `offset_lo ≤ |f − f_c| ≤ offset_hi`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MaskSegment {
+    /// Lower absolute offset from the carrier, Hz.
+    pub offset_lo: f64,
+    /// Upper absolute offset from the carrier, Hz.
+    pub offset_hi: f64,
+    /// Maximum allowed PSD relative to the in-band peak density, dBc.
+    pub limit_dbc: f64,
+}
+
+/// A named emission mask.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SpectralMask {
+    name: String,
+    /// Half-width of the reference region around the carrier used to
+    /// establish the 0 dBc peak density.
+    reference_half_width: f64,
+    segments: Vec<MaskSegment>,
+}
+
+impl SpectralMask {
+    /// Builds a mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty, any segment is inverted, or the
+    /// reference half-width is non-positive.
+    pub fn new(
+        name: impl Into<String>,
+        reference_half_width: f64,
+        segments: Vec<MaskSegment>,
+    ) -> Self {
+        assert!(!segments.is_empty(), "mask needs at least one segment");
+        assert!(reference_half_width > 0.0, "reference width must be positive");
+        for s in &segments {
+            assert!(
+                s.offset_hi > s.offset_lo && s.offset_lo >= 0.0,
+                "segment offsets must satisfy 0 <= lo < hi"
+            );
+        }
+        SpectralMask { name: name.into(), reference_half_width, segments }
+    }
+
+    /// The emission mask used by this repository's experiments for the
+    /// paper's stimulus (10 MHz QPSK, SRRC α = 0.5 ⇒ ±7.5 MHz occupied):
+    /// close-in skirt −28 dBc, first adjacent region −38 dBc, far
+    /// region −42 dBc out to the reconstruction band edge.
+    ///
+    /// Limit placement follows test-engineering practice: the tightest
+    /// segment sits ~6 dB above the BIST's own measurement floor
+    /// (≈ −49 dBc density for the paper's 10-bit / 3 ps-jitter
+    /// front-end), so a healthy unit passes with margin while PA
+    /// regrowth faults are still caught.
+    pub fn qpsk_10msym() -> Self {
+        SpectralMask::new(
+            "qpsk-10msym-srrc0.5",
+            6e6,
+            vec![
+                MaskSegment { offset_lo: 8.5e6, offset_hi: 12.5e6, limit_dbc: -28.0 },
+                MaskSegment { offset_lo: 12.5e6, offset_hi: 22.5e6, limit_dbc: -38.0 },
+                MaskSegment { offset_lo: 22.5e6, offset_hi: 43e6, limit_dbc: -42.0 },
+            ],
+        )
+    }
+
+    /// Mask name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[MaskSegment] {
+        &self.segments
+    }
+
+    /// Checks a one-sided PSD (as produced by the reconstruction path)
+    /// against the mask around the given carrier.
+    ///
+    /// The 0 dBc reference is the *peak density* within
+    /// `±reference_half_width` of the carrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PSD contains no bins inside the reference region.
+    pub fn check(&self, psd: &PsdEstimate, carrier_hz: f64) -> MaskReport {
+        let db: Vec<f64> = psd.psd_db();
+        let reference_db = psd
+            .freqs
+            .iter()
+            .zip(&db)
+            .filter(|(f, _)| (**f - carrier_hz).abs() <= self.reference_half_width)
+            .map(|(_, p)| *p)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            reference_db.is_finite(),
+            "PSD has no bins within the mask reference region"
+        );
+
+        let mut worst_margin = f64::INFINITY;
+        let mut worst_frequency = carrier_hz;
+        let mut violations = Vec::new();
+        for (f, p) in psd.freqs.iter().zip(&db) {
+            let offset = (f - carrier_hz).abs();
+            let segment = self
+                .segments
+                .iter()
+                .find(|s| offset >= s.offset_lo && offset <= s.offset_hi);
+            if let Some(s) = segment {
+                let rel = p - reference_db;
+                let margin = s.limit_dbc - rel;
+                if margin < worst_margin {
+                    worst_margin = margin;
+                    worst_frequency = *f;
+                }
+                if margin < 0.0 && violations.len() < 64 {
+                    violations.push(MaskViolation {
+                        frequency: *f,
+                        measured_dbc: rel,
+                        limit_dbc: s.limit_dbc,
+                    });
+                }
+            }
+        }
+        MaskReport {
+            mask_name: self.name.clone(),
+            passed: violations.is_empty(),
+            worst_margin_db: worst_margin,
+            worst_frequency_hz: worst_frequency,
+            reference_db,
+            violations,
+        }
+    }
+}
+
+/// One mask violation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MaskViolation {
+    /// Absolute frequency of the violating bin, Hz.
+    pub frequency: f64,
+    /// Measured level relative to the reference, dBc.
+    pub measured_dbc: f64,
+    /// The limit that was exceeded, dBc.
+    pub limit_dbc: f64,
+}
+
+/// Verdict of a mask check.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MaskReport {
+    /// Name of the mask that was applied.
+    pub mask_name: String,
+    /// `true` when no bin exceeded its limit.
+    pub passed: bool,
+    /// Smallest (limit − measured) margin across all masked bins, dB;
+    /// negative when failing.
+    pub worst_margin_db: f64,
+    /// Frequency at which the worst margin occurred, Hz.
+    pub worst_frequency_hz: f64,
+    /// Absolute reference (0 dBc) density level, dB.
+    pub reference_db: f64,
+    /// Violating bins (capped at 64 entries).
+    pub violations: Vec<MaskViolation>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfbist_dsp::psd::periodogram;
+    use rfbist_dsp::window::Window;
+    use std::f64::consts::PI;
+
+    /// A synthetic spectrum: strong carrier-band tone plus a controllable
+    /// spur at a given offset and level.
+    fn psd_with_spur(spur_offset: f64, spur_dbc: f64) -> PsdEstimate {
+        let fs = 400e6;
+        let fc = 100e6;
+        let n = 1 << 14;
+        let amp_spur = 10f64.powf(spur_dbc / 20.0);
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (2.0 * PI * fc * t).sin()
+                    + amp_spur * (2.0 * PI * (fc + spur_offset) * t).sin()
+            })
+            .collect();
+        periodogram(&x, fs, Window::BlackmanHarris)
+    }
+
+    fn test_mask() -> SpectralMask {
+        SpectralMask::new(
+            "test",
+            5e6,
+            vec![
+                MaskSegment { offset_lo: 8e6, offset_hi: 20e6, limit_dbc: -30.0 },
+                MaskSegment { offset_lo: 20e6, offset_hi: 40e6, limit_dbc: -50.0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn clean_spectrum_passes() {
+        let psd = psd_with_spur(15e6, -80.0);
+        let report = test_mask().check(&psd, 100e6);
+        assert!(report.passed, "worst margin {}", report.worst_margin_db);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn loud_spur_fails_with_negative_margin() {
+        let psd = psd_with_spur(15e6, -20.0); // 10 dB over the −30 limit
+        let report = test_mask().check(&psd, 100e6);
+        assert!(!report.passed);
+        assert!(
+            (report.worst_margin_db + 10.0).abs() < 2.0,
+            "margin {}",
+            report.worst_margin_db
+        );
+        assert!(!report.violations.is_empty());
+        let v = &report.violations[0];
+        assert!((v.frequency - 115e6).abs() < 1e6);
+        assert_eq!(v.limit_dbc, -30.0);
+    }
+
+    #[test]
+    fn margin_tracks_spur_level() {
+        let loud = test_mask().check(&psd_with_spur(15e6, -25.0), 100e6);
+        let quiet = test_mask().check(&psd_with_spur(15e6, -28.0), 100e6);
+        assert!(quiet.worst_margin_db > loud.worst_margin_db);
+        let delta = quiet.worst_margin_db - loud.worst_margin_db;
+        assert!((delta - 3.0).abs() < 1.0, "delta {delta}");
+    }
+
+    #[test]
+    fn far_segment_has_tighter_limit() {
+        // a −45 dBc spur passes at 15 MHz offset (−30 limit) but fails
+        // at 30 MHz (−50 limit)
+        let near = test_mask().check(&psd_with_spur(15e6, -45.0), 100e6);
+        assert!(near.passed);
+        let far = test_mask().check(&psd_with_spur(30e6, -45.0), 100e6);
+        assert!(!far.passed);
+    }
+
+    #[test]
+    fn offsets_below_first_segment_are_unchecked() {
+        // spur inside the occupied band: not a mask violation
+        let psd = psd_with_spur(4e6, -10.0);
+        let report = test_mask().check(&psd, 100e6);
+        assert!(report.passed);
+    }
+
+    #[test]
+    fn worst_frequency_is_reported() {
+        let psd = psd_with_spur(30e6, -20.0);
+        let report = test_mask().check(&psd, 100e6);
+        assert!((report.worst_frequency_hz - 130e6).abs() < 1e6);
+    }
+
+    #[test]
+    fn qpsk_mask_shape() {
+        let m = SpectralMask::qpsk_10msym();
+        assert_eq!(m.segments().len(), 3);
+        assert!(m.segments()[0].limit_dbc > m.segments()[2].limit_dbc);
+        assert_eq!(m.name(), "qpsk-10msym-srrc0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_mask_panics() {
+        let _ = SpectralMask::new("empty", 1e6, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 <= lo < hi")]
+    fn inverted_segment_panics() {
+        let _ = SpectralMask::new(
+            "bad",
+            1e6,
+            vec![MaskSegment { offset_lo: 5e6, offset_hi: 2e6, limit_dbc: -30.0 }],
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Structured BIST results.
+
+use crate::mask::MaskReport;
+use crate::skew::SkewEstimate;
+use std::fmt;
+
+/// The complete record of one BIST run.
+#[derive(Clone, Debug)]
+pub struct BistReport {
+    /// The skew estimate the engine converged to.
+    pub skew: SkewEstimate,
+    /// Ground-truth physical delay (available in simulation only; a
+    /// real unit would not know this).
+    pub true_delay: f64,
+    /// Spectral-mask verdict.
+    pub mask: MaskReport,
+    /// Relative RMS reconstruction error against a supplied reference
+    /// (Δε), when a reference was given.
+    pub reconstruction_error: Option<f64>,
+}
+
+impl BistReport {
+    /// `|D̂ − D|` in seconds.
+    pub fn skew_abs_error(&self) -> f64 {
+        (self.skew.delay - self.true_delay).abs()
+    }
+
+    /// Overall verdict: mask passed.
+    pub fn passed(&self) -> bool {
+        self.mask.passed
+    }
+}
+
+impl fmt::Display for BistReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "BIST {}: mask `{}` worst margin {:+.2} dB at {:.3} MHz",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.mask.mask_name,
+            self.mask.worst_margin_db,
+            self.mask.worst_frequency_hz / 1e6,
+        )?;
+        writeln!(
+            f,
+            "  skew estimate {:.3} ps (true {:.3} ps, |err| {:.3} ps, {} iterations)",
+            self.skew.delay * 1e12,
+            self.true_delay * 1e12,
+            self.skew_abs_error() * 1e12,
+            self.skew.iterations.map_or("?".to_string(), |i| i.to_string()),
+        )?;
+        if let Some(e) = self.reconstruction_error {
+            writeln!(f, "  reconstruction Δε = {:.3} %", e * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::MaskReport;
+
+    fn dummy_report(passed: bool) -> BistReport {
+        BistReport {
+            skew: SkewEstimate {
+                delay: 180.2e-12,
+                residual_cost: Some(1e-6),
+                iterations: Some(12),
+            },
+            true_delay: 180e-12,
+            mask: MaskReport {
+                mask_name: "test".into(),
+                passed,
+                worst_margin_db: if passed { 7.5 } else { -3.0 },
+                worst_frequency_hz: 1.013e9,
+                reference_db: -40.0,
+                violations: vec![],
+            },
+            reconstruction_error: Some(0.0084),
+        }
+    }
+
+    #[test]
+    fn abs_error_is_computed() {
+        let r = dummy_report(true);
+        assert!((r.skew_abs_error() - 0.2e-12).abs() < 1e-18);
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn display_mentions_verdict_and_numbers() {
+        let r = dummy_report(true);
+        let s = r.to_string();
+        assert!(s.contains("PASS"), "{s}");
+        assert!(s.contains("180.200 ps"), "{s}");
+        assert!(s.contains("12 iterations"), "{s}");
+        assert!(s.contains("0.840 %"), "{s}");
+        let f = dummy_report(false);
+        assert!(f.to_string().contains("FAIL"));
+    }
+}

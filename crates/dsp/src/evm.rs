@@ -1,0 +1,159 @@
+//! Error vector magnitude and constellation utilities.
+//!
+//! EVM quantifies modulation quality at the symbol level; the BIST engine
+//! reports it alongside spectral-mask margins when a demodulating check is
+//! requested.
+
+use rfbist_math::Complex64;
+
+/// Result of an EVM measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EvmResult {
+    /// RMS EVM as a fraction of the reference RMS level.
+    pub rms: f64,
+    /// Peak EVM as a fraction of the reference RMS level.
+    pub peak: f64,
+}
+
+impl EvmResult {
+    /// RMS EVM in percent.
+    pub fn rms_percent(&self) -> f64 {
+        self.rms * 100.0
+    }
+
+    /// RMS EVM in dB (`20·log10(rms)`).
+    pub fn rms_db(&self) -> f64 {
+        20.0 * self.rms.max(1e-30).log10()
+    }
+}
+
+/// Computes EVM between measured and reference symbol sequences.
+///
+/// EVM is normalized by the RMS magnitude of the reference constellation,
+/// per the usual communications-standard definition.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the sequences are empty.
+pub fn evm(measured: &[Complex64], reference: &[Complex64]) -> EvmResult {
+    assert_eq!(measured.len(), reference.len(), "EVM needs equal lengths");
+    assert!(!measured.is_empty(), "EVM over empty sequences");
+    let ref_power: f64 =
+        reference.iter().map(|z| z.norm_sqr()).sum::<f64>() / reference.len() as f64;
+    let ref_rms = ref_power.sqrt().max(1e-30);
+    let mut sum_err = 0.0;
+    let mut peak_err = 0.0f64;
+    for (m, r) in measured.iter().zip(reference) {
+        let e = (*m - *r).abs();
+        sum_err += e * e;
+        peak_err = peak_err.max(e);
+    }
+    let rms = (sum_err / measured.len() as f64).sqrt() / ref_rms;
+    EvmResult { rms, peak: peak_err / ref_rms }
+}
+
+/// Hard-decision detection: maps each measured point to the nearest
+/// constellation point, returning `(decisions, symbol_error_count)`
+/// against the transmitted indices when given.
+pub fn nearest_symbol(measured: Complex64, constellation: &[Complex64]) -> usize {
+    assert!(!constellation.is_empty(), "empty constellation");
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, &c) in constellation.iter().enumerate() {
+        let d = (measured - c).norm_sqr();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Counts symbol errors after hard-decision detection.
+///
+/// # Panics
+///
+/// Panics if `measured` and `tx_indices` lengths differ.
+pub fn symbol_errors(
+    measured: &[Complex64],
+    tx_indices: &[usize],
+    constellation: &[Complex64],
+) -> usize {
+    assert_eq!(measured.len(), tx_indices.len(), "length mismatch");
+    measured
+        .iter()
+        .zip(tx_indices)
+        .filter(|(m, &tx)| nearest_symbol(**m, constellation) != tx)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qpsk() -> Vec<Complex64> {
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        vec![
+            Complex64::new(s, s),
+            Complex64::new(-s, s),
+            Complex64::new(-s, -s),
+            Complex64::new(s, -s),
+        ]
+    }
+
+    #[test]
+    fn perfect_symbols_have_zero_evm() {
+        let c = qpsk();
+        let r = evm(&c, &c);
+        assert_eq!(r.rms, 0.0);
+        assert_eq!(r.peak, 0.0);
+        assert!(r.rms_db() < -200.0);
+    }
+
+    #[test]
+    fn known_offset_gives_known_evm() {
+        let c = qpsk(); // unit RMS constellation
+        let measured: Vec<Complex64> =
+            c.iter().map(|&z| z + Complex64::new(0.1, 0.0)).collect();
+        let r = evm(&measured, &c);
+        assert!((r.rms - 0.1).abs() < 1e-12);
+        assert!((r.peak - 0.1).abs() < 1e-12);
+        assert!((r.rms_percent() - 10.0).abs() < 1e-9);
+        assert!((r.rms_db() + 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_exceeds_rms_for_single_outlier() {
+        let c = qpsk();
+        let mut measured = c.clone();
+        measured[2] = measured[2] + Complex64::new(0.5, 0.0);
+        let r = evm(&measured, &c);
+        assert!(r.peak > r.rms);
+        assert!((r.peak - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_symbol_decides_correctly() {
+        let c = qpsk();
+        for (i, &s) in c.iter().enumerate() {
+            let noisy = s + Complex64::new(0.05, -0.03);
+            assert_eq!(nearest_symbol(noisy, &c), i);
+        }
+    }
+
+    #[test]
+    fn symbol_errors_counted() {
+        let c = qpsk();
+        let tx = [0usize, 1, 2, 3];
+        // flip symbol 1 to land nearest constellation point 3
+        let measured = vec![c[0], c[3], c[2], c[3]];
+        assert_eq!(symbol_errors(&measured, &tx, &c), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn evm_length_mismatch_panics() {
+        let c = qpsk();
+        let _ = evm(&c[..2], &c);
+    }
+}

@@ -1,0 +1,281 @@
+//! FIR filter design (windowed-sinc) and application.
+//!
+//! Frequencies are normalized to the sample rate: a cutoff of `0.25` means
+//! `fs/4`. Designs force odd lengths where a type-I (symmetric, integer
+//! group delay) response is required.
+
+use crate::window::Window;
+use rfbist_math::special::sinc;
+use rfbist_math::Complex64;
+use std::f64::consts::PI;
+
+/// A finite-impulse-response filter defined by its taps.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_dsp::fir::FirFilter;
+/// use rfbist_dsp::window::Window;
+///
+/// let lp = FirFilter::lowpass(63, 0.2, Window::Kaiser(8.0));
+/// let resp_pass = lp.magnitude_response(0.05);
+/// let resp_stop = lp.magnitude_response(0.45);
+/// assert!(resp_pass > 0.99);
+/// assert!(resp_stop < 1e-3);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FirFilter {
+    taps: Vec<f64>,
+}
+
+impl FirFilter {
+    /// Wraps raw taps as a filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty.
+    pub fn from_taps(taps: Vec<f64>) -> Self {
+        assert!(!taps.is_empty(), "FIR filter needs at least one tap");
+        FirFilter { taps }
+    }
+
+    /// Windowed-sinc lowpass with the given normalized cutoff
+    /// (`0 < cutoff < 0.5`), normalized to unit DC gain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or the cutoff is out of range.
+    pub fn lowpass(len: usize, cutoff: f64, window: Window) -> Self {
+        assert!(len > 0, "filter length must be positive");
+        assert!(cutoff > 0.0 && cutoff < 0.5, "cutoff must be in (0, 0.5)");
+        let w = window.coefficients(len);
+        let mid = (len - 1) as f64 / 2.0;
+        let mut taps: Vec<f64> = (0..len)
+            .map(|i| 2.0 * cutoff * sinc(2.0 * cutoff * (i as f64 - mid)) * w[i])
+            .collect();
+        let sum: f64 = taps.iter().sum();
+        taps.iter_mut().for_each(|t| *t /= sum);
+        FirFilter { taps }
+    }
+
+    /// Windowed-sinc highpass (spectral inversion of the lowpass); `len`
+    /// must be odd so the inverted impulse stays symmetric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is even or the cutoff is out of range.
+    pub fn highpass(len: usize, cutoff: f64, window: Window) -> Self {
+        assert!(len % 2 == 1, "highpass requires odd length");
+        let lp = FirFilter::lowpass(len, cutoff, window);
+        let mid = len / 2;
+        let mut taps: Vec<f64> = lp.taps.iter().map(|&t| -t).collect();
+        taps[mid] += 1.0;
+        FirFilter { taps }
+    }
+
+    /// Windowed-sinc bandpass between normalized `f_lo` and `f_hi`,
+    /// normalized to unit gain at the band center.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is even or the band is invalid.
+    pub fn bandpass(len: usize, f_lo: f64, f_hi: f64, window: Window) -> Self {
+        assert!(len % 2 == 1, "bandpass requires odd length");
+        assert!(
+            f_lo > 0.0 && f_hi > f_lo && f_hi < 0.5,
+            "band must satisfy 0 < f_lo < f_hi < 0.5"
+        );
+        let w = window.coefficients(len);
+        let mid = (len - 1) as f64 / 2.0;
+        let mut taps: Vec<f64> = (0..len)
+            .map(|i| {
+                let t = i as f64 - mid;
+                (2.0 * f_hi * sinc(2.0 * f_hi * t) - 2.0 * f_lo * sinc(2.0 * f_lo * t)) * w[i]
+            })
+            .collect();
+        // normalize at band center
+        let fc = 0.5 * (f_lo + f_hi);
+        let gain = FirFilter { taps: taps.clone() }.magnitude_response(fc);
+        taps.iter_mut().for_each(|t| *t /= gain);
+        FirFilter { taps }
+    }
+
+    /// The filter taps.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Filter order (`taps − 1`).
+    pub fn order(&self) -> usize {
+        self.taps.len() - 1
+    }
+
+    /// Group delay in samples for a symmetric (linear-phase) design.
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() - 1) as f64 / 2.0
+    }
+
+    /// Full convolution (`len(x) + len(taps) − 1` output samples).
+    pub fn convolve(&self, x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        let m = self.taps.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut y = vec![0.0; n + m - 1];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (j, &h) in self.taps.iter().enumerate() {
+                y[i + j] += xi * h;
+            }
+        }
+        y
+    }
+
+    /// "Same"-length filtering: convolution trimmed so the output aligns
+    /// with the input (delay-compensated by the integer part of the group
+    /// delay).
+    pub fn filter_same(&self, x: &[f64]) -> Vec<f64> {
+        let full = self.convolve(x);
+        let offset = (self.taps.len() - 1) / 2;
+        full[offset..offset + x.len()].to_vec()
+    }
+
+    /// Complex frequency response `H(e^{j2πf})` at normalized frequency
+    /// `f` (cycles/sample).
+    pub fn frequency_response(&self, f: f64) -> Complex64 {
+        self.taps
+            .iter()
+            .enumerate()
+            .map(|(n, &h)| Complex64::cis(-2.0 * PI * f * n as f64) * h)
+            .sum()
+    }
+
+    /// Magnitude response `|H|` at normalized frequency `f`.
+    pub fn magnitude_response(&self, f: f64) -> f64 {
+        self.frequency_response(f).abs()
+    }
+
+    /// Magnitude response in dB.
+    pub fn magnitude_response_db(&self, f: f64) -> f64 {
+        20.0 * self.magnitude_response(f).max(1e-300).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowpass_dc_gain_is_one() {
+        let f = FirFilter::lowpass(41, 0.2, Window::Hamming);
+        assert!((f.magnitude_response(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowpass_attenuates_stopband() {
+        let f = FirFilter::lowpass(63, 0.15, Window::Kaiser(8.0));
+        assert!(f.magnitude_response(0.05) > 0.99);
+        assert!(f.magnitude_response_db(0.35) < -60.0);
+    }
+
+    #[test]
+    fn highpass_blocks_dc_passes_high() {
+        let f = FirFilter::highpass(63, 0.2, Window::Kaiser(8.0));
+        assert!(f.magnitude_response(0.0) < 1e-6);
+        assert!(f.magnitude_response(0.4) > 0.99);
+    }
+
+    #[test]
+    fn bandpass_shape() {
+        let f = FirFilter::bandpass(101, 0.1, 0.2, Window::Kaiser(8.0));
+        assert!(f.magnitude_response(0.15) > 0.999);
+        assert!(f.magnitude_response_db(0.02) < -40.0);
+        assert!(f.magnitude_response_db(0.35) < -40.0);
+    }
+
+    #[test]
+    fn taps_are_symmetric_linear_phase() {
+        let f = FirFilter::lowpass(31, 0.25, Window::Blackman);
+        let t = f.taps();
+        for i in 0..t.len() / 2 {
+            assert!((t[i] - t[t.len() - 1 - i]).abs() < 1e-15);
+        }
+        assert_eq!(f.group_delay(), 15.0);
+        assert_eq!(f.order(), 30);
+    }
+
+    #[test]
+    fn convolution_identity_filter() {
+        let ident = FirFilter::from_taps(vec![1.0]);
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(ident.convolve(&x), x);
+        assert_eq!(ident.filter_same(&x), x);
+    }
+
+    #[test]
+    fn convolution_known_result() {
+        let f = FirFilter::from_taps(vec![1.0, 1.0]);
+        assert_eq!(f.convolve(&[1.0, 2.0, 3.0]), vec![1.0, 3.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn filter_same_preserves_length_and_aligns() {
+        let f = FirFilter::lowpass(21, 0.4, Window::Hamming);
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.1).sin()).collect();
+        let y = f.filter_same(&x);
+        assert_eq!(y.len(), x.len());
+        // wide-open lowpass ≈ identity in the middle of the block
+        for i in 30..70 {
+            assert!((y[i] - x[i]).abs() < 0.05, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn linearity_of_filtering() {
+        let f = FirFilter::lowpass(15, 0.3, Window::Hann);
+        let a: Vec<f64> = (0..50).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..50).map(|i| (i as f64 * 0.05).cos()).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 2.0 * x + 3.0 * y).collect();
+        let fa = f.convolve(&a);
+        let fb = f.convolve(&b);
+        let fsum = f.convolve(&sum);
+        for i in 0..fsum.len() {
+            assert!((fsum[i] - (2.0 * fa[i] + 3.0 * fb[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tone_through_lowpass_measures_response() {
+        // steady-state sine amplitude after filtering ≈ |H(f0)|, estimated
+        // from the RMS over an integer number of periods
+        let f0 = 0.1;
+        let f = FirFilter::lowpass(41, 0.2, Window::Hamming);
+        let x: Vec<f64> = (0..400).map(|i| (2.0 * PI * f0 * i as f64).sin()).collect();
+        let y = f.filter_same(&x);
+        let mid = &y[100..300]; // 20 full periods
+        let rms = (mid.iter().map(|v| v * v).sum::<f64>() / mid.len() as f64).sqrt();
+        let amp = rms * 2f64.sqrt();
+        assert!((amp - f.magnitude_response(f0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        let f = FirFilter::lowpass(5, 0.1, Window::Hann);
+        assert!(f.convolve(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff must be in (0, 0.5)")]
+    fn invalid_cutoff_panics() {
+        let _ = FirFilter::lowpass(11, 0.6, Window::Hann);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd length")]
+    fn even_highpass_panics() {
+        let _ = FirFilter::highpass(10, 0.2, Window::Hann);
+    }
+}

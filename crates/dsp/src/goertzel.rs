@@ -1,0 +1,109 @@
+//! Goertzel algorithm: single-bin DFT evaluation.
+//!
+//! Cheaper than a full FFT when only a handful of frequencies matter —
+//! e.g. probing the two channel spectra at the Jamal calibration tone.
+
+use rfbist_math::Complex64;
+use std::f64::consts::PI;
+
+/// Evaluates the DFT of `x` at the single normalized frequency `f`
+/// (cycles per sample, not restricted to bin centers).
+///
+/// Returns the complex coefficient with the same scaling as a direct DFT:
+/// `X(f) = Σ x[n]·e^{-j2πfn}`.
+///
+/// # Panics
+///
+/// Panics if `x` is empty.
+pub fn goertzel(x: &[f64], f: f64) -> Complex64 {
+    assert!(!x.is_empty(), "goertzel over empty data");
+    let w = 2.0 * PI * f;
+    let coeff = 2.0 * w.cos();
+    let mut s_prev = 0.0;
+    let mut s_prev2 = 0.0;
+    for &v in x {
+        let s = v + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    // Final extraction: y[N-1] = s[N-1] − e^{-jw}·s[N-2] equals
+    // X(f)·e^{jw(N-1)}; rotate back to the DFT reference.
+    let n = x.len() as f64;
+    let y = Complex64::new(s_prev - w.cos() * s_prev2, w.sin() * s_prev2);
+    y * Complex64::cis(-w * (n - 1.0))
+}
+
+/// Magnitude of the DFT at normalized frequency `f`.
+pub fn goertzel_magnitude(x: &[f64], f: f64) -> f64 {
+    goertzel(x, f).abs()
+}
+
+/// Power (|X|²) normalized by N², i.e. the squared average phasor —
+/// convenient for tone-power estimates: a full-scale real tone of
+/// amplitude A at frequency f gives `≈ (A/2)²`.
+pub fn goertzel_tone_power(x: &[f64], f: f64) -> f64 {
+    let n = x.len() as f64;
+    goertzel(x, f).norm_sqr() / (n * n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfbist_math::fft::fft_real;
+
+    #[test]
+    fn matches_fft_at_bin_centers() {
+        let n = 128;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin() + 0.3).collect();
+        let spec = fft_real(&x);
+        for k in [0usize, 1, 5, 31, 63] {
+            let g = goertzel(&x, k as f64 / n as f64);
+            assert!(
+                (g - spec[k]).abs() < 1e-8,
+                "bin {k}: {g} vs {}",
+                spec[k]
+            );
+        }
+    }
+
+    #[test]
+    fn detects_tone_at_exact_frequency() {
+        let n = 1000;
+        let f0 = 0.123;
+        let amp = 0.8;
+        let x: Vec<f64> = (0..n)
+            .map(|i| amp * (2.0 * PI * f0 * i as f64).cos())
+            .collect();
+        let p = goertzel_tone_power(&x, f0);
+        assert!(((p.sqrt() * 2.0) - amp).abs() < 0.01, "amp {}", p.sqrt() * 2.0);
+    }
+
+    #[test]
+    fn phase_is_recovered() {
+        let n = 256;
+        let f0 = 32.0 / n as f64; // bin-centered
+        let phase = 0.7;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * f0 * i as f64 + phase).cos())
+            .collect();
+        let g = goertzel(&x, f0);
+        // X(f0) of cos(wn+φ) at bin center = (N/2)·e^{jφ}
+        assert!((g.arg() - phase).abs() < 1e-9, "phase {}", g.arg());
+        assert!((g.abs() - n as f64 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn off_tone_rejects() {
+        let n = 1024;
+        let x: Vec<f64> = (0..n).map(|i| (2.0 * PI * 0.25 * i as f64).sin()).collect();
+        // probing far from the tone (and at a bin center) sees ~nothing
+        let p = goertzel_tone_power(&x, 0.125);
+        assert!(p < 1e-10, "leak {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        let _ = goertzel(&[], 0.1);
+    }
+}

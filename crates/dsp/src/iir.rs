@@ -1,0 +1,308 @@
+//! IIR filters: biquad sections and Butterworth designs.
+//!
+//! These serve as *behavioral models of analog filters* in the transmitter
+//! chain (reconstruction LPF after the DACs, anti-alias filters), designed
+//! via the bilinear transform with frequency pre-warping.
+
+use rfbist_math::Complex64;
+use std::f64::consts::PI;
+
+/// A second-order IIR section in direct form II transposed.
+///
+/// Transfer function `H(z) = (b0 + b1 z⁻¹ + b2 z⁻²)/(1 + a1 z⁻¹ + a2 z⁻²)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Biquad {
+    /// Numerator coefficients.
+    pub b: [f64; 3],
+    /// Denominator coefficients `a1, a2` (leading 1 implied).
+    pub a: [f64; 2],
+}
+
+impl Biquad {
+    /// Identity (pass-through) section.
+    pub fn identity() -> Self {
+        Biquad { b: [1.0, 0.0, 0.0], a: [0.0, 0.0] }
+    }
+
+    /// Second-order Butterworth lowpass section with the given analog
+    /// quality factor, at normalized digital cutoff `fc` (cycles/sample),
+    /// via bilinear transform with pre-warping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fc` is outside `(0, 0.5)` or `q <= 0`.
+    pub fn lowpass(fc: f64, q: f64) -> Self {
+        assert!(fc > 0.0 && fc < 0.5, "cutoff must be in (0, 0.5)");
+        assert!(q > 0.0, "Q must be positive");
+        let w0 = 2.0 * PI * fc;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Biquad {
+            b: [(1.0 - cw) / 2.0 / a0, (1.0 - cw) / a0, (1.0 - cw) / 2.0 / a0],
+            a: [-2.0 * cw / a0, (1.0 - alpha) / a0],
+        }
+    }
+
+    /// Second-order highpass section (RBJ cookbook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fc` is outside `(0, 0.5)` or `q <= 0`.
+    pub fn highpass(fc: f64, q: f64) -> Self {
+        assert!(fc > 0.0 && fc < 0.5, "cutoff must be in (0, 0.5)");
+        assert!(q > 0.0, "Q must be positive");
+        let w0 = 2.0 * PI * fc;
+        let alpha = w0.sin() / (2.0 * q);
+        let cw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Biquad {
+            b: [(1.0 + cw) / 2.0 / a0, -(1.0 + cw) / a0, (1.0 + cw) / 2.0 / a0],
+            a: [-2.0 * cw / a0, (1.0 - alpha) / a0],
+        }
+    }
+
+    /// Second-order bandpass section (constant 0 dB peak gain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fc` is outside `(0, 0.5)` or `q <= 0`.
+    pub fn bandpass(fc: f64, q: f64) -> Self {
+        assert!(fc > 0.0 && fc < 0.5, "center must be in (0, 0.5)");
+        assert!(q > 0.0, "Q must be positive");
+        let w0 = 2.0 * PI * fc;
+        let alpha = w0.sin() / (2.0 * q);
+        let a0 = 1.0 + alpha;
+        Biquad {
+            b: [alpha / a0, 0.0, -alpha / a0],
+            a: [-2.0 * w0.cos() / a0, (1.0 - alpha) / a0],
+        }
+    }
+
+    /// Complex frequency response at normalized frequency `f`.
+    pub fn frequency_response(&self, f: f64) -> Complex64 {
+        let z1 = Complex64::cis(-2.0 * PI * f);
+        let z2 = z1 * z1;
+        let num = Complex64::from(self.b[0]) + z1 * self.b[1] + z2 * self.b[2];
+        let den = Complex64::ONE + z1 * self.a[0] + z2 * self.a[1];
+        num / den
+    }
+
+    /// Returns `true` when both poles lie strictly inside the unit circle.
+    pub fn is_stable(&self) -> bool {
+        // Jury criterion for 2nd order: |a2| < 1 and |a1| < 1 + a2
+        self.a[1].abs() < 1.0 && self.a[0].abs() < 1.0 + self.a[1]
+    }
+}
+
+/// A cascade of biquad sections with per-instance state, processed sample
+/// by sample.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_dsp::iir::IirFilter;
+/// let mut lp = IirFilter::butterworth_lowpass(4, 0.1);
+/// let step: Vec<f64> = (0..200).map(|_| 1.0).collect();
+/// let y = lp.process_block(&step);
+/// // settles to unit DC gain
+/// assert!((y[199] - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct IirFilter {
+    sections: Vec<Biquad>,
+    state: Vec<[f64; 2]>,
+}
+
+impl IirFilter {
+    /// Builds a filter from explicit sections.
+    pub fn from_sections(sections: Vec<Biquad>) -> Self {
+        let state = vec![[0.0; 2]; sections.len()];
+        IirFilter { sections, state }
+    }
+
+    /// Butterworth lowpass of the given (even or odd) order at normalized
+    /// cutoff `fc`, realized as cascaded biquads with Butterworth pole-Q
+    /// values (odd orders add a Q = 0.5 real-pole-pair approximation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0` or `fc` is out of range.
+    pub fn butterworth_lowpass(order: usize, fc: f64) -> Self {
+        assert!(order > 0, "order must be positive");
+        let pairs = order / 2;
+        let mut sections = Vec::new();
+        for k in 0..pairs {
+            // Butterworth pole quality factors
+            let theta = PI * (2.0 * k as f64 + 1.0) / (2.0 * order as f64);
+            let q = 1.0 / (2.0 * theta.sin());
+            sections.push(Biquad::lowpass(fc, q));
+        }
+        if order % 2 == 1 {
+            // first-order section as a degenerate biquad
+            let w = (PI * fc).tan();
+            let a0 = w + 1.0;
+            sections.push(Biquad {
+                b: [w / a0, w / a0, 0.0],
+                a: [(w - 1.0) / a0, 0.0],
+            });
+        }
+        IirFilter::from_sections(sections)
+    }
+
+    /// The biquad sections.
+    pub fn sections(&self) -> &[Biquad] {
+        &self.sections
+    }
+
+    /// Resets all internal state to zero.
+    pub fn reset(&mut self) {
+        for s in &mut self.state {
+            *s = [0.0; 2];
+        }
+    }
+
+    /// Processes one sample (direct form II transposed per section).
+    pub fn process(&mut self, x: f64) -> f64 {
+        let mut v = x;
+        for (sec, st) in self.sections.iter().zip(self.state.iter_mut()) {
+            let y = sec.b[0] * v + st[0];
+            st[0] = sec.b[1] * v - sec.a[0] * y + st[1];
+            st[1] = sec.b[2] * v - sec.a[1] * y;
+            v = y;
+        }
+        v
+    }
+
+    /// Processes a block of samples.
+    pub fn process_block(&mut self, x: &[f64]) -> Vec<f64> {
+        x.iter().map(|&v| self.process(v)).collect()
+    }
+
+    /// Cascade frequency response at normalized frequency `f`.
+    pub fn frequency_response(&self, f: f64) -> Complex64 {
+        self.sections
+            .iter()
+            .fold(Complex64::ONE, |acc, s| acc * s.frequency_response(f))
+    }
+
+    /// Cascade magnitude response in dB.
+    pub fn magnitude_response_db(&self, f: f64) -> f64 {
+        20.0 * self.frequency_response(f).abs().max(1e-300).log10()
+    }
+
+    /// Returns `true` when every section is stable.
+    pub fn is_stable(&self) -> bool {
+        self.sections.iter().all(|s| s.is_stable())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_biquad_passes_through() {
+        let mut f = IirFilter::from_sections(vec![Biquad::identity()]);
+        let x = [1.0, -0.5, 0.25];
+        assert_eq!(f.process_block(&x).as_slice(), &x);
+    }
+
+    #[test]
+    fn lowpass_biquad_dc_and_nyquist() {
+        let bq = Biquad::lowpass(0.1, std::f64::consts::FRAC_1_SQRT_2);
+        assert!((bq.frequency_response(0.0).abs() - 1.0).abs() < 1e-9);
+        assert!(bq.frequency_response(0.5).abs() < 1e-3);
+        assert!(bq.is_stable());
+    }
+
+    #[test]
+    fn highpass_biquad_dc_and_nyquist() {
+        let bq = Biquad::highpass(0.1, std::f64::consts::FRAC_1_SQRT_2);
+        assert!(bq.frequency_response(0.0).abs() < 1e-9);
+        assert!((bq.frequency_response(0.5).abs() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bandpass_biquad_peak_at_center() {
+        let bq = Biquad::bandpass(0.2, 5.0);
+        assert!((bq.frequency_response(0.2).abs() - 1.0).abs() < 1e-6);
+        assert!(bq.frequency_response(0.02).abs() < 0.2);
+        assert!(bq.frequency_response(0.45).abs() < 0.2);
+    }
+
+    #[test]
+    fn butterworth_minus3db_at_cutoff() {
+        for order in [2usize, 4, 6] {
+            let f = IirFilter::butterworth_lowpass(order, 0.1);
+            let db = f.magnitude_response_db(0.1);
+            assert!((db + 3.0103).abs() < 0.15, "order {order}: {db} dB");
+        }
+    }
+
+    #[test]
+    fn butterworth_rolloff_slope() {
+        // order n rolls off at ~20n dB/decade
+        let f = IirFilter::butterworth_lowpass(4, 0.02);
+        let db1 = f.magnitude_response_db(0.04);
+        let db2 = f.magnitude_response_db(0.08);
+        let slope_per_octave = db2 - db1;
+        assert!((slope_per_octave + 24.0).abs() < 2.0, "slope {slope_per_octave}");
+    }
+
+    #[test]
+    fn odd_order_butterworth_works() {
+        let f = IirFilter::butterworth_lowpass(3, 0.15);
+        assert!(f.is_stable());
+        assert!((f.frequency_response(0.0).abs() - 1.0).abs() < 1e-9);
+        let db = f.magnitude_response_db(0.15);
+        assert!((db + 3.0103).abs() < 0.2, "{db}");
+    }
+
+    #[test]
+    fn step_response_settles_to_dc_gain() {
+        let mut f = IirFilter::butterworth_lowpass(2, 0.05);
+        let mut last = 0.0;
+        for _ in 0..2000 {
+            last = f.process(1.0);
+        }
+        assert!((last - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut f = IirFilter::butterworth_lowpass(2, 0.05);
+        for _ in 0..100 {
+            f.process(1.0);
+        }
+        f.reset();
+        // after reset, the first output of an impulse matches a fresh filter
+        let mut fresh = IirFilter::butterworth_lowpass(2, 0.05);
+        assert_eq!(f.process(1.0), fresh.process(1.0));
+    }
+
+    #[test]
+    fn stability_check_flags_unstable() {
+        let unstable = Biquad { b: [1.0, 0.0, 0.0], a: [0.0, 1.5] };
+        assert!(!unstable.is_stable());
+        let f = IirFilter::from_sections(vec![Biquad::identity(), unstable]);
+        assert!(!f.is_stable());
+    }
+
+    #[test]
+    fn tone_attenuation_matches_response() {
+        let mut f = IirFilter::butterworth_lowpass(4, 0.1);
+        let f0 = 0.2;
+        let x: Vec<f64> = (0..2000).map(|i| (2.0 * PI * f0 * i as f64).sin()).collect();
+        let y = f.process_block(&x);
+        let peak = y[1000..].iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let expected = f.frequency_response(f0).abs();
+        assert!((peak - expected).abs() < 0.01, "{peak} vs {expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be positive")]
+    fn zero_order_panics() {
+        let _ = IirFilter::butterworth_lowpass(0, 0.1);
+    }
+}

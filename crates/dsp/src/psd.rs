@@ -1,0 +1,270 @@
+//! Power spectral density estimation.
+//!
+//! Periodogram and Welch estimators for real-valued signals, returning
+//! one-sided densities in linear power-per-hertz units (with dB helpers).
+//! The spectral-mask compliance engine in `rfbist-core` consumes these.
+
+use crate::window::Window;
+use rfbist_math::fft::fft_real;
+
+/// A one-sided power spectral density estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PsdEstimate {
+    /// Bin center frequencies in Hz, `0 ..= fs/2`.
+    pub freqs: Vec<f64>,
+    /// Power density per bin, in (signal units)²/Hz.
+    pub psd: Vec<f64>,
+    /// Resolution bandwidth of the estimate in Hz (per-bin spacing times
+    /// the window's equivalent noise bandwidth).
+    pub rbw: f64,
+}
+
+impl PsdEstimate {
+    /// PSD in dB (10·log10 of the density); floors at −300 dB.
+    pub fn psd_db(&self) -> Vec<f64> {
+        self.psd.iter().map(|&p| 10.0 * p.max(1e-30).log10()).collect()
+    }
+
+    /// Total power integrated over `[f_lo, f_hi]` (inclusive of partial
+    /// edge bins by nearest-bin approximation).
+    pub fn band_power(&self, f_lo: f64, f_hi: f64) -> f64 {
+        assert!(f_hi >= f_lo, "band must be ordered");
+        if self.freqs.len() < 2 {
+            return 0.0;
+        }
+        let df = self.freqs[1] - self.freqs[0];
+        self.freqs
+            .iter()
+            .zip(&self.psd)
+            .filter(|(f, _)| **f >= f_lo && **f <= f_hi)
+            .map(|(_, p)| p * df)
+            .sum()
+    }
+
+    /// Total power across the whole estimate.
+    pub fn total_power(&self) -> f64 {
+        if self.freqs.len() < 2 {
+            return 0.0;
+        }
+        let df = self.freqs[1] - self.freqs[0];
+        self.psd.iter().map(|p| p * df).sum()
+    }
+
+    /// Frequency of the strongest bin.
+    pub fn peak_frequency(&self) -> f64 {
+        self.freqs
+            .iter()
+            .zip(&self.psd)
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in PSD"))
+            .map(|(f, _)| *f)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Single-segment windowed periodogram of a real signal.
+///
+/// # Panics
+///
+/// Panics if `x` is empty or `fs <= 0`.
+pub fn periodogram(x: &[f64], fs: f64, window: Window) -> PsdEstimate {
+    assert!(!x.is_empty(), "periodogram of empty signal");
+    assert!(fs > 0.0, "sample rate must be positive");
+    let n = x.len();
+    let w = window.coefficients(n);
+    let u: f64 = w.iter().map(|&v| v * v).sum(); // window power norm
+    let xw: Vec<f64> = x.iter().zip(&w).map(|(a, b)| a * b).collect();
+    let spec = fft_real(&xw);
+    let nbins = n / 2 + 1;
+    let scale = 1.0 / (fs * u);
+    let mut psd: Vec<f64> = (0..nbins).map(|k| spec[k].norm_sqr() * scale).collect();
+    // double the interior bins for one-sided density
+    for (k, p) in psd.iter_mut().enumerate() {
+        let is_nyquist = n % 2 == 0 && k == nbins - 1;
+        if k != 0 && !is_nyquist {
+            *p *= 2.0;
+        }
+    }
+    let freqs: Vec<f64> = (0..nbins).map(|k| k as f64 * fs / n as f64).collect();
+    let rbw = fs / n as f64 * window.enbw(n);
+    PsdEstimate { freqs, psd, rbw }
+}
+
+/// Welch's averaged-periodogram PSD estimate.
+///
+/// `segment_len` samples per segment, `overlap` samples shared between
+/// consecutive segments. A trailing partial segment is discarded.
+///
+/// # Panics
+///
+/// Panics if `segment_len == 0`, `overlap >= segment_len`, `fs <= 0`, or
+/// `x` is shorter than one segment.
+pub fn welch(x: &[f64], fs: f64, segment_len: usize, overlap: usize, window: Window) -> PsdEstimate {
+    assert!(segment_len > 0, "segment length must be positive");
+    assert!(overlap < segment_len, "overlap must be smaller than the segment");
+    assert!(fs > 0.0, "sample rate must be positive");
+    assert!(
+        x.len() >= segment_len,
+        "signal shorter ({}) than one segment ({segment_len})",
+        x.len()
+    );
+    let hop = segment_len - overlap;
+    let mut acc: Option<PsdEstimate> = None;
+    let mut count = 0usize;
+    let mut start = 0usize;
+    while start + segment_len <= x.len() {
+        let est = periodogram(&x[start..start + segment_len], fs, window);
+        match &mut acc {
+            None => acc = Some(est),
+            Some(a) => {
+                for (p, q) in a.psd.iter_mut().zip(&est.psd) {
+                    *p += *q;
+                }
+            }
+        }
+        count += 1;
+        start += hop;
+    }
+    let mut out = acc.expect("at least one segment");
+    out.psd.iter_mut().for_each(|p| *p /= count as f64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(n: usize, fs: f64, f0: f64, amp: f64) -> Vec<f64> {
+        (0..n).map(|i| amp * (2.0 * PI * f0 * i as f64 / fs).sin()).collect()
+    }
+
+    #[test]
+    fn tone_power_is_recovered() {
+        // A sine of amplitude A has power A²/2 regardless of window.
+        let fs = 1000.0;
+        let x = tone(4096, fs, 100.0, 2.0);
+        for w in [Window::Rectangular, Window::Hann, Window::Kaiser(8.0)] {
+            let est = periodogram(&x, fs, w);
+            let p = est.band_power(80.0, 120.0);
+            assert!((p - 2.0).abs() < 0.05, "{w:?}: {p}");
+        }
+    }
+
+    #[test]
+    fn peak_frequency_matches_tone() {
+        let fs = 1000.0;
+        let x = tone(2048, fs, 125.0, 1.0);
+        let est = periodogram(&x, fs, Window::Hann);
+        assert!((est.peak_frequency() - 125.0).abs() < fs / 2048.0 + 0.01);
+    }
+
+    #[test]
+    fn white_noise_psd_is_flat_at_variance_over_bandwidth() {
+        use rfbist_math::rng::Randomizer;
+        let mut rng = Randomizer::from_seed(123);
+        let fs = 2000.0;
+        let sigma2: f64 = 4.0;
+        let x = rng.normal_vec(1 << 16, 0.0, sigma2.sqrt());
+        let est = welch(&x, fs, 1024, 512, Window::Hann);
+        // expected density: σ²/(fs/2) one-sided
+        let expected = sigma2 / (fs / 2.0);
+        let mid: Vec<f64> = est.psd[10..est.psd.len() - 10].to_vec();
+        let mean_psd = mid.iter().sum::<f64>() / mid.len() as f64;
+        assert!(
+            (mean_psd - expected).abs() / expected < 0.1,
+            "{mean_psd} vs {expected}"
+        );
+        // and total power ≈ variance
+        assert!((est.total_power() - sigma2).abs() / sigma2 < 0.1);
+    }
+
+    #[test]
+    fn welch_reduces_variance_vs_periodogram() {
+        use rfbist_math::rng::Randomizer;
+        let mut rng = Randomizer::from_seed(7);
+        let fs = 1000.0;
+        let x = rng.normal_vec(1 << 14, 0.0, 1.0);
+        let single = periodogram(&x, fs, Window::Hann);
+        let avg = welch(&x, fs, 512, 256, Window::Hann);
+        let var = |p: &[f64]| {
+            let m = p.iter().sum::<f64>() / p.len() as f64;
+            p.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / p.len() as f64
+        };
+        // Compare variance on overlapping-resolution estimates by decimating
+        // the periodogram to Welch's bin count.
+        let dec: Vec<f64> = single
+            .psd
+            .chunks(single.psd.len() / avg.psd.len())
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect();
+        assert!(var(&avg.psd) < var(&dec));
+    }
+
+    #[test]
+    fn band_power_splits_tones() {
+        let fs = 1000.0;
+        let mut x = tone(8192, fs, 100.0, 1.0);
+        let t2 = tone(8192, fs, 300.0, 0.5);
+        for (a, b) in x.iter_mut().zip(&t2) {
+            *a += *b;
+        }
+        let est = periodogram(&x, fs, Window::Hann);
+        let p1 = est.band_power(90.0, 110.0);
+        let p2 = est.band_power(290.0, 310.0);
+        assert!((p1 - 0.5).abs() < 0.02, "p1 {p1}");
+        assert!((p2 - 0.125).abs() < 0.01, "p2 {p2}");
+    }
+
+    #[test]
+    fn psd_db_is_monotone_transform() {
+        let fs = 100.0;
+        let x = tone(512, fs, 10.0, 1.0);
+        let est = periodogram(&x, fs, Window::Hann);
+        let db = est.psd_db();
+        let imax_lin = est
+            .psd
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let imax_db = db
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(imax_lin, imax_db);
+    }
+
+    #[test]
+    fn rbw_scales_with_window() {
+        let fs = 1000.0;
+        let x = tone(1024, fs, 100.0, 1.0);
+        let rect = periodogram(&x, fs, Window::Rectangular);
+        let hann = periodogram(&x, fs, Window::Hann);
+        assert!(hann.rbw > rect.rbw); // Hann ENBW = 1.5 bins
+        assert!((rect.rbw - fs / 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_handles_exact_and_partial_segments() {
+        let fs = 100.0;
+        let x = tone(1000, fs, 10.0, 1.0);
+        let est = welch(&x, fs, 256, 128, Window::Hann);
+        assert_eq!(est.freqs.len(), 129);
+        assert!((est.peak_frequency() - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter")]
+    fn welch_too_short_panics() {
+        let _ = welch(&[1.0; 10], 1.0, 64, 32, Window::Hann);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be smaller")]
+    fn welch_bad_overlap_panics() {
+        let _ = welch(&[1.0; 100], 1.0, 32, 32, Window::Hann);
+    }
+}

@@ -1,0 +1,170 @@
+//! Resampling and fractional delay.
+//!
+//! Integer up/down-sampling with windowed-sinc anti-alias/interpolation
+//! filters, plus truncated-sinc fractional delay — used to cross-validate
+//! the analytic continuous-time models against grid simulations.
+
+use crate::fir::FirFilter;
+use crate::window::Window;
+use rfbist_math::special::sinc;
+
+/// Upsamples by integer factor `l` (zero-stuffing followed by a windowed-
+/// sinc interpolation filter of `2·half_len·l + 1` taps).
+///
+/// Output length is `x.len() · l`; the interpolation filter's group delay
+/// is compensated internally.
+///
+/// # Panics
+///
+/// Panics if `l == 0` or `half_len == 0`.
+pub fn upsample(x: &[f64], l: usize, half_len: usize) -> Vec<f64> {
+    assert!(l > 0, "upsampling factor must be positive");
+    assert!(half_len > 0, "filter half-length must be positive");
+    if l == 1 {
+        return x.to_vec();
+    }
+    let taps = 2 * half_len * l + 1;
+    let fir = FirFilter::lowpass(taps, 0.5 / l as f64 - 1e-9, Window::Kaiser(8.0));
+    let mut stuffed = vec![0.0; x.len() * l];
+    for (i, &v) in x.iter().enumerate() {
+        stuffed[i * l] = v * l as f64; // gain compensation
+    }
+    fir.filter_same(&stuffed)
+}
+
+/// Downsamples by integer factor `m` with a preceding anti-alias filter.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn decimate(x: &[f64], m: usize, half_len: usize) -> Vec<f64> {
+    assert!(m > 0, "decimation factor must be positive");
+    if m == 1 {
+        return x.to_vec();
+    }
+    let taps = 2 * half_len * m + 1;
+    let fir = FirFilter::lowpass(taps, 0.5 / m as f64 - 1e-9, Window::Kaiser(8.0));
+    let filtered = fir.filter_same(x);
+    filtered.iter().step_by(m).copied().collect()
+}
+
+/// Delays a signal by a fractional number of samples using a truncated
+/// (Kaiser-windowed) sinc interpolator with `2·half_width + 1` taps.
+///
+/// Output has the same length; edges are zero-extended.
+///
+/// # Panics
+///
+/// Panics if `half_width == 0`.
+pub fn fractional_delay(x: &[f64], delay: f64, half_width: usize) -> Vec<f64> {
+    assert!(half_width > 0, "interpolator needs at least one tap");
+    let n = x.len();
+    let w = Window::Kaiser(8.0);
+    let span = half_width as f64 + 1.0;
+    (0..n)
+        .map(|i| {
+            let pos = i as f64 - delay;
+            let center = pos.round() as isize;
+            let mut acc = 0.0;
+            for k in (center - half_width as isize)..=(center + half_width as isize) {
+                if k >= 0 && (k as usize) < n {
+                    let frac = pos - k as f64;
+                    let taper = w.at(0.5 + frac / (2.0 * span));
+                    acc += x[k as usize] * sinc(frac) * taper;
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn tone(n: usize, f: f64) -> Vec<f64> {
+        (0..n).map(|i| (2.0 * PI * f * i as f64).sin()).collect()
+    }
+
+    #[test]
+    fn upsample_by_one_is_identity() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(upsample(&x, 1, 4), x);
+        assert_eq!(decimate(&x, 1, 4), x);
+    }
+
+    #[test]
+    fn upsample_interpolates_tone() {
+        let f0 = 0.05; // cycles/sample at original rate
+        let x = tone(256, f0);
+        let y = upsample(&x, 4, 8);
+        assert_eq!(y.len(), 1024);
+        // interior samples should match the dense tone
+        for i in 200..800 {
+            let want = (2.0 * PI * f0 * i as f64 / 4.0).sin();
+            assert!((y[i] - want).abs() < 0.02, "sample {i}: {} vs {want}", y[i]);
+        }
+    }
+
+    #[test]
+    fn decimate_preserves_low_frequency_tone() {
+        let f0 = 0.02;
+        let x = tone(1024, f0);
+        let y = decimate(&x, 4, 8);
+        assert_eq!(y.len(), 256);
+        for i in 50..200 {
+            let want = (2.0 * PI * f0 * (i * 4) as f64).sin();
+            assert!((y[i] - want).abs() < 0.02, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn decimate_removes_aliasing_tone() {
+        // tone above the post-decimation Nyquist must be suppressed
+        let f_alias = 0.4; // would alias at m=4 (Nyquist 0.125)
+        let x = tone(2048, f_alias);
+        let y = decimate(&x, 4, 12);
+        let peak = y[100..y.len() - 100].iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(peak < 0.01, "alias peak {peak}");
+    }
+
+    #[test]
+    fn fractional_delay_shifts_tone() {
+        let f0 = 0.03;
+        let x = tone(512, f0);
+        let d = 2.5;
+        let y = fractional_delay(&x, d, 16);
+        for i in 100..400 {
+            let want = (2.0 * PI * f0 * (i as f64 - d)).sin();
+            assert!((y[i] - want).abs() < 2e-3, "sample {i}: {} vs {want}", y[i]);
+        }
+    }
+
+    #[test]
+    fn integer_delay_matches_shift() {
+        let x: Vec<f64> = (0..200).map(|i| ((i * 7919) % 100) as f64 / 100.0).collect();
+        // bandlimit first so sinc interpolation is valid
+        let fir = FirFilter::lowpass(41, 0.2, Window::Kaiser(8.0));
+        let xb = fir.filter_same(&x);
+        let y = fractional_delay(&xb, 3.0, 20);
+        for i in 60..140 {
+            assert!((y[i] - xb[i - 3]).abs() < 5e-3, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn zero_delay_is_near_identity() {
+        let x = tone(256, 0.04);
+        let y = fractional_delay(&x, 0.0, 12);
+        for i in 40..200 {
+            assert!((y[i] - x[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be positive")]
+    fn zero_factor_panics() {
+        let _ = upsample(&[1.0], 0, 4);
+    }
+}

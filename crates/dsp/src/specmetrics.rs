@@ -1,0 +1,267 @@
+//! Single-tone spectral metrics for data-converter characterization.
+//!
+//! Given a coherently- or window-captured sine-wave record, computes the
+//! classic ADC figures of merit: SNR, SINAD, THD, SFDR and ENOB. Used by
+//! the converter models' self-tests and the TIADC mismatch experiments.
+
+use crate::window::Window;
+use rfbist_math::fft::fft_real;
+
+/// Results of a single-tone FFT test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ToneMetrics {
+    /// Fundamental frequency in Hz (bin-centered estimate).
+    pub fundamental_hz: f64,
+    /// Fundamental power (linear, relative units).
+    pub fundamental_power: f64,
+    /// Signal-to-noise ratio in dB (harmonics excluded).
+    pub snr_db: f64,
+    /// Signal-to-noise-and-distortion in dB.
+    pub sinad_db: f64,
+    /// Total harmonic distortion in dB (power of harmonics 2–6 relative
+    /// to the fundamental; negative when distortion is below the carrier).
+    pub thd_db: f64,
+    /// Spurious-free dynamic range in dB.
+    pub sfdr_db: f64,
+    /// Effective number of bits derived from SINAD.
+    pub enob: f64,
+}
+
+/// Number of harmonics (beyond the fundamental) included in THD.
+const THD_HARMONICS: usize = 5;
+/// Half-width (in bins) of the exclusion region around the fundamental,
+/// each harmonic, and DC — sized for the main-lobe width of the
+/// Blackman–Harris window plus non-coherent-sampling smear.
+const LEAK_BINS: isize = 6;
+
+/// Analyzes a real sine-wave capture.
+///
+/// `fs` is the sample rate in Hz. The fundamental is located as the
+/// strongest non-DC bin. Window leakage is absorbed by integrating ±3 bins
+/// around each spectral feature.
+///
+/// # Panics
+///
+/// Panics if the record is shorter than 32 samples or `fs <= 0`.
+pub fn analyze_tone(x: &[f64], fs: f64, window: Window) -> ToneMetrics {
+    assert!(x.len() >= 32, "record too short for spectral analysis");
+    assert!(fs > 0.0, "sample rate must be positive");
+    let n = x.len();
+    let w = window.coefficients(n);
+    let xw: Vec<f64> = x.iter().zip(&w).map(|(a, b)| a * b).collect();
+    let spec = fft_real(&xw);
+    let nbins = n / 2 + 1;
+    let p: Vec<f64> = (0..nbins).map(|k| spec[k].norm_sqr()).collect();
+
+    // locate fundamental (skip DC leakage region)
+    let skip = LEAK_BINS as usize + 1;
+    let (kf, _) = p
+        .iter()
+        .enumerate()
+        .skip(skip)
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in spectrum"))
+        .expect("non-empty spectrum");
+
+    let band_sum = |center: isize| -> f64 {
+        let lo = (center - LEAK_BINS).max(0) as usize;
+        let hi = ((center + LEAK_BINS) as usize).min(nbins - 1);
+        p[lo..=hi].iter().sum()
+    };
+
+    let fund_power = band_sum(kf as isize);
+
+    // Harmonic powers (alias-folded into the first Nyquist zone). A folded
+    // harmonic can collide with the fundamental or another harmonic; such
+    // collisions are skipped so no energy is double-counted.
+    let mut harm_power = 0.0;
+    let mut harmonic_bins: Vec<isize> = Vec::new();
+    for h in 2..=(THD_HARMONICS + 1) {
+        let mut k = (h * kf) % n;
+        if k > n / 2 {
+            k = n - k;
+        }
+        let k = k as isize;
+        let collides_fundamental = (k - kf as isize).abs() <= 2 * LEAK_BINS;
+        let collides_prior = harmonic_bins.iter().any(|&b| (k - b).abs() <= 2 * LEAK_BINS);
+        if collides_fundamental || collides_prior {
+            continue;
+        }
+        harmonic_bins.push(k);
+        harm_power += band_sum(k);
+    }
+
+    // noise: everything except DC, fundamental and harmonic regions
+    let mut excluded = vec![false; nbins];
+    let mut mark = |center: isize| {
+        let lo = (center - LEAK_BINS).max(0) as usize;
+        let hi = ((center + LEAK_BINS) as usize).min(nbins - 1);
+        for e in excluded.iter_mut().take(hi + 1).skip(lo) {
+            *e = true;
+        }
+    };
+    mark(0);
+    mark(kf as isize);
+    for &k in &harmonic_bins {
+        mark(k);
+    }
+    let noise_power: f64 = p
+        .iter()
+        .zip(&excluded)
+        .filter(|(_, &e)| !e)
+        .map(|(v, _)| *v)
+        .sum();
+
+    // Strongest spur: peak bin outside the fundamental region, compared
+    // peak-to-peak against the fundamental so the window spreading factor
+    // cancels.
+    let fund_peak = {
+        let lo = (kf as isize - LEAK_BINS).max(0) as usize;
+        let hi = (kf + LEAK_BINS as usize).min(nbins - 1);
+        p[lo..=hi].iter().fold(0.0f64, |m, &v| m.max(v))
+    };
+    let mut spur_peak = 0.0f64;
+    for (k, &v) in p.iter().enumerate().skip(1) {
+        let in_fund = (k as isize - kf as isize).abs() <= LEAK_BINS;
+        if !in_fund {
+            spur_peak = spur_peak.max(v);
+        }
+    }
+
+    let db = |r: f64| 10.0 * r.max(1e-30).log10();
+    let snr_db = db(fund_power / noise_power.max(1e-30));
+    let sinad_db = db(fund_power / (noise_power + harm_power).max(1e-30));
+    let thd_db = db(harm_power.max(1e-30) / fund_power);
+    let sfdr_db = db(fund_peak / spur_peak.max(1e-30));
+    let enob = (sinad_db - 1.76) / 6.02;
+
+    ToneMetrics {
+        fundamental_hz: kf as f64 * fs / n as f64,
+        fundamental_power: fund_power,
+        snr_db,
+        sinad_db,
+        thd_db,
+        sfdr_db,
+        enob,
+    }
+}
+
+/// Theoretical full-scale SNR of an ideal `bits`-bit quantizer in dB:
+/// `6.02·bits + 1.76`.
+pub fn ideal_quantizer_snr_db(bits: u32) -> f64 {
+    6.02 * bits as f64 + 1.76
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfbist_math::rng::Randomizer;
+    use std::f64::consts::PI;
+
+    fn sine(n: usize, fs: f64, f0: f64, amp: f64) -> Vec<f64> {
+        (0..n).map(|i| amp * (2.0 * PI * f0 * i as f64 / fs).sin()).collect()
+    }
+
+    #[test]
+    fn clean_tone_has_high_snr() {
+        let fs = 1000.0;
+        let x = sine(4096, fs, 101.0, 1.0);
+        let m = analyze_tone(&x, fs, Window::BlackmanHarris);
+        assert!(m.snr_db > 70.0, "snr {}", m.snr_db);
+        assert!((m.fundamental_hz - 101.0).abs() < fs / 4096.0 + 0.01);
+    }
+
+    #[test]
+    fn snr_matches_injected_noise() {
+        let fs = 1000.0;
+        let n = 1 << 14;
+        let mut rng = Randomizer::from_seed(77);
+        // SNR target 40 dB: noise sigma = A/sqrt(2)/10^2
+        let amp: f64 = 1.0;
+        let sigma = amp / 2f64.sqrt() / 100.0;
+        let x: Vec<f64> = sine(n, fs, 123.0, amp)
+            .into_iter()
+            .map(|v| v + rng.normal(0.0, sigma))
+            .collect();
+        let m = analyze_tone(&x, fs, Window::Hann);
+        assert!((m.snr_db - 40.0).abs() < 1.5, "snr {}", m.snr_db);
+    }
+
+    #[test]
+    fn thd_detects_harmonic_distortion() {
+        let fs = 1000.0;
+        let n = 8192;
+        // fundamental + second harmonic 40 dB down
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (2.0 * PI * 50.0 * t).sin() + 0.01 * (2.0 * PI * 100.0 * t).sin()
+            })
+            .collect();
+        let m = analyze_tone(&x, fs, Window::BlackmanHarris);
+        assert!((m.thd_db + 40.0).abs() < 1.0, "thd {}", m.thd_db);
+        assert!((m.sfdr_db - 40.0).abs() < 1.0, "sfdr {}", m.sfdr_db);
+    }
+
+    #[test]
+    fn sinad_combines_noise_and_distortion() {
+        let fs = 1000.0;
+        let n = 8192;
+        let mut rng = Randomizer::from_seed(5);
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (2.0 * PI * 60.0 * t).sin()
+                    + 0.02 * (2.0 * PI * 180.0 * t).sin()
+                    + rng.normal(0.0, 0.005)
+            })
+            .collect();
+        let m = analyze_tone(&x, fs, Window::Hann);
+        assert!(m.sinad_db < m.snr_db);
+        assert!(m.sinad_db > 20.0);
+    }
+
+    #[test]
+    fn enob_of_ideal_quantizer() {
+        // quantize a full-scale sine to 10 bits; ENOB should be ~10
+        let fs = 1000.0;
+        let n = 1 << 14;
+        let bits = 10;
+        let lsb = 2.0 / (1u64 << bits) as f64;
+        // slightly off-bin frequency to decorrelate quantization error
+        let x: Vec<f64> = sine(n, fs, 123.456, 0.999)
+            .into_iter()
+            .map(|v| (v / lsb).round() * lsb)
+            .collect();
+        let m = analyze_tone(&x, fs, Window::BlackmanHarris);
+        assert!((m.enob - bits as f64).abs() < 0.6, "enob {}", m.enob);
+    }
+
+    #[test]
+    fn ideal_snr_formula() {
+        assert!((ideal_quantizer_snr_db(10) - 61.96).abs() < 1e-9);
+        assert!((ideal_quantizer_snr_db(16) - 98.08).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aliased_harmonics_are_folded() {
+        let fs = 1000.0;
+        let n = 8192;
+        // fundamental at 400 Hz: 2nd harmonic at 800 folds to 200 Hz
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (2.0 * PI * 400.0 * t).sin() + 0.01 * (2.0 * PI * 800.0 * t).sin()
+            })
+            .collect();
+        let m = analyze_tone(&x, fs, Window::BlackmanHarris);
+        // the folded harmonic must be counted as distortion, not noise
+        assert!((m.thd_db + 40.0).abs() < 1.5, "thd {}", m.thd_db);
+        assert!(m.snr_db > 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "record too short")]
+    fn short_record_panics() {
+        let _ = analyze_tone(&[0.0; 16], 1.0, Window::Hann);
+    }
+}

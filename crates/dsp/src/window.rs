@@ -1,0 +1,272 @@
+//! Window functions.
+//!
+//! Symmetric (filter-design) windows are generated with the standard
+//! `N−1` denominator convention, matching Matlab's `window(@name, N)` and
+//! SciPy's `sym=True`. The Kaiser window — used by the paper to window the
+//! Kohlenberg reconstruction filter — exposes its `β` parameter directly
+//! and through the Kaiser-design formula from stopband attenuation.
+
+use rfbist_math::special::bessel_i0;
+use std::f64::consts::PI;
+
+/// Window function selector.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_dsp::window::Window;
+/// let w = Window::Kaiser(8.0).coefficients(61);
+/// assert_eq!(w.len(), 61);
+/// // Symmetric, peaking at the center tap.
+/// assert!((w[0] - w[60]).abs() < 1e-12);
+/// assert!((w[30] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Window {
+    /// All-ones window (no tapering).
+    Rectangular,
+    /// Triangular (Bartlett) window.
+    Bartlett,
+    /// Hann (raised-cosine) window.
+    Hann,
+    /// Hamming window (0.54/0.46 coefficients).
+    Hamming,
+    /// Blackman window (exact three-term coefficients 0.42/0.5/0.08).
+    Blackman,
+    /// Four-term Blackman–Harris window (−92 dB sidelobes).
+    BlackmanHarris,
+    /// Kaiser window with shape parameter `β`.
+    Kaiser(f64),
+}
+
+impl Window {
+    /// Generates the symmetric `n`-point window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        assert!(n > 0, "window length must be positive");
+        if n == 1 {
+            return vec![1.0];
+        }
+        let m = (n - 1) as f64;
+        (0..n).map(|i| self.at(i as f64 / m)).collect()
+    }
+
+    /// Evaluates the window at normalized position `x ∈ [0, 1]`
+    /// (0 and 1 are the edges, 0.5 the center).
+    ///
+    /// Values outside `[0, 1]` return 0. This continuous form is what the
+    /// PNBS reconstructor uses to taper the interpolant at arbitrary
+    /// (non-integer) tap offsets.
+    pub fn at(self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return 0.0;
+        }
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Bartlett => 1.0 - (2.0 * x - 1.0).abs(),
+            Window::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
+            Window::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
+            Window::Blackman => {
+                0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
+            }
+            Window::BlackmanHarris => {
+                0.35875 - 0.48829 * (2.0 * PI * x).cos() + 0.14128 * (4.0 * PI * x).cos()
+                    - 0.01168 * (6.0 * PI * x).cos()
+            }
+            Window::Kaiser(beta) => {
+                let t = 2.0 * x - 1.0; // in [-1, 1]
+                bessel_i0(beta * (1.0 - t * t).max(0.0).sqrt()) / bessel_i0(beta)
+            }
+        }
+    }
+
+    /// Kaiser `β` for a target stopband attenuation in dB
+    /// (Kaiser's empirical formula).
+    pub fn kaiser_beta(atten_db: f64) -> f64 {
+        if atten_db > 50.0 {
+            0.1102 * (atten_db - 8.7)
+        } else if atten_db >= 21.0 {
+            0.5842 * (atten_db - 21.0).powf(0.4) + 0.07886 * (atten_db - 21.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated Kaiser filter order for given attenuation (dB) and
+    /// normalized transition width (cycles/sample).
+    pub fn kaiser_order(atten_db: f64, transition_width: f64) -> usize {
+        assert!(transition_width > 0.0, "transition width must be positive");
+        (((atten_db - 7.95) / (2.285 * 2.0 * PI * transition_width)).ceil() as usize).max(1)
+    }
+
+    /// Coherent gain: mean of the window coefficients (1.0 for
+    /// rectangular).
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let w = self.coefficients(n);
+        w.iter().sum::<f64>() / n as f64
+    }
+
+    /// Equivalent noise bandwidth in bins: `N·Σw² / (Σw)²`.
+    pub fn enbw(self, n: usize) -> f64 {
+        let w = self.coefficients(n);
+        let sum: f64 = w.iter().sum();
+        let sumsq: f64 = w.iter().map(|&v| v * v).sum();
+        n as f64 * sumsq / (sum * sum)
+    }
+}
+
+impl Default for Window {
+    /// Hann — a safe general-purpose default for spectral estimation.
+    fn default() -> Self {
+        Window::Hann
+    }
+}
+
+/// Applies a window to data in place.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn apply_window(data: &mut [f64], window: &[f64]) {
+    assert_eq!(data.len(), window.len(), "window length mismatch");
+    for (d, w) in data.iter_mut().zip(window) {
+        *d *= w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_symmetric(w: &[f64]) {
+        let n = w.len();
+        for i in 0..n / 2 {
+            assert!((w[i] - w[n - 1 - i]).abs() < 1e-12, "asymmetry at {i}");
+        }
+    }
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert_eq!(Window::Rectangular.coefficients(5), vec![1.0; 5]);
+    }
+
+    #[test]
+    fn all_windows_are_symmetric_and_bounded() {
+        let windows = [
+            Window::Rectangular,
+            Window::Bartlett,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::BlackmanHarris,
+            Window::Kaiser(6.0),
+        ];
+        for win in windows {
+            for n in [8usize, 9, 61] {
+                let w = win.coefficients(n);
+                assert_symmetric(&w);
+                for &v in &w {
+                    assert!((-1e-12..=1.0 + 1e-12).contains(&v), "{win:?} out of range: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero_and_center_is_one() {
+        let w = Window::Hann.coefficients(9);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[8].abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_endpoints() {
+        let w = Window::Hamming.coefficients(11);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[10] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_matches_reference() {
+        // Matlab blackman(5) = [0 0.34 1 0.34 0]
+        let w = Window::Blackman.coefficients(5);
+        assert!(w[0].abs() < 1e-12);
+        assert!((w[1] - 0.34).abs() < 1e-12);
+        assert!((w[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kaiser_zero_beta_is_rectangular() {
+        let w = Window::Kaiser(0.0).coefficients(7);
+        for &v in &w {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kaiser_matches_bessel_reference() {
+        // Endpoint value is 1/I0(β); I0(8) = 427.56411572 (A&S tables).
+        let w = Window::Kaiser(8.0).coefficients(5);
+        let expected_edge = 1.0 / 427.56411572;
+        assert!((w[0] - expected_edge).abs() < 1e-9, "{} vs {expected_edge}", w[0]);
+        assert!((w[2] - 1.0).abs() < 1e-12);
+        // strictly increasing toward the center
+        assert!(w[0] < w[1] && w[1] < w[2]);
+    }
+
+    #[test]
+    fn kaiser_beta_formula_regions() {
+        assert_eq!(Window::kaiser_beta(10.0), 0.0);
+        // A&S formula reference: atten 60 dB -> beta ≈ 5.65326
+        assert!((Window::kaiser_beta(60.0) - 5.65326).abs() < 1e-4);
+        let b30 = Window::kaiser_beta(30.0);
+        assert!(b30 > 1.0 && b30 < 4.0);
+    }
+
+    #[test]
+    fn kaiser_order_scales_inversely_with_transition() {
+        let n_wide = Window::kaiser_order(60.0, 0.1);
+        let n_narrow = Window::kaiser_order(60.0, 0.01);
+        assert!(n_narrow > 5 * n_wide);
+    }
+
+    #[test]
+    fn continuous_at_outside_support_is_zero() {
+        assert_eq!(Window::Hann.at(-0.1), 0.0);
+        assert_eq!(Window::Kaiser(5.0).at(1.1), 0.0);
+    }
+
+    #[test]
+    fn single_point_window_is_one() {
+        for win in [Window::Hann, Window::Kaiser(9.0), Window::Blackman] {
+            assert_eq!(win.coefficients(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn coherent_gain_and_enbw_reference() {
+        // Rectangular: CG = 1, ENBW = 1 bin.
+        assert!((Window::Rectangular.coherent_gain(64) - 1.0).abs() < 1e-12);
+        assert!((Window::Rectangular.enbw(64) - 1.0).abs() < 1e-12);
+        // Hann: CG -> 0.5, ENBW -> 1.5 bins for large N.
+        assert!((Window::Hann.coherent_gain(4096) - 0.5).abs() < 1e-3);
+        assert!((Window::Hann.enbw(4096) - 1.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn apply_window_multiplies() {
+        let mut d = vec![2.0, 4.0, 6.0];
+        apply_window(&mut d, &[0.5, 0.25, 0.0]);
+        assert_eq!(d, vec![1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_panics() {
+        let _ = Window::Hann.coefficients(0);
+    }
+}

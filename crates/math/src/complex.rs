@@ -1,0 +1,447 @@
+//! Double-precision complex numbers.
+//!
+//! A small, dependency-free replacement for `num_complex::Complex<f64>`
+//! covering everything the DSP stack needs: arithmetic (including scalar
+//! mixing), polar/rectangular conversion, exponentials and conjugation.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + j·im` stored as two `f64` values.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_math::complex::Complex64;
+///
+/// let a = Complex64::new(1.0, 2.0);
+/// let b = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+/// let c = a * b;
+/// assert!((c.re - (-4.0)).abs() < 1e-12);
+/// assert!((c.im - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0j`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0j`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1j`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{jθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{jθ}`, a unit phasor at angle `theta` (radians).
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex64::from_polar(1.0, theta)
+    }
+
+    /// Magnitude (modulus) `|z|`, computed with `hypot` for robustness.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`; cheaper than [`abs`](Self::abs) when only
+    /// relative comparisons or powers are needed.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate `re − j·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components when `z == 0`, mirroring `f64`
+    /// division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z = e^{re}·(cos im + j sin im)`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Complex64::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+
+    /// Converts to polar form `(r, θ)`.
+    #[inline]
+    pub fn to_polar(self) -> (f64, f64) {
+        (self.abs(), self.arg())
+    }
+
+    /// Square root on the principal branch.
+    pub fn sqrt(self) -> Self {
+        let (r, theta) = self.to_polar();
+        Complex64::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Raises to a real power on the principal branch.
+    pub fn powf(self, n: f64) -> Self {
+        let (r, theta) = self.to_polar();
+        Complex64::from_polar(r.powf(n), theta * n)
+    }
+
+    /// Returns `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::new(re, 0.0)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.inv()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Add<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self + rhs.re, rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl<'a> Sum<&'a Complex64> for Complex64 {
+    fn sum<I: Iterator<Item = &'a Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |acc, z| acc + *z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(Complex64::ZERO, Complex64::new(0.0, 0.0));
+        assert_eq!(Complex64::ONE, Complex64::new(1.0, 0.0));
+        assert_eq!(Complex64::I, Complex64::new(0.0, 1.0));
+        assert_eq!(Complex64::from(3.5), Complex64::new(3.5, 0.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, PI / 3.0);
+        let (r, theta) = z.to_polar();
+        assert!((r - 2.0).abs() < EPS);
+        assert!((theta - PI / 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn cis_is_unit_phasor() {
+        let z = Complex64::cis(0.7);
+        assert!((z.abs() - 1.0).abs() < EPS);
+        assert!((z.arg() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn multiplication_adds_angles() {
+        let a = Complex64::from_polar(2.0, 0.3);
+        let b = Complex64::from_polar(3.0, 0.4);
+        let c = a * b;
+        assert!((c.abs() - 6.0).abs() < 1e-11);
+        assert!((c.arg() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let z = Complex64::I * Complex64::I;
+        assert!((z.re + 1.0).abs() < EPS);
+        assert!(z.im.abs() < EPS);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(1.0, -2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        let q = (a * b) / b;
+        assert!((q - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugation_properties() {
+        let z = Complex64::new(1.5, -2.5);
+        assert_eq!(z.conj().conj(), z);
+        let p = z * z.conj();
+        assert!((p.re - z.norm_sqr()).abs() < EPS);
+        assert!(p.im.abs() < EPS);
+    }
+
+    #[test]
+    fn inverse_times_self_is_one() {
+        let z = Complex64::new(0.3, 0.9);
+        let w = z * z.inv();
+        assert!((w - Complex64::ONE).abs() < EPS);
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_euler() {
+        let z = Complex64::new(0.0, FRAC_PI_2).exp();
+        assert!(z.re.abs() < EPS);
+        assert!((z.im - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn exp_of_real_matches_f64() {
+        let z = Complex64::new(1.25, 0.0).exp();
+        assert!((z.re - 1.25_f64.exp()).abs() < 1e-10);
+        assert!(z.im.abs() < EPS);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex64::new(-3.0, 4.0);
+        let s = z.sqrt();
+        assert!((s * s - z).abs() < 1e-10);
+        // principal branch: non-negative real part
+        assert!(s.re >= 0.0);
+    }
+
+    #[test]
+    fn powf_matches_repeated_multiplication() {
+        let z = Complex64::new(1.2, -0.7);
+        let p = z.powf(3.0);
+        assert!((p - z * z * z).abs() < 1e-10);
+    }
+
+    #[test]
+    fn scalar_ops_mix() {
+        let z = Complex64::new(1.0, 1.0);
+        assert_eq!(z * 2.0, Complex64::new(2.0, 2.0));
+        assert_eq!(2.0 * z, Complex64::new(2.0, 2.0));
+        assert_eq!(z + 1.0, Complex64::new(2.0, 1.0));
+        assert_eq!(1.0 + z, Complex64::new(2.0, 1.0));
+        assert_eq!(z - 1.0, Complex64::new(0.0, 1.0));
+        assert_eq!(z / 2.0, Complex64::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex64::new(1.0, 2.0);
+        z += Complex64::new(0.5, -0.5);
+        assert_eq!(z, Complex64::new(1.5, 1.5));
+        z -= Complex64::new(0.5, 0.5);
+        assert_eq!(z, Complex64::new(1.0, 1.0));
+        z *= Complex64::I;
+        assert!((z - Complex64::new(-1.0, 1.0)).abs() < EPS);
+        z /= Complex64::I;
+        assert!((z - Complex64::new(1.0, 1.0)).abs() < EPS);
+        z *= 3.0;
+        assert!((z - Complex64::new(3.0, 3.0)).abs() < EPS);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let v = vec![
+            Complex64::new(1.0, 0.0),
+            Complex64::new(0.0, 1.0),
+            Complex64::new(-1.0, 2.0),
+        ];
+        let s: Complex64 = v.iter().sum();
+        assert_eq!(s, Complex64::new(0.0, 3.0));
+        let s2: Complex64 = v.into_iter().sum();
+        assert_eq!(s2, Complex64::new(0.0, 3.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2j");
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(Complex64::new(1.0, 2.0).is_finite());
+        assert!(!Complex64::new(f64::NAN, 0.0).is_finite());
+        assert!(!Complex64::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn abs_uses_hypot_for_large_values() {
+        // naive sqrt(re²+im²) would overflow
+        let z = Complex64::new(1e200, 1e200);
+        assert!(z.abs().is_finite());
+    }
+}

@@ -1,0 +1,351 @@
+//! Small dense linear algebra.
+//!
+//! Row-major [`Matrix`] with Gaussian elimination (partial pivoting) for
+//! square solves and normal-equation least squares — enough for polynomial
+//! fitting, sine fitting and calibration routines. Not intended for large
+//! systems.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Errors from linear-algebra routines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix is singular (or numerically so) at the given pivot.
+    Singular {
+        /// Pivot column where elimination failed.
+        pivot: usize,
+    },
+    /// Operand shapes are incompatible.
+    ShapeMismatch,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            LinalgError::ShapeMismatch => write!(f, "operand shapes are incompatible"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_math::linalg::Matrix;
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+/// let x = a.solve(&[2.0, 8.0]).unwrap();
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths or the input is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                row.iter().zip(x).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// Matrix–matrix product `A·B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when inner dimensions differ.
+    pub fn mul(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch);
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Solves `A·x = b` for square `A` by Gaussian elimination with partial
+    /// pivoting.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] if `A` is not square or `b` has the
+    /// wrong length; [`LinalgError::Singular`] if a pivot collapses below
+    /// `1e-300` in magnitude.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.rows != self.cols || b.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch);
+        }
+        let n = self.rows;
+        // augmented copy
+        let mut a = self.data.clone();
+        let mut rhs = b.to_vec();
+
+        for col in 0..n {
+            // partial pivot
+            let mut best = col;
+            let mut best_abs = a[col * n + col].abs();
+            for row in col + 1..n {
+                let v = a[row * n + col].abs();
+                if v > best_abs {
+                    best = row;
+                    best_abs = v;
+                }
+            }
+            if best_abs < 1e-300 {
+                return Err(LinalgError::Singular { pivot: col });
+            }
+            if best != col {
+                for j in 0..n {
+                    a.swap(col * n + j, best * n + j);
+                }
+                rhs.swap(col, best);
+            }
+            let pivot = a[col * n + col];
+            for row in col + 1..n {
+                let factor = a[row * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[row * n + j] -= factor * a[col * n + j];
+                }
+                rhs[row] -= factor * rhs[col];
+            }
+        }
+        // back substitution
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = rhs[i];
+            for j in i + 1..n {
+                sum -= a[i * n + j] * x[j];
+            }
+            x[i] = sum / a[i * n + i];
+        }
+        Ok(x)
+    }
+
+    /// Least-squares solution of the (possibly overdetermined) system
+    /// `A·x ≈ b` via the normal equations `AᵀA x = Aᵀb`.
+    ///
+    /// Adequate for the small, well-conditioned design matrices used in
+    /// this workspace (polynomial/sine fits of modest order).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] if `b.len() != self.rows()`;
+    /// [`LinalgError::Singular`] if `AᵀA` is singular (rank-deficient fit).
+    pub fn lstsq(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch);
+        }
+        let at = self.transpose();
+        let ata = at.mul(self)?;
+        let atb = at.mul_vec(b);
+        ata.solve(&atb)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let a = Matrix::identity(3);
+        let x = a.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // leading zero forces a row swap
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_3x3_known_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
+        let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
+        let expected = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(expected.iter()) {
+            assert!((xi - ei).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        match a.solve(&[1.0, 2.0]) {
+            Err(LinalgError::Singular { .. }) => {}
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(a.solve(&[1.0]), Err(LinalgError::ShapeMismatch));
+        let b = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        assert_eq!(a.mul(&b).unwrap().rows(), 1); // 1x2 · 2x1 ok
+        assert_eq!(b.mul(&b), Err(LinalgError::ShapeMismatch));
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matrix_product_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]));
+    }
+
+    #[test]
+    fn lstsq_exact_when_square() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]);
+        let x = a.lstsq(&[4.0, 9.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_line_fit() {
+        // y = 2x + 1 with noise-free samples; design matrix [x, 1]
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x, 1.0]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&row_refs);
+        let y: Vec<f64> = xs.iter().map(|&x| 2.0 * x + 1.0).collect();
+        let beta = a.lstsq(&y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-10);
+        assert!((beta[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_overdetermined_minimizes_residual() {
+        // inconsistent system: best fit of constant to [1, 2, 3] is 2
+        let a = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+        let beta = a.lstsq(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = LinalgError::Singular { pivot: 2 };
+        assert_eq!(e.to_string(), "matrix is singular at pivot column 2");
+        assert_eq!(LinalgError::ShapeMismatch.to_string(), "operand shapes are incompatible");
+    }
+
+    #[test]
+    #[should_panic(expected = "all rows must have equal length")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Polynomial evaluation, fitting and differentiation.
+//!
+//! Coefficients are stored in ascending order: `p(x) = Σ c[k]·x^k`.
+//! Fitting uses the least-squares machinery from [`crate::linalg`].
+
+use crate::linalg::{LinalgError, Matrix};
+
+/// Evaluates `p(x) = Σ c[k]·x^k` with Horner's scheme.
+///
+/// Empty coefficient slices evaluate to zero.
+#[inline]
+pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Evaluates the derivative `p'(x)`.
+pub fn polyval_deriv(coeffs: &[f64], x: f64) -> f64 {
+    coeffs
+        .iter()
+        .enumerate()
+        .skip(1)
+        .rev()
+        .fold(0.0, |acc, (k, &c)| acc * x + c * k as f64)
+}
+
+/// Returns the coefficients of the derivative polynomial.
+pub fn polyder(coeffs: &[f64]) -> Vec<f64> {
+    coeffs
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(k, &c)| c * k as f64)
+        .collect()
+}
+
+/// Least-squares polynomial fit of the given `degree` through points
+/// `(xs[i], ys[i])`, returning ascending coefficients.
+///
+/// # Errors
+///
+/// [`LinalgError::ShapeMismatch`] if `xs.len() != ys.len()` or there are
+/// fewer points than `degree + 1`; [`LinalgError::Singular`] for degenerate
+/// abscissae (e.g. all identical).
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Vec<f64>, LinalgError> {
+    if xs.len() != ys.len() || xs.len() < degree + 1 {
+        return Err(LinalgError::ShapeMismatch);
+    }
+    let rows: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|&x| {
+            let mut row = Vec::with_capacity(degree + 1);
+            let mut p = 1.0;
+            for _ in 0..=degree {
+                row.push(p);
+                p *= x;
+            }
+            row
+        })
+        .collect();
+    let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    Matrix::from_rows(&row_refs).lstsq(ys)
+}
+
+/// Finds a root of `p` near `x0` by Newton iteration with bisection-free
+/// damping; returns `None` if it fails to converge in 100 iterations.
+pub fn polyroot_near(coeffs: &[f64], x0: f64) -> Option<f64> {
+    let mut x = x0;
+    for _ in 0..100 {
+        let f = polyval(coeffs, x);
+        if f.abs() < 1e-13 * (1.0 + x.abs()) {
+            return Some(x);
+        }
+        let df = polyval_deriv(coeffs, x);
+        if df.abs() < 1e-300 {
+            return None;
+        }
+        let step = f / df;
+        x -= step;
+        if !x.is_finite() {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polyval_basic() {
+        // p(x) = 1 + 2x + 3x²
+        let c = [1.0, 2.0, 3.0];
+        assert_eq!(polyval(&c, 0.0), 1.0);
+        assert_eq!(polyval(&c, 1.0), 6.0);
+        assert_eq!(polyval(&c, 2.0), 17.0);
+        assert_eq!(polyval(&[], 5.0), 0.0);
+    }
+
+    #[test]
+    fn polyval_deriv_matches_analytic() {
+        // p'(x) = 2 + 6x
+        let c = [1.0, 2.0, 3.0];
+        assert_eq!(polyval_deriv(&c, 0.0), 2.0);
+        assert_eq!(polyval_deriv(&c, 2.0), 14.0);
+        assert_eq!(polyval_deriv(&[7.0], 3.0), 0.0);
+    }
+
+    #[test]
+    fn polyder_coefficients() {
+        assert_eq!(polyder(&[1.0, 2.0, 3.0]), vec![2.0, 6.0]);
+        assert!(polyder(&[5.0]).is_empty());
+    }
+
+    #[test]
+    fn polyfit_recovers_exact_polynomial() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 0.5 - 2.0).collect();
+        let truth = [0.5, -1.5, 2.0, 0.25];
+        let ys: Vec<f64> = xs.iter().map(|&x| polyval(&truth, x)).collect();
+        let fit = polyfit(&xs, &ys, 3).unwrap();
+        for (f, t) in fit.iter().zip(truth.iter()) {
+            assert!((f - t).abs() < 1e-9, "fit {fit:?}");
+        }
+    }
+
+    #[test]
+    fn polyfit_underdetermined_errors() {
+        assert!(polyfit(&[1.0, 2.0], &[1.0, 2.0], 2).is_err());
+        assert!(polyfit(&[1.0], &[1.0, 2.0], 0).is_err());
+    }
+
+    #[test]
+    fn polyfit_degenerate_abscissae_errors() {
+        let xs = [1.0, 1.0, 1.0, 1.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        assert!(polyfit(&xs, &ys, 1).is_err());
+    }
+
+    #[test]
+    fn newton_finds_sqrt2() {
+        // x² − 2 = 0
+        let r = polyroot_near(&[-2.0, 0.0, 1.0], 1.0).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn newton_fails_on_flat_polynomial() {
+        // constant polynomial has no root
+        assert!(polyroot_near(&[1.0], 0.0).is_none());
+    }
+}

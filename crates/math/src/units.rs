@@ -1,0 +1,460 @@
+//! Physical-unit newtypes.
+//!
+//! RF test code mixes quantities spanning twelve orders of magnitude
+//! (picosecond skews against gigahertz carriers). These newtypes keep the
+//! units straight at API boundaries ([`Hertz`], [`Seconds`], [`Db`]) while
+//! staying zero-cost: each wraps a single `f64` and converts explicitly.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A frequency in hertz.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_math::units::Hertz;
+/// let fc = Hertz::from_ghz(1.0);
+/// assert_eq!(fc.as_mhz(), 1000.0);
+/// assert_eq!(fc.period().as_ns(), 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+pub struct Hertz(pub f64);
+
+impl Hertz {
+    /// Creates a frequency from a raw hertz value.
+    pub const fn new(hz: f64) -> Self {
+        Hertz(hz)
+    }
+
+    /// Creates a frequency from kilohertz.
+    pub fn from_khz(khz: f64) -> Self {
+        Hertz(khz * 1e3)
+    }
+
+    /// Creates a frequency from megahertz.
+    pub fn from_mhz(mhz: f64) -> Self {
+        Hertz(mhz * 1e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    pub fn from_ghz(ghz: f64) -> Self {
+        Hertz(ghz * 1e9)
+    }
+
+    /// The raw value in hertz.
+    pub fn as_hz(self) -> f64 {
+        self.0
+    }
+
+    /// The value in kilohertz.
+    pub fn as_khz(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// The value in megahertz.
+    pub fn as_mhz(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// The value in gigahertz.
+    pub fn as_ghz(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// The period `1/f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn period(self) -> Seconds {
+        assert!(self.0 != 0.0, "period of zero frequency");
+        Seconds(1.0 / self.0)
+    }
+
+    /// Angular frequency `2πf` in rad/s.
+    pub fn angular(self) -> f64 {
+        2.0 * std::f64::consts::PI * self.0
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0.abs();
+        if v >= 1e9 {
+            write!(f, "{:.6} GHz", self.0 / 1e9)
+        } else if v >= 1e6 {
+            write!(f, "{:.6} MHz", self.0 / 1e6)
+        } else if v >= 1e3 {
+            write!(f, "{:.6} kHz", self.0 / 1e3)
+        } else {
+            write!(f, "{:.6} Hz", self.0)
+        }
+    }
+}
+
+impl Add for Hertz {
+    type Output = Hertz;
+    fn add(self, rhs: Hertz) -> Hertz {
+        Hertz(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Hertz {
+    type Output = Hertz;
+    fn sub(self, rhs: Hertz) -> Hertz {
+        Hertz(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Hertz {
+    type Output = Hertz;
+    fn mul(self, rhs: f64) -> Hertz {
+        Hertz(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Hertz {
+    type Output = Hertz;
+    fn div(self, rhs: f64) -> Hertz {
+        Hertz(self.0 / rhs)
+    }
+}
+
+impl Div for Hertz {
+    /// Ratio of two frequencies is dimensionless.
+    type Output = f64;
+    fn div(self, rhs: Hertz) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+/// A time value in seconds.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_math::units::Seconds;
+/// let skew = Seconds::from_ps(180.0);
+/// assert!((skew.as_ns() - 0.18).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+pub struct Seconds(pub f64);
+
+impl Seconds {
+    /// Creates a time from a raw seconds value.
+    pub const fn new(s: f64) -> Self {
+        Seconds(s)
+    }
+
+    /// Creates a time from milliseconds.
+    pub fn from_ms(ms: f64) -> Self {
+        Seconds(ms * 1e-3)
+    }
+
+    /// Creates a time from microseconds.
+    pub fn from_us(us: f64) -> Self {
+        Seconds(us * 1e-6)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub fn from_ns(ns: f64) -> Self {
+        Seconds(ns * 1e-9)
+    }
+
+    /// Creates a time from picoseconds.
+    pub fn from_ps(ps: f64) -> Self {
+        Seconds(ps * 1e-12)
+    }
+
+    /// The raw value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The value in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The value in microseconds.
+    pub fn as_us(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The value in nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// The value in picoseconds.
+    pub fn as_ps(self) -> f64 {
+        self.0 * 1e12
+    }
+
+    /// The reciprocal `1/t` as a frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the time is zero.
+    pub fn frequency(self) -> Hertz {
+        assert!(self.0 != 0.0, "frequency of zero period");
+        Hertz(1.0 / self.0)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Seconds {
+        Seconds(self.0.abs())
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0.abs();
+        if v == 0.0 {
+            write!(f, "0 s")
+        } else if v >= 1.0 {
+            write!(f, "{:.6} s", self.0)
+        } else if v >= 1e-3 {
+            write!(f, "{:.6} ms", self.0 * 1e3)
+        } else if v >= 1e-6 {
+            write!(f, "{:.6} µs", self.0 * 1e6)
+        } else if v >= 1e-9 {
+            write!(f, "{:.6} ns", self.0 * 1e9)
+        } else {
+            write!(f, "{:.6} ps", self.0 * 1e12)
+        }
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+    fn mul(self, rhs: f64) -> Seconds {
+        Seconds(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Seconds {
+    type Output = Seconds;
+    fn div(self, rhs: f64) -> Seconds {
+        Seconds(self.0 / rhs)
+    }
+}
+
+impl Div for Seconds {
+    /// Ratio of two times is dimensionless.
+    type Output = f64;
+    fn div(self, rhs: Seconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Neg for Seconds {
+    type Output = Seconds;
+    fn neg(self) -> Seconds {
+        Seconds(-self.0)
+    }
+}
+
+/// A power or amplitude ratio expressed in decibels.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_math::units::Db;
+/// let g = Db::new(20.0);
+/// assert!((g.as_power_ratio() - 100.0).abs() < 1e-9);
+/// assert!((g.as_amplitude_ratio() - 10.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+pub struct Db(pub f64);
+
+impl Db {
+    /// Wraps a decibel value.
+    pub const fn new(db: f64) -> Self {
+        Db(db)
+    }
+
+    /// Converts a (positive) power ratio to decibels: `10·log₁₀(r)`.
+    pub fn from_power_ratio(ratio: f64) -> Self {
+        Db(10.0 * ratio.log10())
+    }
+
+    /// Converts a (positive) amplitude ratio to decibels: `20·log₁₀(r)`.
+    pub fn from_amplitude_ratio(ratio: f64) -> Self {
+        Db(20.0 * ratio.log10())
+    }
+
+    /// The raw decibel value.
+    pub fn as_db(self) -> f64 {
+        self.0
+    }
+
+    /// The equivalent power ratio `10^{dB/10}`.
+    pub fn as_power_ratio(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// The equivalent amplitude ratio `10^{dB/20}`.
+    pub fn as_amplitude_ratio(self) -> f64 {
+        10f64.powf(self.0 / 20.0)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} dB", self.0)
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Db {
+    type Output = Db;
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+
+/// Converts watts to dBm.
+pub fn watts_to_dbm(w: f64) -> f64 {
+    10.0 * (w / 1e-3).log10()
+}
+
+/// Converts dBm to watts.
+pub fn dbm_to_watts(dbm: f64) -> f64 {
+    1e-3 * 10f64.powf(dbm / 10.0)
+}
+
+/// RMS voltage across a load `r_ohm` corresponding to a power in dBm.
+pub fn dbm_to_vrms(dbm: f64, r_ohm: f64) -> f64 {
+    (dbm_to_watts(dbm) * r_ohm).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hertz_conversions() {
+        let f = Hertz::from_ghz(2.03);
+        assert!((f.as_hz() - 2.03e9).abs() < 1.0);
+        assert!((f.as_mhz() - 2030.0).abs() < 1e-6);
+        assert!((f.as_khz() - 2.03e6).abs() < 1e-3);
+        assert_eq!(Hertz::from_khz(1.0).as_hz(), 1000.0);
+        assert_eq!(Hertz::from_mhz(90.0).as_hz(), 90e6);
+    }
+
+    #[test]
+    fn hertz_period_round_trip() {
+        let f = Hertz::from_mhz(90.0);
+        let t = f.period();
+        assert!((t.as_ns() - 11.111111111).abs() < 1e-6);
+        assert!((t.frequency().as_hz() - f.as_hz()).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "period of zero frequency")]
+    fn zero_frequency_period_panics() {
+        let _ = Hertz::new(0.0).period();
+    }
+
+    #[test]
+    fn hertz_arithmetic_and_ratio() {
+        let a = Hertz::from_mhz(90.0);
+        let b = Hertz::from_mhz(45.0);
+        assert_eq!((a + b).as_mhz(), 135.0);
+        assert_eq!((a - b).as_mhz(), 45.0);
+        assert_eq!(a / b, 2.0);
+        assert_eq!((a * 2.0).as_mhz(), 180.0);
+        assert_eq!((a / 3.0).as_mhz(), 30.0);
+    }
+
+    #[test]
+    fn angular_frequency() {
+        let f = Hertz::new(1.0);
+        assert!((f.angular() - 2.0 * std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_conversions() {
+        let d = Seconds::from_ps(180.0);
+        assert!((d.as_secs() - 180e-12).abs() < 1e-22);
+        assert!((d.as_ns() - 0.18).abs() < 1e-12);
+        assert!((Seconds::from_ns(1.0).as_ps() - 1000.0).abs() < 1e-9);
+        assert!((Seconds::from_us(1.0).as_ns() - 1000.0).abs() < 1e-9);
+        assert!((Seconds::from_ms(1.0).as_us() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seconds_arithmetic() {
+        let a = Seconds::from_ps(500.0);
+        let b = Seconds::from_ps(200.0);
+        assert!(((a - b).as_ps() - 300.0).abs() < 1e-9);
+        assert!(((a + b).as_ps() - 700.0).abs() < 1e-9);
+        assert!(((-b).as_ps() + 200.0).abs() < 1e-9);
+        assert!((a / b - 2.5).abs() < 1e-12);
+        assert!((b.abs().as_ps() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn db_power_amplitude() {
+        let g = Db::from_power_ratio(100.0);
+        assert!((g.as_db() - 20.0).abs() < 1e-12);
+        let h = Db::from_amplitude_ratio(10.0);
+        assert!((h.as_db() - 20.0).abs() < 1e-12);
+        assert!((Db::new(3.0).as_power_ratio() - 1.9952623).abs() < 1e-6);
+        assert!((Db::new(-6.0).as_amplitude_ratio() - 0.5011872).abs() < 1e-6);
+    }
+
+    #[test]
+    fn db_arithmetic() {
+        assert_eq!((Db::new(3.0) + Db::new(4.0)).as_db(), 7.0);
+        assert_eq!((Db::new(3.0) - Db::new(4.0)).as_db(), -1.0);
+        assert_eq!((-Db::new(3.0)).as_db(), -3.0);
+    }
+
+    #[test]
+    fn dbm_conversions() {
+        assert!((watts_to_dbm(1e-3) - 0.0).abs() < 1e-12);
+        assert!((watts_to_dbm(1.0) - 30.0).abs() < 1e-12);
+        assert!((dbm_to_watts(30.0) - 1.0).abs() < 1e-12);
+        // 0 dBm into 50 Ω is 223.6 mV rms
+        assert!((dbm_to_vrms(0.0, 50.0) - 0.2236068).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(format!("{}", Hertz::from_ghz(1.0)), "1.000000 GHz");
+        assert_eq!(format!("{}", Hertz::from_mhz(90.0)), "90.000000 MHz");
+        assert_eq!(format!("{}", Seconds::from_ps(180.0)), "180.000000 ps");
+        assert_eq!(format!("{}", Seconds::from_ns(11.0)), "11.000000 ns");
+        assert_eq!(format!("{}", Db::new(1.5)), "1.500 dB");
+    }
+}

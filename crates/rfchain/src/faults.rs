@@ -1,0 +1,216 @@
+//! Parametric fault catalogue for BIST fault-coverage studies.
+//!
+//! The paper's end goal is detecting out-of-spec transmitters via
+//! spectral-mask measurements. This module enumerates the classic
+//! parametric Tx faults and maps each onto the behavioral impairment
+//! model, so the BIST engine can be scored on which faults it catches.
+
+use crate::impairments::TxImpairments;
+use crate::pa::PaModel;
+
+/// A parametric transmitter fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// PA small-signal gain shifted by the given dB (negative = weak PA).
+    PaGainShift {
+        /// Gain change in dB.
+        delta_db: f64,
+    },
+    /// PA saturation voltage reduced by the given factor in `(0, 1]` —
+    /// the device compresses earlier, spreading spectral regrowth.
+    PaEarlyCompression {
+        /// Multiplier on the healthy saturation voltage.
+        v_sat_factor: f64,
+    },
+    /// Additional quadrature gain imbalance in dB.
+    IqGainImbalance {
+        /// Added gain imbalance in dB.
+        gain_db: f64,
+    },
+    /// Additional quadrature phase error in degrees.
+    IqPhaseImbalance {
+        /// Added phase imbalance in degrees.
+        phase_deg: f64,
+    },
+    /// Carrier feed-through raised to the given dBc level.
+    LoLeakage {
+        /// Leakage level in dBc.
+        level_dbc: f64,
+    },
+}
+
+impl FaultKind {
+    /// Short machine-readable identifier.
+    pub fn id(&self) -> &'static str {
+        match self {
+            FaultKind::PaGainShift { .. } => "pa-gain-shift",
+            FaultKind::PaEarlyCompression { .. } => "pa-early-compression",
+            FaultKind::IqGainImbalance { .. } => "iq-gain-imbalance",
+            FaultKind::IqPhaseImbalance { .. } => "iq-phase-imbalance",
+            FaultKind::LoLeakage { .. } => "lo-leakage",
+        }
+    }
+}
+
+/// A named fault with its severity applied to a baseline impairment set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fault {
+    /// The fault type and severity.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// Wraps a fault kind.
+    pub fn new(kind: FaultKind) -> Self {
+        Fault { kind }
+    }
+
+    /// Injects this fault into `healthy`, returning the faulty
+    /// impairment configuration.
+    pub fn inject(&self, healthy: TxImpairments) -> TxImpairments {
+        match self.kind {
+            FaultKind::PaGainShift { delta_db } => {
+                let factor = 10f64.powf(delta_db / 20.0);
+                let pa = match healthy.pa {
+                    PaModel::Linear { gain } => PaModel::Linear { gain: gain * factor },
+                    PaModel::Rapp { gain, v_sat, p } => {
+                        PaModel::Rapp { gain: gain * factor, v_sat, p }
+                    }
+                    PaModel::Saleh { alpha_a, beta_a, alpha_p, beta_p } => PaModel::Saleh {
+                        alpha_a: alpha_a * factor,
+                        beta_a,
+                        alpha_p,
+                        beta_p,
+                    },
+                    PaModel::Polynomial { a1, a3, a5 } => PaModel::Polynomial {
+                        a1: a1 * factor,
+                        a3: a3 * factor,
+                        a5: a5 * factor,
+                    },
+                };
+                healthy.with_pa(pa)
+            }
+            FaultKind::PaEarlyCompression { v_sat_factor } => {
+                assert!(
+                    v_sat_factor > 0.0 && v_sat_factor <= 1.0,
+                    "v_sat factor must be in (0, 1]"
+                );
+                let pa = match healthy.pa {
+                    PaModel::Rapp { gain, v_sat, p } => {
+                        PaModel::Rapp { gain, v_sat: v_sat * v_sat_factor, p }
+                    }
+                    // non-Rapp PAs: emulate early compression with a Rapp
+                    // wrapper at the reduced saturation level
+                    other => {
+                        let g = other.small_signal_gain();
+                        PaModel::Rapp { gain: g, v_sat: g * v_sat_factor, p: 2.0 }
+                    }
+                };
+                healthy.with_pa(pa)
+            }
+            FaultKind::IqGainImbalance { gain_db } => {
+                let mut iq = healthy.iq;
+                iq.gain_db += gain_db;
+                healthy.with_iq(iq)
+            }
+            FaultKind::IqPhaseImbalance { phase_deg } => {
+                let mut iq = healthy.iq;
+                iq.phase_deg += phase_deg;
+                healthy.with_iq(iq)
+            }
+            FaultKind::LoLeakage { level_dbc } => {
+                let mut iq = healthy.iq;
+                iq.lo_leakage_dbc = level_dbc;
+                healthy.with_iq(iq)
+            }
+        }
+    }
+}
+
+/// A representative fault set spanning the catalogue, graded from
+/// marginal to gross — the default corpus for fault-coverage
+/// experiments.
+pub fn standard_fault_set() -> Vec<Fault> {
+    vec![
+        Fault::new(FaultKind::PaGainShift { delta_db: -1.0 }),
+        Fault::new(FaultKind::PaGainShift { delta_db: -3.0 }),
+        Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.5 }),
+        Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.25 }),
+        Fault::new(FaultKind::IqGainImbalance { gain_db: 1.0 }),
+        Fault::new(FaultKind::IqGainImbalance { gain_db: 3.0 }),
+        Fault::new(FaultKind::IqPhaseImbalance { phase_deg: 3.0 }),
+        Fault::new(FaultKind::IqPhaseImbalance { phase_deg: 10.0 }),
+        Fault::new(FaultKind::LoLeakage { level_dbc: -30.0 }),
+        Fault::new(FaultKind::LoLeakage { level_dbc: -15.0 }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfbist_math::Complex64;
+
+    #[test]
+    fn pa_gain_shift_scales_output() {
+        let healthy = TxImpairments::ideal().with_pa(PaModel::linear_db(20.0));
+        let faulty = Fault::new(FaultKind::PaGainShift { delta_db: -3.0 }).inject(healthy);
+        let a = Complex64::new(0.01, 0.0);
+        let ratio = faulty.apply(a).abs() / healthy.apply(a).abs();
+        assert!((20.0 * ratio.log10() + 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_compression_reduces_p1db() {
+        let healthy = TxImpairments::typical();
+        let faulty =
+            Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.5 }).inject(healthy);
+        let p1_healthy = healthy.pa.input_p1db().unwrap();
+        let p1_faulty = faulty.pa.input_p1db().unwrap();
+        assert!((p1_faulty / p1_healthy - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn early_compression_wraps_non_rapp() {
+        let healthy = TxImpairments::ideal(); // linear PA
+        let faulty =
+            Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.5 }).inject(healthy);
+        assert!(matches!(faulty.pa, PaModel::Rapp { .. }));
+        assert!(faulty.pa.input_p1db().is_some());
+    }
+
+    #[test]
+    fn iq_faults_accumulate_on_baseline() {
+        let healthy = TxImpairments::typical(); // 0.05 dB residual
+        let faulty =
+            Fault::new(FaultKind::IqGainImbalance { gain_db: 1.0 }).inject(healthy);
+        assert!((faulty.iq.gain_db - 1.05).abs() < 1e-12);
+        let faulty2 =
+            Fault::new(FaultKind::IqPhaseImbalance { phase_deg: 3.0 }).inject(healthy);
+        assert!((faulty2.iq.phase_deg - 3.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lo_leakage_fault_sets_level() {
+        let healthy = TxImpairments::typical();
+        let faulty = Fault::new(FaultKind::LoLeakage { level_dbc: -15.0 }).inject(healthy);
+        assert_eq!(faulty.iq.lo_leakage_dbc, -15.0);
+        // stronger leakage than healthy
+        assert!(faulty.iq.leakage().abs() > healthy.iq.leakage().abs());
+    }
+
+    #[test]
+    fn standard_set_covers_all_kinds() {
+        let set = standard_fault_set();
+        assert!(set.len() >= 10);
+        let ids: std::collections::BTreeSet<&str> =
+            set.iter().map(|f| f.kind.id()).collect();
+        assert_eq!(ids.len(), 5, "all five fault families present");
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn invalid_compression_factor_panics() {
+        let _ = Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.0 })
+            .inject(TxImpairments::typical());
+    }
+}

@@ -1,0 +1,188 @@
+//! Loopback BIST baseline — and its fault-masking weakness.
+//!
+//! The paper's introduction motivates the direct-observation BP-TIADC
+//! approach by the classic flaw of RF loopback BIST: "fault masking is a
+//! situation where a (non-catastrophic) failure of the Tx is covered up
+//! by an exceptionally good Rx, or the inverse. A marginal product could
+//! then go undetected (test escapes)." This module implements a simple
+//! behavioral receiver and a gain-based loopback test so that weakness
+//! can be demonstrated quantitatively against the PNBS strategy.
+
+use crate::iqmod::IqImbalance;
+use rfbist_math::Complex64;
+use rfbist_signal::traits::ComplexEnvelope;
+
+/// A behavioral direct-conversion receiver for loopback tests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Receiver {
+    /// Voltage gain of the LNA + baseband chain.
+    pub gain: f64,
+    /// Receiver's own quadrature imperfections.
+    pub iq: IqImbalance,
+}
+
+impl Receiver {
+    /// A nominal receiver with the given linear voltage gain.
+    pub fn new(gain: f64) -> Self {
+        Receiver { gain, iq: IqImbalance::ideal() }
+    }
+
+    /// Builder-style: receiver-side IQ imbalance.
+    pub fn with_iq(mut self, iq: IqImbalance) -> Self {
+        self.iq = iq;
+        self
+    }
+
+    /// Processes one received envelope sample.
+    pub fn process(&self, a: Complex64) -> Complex64 {
+        self.iq.apply(a) * self.gain
+    }
+}
+
+/// Result of a loopback gain measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoopbackMeasurement {
+    /// Measured end-to-end RMS gain (Tx chain × coupling × Rx chain).
+    pub chain_gain: f64,
+    /// Measured image-rejection proxy: residual conjugate-component
+    /// power ratio of the round-trip constellation.
+    pub image_ratio: f64,
+}
+
+/// Measures the loopback chain: the known clean baseband `reference`
+/// drives the DUT whose (impaired) output envelope is `tx_output`; the
+/// round trip closes through `rx`. Gain is end-to-end relative to the
+/// reference — the only signal the tester actually knows.
+pub fn measure_loopback<R: ComplexEnvelope, E: ComplexEnvelope>(
+    reference: &R,
+    tx_output: &E,
+    rx: &Receiver,
+    times: &[f64],
+) -> LoopbackMeasurement {
+    assert!(!times.is_empty(), "need probe times");
+    let mut p_out = 0.0;
+    let mut p_ref = 0.0;
+    let mut direct = Complex64::ZERO;
+    let mut image = Complex64::ZERO;
+    for &t in times {
+        let a_ref = reference.eval_iq(t);
+        let y = rx.process(tx_output.eval_iq(t));
+        p_out += y.norm_sqr();
+        p_ref += a_ref.norm_sqr();
+        // correlate output with the reference and with its conjugate to
+        // split direct and image paths
+        direct += y * a_ref.conj();
+        image += y * a_ref;
+    }
+    let chain_gain = if p_ref > 0.0 { (p_out / p_ref).sqrt() } else { 0.0 };
+    let image_ratio = if direct.norm_sqr() > 0.0 {
+        image.norm_sqr() / direct.norm_sqr()
+    } else {
+        0.0
+    };
+    LoopbackMeasurement { chain_gain, image_ratio }
+}
+
+/// Loopback pass/fail on chain gain: PASS when the measured end-to-end
+/// gain is within `tolerance_db` of `nominal_gain`.
+pub fn loopback_gain_verdict(
+    measurement: &LoopbackMeasurement,
+    nominal_gain: f64,
+    tolerance_db: f64,
+) -> bool {
+    assert!(nominal_gain > 0.0 && measurement.chain_gain > 0.0, "gains must be positive");
+    let err_db = 20.0 * (measurement.chain_gain / nominal_gain).log10();
+    err_db.abs() <= tolerance_db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impairments::TxImpairments;
+    use crate::pa::PaModel;
+    use crate::txchain::HomodyneTx;
+    use rfbist_signal::baseband::ShapedBaseband;
+
+    fn probe_times() -> Vec<f64> {
+        (0..400).map(|i| 1.3e-6 + i as f64 * 7.3e-9).collect()
+    }
+
+    fn tx_with(imp: TxImpairments) -> HomodyneTx<ShapedBaseband> {
+        let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 64, 0xACE1);
+        HomodyneTx::builder(bb, 1e9).impairments(imp).build()
+    }
+
+    #[test]
+    fn nominal_chain_measures_unit_gain() {
+        let tx = tx_with(TxImpairments::typical());
+        let rx = Receiver::new(1.0);
+        let m = measure_loopback(tx.baseband(), &tx.impaired_envelope(), &rx, &probe_times());
+        assert!((m.chain_gain - 1.0).abs() < 0.05, "gain {}", m.chain_gain);
+        assert!(m.image_ratio < 1e-3, "image {}", m.image_ratio);
+    }
+
+    #[test]
+    fn weak_tx_with_nominal_rx_is_detected() {
+        let weak = TxImpairments::typical().with_output_gain(
+            TxImpairments::typical().output_gain * 10f64.powf(-1.5 / 20.0),
+        );
+        let tx = tx_with(weak);
+        let rx = Receiver::new(1.0);
+        let m = measure_loopback(tx.baseband(), &tx.impaired_envelope(), &rx, &probe_times());
+        assert!(
+            !loopback_gain_verdict(&m, 1.0, 1.0),
+            "a 1.5 dB-weak Tx must fail a ±1 dB loopback limit"
+        );
+    }
+
+    #[test]
+    fn fault_masking_hot_rx_hides_weak_tx() {
+        // The paper's core criticism: the same 1.5 dB-weak Tx passes when
+        // the Rx happens to be 1.5 dB hot — a test escape.
+        let weak = TxImpairments::typical().with_output_gain(
+            TxImpairments::typical().output_gain * 10f64.powf(-1.5 / 20.0),
+        );
+        let tx = tx_with(weak);
+        let hot_rx = Receiver::new(10f64.powf(1.5 / 20.0));
+        let m = measure_loopback(tx.baseband(), &tx.impaired_envelope(), &hot_rx, &probe_times());
+        assert!(
+            loopback_gain_verdict(&m, 1.0, 1.0),
+            "fault masking should let this marginal unit escape"
+        );
+    }
+
+    #[test]
+    fn direct_observation_is_immune_to_rx_state() {
+        // The BP-TIADC observes the PA output directly, so the same weak
+        // Tx is caught regardless of any Rx gain — measured here as the
+        // Tx-side chain gain alone.
+        let weak = TxImpairments::typical().with_output_gain(
+            TxImpairments::typical().output_gain * 10f64.powf(-1.5 / 20.0),
+        );
+        let tx = tx_with(weak);
+        let direct = measure_loopback(
+            tx.baseband(),
+            &tx.impaired_envelope(),
+            &Receiver::new(1.0), // the sampler's fixed, calibrated path
+            &probe_times(),
+        );
+        assert!(!loopback_gain_verdict(&direct, 1.0, 1.0));
+    }
+
+    #[test]
+    fn rx_iq_imbalance_adds_image() {
+        let tx = tx_with(TxImpairments::ideal());
+        let rx = Receiver::new(1.0).with_iq(IqImbalance::new(1.0, 3.0, f64::NEG_INFINITY));
+        let m = measure_loopback(tx.baseband(), &tx.impaired_envelope(), &rx, &probe_times());
+        assert!(m.image_ratio > 1e-4, "image {}", m.image_ratio);
+    }
+
+    #[test]
+    fn compressing_pa_lowers_large_signal_gain() {
+        let compressing = TxImpairments::ideal().with_pa(PaModel::rapp(1.0, 0.9, 2.0));
+        let tx = tx_with(compressing);
+        let rx = Receiver::new(1.0);
+        let m = measure_loopback(tx.baseband(), &tx.impaired_envelope(), &rx, &probe_times());
+        assert!(m.chain_gain < 0.95, "compression should show: {}", m.chain_gain);
+    }
+}

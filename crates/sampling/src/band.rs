@@ -1,0 +1,208 @@
+//! Bandpass spectral supports.
+
+use std::fmt;
+
+/// A real bandpass spectral support `f_lo < |ν| < f_hi` (paper Fig. 2).
+///
+/// Carries the band-positioning integers `k = ⌈2·f_lo/B⌉` and
+/// `k⁺ = k + 1` that parameterize the Kohlenberg interpolants.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_sampling::band::BandSpec;
+/// let b = BandSpec::new(955e6, 1045e6);
+/// assert_eq!(b.bandwidth(), 90e6);
+/// assert_eq!(b.center(), 1e9);
+/// assert_eq!(b.k(), 22);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BandSpec {
+    f_lo: f64,
+    f_hi: f64,
+}
+
+impl BandSpec {
+    /// Creates a band from its edges in Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= f_lo < f_hi`.
+    pub fn new(f_lo: f64, f_hi: f64) -> Self {
+        assert!(f_lo >= 0.0, "lower edge must be non-negative");
+        assert!(f_hi > f_lo, "band must have positive width");
+        BandSpec { f_lo, f_hi }
+    }
+
+    /// Creates the band centered on `center` with total width
+    /// `bandwidth` — the natural spec for PNBS at minimal rate, where
+    /// the reconstruction bandwidth equals the per-channel sample rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implied lower edge is negative or width is
+    /// non-positive.
+    pub fn centered(center: f64, bandwidth: f64) -> Self {
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        BandSpec::new(center - bandwidth / 2.0, center + bandwidth / 2.0)
+    }
+
+    /// Lower band edge `f_lo` in Hz.
+    pub fn f_lo(self) -> f64 {
+        self.f_lo
+    }
+
+    /// Upper band edge `f_hi` in Hz.
+    pub fn f_hi(self) -> f64 {
+        self.f_hi
+    }
+
+    /// Bandwidth `B = f_hi − f_lo` in Hz.
+    pub fn bandwidth(self) -> f64 {
+        self.f_hi - self.f_lo
+    }
+
+    /// Center frequency `f_c` in Hz.
+    pub fn center(self) -> f64 {
+        0.5 * (self.f_lo + self.f_hi)
+    }
+
+    /// Band-position ratio `f_hi / B` (the Fig. 3a abscissa).
+    pub fn position_ratio(self) -> f64 {
+        self.f_hi / self.bandwidth()
+    }
+
+    /// Kohlenberg integer `k = ⌈2·f_lo / B⌉` (paper eq. 2d).
+    pub fn k(self) -> u32 {
+        (2.0 * self.f_lo / self.bandwidth()).ceil() as u32
+    }
+
+    /// `k⁺ = k + 1`.
+    pub fn k_plus(self) -> u32 {
+        self.k() + 1
+    }
+
+    /// `true` when the band is *integer positioned*: `2·f_lo/B ∈ ℕ`, the
+    /// degenerate case where the first interpolant term vanishes and
+    /// constraint (3a) does not apply.
+    pub fn is_integer_positioned(self) -> bool {
+        let r = 2.0 * self.f_lo / self.bandwidth();
+        (r - r.round()).abs() < 1e-9
+    }
+
+    /// `true` when `f` lies strictly inside the band.
+    pub fn contains(self, f: f64) -> bool {
+        f > self.f_lo && f < self.f_hi
+    }
+
+    /// Returns this band shrunk symmetrically by `guard` Hz on each side
+    /// (useful for placing test tones away from the edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the guard consumes the whole band.
+    pub fn shrunk(self, guard: f64) -> BandSpec {
+        BandSpec::new(self.f_lo + guard, self.f_hi - guard)
+    }
+}
+
+impl fmt::Display for BandSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.3}, {:.3}] MHz (B = {:.3} MHz, k = {})",
+            self.f_lo / 1e6,
+            self.f_hi / 1e6,
+            self.bandwidth() / 1e6,
+            self.k()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_section_v_band() {
+        // fc = 1 GHz, B = 90 MHz
+        let b = BandSpec::centered(1e9, 90e6);
+        assert!((b.f_lo() - 955e6).abs() < 1.0);
+        assert!((b.f_hi() - 1045e6).abs() < 1.0);
+        assert_eq!(b.k(), 22);
+        assert_eq!(b.k_plus(), 23);
+        assert!(!b.is_integer_positioned());
+    }
+
+    #[test]
+    fn paper_dual_rate_band() {
+        // B1 = 45 MHz at the same carrier: fl = 977.5 MHz, k1 = 44.
+        let b = BandSpec::centered(1e9, 45e6);
+        assert_eq!(b.k(), 44);
+        assert_eq!(b.k_plus(), 45);
+    }
+
+    #[test]
+    fn eq5_example_band() {
+        // fc = 1 GHz, B = 80 MHz: fl = 960 MHz, k = 24, k+1 = 25
+        // (the paper's eq. 5 uses the factor 25 = k+1).
+        let b = BandSpec::centered(1e9, 80e6);
+        assert_eq!(b.k(), 24);
+        assert_eq!(b.k_plus(), 25);
+        assert!(b.is_integer_positioned());
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let b = BandSpec::new(2.0e9, 2.03e9);
+        assert!((b.bandwidth() - 30e6).abs() < 1.0);
+        assert!((b.center() - 2.015e9).abs() < 1.0);
+        assert!((b.position_ratio() - 2.03e9 / 30e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contains_is_strict() {
+        let b = BandSpec::new(100.0, 200.0);
+        assert!(b.contains(150.0));
+        assert!(!b.contains(100.0));
+        assert!(!b.contains(200.0));
+        assert!(!b.contains(250.0));
+    }
+
+    #[test]
+    fn shrunk_applies_guards() {
+        let b = BandSpec::new(100.0, 200.0).shrunk(10.0);
+        assert_eq!(b.f_lo(), 110.0);
+        assert_eq!(b.f_hi(), 190.0);
+    }
+
+    #[test]
+    fn integer_positioning_detection() {
+        // fl = B exactly: 2·fl/B = 2
+        let b = BandSpec::new(100.0, 200.0);
+        assert!(b.is_integer_positioned());
+        assert_eq!(b.k(), 2);
+        let b2 = BandSpec::new(130.0, 230.0);
+        assert!(!b2.is_integer_positioned());
+    }
+
+    #[test]
+    fn display_formats() {
+        let b = BandSpec::centered(1e9, 90e6);
+        let s = b.to_string();
+        assert!(s.contains("955.000"));
+        assert!(s.contains("k = 22"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive width")]
+    fn inverted_band_panics() {
+        let _ = BandSpec::new(200.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_edge_panics() {
+        let _ = BandSpec::centered(10.0, 40.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Dual-rate identifiability conditions (paper eq. 9).
+//!
+//! The LMS time-skew estimator reconstructs the same capture from two
+//! rates `B` (fast) and `B1` (slow, `T1 > T`) and minimizes their
+//! disagreement. The cost has a *unique* minimum at `D̂ = D` on `]0, m[`
+//! provided (paper eq. 9):
+//!
+//! ```text
+//! k⁺·B ≠ k₁·B₁         (9a)
+//! k⁺·B ≠ k₁⁺·B₁        (9b)
+//! D ∈ ]0, m[,  m = min{ 1/(k⁺B), 1/(k₁⁺B₁) }   (9c)
+//! ```
+
+use crate::band::BandSpec;
+use std::fmt;
+
+/// Violations of the dual-rate conditions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DualRateError {
+    /// The slow rate must be strictly slower than the fast rate.
+    RatesNotOrdered,
+    /// Condition (9a) violated: `k⁺·B == k₁·B₁`.
+    DegenerateKPlusK1,
+    /// Condition (9b) violated: `k⁺·B == k₁⁺·B₁`.
+    DegenerateKPlusK1Plus,
+    /// The physical delay lies outside `]0, m[`.
+    DelayOutOfRange {
+        /// The bound `m` in seconds.
+        m: f64,
+    },
+}
+
+impl fmt::Display for DualRateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DualRateError::RatesNotOrdered => {
+                write!(f, "slow-rate bandwidth must be smaller than fast-rate bandwidth")
+            }
+            DualRateError::DegenerateKPlusK1 => {
+                write!(f, "degenerate configuration: k+·B equals k1·B1 (eq. 9a)")
+            }
+            DualRateError::DegenerateKPlusK1Plus => {
+                write!(f, "degenerate configuration: k+·B equals k1+·B1 (eq. 9b)")
+            }
+            DualRateError::DelayOutOfRange { m } => {
+                write!(f, "delay must lie in ]0, {:.1} ps[ (eq. 9c)", m * 1e12)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DualRateError {}
+
+/// A validated dual-rate configuration around a common carrier.
+///
+/// # Example: paper Section V
+///
+/// ```
+/// use rfbist_sampling::dualrate::DualRateConfig;
+///
+/// // B = 90 MHz, B1 = 45 MHz at fc = 1 GHz, D = 180 ps.
+/// let cfg = DualRateConfig::new(1e9, 90e6, 45e6, 180e-12).unwrap();
+/// assert!((cfg.m_bound() * 1e12 - 483.09).abs() < 0.1);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct DualRateConfig {
+    fast: BandSpec,
+    slow: BandSpec,
+    delay: f64,
+}
+
+impl DualRateConfig {
+    /// Validates and builds a configuration: carrier `fc`, fast rate `b`
+    /// (Hz), slow rate `b1` (Hz), physical delay `delay` (s). Both
+    /// reconstruction bands are centered on `fc` with width equal to the
+    /// respective rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated [`DualRateError`] condition.
+    pub fn new(fc: f64, b: f64, b1: f64, delay: f64) -> Result<Self, DualRateError> {
+        if b1 >= b {
+            return Err(DualRateError::RatesNotOrdered);
+        }
+        let fast = BandSpec::centered(fc, b);
+        let slow = BandSpec::centered(fc, b1);
+        let kp_b = fast.k_plus() as f64 * b;
+        let k1_b1 = slow.k() as f64 * b1;
+        let k1p_b1 = slow.k_plus() as f64 * b1;
+        if (kp_b - k1_b1).abs() < 1e-6 {
+            return Err(DualRateError::DegenerateKPlusK1);
+        }
+        if (kp_b - k1p_b1).abs() < 1e-6 {
+            return Err(DualRateError::DegenerateKPlusK1Plus);
+        }
+        let cfg = DualRateConfig { fast, slow, delay };
+        let m = cfg.m_bound();
+        if delay <= 0.0 || delay >= m {
+            return Err(DualRateError::DelayOutOfRange { m });
+        }
+        Ok(cfg)
+    }
+
+    /// The paper's configuration: `fc = 1 GHz`, `B = 90 MHz`,
+    /// `B1 = 45 MHz`, `D = 180 ps`.
+    pub fn paper_section_v() -> Self {
+        DualRateConfig::new(1e9, 90e6, 45e6, 180e-12)
+            .expect("paper configuration is valid")
+    }
+
+    /// Fast-rate reconstruction band (width `B`).
+    pub fn fast_band(&self) -> BandSpec {
+        self.fast
+    }
+
+    /// Slow-rate reconstruction band (width `B1`).
+    pub fn slow_band(&self) -> BandSpec {
+        self.slow
+    }
+
+    /// Fast per-channel sample rate `B` in Hz.
+    pub fn fast_rate(&self) -> f64 {
+        self.fast.bandwidth()
+    }
+
+    /// Slow per-channel sample rate `B1` in Hz.
+    pub fn slow_rate(&self) -> f64 {
+        self.slow.bandwidth()
+    }
+
+    /// The physical delay `D` in seconds.
+    pub fn delay(&self) -> f64 {
+        self.delay
+    }
+
+    /// The search bound `m = min{1/(k⁺B), 1/(k₁⁺B₁)}` (eq. 9c).
+    pub fn m_bound(&self) -> f64 {
+        let m_fast = 1.0 / (self.fast.k_plus() as f64 * self.fast.bandwidth());
+        let m_slow = 1.0 / (self.slow.k_plus() as f64 * self.slow.bandwidth());
+        m_fast.min(m_slow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_is_valid_and_m_is_483ps() {
+        let cfg = DualRateConfig::paper_section_v();
+        assert!((cfg.m_bound() * 1e12 - 483.09).abs() < 0.1, "m = {}", cfg.m_bound());
+        assert_eq!(cfg.fast_band().k_plus(), 23);
+        assert_eq!(cfg.slow_band().k(), 44);
+        assert_eq!(cfg.slow_band().k_plus(), 45);
+        assert_eq!(cfg.delay(), 180e-12);
+    }
+
+    #[test]
+    fn paper_conditions_9a_9b_hold() {
+        let cfg = DualRateConfig::paper_section_v();
+        let kp_b = cfg.fast_band().k_plus() as f64 * cfg.fast_rate();
+        let k1_b1 = cfg.slow_band().k() as f64 * cfg.slow_rate();
+        let k1p_b1 = cfg.slow_band().k_plus() as f64 * cfg.slow_rate();
+        assert!((kp_b - 2070e6).abs() < 1.0);
+        assert!((kp_b - k1_b1).abs() > 1e6);
+        assert!((kp_b - k1p_b1).abs() > 1e6);
+    }
+
+    #[test]
+    fn rates_must_be_ordered() {
+        assert_eq!(
+            DualRateConfig::new(1e9, 45e6, 90e6, 100e-12).unwrap_err(),
+            DualRateError::RatesNotOrdered
+        );
+        assert_eq!(
+            DualRateConfig::new(1e9, 90e6, 90e6, 100e-12).unwrap_err(),
+            DualRateError::RatesNotOrdered
+        );
+    }
+
+    #[test]
+    fn delay_out_of_range_is_rejected() {
+        match DualRateConfig::new(1e9, 90e6, 45e6, 500e-12) {
+            Err(DualRateError::DelayOutOfRange { m }) => {
+                assert!((m * 1e12 - 483.09).abs() < 0.1);
+            }
+            other => panic!("expected DelayOutOfRange, got {other:?}"),
+        }
+        assert!(matches!(
+            DualRateConfig::new(1e9, 90e6, 45e6, 0.0),
+            Err(DualRateError::DelayOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_9b_is_detected() {
+        // Construct k⁺·B == k₁⁺·B₁: with B1 = B/2 and bands centered on
+        // fc, k₁⁺·B₁ == k⁺·B requires k₁+1 == 2(k+1)... search numerically
+        // for a carrier where the clash occurs.
+        let b = 90e6;
+        let b1 = 45e6;
+        let mut found = false;
+        for fc_mhz in 900..1100 {
+            let fc = fc_mhz as f64 * 1e6;
+            let fast = BandSpec::centered(fc, b);
+            let slow = BandSpec::centered(fc, b1);
+            let kp_b = fast.k_plus() as f64 * b;
+            if (kp_b - slow.k_plus() as f64 * b1).abs() < 1e-6 {
+                assert_eq!(
+                    DualRateConfig::new(fc, b, b1, 100e-12).unwrap_err(),
+                    DualRateError::DegenerateKPlusK1Plus
+                );
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no degenerate carrier found in the scan range");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DualRateError::RatesNotOrdered.to_string().contains("smaller"));
+        assert!(DualRateError::DegenerateKPlusK1.to_string().contains("9a"));
+        assert!(DualRateError::DegenerateKPlusK1Plus.to_string().contains("9b"));
+        let e = DualRateError::DelayOutOfRange { m: 483e-12 };
+        assert!(e.to_string().contains("483.0 ps"));
+    }
+
+    #[test]
+    fn accessors() {
+        let cfg = DualRateConfig::paper_section_v();
+        assert_eq!(cfg.fast_rate(), 90e6);
+        assert_eq!(cfg.slow_rate(), 45e6);
+        assert_eq!(cfg.fast_band().center(), 1e9);
+        assert_eq!(cfg.slow_band().center(), 1e9);
+    }
+}

@@ -1,0 +1,93 @@
+//! Reconstruction-sensitivity bounds (paper eqs. 4 and 5).
+//!
+//! With only an estimate `D̂ = D + ΔD` available, the relative spectral
+//! error of the PNBS reconstruction is approximately
+//!
+//! ```text
+//! ΔF = |(F̂(ν) − F(ν)) / F(ν)| ≈ π·B·(k+1)·ΔD        (eq. 4)
+//! ```
+//!
+//! which, inverted, gives the skew-knowledge budget that motivates the
+//! whole estimation machinery: ps-level accuracy for GHz carriers
+//! (eq. 5).
+
+use crate::band::BandSpec;
+
+/// Predicted relative spectral error for a skew-knowledge error
+/// `delta_d` seconds (paper eq. 4): `π·B·(k+1)·ΔD`.
+pub fn spectral_error_bound(band: BandSpec, delta_d: f64) -> f64 {
+    std::f64::consts::PI * band.bandwidth() * (band.k() as f64 + 1.0) * delta_d.abs()
+}
+
+/// Maximum tolerable skew error (seconds) for a target relative spectral
+/// error `delta_f` (paper eq. 5): `ΔD ≤ ΔF / (π·B·(k+1))`.
+///
+/// # Panics
+///
+/// Panics if `delta_f` is not positive.
+pub fn skew_budget(band: BandSpec, delta_f: f64) -> f64 {
+    assert!(delta_f > 0.0, "target error must be positive");
+    delta_f / (std::f64::consts::PI * band.bandwidth() * (band.k() as f64 + 1.0))
+}
+
+/// The paper's worked example (eq. 5): a 1 GHz carrier sampled at
+/// `B = 80 MHz` with a 1 % spectral-error target needs `ΔD ≲ 2 ps`.
+pub fn paper_eq5_example() -> f64 {
+    skew_budget(BandSpec::centered(1e9, 80e6), 0.01)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq5_example_is_about_2ps() {
+        let budget = paper_eq5_example();
+        // ΔD = 0.01 / (π·80e6·25) = 1.59 ps — the paper rounds to "≈ 2 ps"
+        assert!((budget * 1e12 - 1.5915).abs() < 0.01, "{} ps", budget * 1e12);
+        assert!(budget < 2.1e-12);
+    }
+
+    #[test]
+    fn bound_is_linear_in_delta_d() {
+        let band = BandSpec::centered(1e9, 90e6);
+        let e1 = spectral_error_bound(band, 1e-12);
+        let e2 = spectral_error_bound(band, 2e-12);
+        assert!((e2 - 2.0 * e1).abs() < 1e-15);
+        // symmetric in sign
+        assert_eq!(spectral_error_bound(band, -1e-12), e1);
+    }
+
+    #[test]
+    fn bound_grows_with_band_position() {
+        // same bandwidth, higher carrier → larger k → tighter requirement
+        let low = BandSpec::centered(0.5e9, 90e6);
+        let high = BandSpec::centered(2.0e9, 90e6);
+        assert!(spectral_error_bound(high, 1e-12) > spectral_error_bound(low, 1e-12));
+    }
+
+    #[test]
+    fn budget_inverts_bound() {
+        let band = BandSpec::centered(1e9, 90e6);
+        let target = 0.005;
+        let budget = skew_budget(band, target);
+        let achieved = spectral_error_bound(band, budget);
+        assert!((achieved - target).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_section_v_skew_scale() {
+        // For the experiment band (B = 90 MHz, k+1 = 23), 1 ps of skew
+        // error costs ≈ 0.65 % spectral error — why sub-ps estimation
+        // (paper Table I) matters.
+        let band = BandSpec::centered(1e9, 90e6);
+        let e = spectral_error_bound(band, 1e-12);
+        assert!((e - 0.0065).abs() < 0.0005, "{e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_target_panics() {
+        let _ = skew_budget(BandSpec::centered(1e9, 80e6), 0.0);
+    }
+}

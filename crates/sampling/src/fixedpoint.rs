@@ -1,0 +1,201 @@
+//! Fixed-point reconstruction — the hardware-mapping ablation.
+//!
+//! The paper's stated future work is "an efficient mapping to hardware of
+//! our nonuniform sampler". The dominant cost in such a mapping is the
+//! arithmetic width of the reconstruction-filter evaluation. This module
+//! quantizes the Kohlenberg kernel values to a signed fixed-point format
+//! and measures what precision the reconstruction error actually needs —
+//! feeding the `ext_fixedpoint` experiment binary.
+
+use crate::reconstruct::{NonuniformCapture, PnbsReconstructor};
+
+/// Quantizes `x` to a signed fixed-point grid with `frac_bits` fractional
+/// bits (round-to-nearest, saturating at ±`max_abs`).
+///
+/// # Panics
+///
+/// Panics if `frac_bits` is 0 or > 60, or `max_abs <= 0`.
+pub fn quantize(x: f64, frac_bits: u32, max_abs: f64) -> f64 {
+    assert!((1..=60).contains(&frac_bits), "fractional bits must be 1..=60");
+    assert!(max_abs > 0.0, "saturation bound must be positive");
+    let scale = (1u64 << frac_bits) as f64;
+    let clamped = x.clamp(-max_abs, max_abs);
+    (clamped * scale).round() / scale
+}
+
+/// A PNBS reconstructor whose kernel evaluations are quantized to fixed
+/// point, emulating a hardware datapath of `frac_bits` fractional bits.
+#[derive(Clone, Debug)]
+pub struct FixedPointReconstructor {
+    inner: PnbsReconstructor,
+    frac_bits: u32,
+    /// Kernel saturation bound (kernel values for well-conditioned delays
+    /// stay within a few units; 8.0 leaves margin).
+    max_abs: f64,
+}
+
+impl FixedPointReconstructor {
+    /// Wraps `inner`, quantizing kernel values to `frac_bits` fractional
+    /// bits.
+    pub fn new(inner: PnbsReconstructor, frac_bits: u32) -> Self {
+        FixedPointReconstructor { inner, frac_bits, max_abs: 8.0 }
+    }
+
+    /// The emulated fractional precision.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Reconstructs `f(t)` with a quantized kernel; `None` outside
+    /// coverage.
+    ///
+    /// Implementation note: quantization is applied to the *windowed
+    /// kernel weights*, matching a hardware design that stores
+    /// pre-windowed coefficients in a ROM/LUT.
+    pub fn try_reconstruct_at(&self, capture: &NonuniformCapture, t: f64) -> Option<f64> {
+        // Reuse the floating reconstructor's machinery by quantizing its
+        // constituent terms: evaluate with a locally quantized kernel.
+        // The PnbsReconstructor API does not expose per-tap weights, so
+        // this mirrors its loop using public accessors.
+        let period = capture.period();
+        let t_idx = t / period;
+        let nc = t_idx.round() as i64;
+        let h = (self.inner.num_taps() / 2) as i64;
+        if nc - h < capture.n_start()
+            || nc + h >= capture.n_start() + capture.len() as i64
+        {
+            return None;
+        }
+        // Quantize by probing the exact reconstructor twice per tap is
+        // wasteful; instead quantize the full-precision result of each
+        // single-tap contribution via a capture mask. Simpler and exact:
+        // reconstruct with unit-impulse captures is O(taps²). For the
+        // ablation we instead quantize even/odd kernel weights through
+        // the public kernel below.
+        let rec = &self.inner;
+        let kernel_band = rec.band();
+        let d_hat = rec.delay_estimate();
+        let kern =
+            crate::kohlenberg::KohlenbergInterpolant::new_unchecked(kernel_band, d_hat);
+        let hw = h as f64 + 1.0;
+        let window = rfbist_dsp::window::Window::Kaiser(8.0);
+        let d_norm = d_hat / period;
+        let mut acc = 0.0;
+        for n in (nc - h)..=(nc + h) {
+            let idx = (n - capture.n_start()) as usize;
+            let offset = n as f64 - t_idx;
+            let w_e = window.at(0.5 + offset / (2.0 * hw));
+            let w_o = window.at(0.5 + (offset + d_norm) / (2.0 * hw));
+            let c_e = quantize(
+                kern.eval(t - n as f64 * period) * w_e,
+                self.frac_bits,
+                self.max_abs,
+            );
+            let c_o = quantize(
+                kern.eval(n as f64 * period + d_hat - t) * w_o,
+                self.frac_bits,
+                self.max_abs,
+            );
+            acc += capture.even()[idx] * c_e + capture.odd()[idx] * c_o;
+        }
+        Some(acc)
+    }
+
+    /// Reconstructs `f(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside the capture's coverage.
+    pub fn reconstruct_at(&self, capture: &NonuniformCapture, t: f64) -> f64 {
+        self.try_reconstruct_at(capture, t)
+            .expect("t outside capture coverage")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band::BandSpec;
+    use rfbist_dsp::window::Window;
+    use rfbist_math::rng::Randomizer;
+    use rfbist_math::stats::nrmse;
+    use rfbist_signal::tone::Tone;
+    use rfbist_signal::traits::ContinuousSignal;
+
+    #[test]
+    fn quantize_rounds_to_grid() {
+        assert_eq!(quantize(0.3, 2, 8.0), 0.25);
+        assert_eq!(quantize(0.4, 2, 8.0), 0.5);
+        assert_eq!(quantize(-0.3, 2, 8.0), -0.25);
+        assert_eq!(quantize(0.3, 20, 8.0), (0.3f64 * (1 << 20) as f64).round() / (1 << 20) as f64);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        assert_eq!(quantize(100.0, 8, 8.0), 8.0);
+        assert_eq!(quantize(-100.0, 8, 8.0), -8.0);
+    }
+
+    #[test]
+    fn high_precision_matches_float() {
+        let band = BandSpec::centered(1e9, 90e6);
+        let d = 180e-12;
+        let tone = Tone::unit(0.99e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / 90e6, d, -50, 300);
+        let float_rec = PnbsReconstructor::paper_default(band, d).unwrap();
+        let fxp = FixedPointReconstructor::new(float_rec.clone(), 40);
+        let mut rng = Randomizer::from_seed(9);
+        for _ in 0..30 {
+            let t = rng.uniform(0.5e-6, 2.0e-6);
+            let a = float_rec.reconstruct_at(&cap, t);
+            let b = fxp.reconstruct_at(&cap, t);
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn error_grows_as_bits_shrink() {
+        let band = BandSpec::centered(1e9, 90e6);
+        let d = 180e-12;
+        let tone = Tone::unit(0.99e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / 90e6, d, -50, 300);
+        let float_rec =
+            PnbsReconstructor::new(band, d, 61, Window::Kaiser(8.0)).unwrap();
+        let mut rng = Randomizer::from_seed(10);
+        let times: Vec<f64> = (0..60).map(|_| rng.uniform(0.5e-6, 2.0e-6)).collect();
+        let want = tone.sample(&times);
+        let err_at = |bits: u32| {
+            let fxp = FixedPointReconstructor::new(float_rec.clone(), bits);
+            let got: Vec<f64> =
+                times.iter().map(|&t| fxp.reconstruct_at(&cap, t)).collect();
+            nrmse(&got, &want)
+        };
+        let e6 = err_at(6);
+        let e12 = err_at(12);
+        let e24 = err_at(24);
+        assert!(e6 > e12, "{e6} !> {e12}");
+        assert!(e12 > e24 * 0.999, "{e12} vs {e24}");
+        // 24-bit coefficients should be visually indistinguishable from float
+        assert!(e24 < 0.01, "{e24}");
+    }
+
+    #[test]
+    fn coverage_respected() {
+        let band = BandSpec::centered(1e9, 90e6);
+        let d = 180e-12;
+        let tone = Tone::unit(0.99e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / 90e6, d, 0, 80);
+        let fxp = FixedPointReconstructor::new(
+            PnbsReconstructor::paper_default(band, d).unwrap(),
+            16,
+        );
+        assert!(fxp.try_reconstruct_at(&cap, 0.0).is_none());
+        assert_eq!(fxp.frac_bits(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractional bits")]
+    fn zero_bits_panics() {
+        let _ = quantize(0.5, 0, 1.0);
+    }
+}

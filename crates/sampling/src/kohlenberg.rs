@@ -1,0 +1,384 @@
+//! Kohlenberg second-order interpolants (paper eq. 2) and the delay
+//! constraints (eq. 3).
+//!
+//! For a band `(f_l, f_l + B)` sampled by two uniform streams `f(nT)`
+//! and `f(nT + D)` with `T = 1/B`, the exact interpolation kernel is
+//! `s(t) = s₀(t) + s₁(t)` with
+//!
+//! ```text
+//! s₀(t) = [cos(2π(kB−f_l)t − kπBD) − cos(2πf_l·t − kπBD)] / (2πBt·sin(kπBD))
+//! s₁(t) = [cos(2π(f_l+B)t − k⁺πBD) − cos(2π(kB−f_l)t − k⁺πBD)] / (2πBt·sin(k⁺πBD))
+//! k = ⌈2f_l/B⌉,  k⁺ = k + 1
+//! ```
+//!
+//! The kernel satisfies `s(0) = 1` and `s(nT) = 0` for `n ≠ 0` (verified
+//! in the tests), which is what makes eq. (1)/(6) an interpolation
+//! formula. It degenerates when `sin(kπBD) = 0` or `sin(k⁺πBD) = 0`,
+//! i.e. at the forbidden delays `D = nT/k` and `D = nT/k⁺` — except that
+//! for *integer-positioned* bands (`2f_l/B ∈ ℕ`) the first term vanishes
+//! identically and constraint (3a) disappears, exactly as the paper
+//! remarks.
+
+use crate::band::BandSpec;
+use std::f64::consts::PI;
+use std::fmt;
+
+/// Violations of the delay constraints (paper eq. 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DelayConstraintError {
+    /// `D` must be strictly positive (equal sampling instants carry no
+    /// second-order information).
+    NonPositive,
+    /// `D` is too close to a forbidden value `nT/k` or `nT/k⁺`, making
+    /// the reconstruction filter unstable.
+    NearSingular {
+        /// The forbidden delay that was approached, in seconds.
+        forbidden: f64,
+        /// The divisor involved (`k` or `k⁺`).
+        divisor: u32,
+    },
+}
+
+impl fmt::Display for DelayConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DelayConstraintError::NonPositive => {
+                write!(f, "delay must be strictly positive")
+            }
+            DelayConstraintError::NearSingular { forbidden, divisor } => write!(
+                f,
+                "delay is too close to the forbidden value {:.3} ps (= nT/{divisor})",
+                forbidden * 1e12
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DelayConstraintError {}
+
+/// Relative margin below which a delay counts as "too close" to a
+/// forbidden value (the filter coefficients scale as `1/sin`, so a 1e-4
+/// relative margin still yields usable, if large, coefficients).
+const SINGULARITY_MARGIN: f64 = 1e-6;
+
+/// Checks paper eq. (3): `D ≠ nT/k` and `D ≠ nT/k⁺` (the former waived
+/// for integer-positioned bands), plus `D > 0`.
+///
+/// # Errors
+///
+/// Returns the specific constraint violated.
+pub fn check_delay(band: BandSpec, delay: f64) -> Result<(), DelayConstraintError> {
+    if delay <= 0.0 {
+        return Err(DelayConstraintError::NonPositive);
+    }
+    let t = 1.0 / band.bandwidth();
+    let mut divisors = vec![band.k_plus()];
+    if !band.is_integer_positioned() {
+        divisors.push(band.k());
+    }
+    for divisor in divisors {
+        let step = t / divisor as f64;
+        let n = (delay / step).round();
+        if n >= 1.0 {
+            let forbidden = n * step;
+            if (delay - forbidden).abs() < SINGULARITY_MARGIN * step {
+                return Err(DelayConstraintError::NearSingular { forbidden, divisor });
+            }
+        } else {
+            // delay below the first forbidden multiple: fine unless ~0
+            if delay < SINGULARITY_MARGIN * step {
+                return Err(DelayConstraintError::NonPositive);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// All forbidden delays `nT/k` and `nT/k⁺` in `(0, max_delay]`, sorted
+/// ascending (deduplicated when the two families coincide).
+pub fn forbidden_delays(band: BandSpec, max_delay: f64) -> Vec<f64> {
+    let t = 1.0 / band.bandwidth();
+    let mut out = Vec::new();
+    let mut divisors = vec![band.k_plus()];
+    if !band.is_integer_positioned() {
+        divisors.push(band.k());
+    }
+    for divisor in divisors {
+        let step = t / divisor as f64;
+        let mut n = 1.0;
+        while n * step <= max_delay {
+            out.push(n * step);
+            n += 1.0;
+        }
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+    out.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+    out
+}
+
+/// The magnitude-optimal delay `D = 1/(4·f_c)` (Vaughan et al.): the
+/// choice that minimizes the reconstruction-filter coefficients.
+pub fn optimal_delay(band: BandSpec) -> f64 {
+    1.0 / (4.0 * band.center())
+}
+
+/// A configured Kohlenberg interpolation kernel.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_sampling::band::BandSpec;
+/// use rfbist_sampling::kohlenberg::KohlenbergInterpolant;
+///
+/// let band = BandSpec::centered(1e9, 90e6);
+/// let s = KohlenbergInterpolant::new(band, 180e-12).unwrap();
+/// assert!((s.eval(0.0) - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct KohlenbergInterpolant {
+    f_lo: f64,
+    bandwidth: f64,
+    delay: f64,
+    k: f64,
+    /// `sin(kπBD)`; `None` when the s₀ term vanishes identically
+    /// (integer-positioned band).
+    sin_k: Option<f64>,
+    /// `sin(k⁺πBD)`.
+    sin_k_plus: f64,
+}
+
+impl KohlenbergInterpolant {
+    /// Builds the kernel for `band` and inter-channel delay `delay`,
+    /// enforcing the eq. (3) constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DelayConstraintError`] when the delay is non-positive or
+    /// near-singular.
+    pub fn new(band: BandSpec, delay: f64) -> Result<Self, DelayConstraintError> {
+        check_delay(band, delay)?;
+        Ok(Self::new_unchecked(band, delay))
+    }
+
+    /// Builds the kernel without constraint checks — used by experiments
+    /// that deliberately probe near-singular delays.
+    pub fn new_unchecked(band: BandSpec, delay: f64) -> Self {
+        let b = band.bandwidth();
+        let k = band.k() as f64;
+        let k_plus = band.k_plus() as f64;
+        let sin_k = if band.is_integer_positioned() {
+            None
+        } else {
+            Some((k * PI * b * delay).sin())
+        };
+        let sin_k_plus = (k_plus * PI * b * delay).sin();
+        KohlenbergInterpolant { f_lo: band.f_lo(), bandwidth: b, delay, k, sin_k, sin_k_plus }
+    }
+
+    /// The configured delay `D` in seconds.
+    pub fn delay(&self) -> f64 {
+        self.delay
+    }
+
+    /// The first kernel term `s₀(t)`; identically zero for
+    /// integer-positioned bands.
+    pub fn s0(&self, t: f64) -> f64 {
+        let sin_k = match self.sin_k {
+            None => return 0.0,
+            Some(s) => s,
+        };
+        let b = self.bandwidth;
+        let phi = self.k * PI * b * self.delay;
+        // limit value at t = 0: k − 2·f_l/B
+        if t.abs() < 1e-18 {
+            return self.k - 2.0 * self.f_lo / b;
+        }
+        let a1 = 2.0 * PI * (self.k * b - self.f_lo);
+        let a2 = 2.0 * PI * self.f_lo;
+        ((a1 * t - phi).cos() - (a2 * t - phi).cos()) / (2.0 * PI * b * t * sin_k)
+    }
+
+    /// The second kernel term `s₁(t)`.
+    pub fn s1(&self, t: f64) -> f64 {
+        let b = self.bandwidth;
+        let phi = (self.k + 1.0) * PI * b * self.delay;
+        if t.abs() < 1e-18 {
+            return 1.0 + 2.0 * self.f_lo / b - self.k;
+        }
+        let a1 = 2.0 * PI * (self.f_lo + b);
+        let a2 = 2.0 * PI * (self.k * b - self.f_lo);
+        ((a1 * t - phi).cos() - (a2 * t - phi).cos()) / (2.0 * PI * b * t * self.sin_k_plus)
+    }
+
+    /// The full kernel `s(t) = s₀(t) + s₁(t)`.
+    pub fn eval(&self, t: f64) -> f64 {
+        self.s0(t) + self.s1(t)
+    }
+
+    /// Worst-case kernel magnitude over one sample period, a proxy for
+    /// coefficient growth near forbidden delays (probed at 64 points).
+    pub fn peak_magnitude(&self) -> f64 {
+        let t_step = 1.0 / self.bandwidth / 64.0;
+        (1..64)
+            .map(|i| self.eval(i as f64 * t_step).abs())
+            .fold(self.eval(0.0).abs(), f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_band() -> BandSpec {
+        BandSpec::centered(1e9, 90e6)
+    }
+
+    #[test]
+    fn kernel_is_one_at_origin() {
+        let s = KohlenbergInterpolant::new(paper_band(), 180e-12).unwrap();
+        assert!((s.eval(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_vanishes_at_nonzero_sample_instants() {
+        let band = paper_band();
+        let t_s = 1.0 / band.bandwidth();
+        let s = KohlenbergInterpolant::new(band, 180e-12).unwrap();
+        for n in [-5i32, -2, -1, 1, 2, 5, 17] {
+            let v = s.eval(n as f64 * t_s);
+            assert!(v.abs() < 1e-9, "s({n}T) = {v}");
+        }
+    }
+
+    #[test]
+    fn origin_limit_is_continuous() {
+        // The kernel's slope near 0 is O(B·k) ≈ 5e9 /s, so pick eps small
+        // enough that the linear term stays below the tolerance.
+        let s = KohlenbergInterpolant::new(paper_band(), 180e-12).unwrap();
+        let eps = 1e-16;
+        assert!((s.eval(eps) - s.eval(0.0)).abs() < 1e-5);
+        assert!((s.eval(-eps) - s.eval(0.0)).abs() < 1e-5);
+        // s0/s1 individual limits too
+        assert!((s.s0(eps) - s.s0(0.0)).abs() < 1e-5);
+        assert!((s.s1(eps) - s.s1(0.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn integer_positioned_band_kills_s0() {
+        // fl = 960 MHz, B = 80 MHz: 2fl/B = 24 exactly
+        let band = BandSpec::centered(1e9, 80e6);
+        assert!(band.is_integer_positioned());
+        let s = KohlenbergInterpolant::new(band, 200e-12).unwrap();
+        for t in [0.0, 1e-9, 3.7e-9, -2.2e-9] {
+            assert_eq!(s.s0(t), 0.0, "s0({t}) must vanish");
+        }
+        // kernel still interpolates
+        assert!((s.eval(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forbidden_delays_match_paper_m() {
+        // Paper: for B = 90 MHz (k⁺ = 23), T/k⁺ = 483 ps is the first
+        // forbidden value of the k⁺ family.
+        let band = paper_band();
+        let t_s = 1.0 / band.bandwidth();
+        let f = forbidden_delays(band, 600e-12);
+        let first_kplus = t_s / 23.0;
+        assert!((first_kplus - 483.09e-12).abs() < 0.1e-12);
+        assert!(f.iter().any(|&d| (d - first_kplus).abs() < 1e-15));
+        // k = 22 family first value: T/22 = 505 ps
+        let first_k = t_s / 22.0;
+        assert!(f.iter().any(|&d| (d - first_k).abs() < 1e-15));
+        // sorted ascending
+        for w in f.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn check_delay_accepts_paper_value() {
+        assert!(check_delay(paper_band(), 180e-12).is_ok());
+    }
+
+    #[test]
+    fn check_delay_rejects_forbidden() {
+        let band = paper_band();
+        let t_s = 1.0 / band.bandwidth();
+        let bad = t_s / 23.0; // 483 ps
+        match check_delay(band, bad) {
+            Err(DelayConstraintError::NearSingular { divisor, .. }) => {
+                assert_eq!(divisor, 23)
+            }
+            other => panic!("expected NearSingular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_delay_rejects_nonpositive() {
+        assert_eq!(
+            check_delay(paper_band(), 0.0),
+            Err(DelayConstraintError::NonPositive)
+        );
+        assert_eq!(
+            check_delay(paper_band(), -1e-12),
+            Err(DelayConstraintError::NonPositive)
+        );
+    }
+
+    #[test]
+    fn integer_positioned_band_waives_constraint_3a() {
+        // B = 80 MHz, k = 24: D = T/24 would violate (3a), but the band is
+        // integer positioned so only k⁺ = 25 applies.
+        let band = BandSpec::centered(1e9, 80e6);
+        let t_s = 1.0 / band.bandwidth();
+        let d_k = t_s / 24.0;
+        assert!(check_delay(band, d_k).is_ok(), "constraint (3a) should be waived");
+        let d_kplus = t_s / 25.0;
+        assert!(check_delay(band, d_kplus).is_err());
+    }
+
+    #[test]
+    fn coefficients_blow_up_near_forbidden_delay() {
+        let band = paper_band();
+        let t_s = 1.0 / band.bandwidth();
+        let good = KohlenbergInterpolant::new(band, 180e-12).unwrap();
+        let near = KohlenbergInterpolant::new_unchecked(band, t_s / 23.0 + 1e-15);
+        assert!(
+            near.peak_magnitude() > 100.0 * good.peak_magnitude(),
+            "near-singular magnitude {} vs good {}",
+            near.peak_magnitude(),
+            good.peak_magnitude()
+        );
+    }
+
+    #[test]
+    fn optimal_delay_is_quarter_carrier_period() {
+        let d = optimal_delay(paper_band());
+        assert!((d - 250e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn optimal_delay_gives_small_coefficients() {
+        let band = paper_band();
+        let opt = KohlenbergInterpolant::new(band, optimal_delay(band)).unwrap();
+        // compare against a few arbitrary valid delays
+        for d in [100e-12, 180e-12, 400e-12] {
+            let other = KohlenbergInterpolant::new(band, d).unwrap();
+            assert!(
+                opt.peak_magnitude() <= other.peak_magnitude() * 1.05,
+                "optimal {} vs D={d}: {}",
+                opt.peak_magnitude(),
+                other.peak_magnitude()
+            );
+        }
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = DelayConstraintError::NonPositive;
+        assert_eq!(e.to_string(), "delay must be strictly positive");
+        let e2 = DelayConstraintError::NearSingular { forbidden: 483e-12, divisor: 23 };
+        assert!(e2.to_string().contains("483.000 ps"));
+        assert!(e2.to_string().contains("nT/23"));
+    }
+}

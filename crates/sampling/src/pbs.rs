@@ -1,0 +1,268 @@
+//! Periodic (uniform, first-order) bandpass sampling feasibility.
+//!
+//! Implements the classic Vaughan–Scott–White constraints the paper's
+//! Fig. 3 visualizes: a band `(f_lo, f_hi)` can be sampled at `f_s`
+//! without aliasing iff there is an integer `n ≥ 1` ("wedge" index) with
+//!
+//! ```text
+//!   2·f_hi / n  ≤  f_s  ≤  2·f_lo / (n − 1)
+//! ```
+//!
+//! (the right-hand constraint is vacuous for `n = 1`, which is ordinary
+//! super-Nyquist sampling). The smaller the normalized position `f_hi/B`,
+//! the wider the wedges; as `f_hi/B` grows the valid windows shrink
+//! toward isolated points at `f_s = 2B` — the flexibility problem that
+//! motivates PNBS for SDR testing.
+
+use crate::band::BandSpec;
+
+/// A contiguous range of valid (alias-free) sampling rates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateRange {
+    /// Wedge index `n` (number of spectral replicas below the band).
+    pub n: u32,
+    /// Minimum alias-free rate in the wedge (inclusive), Hz.
+    pub fs_min: f64,
+    /// Maximum alias-free rate in the wedge (inclusive; `f64::INFINITY`
+    /// for the `n = 1` wedge), Hz.
+    pub fs_max: f64,
+}
+
+impl RateRange {
+    /// Width of the range (may be infinite for `n = 1`).
+    pub fn width(&self) -> f64 {
+        self.fs_max - self.fs_min
+    }
+
+    /// `true` if `fs` lies in the range.
+    pub fn contains(&self, fs: f64) -> bool {
+        fs >= self.fs_min && fs <= self.fs_max
+    }
+}
+
+/// Enumerates all alias-free sampling-rate wedges for `band`, highest
+/// wedge index (lowest rates) first.
+///
+/// The maximum wedge index is `n_max = ⌊f_hi / B⌋`; at `n = n_max` the
+/// minimum possible rate approaches the theoretical limit `2B`.
+pub fn valid_rate_ranges(band: BandSpec) -> Vec<RateRange> {
+    let b = band.bandwidth();
+    let n_max = (band.f_hi() / b).floor() as u32;
+    let mut out = Vec::with_capacity(n_max as usize);
+    for n in (1..=n_max).rev() {
+        let fs_min = 2.0 * band.f_hi() / n as f64;
+        let fs_max = if n == 1 {
+            f64::INFINITY
+        } else {
+            2.0 * band.f_lo() / (n as f64 - 1.0)
+        };
+        if fs_max >= fs_min {
+            out.push(RateRange { n, fs_min, fs_max });
+        }
+    }
+    out
+}
+
+/// `true` when sampling `band` uniformly at `fs` produces no aliasing
+/// onto the band.
+pub fn is_alias_free(band: BandSpec, fs: f64) -> bool {
+    if fs <= 0.0 {
+        return false;
+    }
+    valid_rate_ranges(band).iter().any(|r| r.contains(fs))
+}
+
+/// The minimum alias-free sampling rate for `band` (the deepest wedge's
+/// lower edge). Always `≥ 2B`, approaching `2B` only for integer-
+/// positioned bands.
+pub fn minimum_rate(band: BandSpec) -> f64 {
+    valid_rate_ranges(band)
+        .first()
+        .map(|r| r.fs_min)
+        .unwrap_or(2.0 * band.f_hi())
+}
+
+/// Classification of one point of the paper's Fig. 3a grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fig3Cell {
+    /// Sampling at this rate aliases.
+    Aliased,
+    /// Sampling at this rate is alias-free (white region of Fig. 3a).
+    Valid,
+    /// Below the absolute minimum `f_s < 2B` (never valid).
+    BelowNyquist,
+}
+
+/// Classifies a normalized Fig. 3a point: band position `f_hi/B` (x-axis)
+/// and normalized rate `f_s/B` (y-axis).
+///
+/// # Panics
+///
+/// Panics if `fh_over_b < 1` (the band would extend below DC).
+pub fn classify_fig3a(fh_over_b: f64, fs_over_b: f64) -> Fig3Cell {
+    assert!(fh_over_b >= 1.0, "f_H/B must be at least 1");
+    if fs_over_b < 2.0 {
+        return Fig3Cell::BelowNyquist;
+    }
+    // work in units of B = 1
+    let band = BandSpec::new(fh_over_b - 1.0, fh_over_b);
+    if is_alias_free(band, fs_over_b) {
+        Fig3Cell::Valid
+    } else {
+        Fig3Cell::Aliased
+    }
+}
+
+/// Valid rate windows intersected with `[fs_lo, fs_hi]`, with a
+/// symmetric guard band of `guard` Hz carved from each window — the
+/// Fig. 3b view (how much sampling-clock precision uniform bandpass
+/// sampling demands).
+pub fn valid_windows_in(
+    band: BandSpec,
+    fs_lo: f64,
+    fs_hi: f64,
+    guard: f64,
+) -> Vec<RateRange> {
+    assert!(fs_hi > fs_lo, "rate interval must be ordered");
+    assert!(guard >= 0.0, "guard must be non-negative");
+    valid_rate_ranges(band)
+        .into_iter()
+        .filter_map(|r| {
+            let lo = (r.fs_min + guard).max(fs_lo);
+            let hi = (r.fs_max - guard).min(fs_hi);
+            (hi >= lo).then_some(RateRange { n: r.n, fs_min: lo, fs_max: hi })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseband_like_band_allows_everything_above_2fh() {
+        let band = BandSpec::new(0.5, 1.5); // fH/B = 1.5
+        let ranges = valid_rate_ranges(band);
+        // n = 1 wedge always present
+        let top = ranges.last().unwrap();
+        assert_eq!(top.n, 1);
+        assert_eq!(top.fs_min, 3.0);
+        assert_eq!(top.fs_max, f64::INFINITY);
+    }
+
+    #[test]
+    fn integer_positioned_band_achieves_2b() {
+        // fl = 2B: band (2, 3)·B, n_max = 3, fs_min = 2·3/3 = 2 = 2B ✓
+        let band = BandSpec::new(2.0, 3.0);
+        assert!((minimum_rate(band) - 2.0).abs() < 1e-12);
+        assert!(is_alias_free(band, 2.0));
+    }
+
+    #[test]
+    fn non_integer_band_needs_more_than_2b() {
+        let band = BandSpec::new(2.3, 3.3);
+        assert!(minimum_rate(band) > 2.0);
+    }
+
+    #[test]
+    fn wedge_inequalities_hold() {
+        let band = BandSpec::new(955e6, 1045e6);
+        for r in valid_rate_ranges(band) {
+            assert!(r.fs_min >= 2.0 * band.bandwidth() - 1e-6);
+            if r.n > 1 {
+                assert!(
+                    (r.fs_min - 2.0 * band.f_hi() / r.n as f64).abs() < 1e-3,
+                    "wedge {}",
+                    r.n
+                );
+                assert!(
+                    (r.fs_max - 2.0 * band.f_lo() / (r.n as f64 - 1.0)).abs() < 1e-3
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alias_free_agrees_with_ranges() {
+        let band = BandSpec::new(2.0e9, 2.03e9);
+        let ranges = valid_rate_ranges(band);
+        // probe the middle of each of the five lowest wedges
+        for r in ranges.iter().take(5) {
+            let mid = if r.fs_max.is_finite() {
+                0.5 * (r.fs_min + r.fs_max)
+            } else {
+                r.fs_min * 1.5
+            };
+            assert!(is_alias_free(band, mid), "wedge {} mid {mid}", r.n);
+        }
+        // probe just outside a finite wedge
+        let r = ranges.iter().find(|r| r.fs_max.is_finite()).unwrap();
+        assert!(!is_alias_free(band, r.fs_max + 1.0) || is_alias_free(band, r.fs_max + 1.0));
+        // rates below 2B never valid
+        assert!(!is_alias_free(band, 2.0 * band.bandwidth() - 1e3));
+    }
+
+    #[test]
+    fn fig3a_classification_matches_paper_features() {
+        // On the diagonal fs = 2·fH (n = 1 lower edge) everything above
+        // is valid:
+        assert_eq!(classify_fig3a(2.0, 4.5), Fig3Cell::Valid);
+        // below 2B: never valid
+        assert_eq!(classify_fig3a(3.0, 1.5), Fig3Cell::BelowNyquist);
+        // a known gray (aliased) point: fH/B = 3, fs/B = 2.5
+        // wedges: n=3: [2, 2] (point), n=2: [3, 4], n=1: [6, ∞)
+        assert_eq!(classify_fig3a(3.0, 2.5), Fig3Cell::Aliased);
+        assert_eq!(classify_fig3a(3.0, 2.0), Fig3Cell::Valid);
+        assert_eq!(classify_fig3a(3.0, 3.5), Fig3Cell::Valid);
+    }
+
+    #[test]
+    fn paper_fig3b_windows_are_narrow() {
+        // fH = 2.03 GHz, B = 30 MHz: windows around 90 MHz are ~100s kHz
+        let band = BandSpec::new(2.0e9, 2.03e9);
+        let wins = valid_windows_in(band, 60e6, 100e6, 0.0);
+        assert!(!wins.is_empty());
+        for w in &wins {
+            assert!(w.width() < 2e6, "window {} unexpectedly wide: {}", w.n, w.width());
+            assert!(w.width() > 0.0);
+        }
+        // sampling precision requirement: a few hundred kHz near 90 MHz
+        let near_90: Vec<_> = wins
+            .iter()
+            .filter(|w| w.fs_min > 85e6 && w.fs_max < 95e6)
+            .collect();
+        assert!(!near_90.is_empty());
+        for w in near_90 {
+            assert!(w.width() < 1e6, "{}", w.width());
+        }
+    }
+
+    #[test]
+    fn guard_bands_shrink_windows() {
+        let band = BandSpec::new(2.0e9, 2.03e9);
+        let no_guard = valid_windows_in(band, 60e6, 100e6, 0.0);
+        let guarded = valid_windows_in(band, 60e6, 100e6, 100e3);
+        assert!(guarded.len() <= no_guard.len());
+        let total = |ws: &[RateRange]| ws.iter().map(|w| w.width()).sum::<f64>();
+        assert!(total(&guarded) < total(&no_guard));
+    }
+
+    #[test]
+    fn higher_position_ratio_means_tighter_minimal_rate_window() {
+        // Fig 3a trend: the deepest wedge (the one closest to fs = 2B)
+        // narrows as fH/B rises — minimal-rate sampling gets less
+        // tolerant of clock error.
+        let low_position = BandSpec::new(1.2, 2.2); // fH/B = 2.2
+        let high_position = BandSpec::new(5.2, 6.2); // fH/B = 6.2
+        let deepest = |b: BandSpec| valid_rate_ranges(b)[0].width();
+        assert!(deepest(high_position) < deepest(low_position));
+    }
+
+    #[test]
+    fn minimum_rate_is_at_least_2b() {
+        for (lo, hi) in [(1.3, 2.3), (7.9, 8.9), (100.0, 101.0)] {
+            let band = BandSpec::new(lo, hi);
+            assert!(minimum_rate(band) >= 2.0 * band.bandwidth() - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! First-order (uniform) bandpass reconstruction — the PBS baseline.
+//!
+//! When uniform bandpass sampling at rate `fs` is alias-free for a band,
+//! the signal is recovered by bandpass-filtering the sample impulse
+//! train: `f(t) = Σ f(n/fs)·h(t − n/fs)` with the ideal bandpass kernel
+//! `h(τ) = (2B/fs)·sinc(Bτ)·cos(2πf_c τ)`. This module implements the
+//! windowed finite-tap version for head-to-head comparisons with PNBS.
+
+use crate::band::BandSpec;
+use crate::pbs;
+use rfbist_dsp::window::Window;
+use rfbist_math::special::sinc;
+use rfbist_signal::traits::ContinuousSignal;
+use std::f64::consts::PI;
+
+/// A uniform bandpass capture: `samples[i] = f((n₀+i)/fs)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UniformCapture {
+    period: f64,
+    n_start: i64,
+    samples: Vec<f64>,
+}
+
+impl UniformCapture {
+    /// Samples `signal` ideally at rate `1/period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period <= 0` or `count == 0`.
+    pub fn from_signal<S: ContinuousSignal>(
+        signal: &S,
+        period: f64,
+        n_start: i64,
+        count: usize,
+    ) -> Self {
+        assert!(period > 0.0, "sample period must be positive");
+        assert!(count > 0, "capture must be non-empty");
+        let samples = (0..count)
+            .map(|i| signal.eval((n_start + i as i64) as f64 * period))
+            .collect();
+        UniformCapture { period, n_start, samples }
+    }
+
+    /// Sample period in seconds.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Index of the first sample.
+    pub fn n_start(&self) -> i64 {
+        self.n_start
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when empty (cannot normally occur).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Windowed finite-tap first-order bandpass reconstructor.
+#[derive(Clone, Debug)]
+pub struct PbsReconstructor {
+    band: BandSpec,
+    rate: f64,
+    half_taps: usize,
+    window: Window,
+}
+
+impl PbsReconstructor {
+    /// Builds a reconstructor for `band` sampled uniformly at `rate` Hz
+    /// with `num_taps` (odd) kernel taps.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(rate)` if uniform sampling at `rate` aliases the
+    /// band (use [`pbs::valid_rate_ranges`] to pick a valid rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_taps` is even.
+    pub fn new(
+        band: BandSpec,
+        rate: f64,
+        num_taps: usize,
+        window: Window,
+    ) -> Result<Self, f64> {
+        assert!(num_taps % 2 == 1, "tap count must be odd");
+        if !pbs::is_alias_free(band, rate) {
+            return Err(rate);
+        }
+        Ok(PbsReconstructor { band, rate, half_taps: num_taps / 2, window })
+    }
+
+    /// The sampling rate in Hz.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Usable reconstruction interval for `capture`.
+    pub fn coverage(&self, capture: &UniformCapture) -> Option<(f64, f64)> {
+        let h = self.half_taps as i64;
+        let lo = capture.n_start() + h;
+        let hi = capture.n_start() + capture.len() as i64 - 1 - h;
+        (hi >= lo).then(|| (lo as f64 * capture.period(), hi as f64 * capture.period()))
+    }
+
+    /// Reconstructs `f(t)`; `None` outside coverage.
+    pub fn try_reconstruct_at(&self, capture: &UniformCapture, t: f64) -> Option<f64> {
+        let period = capture.period();
+        let t_idx = t / period;
+        let nc = t_idx.round() as i64;
+        let h = self.half_taps as i64;
+        if nc - h < capture.n_start()
+            || nc + h >= capture.n_start() + capture.len() as i64
+        {
+            return None;
+        }
+        let b = self.band.bandwidth();
+        let fc = self.band.center();
+        let gain = 2.0 * b / self.rate;
+        let hw = self.half_taps as f64 + 1.0;
+        let mut acc = 0.0;
+        for n in (nc - h)..=(nc + h) {
+            let idx = (n - capture.n_start()) as usize;
+            let tau = t - n as f64 * period;
+            let w = self.window.at(0.5 + (n as f64 - t_idx) / (2.0 * hw));
+            acc += capture.samples()[idx]
+                * gain
+                * sinc(b * tau)
+                * (2.0 * PI * fc * tau).cos()
+                * w;
+        }
+        Some(acc)
+    }
+
+    /// Reconstructs `f(t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside [`coverage`](Self::coverage).
+    pub fn reconstruct_at(&self, capture: &UniformCapture, t: f64) -> f64 {
+        self.try_reconstruct_at(capture, t).unwrap_or_else(|| {
+            panic!("t = {t:.3e} s outside capture coverage")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfbist_math::rng::Randomizer;
+    use rfbist_math::stats::nrmse;
+    use rfbist_signal::tone::Tone;
+
+    #[test]
+    fn integer_positioned_band_reconstructs_tone() {
+        // band (2B, 3B): fs = 2B is valid (integer positioning)
+        let b = 50e6;
+        let band = BandSpec::new(2.0 * b, 3.0 * b);
+        let fs = 2.0 * b;
+        let tone = Tone::unit(band.center());
+        let cap = UniformCapture::from_signal(&tone, 1.0 / fs, -200, 900);
+        let rec = PbsReconstructor::new(band, fs, 129, Window::Kaiser(8.0)).unwrap();
+        let mut rng = Randomizer::from_seed(1);
+        let times: Vec<f64> = (0..150).map(|_| rng.uniform(1e-6, 3e-6)).collect();
+        let err = nrmse(
+            &times.iter().map(|&t| rec.reconstruct_at(&cap, t)).collect::<Vec<_>>(),
+            &tone.sample(&times),
+        );
+        assert!(err < 0.02, "nrmse {err}");
+    }
+
+    #[test]
+    fn aliasing_rate_is_rejected() {
+        let band = BandSpec::new(2.3e9, 2.33e9);
+        // pick a rate strictly inside a gray region: just above 2B
+        let bad_rate = 2.0 * band.bandwidth() + 1e5;
+        if !pbs::is_alias_free(band, bad_rate) {
+            assert!(PbsReconstructor::new(band, bad_rate, 65, Window::Hann).is_err());
+        }
+        // and a valid rate is accepted
+        let good = pbs::valid_rate_ranges(band)[0].fs_min * 1.0000001;
+        assert!(PbsReconstructor::new(band, good, 65, Window::Hann).is_ok());
+    }
+
+    #[test]
+    fn higher_rate_with_margin_reconstructs() {
+        // generous oversampling in the n=1 wedge
+        let band = BandSpec::new(10e6, 40e6);
+        let fs = 100e6; // > 2·f_hi
+        let tone = Tone::unit(25e6);
+        let cap = UniformCapture::from_signal(&tone, 1.0 / fs, -100, 800);
+        let rec = PbsReconstructor::new(band, fs, 129, Window::Kaiser(8.0)).unwrap();
+        let mut rng = Randomizer::from_seed(2);
+        let times: Vec<f64> = (0..100).map(|_| rng.uniform(1e-6, 4e-6)).collect();
+        let err = nrmse(
+            &times.iter().map(|&t| rec.reconstruct_at(&cap, t)).collect::<Vec<_>>(),
+            &tone.sample(&times),
+        );
+        assert!(err < 0.02, "nrmse {err}");
+    }
+
+    #[test]
+    fn coverage_is_reported() {
+        let tone = Tone::unit(25e6);
+        let cap = UniformCapture::from_signal(&tone, 1e-8, 0, 100);
+        let rec =
+            PbsReconstructor::new(BandSpec::new(10e6, 40e6), 100e6, 41, Window::Hann)
+                .unwrap();
+        let (lo, hi) = rec.coverage(&cap).unwrap();
+        assert_eq!(lo, 20.0 * 1e-8);
+        assert_eq!(hi, 79.0 * 1e-8);
+        assert!(rec.try_reconstruct_at(&cap, 0.0).is_none());
+    }
+
+    #[test]
+    fn capture_accessors() {
+        let tone = Tone::unit(1e6);
+        let cap = UniformCapture::from_signal(&tone, 1e-7, 2, 10);
+        assert_eq!(cap.len(), 10);
+        assert!(!cap.is_empty());
+        assert_eq!(cap.n_start(), 2);
+        assert_eq!(cap.period(), 1e-7);
+        assert!((cap.samples()[0] - tone.eval(2e-7)).abs() < 1e-15);
+    }
+}

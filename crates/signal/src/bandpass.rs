@@ -1,0 +1,154 @@
+//! Bandpass (passband) signals: complex envelopes on a carrier.
+//!
+//! `x(t) = I(t)·cos(2πf_c t) − Q(t)·sin(2πf_c t) = Re{a(t)·e^{j2πf_c t}}` —
+//! the explicit carrier-cycle evaluation the paper notes PNBS requires.
+
+use crate::baseband::ShapedBaseband;
+use crate::traits::{ComplexEnvelope, ContinuousSignal};
+use std::f64::consts::PI;
+
+/// A real passband signal formed by quadrature-modulating an envelope
+/// onto a carrier.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_signal::prelude::*;
+///
+/// let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 64, 1);
+/// let tx = BandpassSignal::new(bb, 1e9);
+/// assert_eq!(tx.carrier_hz(), 1e9);
+/// let v = tx.eval(1.0e-6);
+/// assert!(v.is_finite());
+/// ```
+#[derive(Clone, Debug)]
+pub struct BandpassSignal<E> {
+    envelope: E,
+    carrier_hz: f64,
+    carrier_phase: f64,
+}
+
+impl<E: ComplexEnvelope> BandpassSignal<E> {
+    /// Modulates `envelope` onto a carrier at `carrier_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `carrier_hz <= 0`.
+    pub fn new(envelope: E, carrier_hz: f64) -> Self {
+        assert!(carrier_hz > 0.0, "carrier frequency must be positive");
+        BandpassSignal { envelope, carrier_hz, carrier_phase: 0.0 }
+    }
+
+    /// Sets an initial carrier phase (radians).
+    pub fn with_carrier_phase(mut self, phase: f64) -> Self {
+        self.carrier_phase = phase;
+        self
+    }
+
+    /// Carrier frequency in Hz.
+    pub fn carrier_hz(&self) -> f64 {
+        self.carrier_hz
+    }
+
+    /// Borrow the underlying envelope.
+    pub fn envelope(&self) -> &E {
+        &self.envelope
+    }
+
+    /// Consumes the signal, returning the envelope.
+    pub fn into_envelope(self) -> E {
+        self.envelope
+    }
+}
+
+impl BandpassSignal<ShapedBaseband> {
+    /// The steady (edge-effect-free) time range of the underlying shaped
+    /// baseband.
+    pub fn steady_time_range(&self) -> (f64, f64) {
+        self.envelope.steady_time_range()
+    }
+
+    /// Band edges `(f_lo, f_hi)` in Hz of the occupied spectrum.
+    pub fn occupied_band(&self) -> (f64, f64) {
+        let half = self.envelope.occupied_bandwidth() / 2.0;
+        (self.carrier_hz - half, self.carrier_hz + half)
+    }
+}
+
+impl<E: ComplexEnvelope> ContinuousSignal for BandpassSignal<E> {
+    fn eval(&self, t: f64) -> f64 {
+        let iq = self.envelope.eval_iq(t);
+        let w = 2.0 * PI * self.carrier_hz * t + self.carrier_phase;
+        iq.re * w.cos() - iq.im * w.sin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::FnEnvelope;
+    use rfbist_math::Complex64;
+
+    #[test]
+    fn constant_envelope_gives_pure_carrier() {
+        let sig = BandpassSignal::new(FnEnvelope(|_| Complex64::new(1.0, 0.0)), 1e6);
+        assert!((sig.eval(0.0) - 1.0).abs() < 1e-12);
+        assert!((sig.eval(1e-6) - 1.0).abs() < 1e-9); // one carrier period
+        assert!((sig.eval(0.5e-6) + 1.0).abs() < 1e-9); // half period
+    }
+
+    #[test]
+    fn quadrature_envelope_shifts_carrier_phase() {
+        // a(t) = j ⇒ x(t) = −sin(2πfc t)
+        let sig = BandpassSignal::new(FnEnvelope(|_| Complex64::new(0.0, 1.0)), 1e6);
+        assert!(sig.eval(0.0).abs() < 1e-12);
+        assert!((sig.eval(0.25e-6) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn carrier_phase_offset() {
+        let sig = BandpassSignal::new(FnEnvelope(|_| Complex64::ONE), 1e6)
+            .with_carrier_phase(PI);
+        assert!((sig.eval(0.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_envelope_produces_shifted_tone() {
+        // envelope e^{j2πf_m t} on carrier f_c is a tone at f_c + f_m
+        let fm = 1e5;
+        let fc = 1e6;
+        let sig = BandpassSignal::new(
+            FnEnvelope(move |t: f64| Complex64::cis(2.0 * PI * fm * t)),
+            fc,
+        );
+        let f_sum = fc + fm;
+        for k in 0..10 {
+            let t = k as f64 / f_sum; // periods of the sum frequency
+            assert!((sig.eval(t) - 1.0).abs() < 1e-9, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn occupied_band_centered_on_carrier() {
+        let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 64, 1);
+        let tx = BandpassSignal::new(bb, 1e9);
+        let (lo, hi) = tx.occupied_band();
+        assert!((lo - 992.5e6).abs() < 1.0);
+        assert!((hi - 1007.5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn envelope_accessors() {
+        let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 64, 1);
+        let tx = BandpassSignal::new(bb, 1e9);
+        assert_eq!(tx.envelope().symbols().len(), 64);
+        let bb2 = tx.into_envelope();
+        assert_eq!(bb2.symbols().len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "carrier frequency must be positive")]
+    fn zero_carrier_panics() {
+        let _ = BandpassSignal::new(FnEnvelope(|_| Complex64::ONE), 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Continuous-time signal framework.
+//!
+//! Periodically nonuniform bandpass sampling needs signal values at
+//! *arbitrary* time instants — nominal grids `nT`, skewed grids `nT + D`,
+//! jittered instants, and random probe times. Fixed-rate sample vectors
+//! cannot provide that without interpolation error, so this crate models
+//! signals as **analytically evaluable functions of time**:
+//!
+//! - [`traits::ContinuousSignal`]: real passband/baseband signal `f(t)`,
+//! - [`traits::ComplexEnvelope`]: complex baseband envelope `a(t)`,
+//! - [`tone`]: sinusoids and multitones,
+//! - [`prbs`]: LFSR pseudo-random bit sequences,
+//! - [`symbols`]: PSK/QAM constellations with Gray mapping,
+//! - [`pulse`]: continuous SRRC/RC pulse-shaping kernels,
+//! - [`baseband`]: pulse-shaped symbol streams `I(t) + jQ(t)`,
+//! - [`bandpass`]: upconversion of an envelope to a carrier,
+//! - [`noise`]: band-limited Gaussian-like noise with pointwise evaluation.
+//!
+//! # Example: the paper's test stimulus
+//!
+//! ```
+//! use rfbist_signal::prelude::*;
+//!
+//! // 10 MHz QPSK symbols, SRRC α = 0.5, carrier 1 GHz (paper Section V).
+//! let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 256, 0xACE1);
+//! let tx = BandpassSignal::new(bb, 1e9);
+//! let (t0, t1) = tx.steady_time_range();
+//! assert!(t1 > t0);
+//! let mid = 0.5 * (t0 + t1);
+//! let v = tx.eval(mid);
+//! assert!(v.is_finite());
+//! ```
+
+pub mod bandpass;
+pub mod baseband;
+pub mod noise;
+pub mod prbs;
+pub mod pulse;
+pub mod symbols;
+pub mod tone;
+pub mod traits;
+
+/// Convenient re-exports of the most common types.
+pub mod prelude {
+    pub use crate::bandpass::BandpassSignal;
+    pub use crate::baseband::ShapedBaseband;
+    pub use crate::noise::BandlimitedNoise;
+    pub use crate::pulse::PulseShape;
+    pub use crate::symbols::Constellation;
+    pub use crate::tone::{MultiTone, Tone};
+    pub use crate::traits::{ComplexEnvelope, ContinuousSignal, Delayed, Gain, Sum};
+}

@@ -1,0 +1,178 @@
+//! Pseudo-random binary sequences via linear-feedback shift registers.
+//!
+//! Standard maximal-length PRBS polynomials (PRBS7 through PRBS31) for
+//! deterministic, standards-style test payloads.
+
+/// Standard PRBS polynomial selections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrbsOrder {
+    /// x⁷ + x⁶ + 1 (period 127).
+    Prbs7,
+    /// x⁹ + x⁵ + 1 (period 511).
+    Prbs9,
+    /// x¹⁵ + x¹⁴ + 1 (period 32767).
+    Prbs15,
+    /// x²³ + x¹⁸ + 1 (period 8388607).
+    Prbs23,
+    /// x³¹ + x²⁸ + 1 (period 2147483647).
+    Prbs31,
+}
+
+impl PrbsOrder {
+    /// Register length in bits.
+    pub fn order(self) -> u32 {
+        match self {
+            PrbsOrder::Prbs7 => 7,
+            PrbsOrder::Prbs9 => 9,
+            PrbsOrder::Prbs15 => 15,
+            PrbsOrder::Prbs23 => 23,
+            PrbsOrder::Prbs31 => 31,
+        }
+    }
+
+    /// Feedback tap positions (1-based bit indices).
+    fn taps(self) -> (u32, u32) {
+        match self {
+            PrbsOrder::Prbs7 => (7, 6),
+            PrbsOrder::Prbs9 => (9, 5),
+            PrbsOrder::Prbs15 => (15, 14),
+            PrbsOrder::Prbs23 => (23, 18),
+            PrbsOrder::Prbs31 => (31, 28),
+        }
+    }
+
+    /// Sequence period `2^order − 1`.
+    pub fn period(self) -> u64 {
+        (1u64 << self.order()) - 1
+    }
+}
+
+/// A running LFSR-based PRBS generator.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_signal::prbs::{Prbs, PrbsOrder};
+/// let mut gen = Prbs::new(PrbsOrder::Prbs7, 0x5A);
+/// let bits = gen.bits(16);
+/// assert_eq!(bits.len(), 16);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Prbs {
+    order: PrbsOrder,
+    state: u64,
+}
+
+impl Prbs {
+    /// Creates a generator with the given nonzero seed (masked to the
+    /// register width; a zero-masked seed is replaced with 1 to avoid the
+    /// LFSR's all-zero lockup state).
+    pub fn new(order: PrbsOrder, seed: u64) -> Self {
+        let mask = (1u64 << order.order()) - 1;
+        let state = if seed & mask == 0 { 1 } else { seed & mask };
+        Prbs { order, state }
+    }
+
+    /// Produces the next bit.
+    pub fn next_bit(&mut self) -> bool {
+        let (a, b) = self.order.taps();
+        let bit = ((self.state >> (a - 1)) ^ (self.state >> (b - 1))) & 1;
+        self.state = ((self.state << 1) | bit) & ((1u64 << self.order.order()) - 1);
+        bit != 0
+    }
+
+    /// Produces `n` bits.
+    pub fn bits(&mut self, n: usize) -> Vec<bool> {
+        (0..n).map(|_| self.next_bit()).collect()
+    }
+
+    /// Produces `n` bipolar symbols (`true → +1.0`, `false → −1.0`).
+    pub fn bipolar(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| if self.next_bit() { 1.0 } else { -1.0 }).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periods_match_maximal_length() {
+        // For each order, the state sequence must return to the seed after
+        // exactly 2^n − 1 steps (maximal-length property).
+        for order in [PrbsOrder::Prbs7, PrbsOrder::Prbs9, PrbsOrder::Prbs15] {
+            let mut gen = Prbs::new(order, 1);
+            let initial = gen.state;
+            let mut count = 0u64;
+            loop {
+                gen.next_bit();
+                count += 1;
+                if gen.state == initial {
+                    break;
+                }
+                assert!(count <= order.period(), "{order:?} exceeded period");
+            }
+            assert_eq!(count, order.period(), "{order:?}");
+        }
+    }
+
+    #[test]
+    fn balanced_ones_and_zeros() {
+        // Maximal-length sequences have 2^(n-1) ones and 2^(n-1)−1 zeros.
+        let order = PrbsOrder::Prbs9;
+        let mut gen = Prbs::new(order, 0x1FF);
+        let bits = gen.bits(order.period() as usize);
+        let ones = bits.iter().filter(|&&b| b).count() as u64;
+        assert_eq!(ones, 1 << (order.order() - 1));
+    }
+
+    #[test]
+    fn zero_seed_is_fixed_up() {
+        let mut gen = Prbs::new(PrbsOrder::Prbs7, 0);
+        // must not lock up producing all zeros
+        let bits = gen.bits(127);
+        assert!(bits.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Prbs::new(PrbsOrder::Prbs15, 0x1234);
+        let mut b = Prbs::new(PrbsOrder::Prbs15, 0x1234);
+        assert_eq!(a.bits(100), b.bits(100));
+    }
+
+    #[test]
+    fn different_seeds_are_shifted_sequences() {
+        let mut a = Prbs::new(PrbsOrder::Prbs7, 1);
+        let mut b = Prbs::new(PrbsOrder::Prbs7, 2);
+        assert_ne!(a.bits(32), b.bits(32));
+    }
+
+    #[test]
+    fn bipolar_maps_correctly() {
+        let mut gen = Prbs::new(PrbsOrder::Prbs7, 0x5A);
+        let mut gen2 = Prbs::new(PrbsOrder::Prbs7, 0x5A);
+        let bits = gen.bits(50);
+        let sym = gen2.bipolar(50);
+        for (b, s) in bits.iter().zip(&sym) {
+            assert_eq!(*s, if *b { 1.0 } else { -1.0 });
+        }
+    }
+
+    #[test]
+    fn autocorrelation_is_thumbtack() {
+        // PRBS autocorrelation: N at lag 0, −1 at other lags (bipolar,
+        // over a full period).
+        let order = PrbsOrder::Prbs7;
+        let n = order.period() as usize;
+        let mut gen = Prbs::new(order, 1);
+        let s = gen.bipolar(n);
+        let corr = |lag: usize| -> f64 {
+            (0..n).map(|i| s[i] * s[(i + lag) % n]).sum()
+        };
+        assert_eq!(corr(0), n as f64);
+        for lag in [1usize, 5, 50] {
+            assert_eq!(corr(lag), -1.0, "lag {lag}");
+        }
+    }
+}

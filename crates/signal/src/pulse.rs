@@ -1,0 +1,149 @@
+//! Continuous pulse-shaping kernels.
+//!
+//! A [`PulseShape`] evaluates the shaping pulse `g(t)` at arbitrary time
+//! offsets (in symbol periods), truncated to a finite span — the kernel
+//! behind [`crate::baseband::ShapedBaseband`].
+
+use rfbist_dsp::srrc::{rc_pulse, srrc_pulse};
+use rfbist_math::special::sinc;
+
+/// Pulse-shaping filter selection, evaluated in continuous time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PulseShape {
+    /// Square-root raised cosine with roll-off `alpha`, truncated at
+    /// `±span` symbol periods.
+    Srrc {
+        /// Roll-off factor in `[0, 1]`.
+        alpha: f64,
+        /// Truncation half-width in symbol periods.
+        span: usize,
+    },
+    /// Raised cosine (zero-ISI end-to-end pulse).
+    Rc {
+        /// Roll-off factor in `[0, 1]`.
+        alpha: f64,
+        /// Truncation half-width in symbol periods.
+        span: usize,
+    },
+    /// Ideal sinc (brick-wall), truncated at `±span` symbol periods.
+    Sinc {
+        /// Truncation half-width in symbol periods.
+        span: usize,
+    },
+    /// Rectangular NRZ pulse (one symbol period wide).
+    Rect,
+}
+
+impl PulseShape {
+    /// The paper's shaping: SRRC with α = 0.5, 12-symbol half-span.
+    pub fn paper_default() -> Self {
+        PulseShape::Srrc { alpha: 0.5, span: 12 }
+    }
+
+    /// Evaluates the pulse at offset `t` in symbol periods.
+    pub fn eval(self, t: f64) -> f64 {
+        match self {
+            PulseShape::Srrc { alpha, span } => {
+                if t.abs() > span as f64 {
+                    0.0
+                } else {
+                    srrc_pulse(t, alpha)
+                }
+            }
+            PulseShape::Rc { alpha, span } => {
+                if t.abs() > span as f64 {
+                    0.0
+                } else {
+                    rc_pulse(t, alpha)
+                }
+            }
+            PulseShape::Sinc { span } => {
+                if t.abs() > span as f64 {
+                    0.0
+                } else {
+                    sinc(t)
+                }
+            }
+            PulseShape::Rect => {
+                if (-0.5..0.5).contains(&t) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Truncation half-width in symbol periods.
+    pub fn span(self) -> usize {
+        match self {
+            PulseShape::Srrc { span, .. }
+            | PulseShape::Rc { span, .. }
+            | PulseShape::Sinc { span } => span,
+            PulseShape::Rect => 1,
+        }
+    }
+
+    /// Two-sided occupied bandwidth in units of the symbol rate
+    /// (`(1+α)` for RC/SRRC, 1 for sinc, ∞-ish 2.0 budget for rect).
+    pub fn occupied_bandwidth_symbols(self) -> f64 {
+        match self {
+            PulseShape::Srrc { alpha, .. } | PulseShape::Rc { alpha, .. } => 1.0 + alpha,
+            PulseShape::Sinc { .. } => 1.0,
+            PulseShape::Rect => 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_parameters() {
+        let p = PulseShape::paper_default();
+        assert_eq!(p, PulseShape::Srrc { alpha: 0.5, span: 12 });
+        assert!((p.occupied_bandwidth_symbols() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn srrc_truncates_outside_span() {
+        let p = PulseShape::Srrc { alpha: 0.5, span: 4 };
+        assert_eq!(p.eval(4.5), 0.0);
+        assert_eq!(p.eval(-10.0), 0.0);
+        assert!(p.eval(0.0) > 1.0); // SRRC peak is 1−α+4α/π > 1 for α=0.5
+    }
+
+    #[test]
+    fn rc_zero_isi_within_span() {
+        let p = PulseShape::Rc { alpha: 0.35, span: 6 };
+        assert!((p.eval(0.0) - 1.0).abs() < 1e-12);
+        for k in 1..=5 {
+            assert!(p.eval(k as f64).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn sinc_pulse_values() {
+        let p = PulseShape::Sinc { span: 8 };
+        assert_eq!(p.eval(0.0), 1.0);
+        assert!(p.eval(1.0).abs() < 1e-12);
+        assert_eq!(p.eval(9.0), 0.0);
+    }
+
+    #[test]
+    fn rect_pulse_support() {
+        let p = PulseShape::Rect;
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(-0.49), 1.0);
+        assert_eq!(p.eval(0.5), 0.0);
+        assert_eq!(p.eval(-0.51), 0.0);
+        assert_eq!(p.span(), 1);
+    }
+
+    #[test]
+    fn spans_reported() {
+        assert_eq!(PulseShape::Srrc { alpha: 0.2, span: 9 }.span(), 9);
+        assert_eq!(PulseShape::Sinc { span: 3 }.span(), 3);
+    }
+}

@@ -1,0 +1,251 @@
+//! Digital modulation constellations.
+//!
+//! PSK and square-QAM alphabets with Gray bit mapping, normalized to unit
+//! average power — the symbol sources feeding the pulse-shaped baseband.
+
+use crate::prbs::{Prbs, PrbsOrder};
+use rfbist_math::rng::Randomizer;
+use rfbist_math::Complex64;
+use std::f64::consts::PI;
+
+/// Supported constellations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Constellation {
+    /// Binary PSK (±1).
+    Bpsk,
+    /// Quadrature PSK (the paper's test modulation).
+    Qpsk,
+    /// 8-ary PSK.
+    Psk8,
+    /// 16-QAM (square, Gray-mapped).
+    Qam16,
+    /// 64-QAM (square, Gray-mapped).
+    Qam64,
+}
+
+impl Constellation {
+    /// Bits per symbol.
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Constellation::Bpsk => 1,
+            Constellation::Qpsk => 2,
+            Constellation::Psk8 => 3,
+            Constellation::Qam16 => 4,
+            Constellation::Qam64 => 6,
+        }
+    }
+
+    /// Number of constellation points.
+    pub fn size(self) -> usize {
+        1 << self.bits_per_symbol()
+    }
+
+    /// The constellation points, unit average power, indexed by symbol
+    /// number (Gray-mapped for PSK phases and QAM axes).
+    pub fn points(self) -> Vec<Complex64> {
+        match self {
+            Constellation::Bpsk => {
+                vec![Complex64::new(1.0, 0.0), Complex64::new(-1.0, 0.0)]
+            }
+            Constellation::Qpsk => {
+                // Gray: 00→45°, 01→135°, 11→225°, 10→315°
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                vec![
+                    Complex64::new(s, s),
+                    Complex64::new(-s, s),
+                    Complex64::new(s, -s),
+                    Complex64::new(-s, -s),
+                ]
+            }
+            Constellation::Psk8 => {
+                // Phase position p carries the symbol whose index is the
+                // Gray code of p, so phase-adjacent symbols differ in one
+                // bit.
+                let mut pts = vec![Complex64::ZERO; 8];
+                for p in 0..8usize {
+                    let idx = p ^ (p >> 1);
+                    pts[idx] = Complex64::cis(2.0 * PI * p as f64 / 8.0 + PI / 8.0);
+                }
+                pts
+            }
+            Constellation::Qam16 => square_qam(4),
+            Constellation::Qam64 => square_qam(8),
+        }
+    }
+
+    /// Maps a bit group (LSB-first, `bits_per_symbol` entries) to a symbol
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != bits_per_symbol()`.
+    pub fn map_bits(self, bits: &[bool]) -> usize {
+        assert_eq!(bits.len(), self.bits_per_symbol(), "wrong bit-group size");
+        bits.iter()
+            .enumerate()
+            .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i))
+    }
+
+    /// Generates `n` random symbols using `rng`.
+    pub fn random_symbols(self, rng: &mut Randomizer, n: usize) -> Vec<Complex64> {
+        let pts = self.points();
+        (0..n).map(|_| pts[rng.index(pts.len())]).collect()
+    }
+
+    /// Generates `n` symbols from a PRBS bit stream with the given seed —
+    /// the deterministic payload used by the experiment harnesses.
+    pub fn prbs_symbols(self, seed: u64, n: usize) -> Vec<Complex64> {
+        let pts = self.points();
+        let bps = self.bits_per_symbol();
+        let mut gen = Prbs::new(PrbsOrder::Prbs23, seed);
+        (0..n)
+            .map(|_| {
+                let bits = gen.bits(bps);
+                pts[self.map_bits(&bits)]
+            })
+            .collect()
+    }
+
+    /// Average symbol power (should be 1 by construction).
+    pub fn average_power(self) -> f64 {
+        let pts = self.points();
+        pts.iter().map(|p| p.norm_sqr()).sum::<f64>() / pts.len() as f64
+    }
+
+    /// Peak-to-average power ratio (linear).
+    pub fn papr(self) -> f64 {
+        let pts = self.points();
+        let peak = pts.iter().map(|p| p.norm_sqr()).fold(0.0, f64::max);
+        peak / self.average_power()
+    }
+}
+
+/// Square `m×m` QAM with Gray-coded axes, normalized to unit average
+/// power.
+fn square_qam(m: usize) -> Vec<Complex64> {
+    // PAM levels ±1, ±3, … ±(m−1), Gray ordered
+    let levels: Vec<f64> = (0..m).map(|i| (2.0 * i as f64) - (m as f64 - 1.0)).collect();
+    // average power of square QAM with these levels: 2(m²−1)/3 · (1/2)? —
+    // compute it numerically for robustness.
+    let mut pts = Vec::with_capacity(m * m);
+    for qi in 0..m {
+        for ii in 0..m {
+            // Gray decode axis indices
+            let gi = ii ^ (ii >> 1);
+            let gq = qi ^ (qi >> 1);
+            pts.push(Complex64::new(levels[gi], levels[gq]));
+        }
+    }
+    let avg: f64 = pts.iter().map(|p| p.norm_sqr()).sum::<f64>() / pts.len() as f64;
+    let norm = avg.sqrt();
+    pts.iter().map(|p| *p / norm).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_bits() {
+        assert_eq!(Constellation::Bpsk.size(), 2);
+        assert_eq!(Constellation::Qpsk.size(), 4);
+        assert_eq!(Constellation::Psk8.size(), 8);
+        assert_eq!(Constellation::Qam16.size(), 16);
+        assert_eq!(Constellation::Qam64.size(), 64);
+        assert_eq!(Constellation::Qam64.bits_per_symbol(), 6);
+    }
+
+    #[test]
+    fn all_constellations_unit_average_power() {
+        for c in [
+            Constellation::Bpsk,
+            Constellation::Qpsk,
+            Constellation::Psk8,
+            Constellation::Qam16,
+            Constellation::Qam64,
+        ] {
+            assert!(
+                (c.average_power() - 1.0).abs() < 1e-12,
+                "{c:?}: {}",
+                c.average_power()
+            );
+        }
+    }
+
+    #[test]
+    fn psk_has_unit_papr_qam_does_not() {
+        assert!((Constellation::Qpsk.papr() - 1.0).abs() < 1e-12);
+        assert!((Constellation::Psk8.papr() - 1.0).abs() < 1e-12);
+        assert!(Constellation::Qam16.papr() > 1.5);
+        assert!(Constellation::Qam64.papr() > Constellation::Qam16.papr());
+    }
+
+    #[test]
+    fn qpsk_points_on_diagonals() {
+        for p in Constellation::Qpsk.points() {
+            assert!((p.re.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+            assert!((p.im.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn psk8_gray_neighbors_differ_by_one_bit() {
+        // Adjacent phase points must have Gray-adjacent indices; verify by
+        // sorting points by angle and checking Hamming distance 1.
+        let pts = Constellation::Psk8.points();
+        let mut order: Vec<usize> = (0..8).collect();
+        order.sort_by(|&a, &b| pts[a].arg().partial_cmp(&pts[b].arg()).unwrap());
+        for w in 0..8 {
+            let i = order[w];
+            let j = order[(w + 1) % 8];
+            let ham = (i ^ j).count_ones();
+            assert_eq!(ham, 1, "neighbors {i} and {j}");
+        }
+    }
+
+    #[test]
+    fn map_bits_lsb_first() {
+        let c = Constellation::Qpsk;
+        assert_eq!(c.map_bits(&[false, false]), 0);
+        assert_eq!(c.map_bits(&[true, false]), 1);
+        assert_eq!(c.map_bits(&[false, true]), 2);
+        assert_eq!(c.map_bits(&[true, true]), 3);
+    }
+
+    #[test]
+    fn random_symbols_cover_alphabet() {
+        let mut rng = Randomizer::from_seed(3);
+        let syms = Constellation::Qam16.random_symbols(&mut rng, 2000);
+        let pts = Constellation::Qam16.points();
+        for p in &pts {
+            assert!(
+                syms.iter().any(|s| (*s - *p).abs() < 1e-12),
+                "point {p} never drawn"
+            );
+        }
+    }
+
+    #[test]
+    fn prbs_symbols_are_deterministic() {
+        let a = Constellation::Qpsk.prbs_symbols(0xACE1, 64);
+        let b = Constellation::Qpsk.prbs_symbols(0xACE1, 64);
+        assert_eq!(a, b);
+        let c = Constellation::Qpsk.prbs_symbols(0xBEEF, 64);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn qam16_has_four_amplitude_rings_worth_of_levels() {
+        let pts = Constellation::Qam16.points();
+        let mut res: Vec<i64> = pts.iter().map(|p| (p.re * 1e9).round() as i64).collect();
+        res.sort_unstable();
+        res.dedup();
+        assert_eq!(res.len(), 4, "expected 4 distinct I levels");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong bit-group size")]
+    fn wrong_bit_count_panics() {
+        let _ = Constellation::Qpsk.map_bits(&[true]);
+    }
+}

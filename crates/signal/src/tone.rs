@@ -1,0 +1,183 @@
+//! Sinusoidal test signals.
+
+use crate::traits::{ComplexEnvelope, ContinuousSignal};
+use rfbist_math::Complex64;
+use std::f64::consts::PI;
+
+/// A single real sinusoid `A·cos(2πft + φ)`.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_signal::tone::Tone;
+/// use rfbist_signal::traits::ContinuousSignal;
+///
+/// let t = Tone::new(1e6, 2.0, 0.0);
+/// assert!((t.eval(0.0) - 2.0).abs() < 1e-12);
+/// assert!((t.eval(0.25e-6) - 0.0).abs() < 1e-9); // quarter period
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tone {
+    /// Frequency in Hz.
+    pub frequency: f64,
+    /// Peak amplitude.
+    pub amplitude: f64,
+    /// Phase in radians at `t = 0`.
+    pub phase: f64,
+}
+
+impl Tone {
+    /// Creates a tone with the given frequency (Hz), amplitude and phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency` is negative.
+    pub fn new(frequency: f64, amplitude: f64, phase: f64) -> Self {
+        assert!(frequency >= 0.0, "tone frequency must be non-negative");
+        Tone { frequency, amplitude, phase }
+    }
+
+    /// A unit-amplitude, zero-phase tone.
+    pub fn unit(frequency: f64) -> Self {
+        Tone::new(frequency, 1.0, 0.0)
+    }
+
+    /// RMS level of the tone.
+    pub fn rms(&self) -> f64 {
+        self.amplitude / 2f64.sqrt()
+    }
+}
+
+impl ContinuousSignal for Tone {
+    fn eval(&self, t: f64) -> f64 {
+        self.amplitude * (2.0 * PI * self.frequency * t + self.phase).cos()
+    }
+}
+
+impl ComplexEnvelope for Tone {
+    /// Interprets the tone as a complex baseband exponential
+    /// `A·e^{j(2πft+φ)}` — a frequency-offset carrier.
+    fn eval_iq(&self, t: f64) -> Complex64 {
+        Complex64::from_polar(self.amplitude, 2.0 * PI * self.frequency * t + self.phase)
+    }
+}
+
+/// A sum of tones.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MultiTone {
+    tones: Vec<Tone>,
+}
+
+impl MultiTone {
+    /// Creates a multitone from explicit components.
+    pub fn new(tones: Vec<Tone>) -> Self {
+        MultiTone { tones }
+    }
+
+    /// `n` equal-amplitude tones spanning `[f_lo, f_hi]` (inclusive,
+    /// uniformly spaced), each with the given phase sequence generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `f_hi < f_lo`.
+    pub fn comb(f_lo: f64, f_hi: f64, n: usize, amplitude: f64) -> Self {
+        assert!(n > 0, "multitone needs at least one tone");
+        assert!(f_hi >= f_lo, "band must be ordered");
+        let step = if n == 1 { 0.0 } else { (f_hi - f_lo) / (n - 1) as f64 };
+        let tones = (0..n)
+            .map(|k| Tone::new(f_lo + k as f64 * step, amplitude, 0.0))
+            .collect();
+        MultiTone { tones }
+    }
+
+    /// The component tones.
+    pub fn tones(&self) -> &[Tone] {
+        &self.tones
+    }
+
+    /// Adds a tone.
+    pub fn push(&mut self, tone: Tone) {
+        self.tones.push(tone);
+    }
+
+    /// Total RMS assuming incommensurate frequencies (power sum).
+    pub fn rms(&self) -> f64 {
+        self.tones.iter().map(|t| t.rms() * t.rms()).sum::<f64>().sqrt()
+    }
+}
+
+impl ContinuousSignal for MultiTone {
+    fn eval(&self, t: f64) -> f64 {
+        self.tones.iter().map(|tone| tone.eval(t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tone_peak_and_period() {
+        let t = Tone::new(100.0, 3.0, 0.0);
+        assert!((t.eval(0.0) - 3.0).abs() < 1e-12);
+        assert!((t.eval(0.01) - 3.0).abs() < 1e-9); // one period later
+        assert!((t.eval(0.005) + 3.0).abs() < 1e-9); // half period
+    }
+
+    #[test]
+    fn tone_phase_shift() {
+        let t = Tone::new(50.0, 1.0, PI / 2.0);
+        // cos(x + π/2) = −sin(x); at t=0 → 0
+        assert!(t.eval(0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tone_rms() {
+        assert!((Tone::new(1.0, 2.0, 0.0).rms() - 2.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tone_as_envelope_is_rotating_phasor() {
+        let t = Tone::unit(1000.0);
+        let z = t.eval_iq(0.25e-3); // quarter period: phase π/2
+        assert!(z.re.abs() < 1e-9);
+        assert!((z.im - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multitone_sums_components() {
+        let mt = MultiTone::new(vec![Tone::unit(10.0), Tone::unit(20.0)]);
+        let v = mt.eval(0.0);
+        assert!((v - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comb_spacing() {
+        let mt = MultiTone::comb(100.0, 200.0, 5, 0.5);
+        let freqs: Vec<f64> = mt.tones().iter().map(|t| t.frequency).collect();
+        assert_eq!(freqs, vec![100.0, 125.0, 150.0, 175.0, 200.0]);
+        let single = MultiTone::comb(100.0, 200.0, 1, 1.0);
+        assert_eq!(single.tones()[0].frequency, 100.0);
+    }
+
+    #[test]
+    fn multitone_rms_power_sum() {
+        let mt = MultiTone::new(vec![Tone::new(10.0, 1.0, 0.0), Tone::new(23.0, 1.0, 0.0)]);
+        // two unit tones: total power 0.5 + 0.5 = 1 → rms 1
+        assert!((mt.rms() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut mt = MultiTone::default();
+        assert_eq!(mt.tones().len(), 0);
+        mt.push(Tone::unit(5.0));
+        assert_eq!(mt.tones().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_frequency_panics() {
+        let _ = Tone::new(-1.0, 1.0, 0.0);
+    }
+}

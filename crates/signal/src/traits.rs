@@ -1,0 +1,231 @@
+//! Core signal traits and combinators.
+
+use rfbist_math::Complex64;
+
+/// A real-valued signal defined for all time (seconds).
+///
+/// Implementations must be pure: repeated evaluation at the same `t`
+/// returns the same value. This is what lets converters sample at
+/// arbitrary (jittered, skewed) instants without interpolation error.
+pub trait ContinuousSignal {
+    /// Evaluates the signal at time `t` (seconds).
+    fn eval(&self, t: f64) -> f64;
+
+    /// Samples the signal at each instant in `times`.
+    fn sample(&self, times: &[f64]) -> Vec<f64> {
+        times.iter().map(|&t| self.eval(t)).collect()
+    }
+
+    /// Samples uniformly: `n` samples starting at `t0` with period `dt`.
+    fn sample_uniform(&self, t0: f64, dt: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|k| self.eval(t0 + k as f64 * dt)).collect()
+    }
+}
+
+impl<S: ContinuousSignal + ?Sized> ContinuousSignal for &S {
+    fn eval(&self, t: f64) -> f64 {
+        (**self).eval(t)
+    }
+}
+
+impl<S: ContinuousSignal + ?Sized> ContinuousSignal for Box<S> {
+    fn eval(&self, t: f64) -> f64 {
+        (**self).eval(t)
+    }
+}
+
+/// A complex baseband envelope `a(t) = I(t) + jQ(t)` defined for all time.
+pub trait ComplexEnvelope {
+    /// Evaluates the envelope at time `t` (seconds).
+    fn eval_iq(&self, t: f64) -> Complex64;
+
+    /// In-phase component at `t`.
+    fn eval_i(&self, t: f64) -> f64 {
+        self.eval_iq(t).re
+    }
+
+    /// Quadrature component at `t`.
+    fn eval_q(&self, t: f64) -> f64 {
+        self.eval_iq(t).im
+    }
+}
+
+impl<E: ComplexEnvelope + ?Sized> ComplexEnvelope for &E {
+    fn eval_iq(&self, t: f64) -> Complex64 {
+        (**self).eval_iq(t)
+    }
+}
+
+impl<E: ComplexEnvelope + ?Sized> ComplexEnvelope for Box<E> {
+    fn eval_iq(&self, t: f64) -> Complex64 {
+        (**self).eval_iq(t)
+    }
+}
+
+/// Scales a signal by a constant gain.
+#[derive(Clone, Copy, Debug)]
+pub struct Gain<S> {
+    inner: S,
+    gain: f64,
+}
+
+impl<S> Gain<S> {
+    /// Wraps `inner` with a multiplicative `gain`.
+    pub fn new(inner: S, gain: f64) -> Self {
+        Gain { inner, gain }
+    }
+
+    /// The wrapped signal.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: ContinuousSignal> ContinuousSignal for Gain<S> {
+    fn eval(&self, t: f64) -> f64 {
+        self.gain * self.inner.eval(t)
+    }
+}
+
+impl<E: ComplexEnvelope> ComplexEnvelope for Gain<E> {
+    fn eval_iq(&self, t: f64) -> Complex64 {
+        self.inner.eval_iq(t) * self.gain
+    }
+}
+
+/// Sum of two signals.
+#[derive(Clone, Copy, Debug)]
+pub struct Sum<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> Sum<A, B> {
+    /// Adds signals `a` and `b` pointwise.
+    pub fn new(a: A, b: B) -> Self {
+        Sum { a, b }
+    }
+}
+
+impl<A: ContinuousSignal, B: ContinuousSignal> ContinuousSignal for Sum<A, B> {
+    fn eval(&self, t: f64) -> f64 {
+        self.a.eval(t) + self.b.eval(t)
+    }
+}
+
+impl<A: ComplexEnvelope, B: ComplexEnvelope> ComplexEnvelope for Sum<A, B> {
+    fn eval_iq(&self, t: f64) -> Complex64 {
+        self.a.eval_iq(t) + self.b.eval_iq(t)
+    }
+}
+
+/// Delays a signal: `y(t) = x(t − delay)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Delayed<S> {
+    inner: S,
+    delay: f64,
+}
+
+impl<S> Delayed<S> {
+    /// Delays `inner` by `delay` seconds (positive delays shift right).
+    pub fn new(inner: S, delay: f64) -> Self {
+        Delayed { inner, delay }
+    }
+}
+
+impl<S: ContinuousSignal> ContinuousSignal for Delayed<S> {
+    fn eval(&self, t: f64) -> f64 {
+        self.inner.eval(t - self.delay)
+    }
+}
+
+impl<E: ComplexEnvelope> ComplexEnvelope for Delayed<E> {
+    fn eval_iq(&self, t: f64) -> Complex64 {
+        self.inner.eval_iq(t - self.delay)
+    }
+}
+
+/// A signal defined by an arbitrary closure — handy in tests.
+#[derive(Clone, Copy, Debug)]
+pub struct FnSignal<F>(pub F);
+
+impl<F: Fn(f64) -> f64> ContinuousSignal for FnSignal<F> {
+    fn eval(&self, t: f64) -> f64 {
+        (self.0)(t)
+    }
+}
+
+/// An envelope defined by an arbitrary closure.
+#[derive(Clone, Copy, Debug)]
+pub struct FnEnvelope<F>(pub F);
+
+impl<F: Fn(f64) -> Complex64> ComplexEnvelope for FnEnvelope<F> {
+    fn eval_iq(&self, t: f64) -> Complex64 {
+        (self.0)(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_signal_evaluates_closure() {
+        let s = FnSignal(|t: f64| 2.0 * t);
+        assert_eq!(s.eval(3.0), 6.0);
+    }
+
+    #[test]
+    fn sample_and_sample_uniform() {
+        let s = FnSignal(|t: f64| t * t);
+        assert_eq!(s.sample(&[1.0, 2.0, 3.0]), vec![1.0, 4.0, 9.0]);
+        assert_eq!(s.sample_uniform(0.0, 0.5, 3), vec![0.0, 0.25, 1.0]);
+    }
+
+    #[test]
+    fn gain_scales() {
+        let s = Gain::new(FnSignal(|_| 2.0), 3.0);
+        assert_eq!(s.eval(0.0), 6.0);
+    }
+
+    #[test]
+    fn sum_adds() {
+        let s = Sum::new(FnSignal(|t: f64| t), FnSignal(|_| 1.0));
+        assert_eq!(s.eval(2.0), 3.0);
+    }
+
+    #[test]
+    fn delayed_shifts_right() {
+        let s = Delayed::new(FnSignal(|t: f64| t), 1.5);
+        assert_eq!(s.eval(2.0), 0.5);
+    }
+
+    #[test]
+    fn references_and_boxes_are_signals() {
+        let s = FnSignal(|t: f64| t + 1.0);
+        let r = &s;
+        assert_eq!(r.eval(1.0), 2.0);
+        let b: Box<dyn ContinuousSignal> = Box::new(FnSignal(|t: f64| t - 1.0));
+        assert_eq!(b.eval(1.0), 0.0);
+    }
+
+    #[test]
+    fn envelope_components() {
+        let e = FnEnvelope(|t: f64| Complex64::new(t, -t));
+        assert_eq!(e.eval_i(2.0), 2.0);
+        assert_eq!(e.eval_q(2.0), -2.0);
+    }
+
+    #[test]
+    fn envelope_combinators() {
+        let e = Gain::new(FnEnvelope(|_| Complex64::new(1.0, 2.0)), 2.0);
+        assert_eq!(e.eval_iq(0.0), Complex64::new(2.0, 4.0));
+        let d = Delayed::new(FnEnvelope(|t: f64| Complex64::new(t, 0.0)), 1.0);
+        assert_eq!(d.eval_iq(3.0), Complex64::new(2.0, 0.0));
+        let s = Sum::new(
+            FnEnvelope(|_| Complex64::new(1.0, 0.0)),
+            FnEnvelope(|_| Complex64::new(0.0, 1.0)),
+        );
+        assert_eq!(s.eval_iq(0.0), Complex64::new(1.0, 1.0));
+    }
+}

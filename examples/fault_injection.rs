@@ -1,0 +1,71 @@
+//! Fault-coverage study: run the BIST against the standard fault
+//! catalogue and tabulate which faults the spectral mask catches and
+//! which need the golden-waveform comparison.
+//!
+//! ```sh
+//! cargo run --release --example fault_injection
+//! ```
+
+use rfbist::prelude::*;
+
+fn main() {
+    let engine = BistEngine::new(BistConfig::paper_default());
+    let mask = SpectralMask::qpsk_10msym();
+    let healthy = TxImpairments::typical();
+
+    let run = |imp: TxImpairments| {
+        let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 160, 0xACE1);
+        let tx = HomodyneTx::builder(bb, 1e9).impairments(imp).build();
+        let golden = tx.ideal_rf_output();
+        engine.run(&tx.rf_output(), &mask, Some(&golden))
+    };
+
+    let baseline = run(healthy);
+    let baseline_eps = baseline.reconstruction_error.expect("reference given");
+    println!(
+        "healthy: mask margin {:+.2} dB, delta_eps {:.2} %\n",
+        baseline.mask.worst_margin_db,
+        baseline_eps * 100.0
+    );
+    println!(
+        "{:<50} {:>8} {:>12} {:>12}",
+        "fault", "mask", "margin[dB]", "d_eps[%]"
+    );
+
+    let mut mask_detected = 0;
+    let mut eps_detected = 0;
+    let faults = standard_fault_set();
+    for fault in &faults {
+        let report = run(fault.inject(healthy));
+        let eps = report.reconstruction_error.expect("reference given");
+        // detection criteria: mask fail, or Δε well above the healthy floor
+        let eps_flag = eps > 3.0 * baseline_eps;
+        if !report.mask.passed {
+            mask_detected += 1;
+        }
+        if eps_flag {
+            eps_detected += 1;
+        }
+        println!(
+            "{:<50} {:>8} {:>12.2} {:>12.2}{}",
+            format!("{:?}", fault.kind),
+            if report.mask.passed { "pass" } else { "FAIL" },
+            report.mask.worst_margin_db,
+            eps * 100.0,
+            if eps_flag { "  <- golden-compare flags" } else { "" }
+        );
+    }
+
+    println!(
+        "\ncoverage: mask alone {}/{}, mask + golden comparison {}/{}",
+        mask_detected,
+        faults.len(),
+        mask_detected.max(eps_detected),
+        faults.len()
+    );
+    println!(
+        "Emission masks see out-of-band regrowth (PA faults); in-band modulator\n\
+         faults need a complementary check — here the golden-waveform Δε, in a\n\
+         full BIST an EVM measurement on the demodulated symbols."
+    );
+}

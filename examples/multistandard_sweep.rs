@@ -1,0 +1,79 @@
+//! Multistandard flexibility: the property that motivates PNBS over
+//! uniform bandpass sampling. Sweep carrier frequencies and modulation
+//! bandwidths (an SDR hopping across standards) and show that the same
+//! two-ADC sampler reconstructs every configuration at the minimal
+//! rate, while uniform sampling would need a re-planned clock each
+//! time.
+//!
+//! ```sh
+//! cargo run --release --example multistandard_sweep
+//! ```
+
+use rfbist::prelude::*;
+use rfbist::math::rng::Randomizer;
+use rfbist::math::stats::nrmse;
+use rfbist::sampling::kohlenberg::optimal_delay;
+use rfbist::sampling::pbs;
+
+fn main() {
+    let b = 90e6; // the fixed per-channel ADC rate of the platform
+    println!(
+        "fixed BP-TIADC: two channels at B = {} MHz; the DCDE retunes per\n\
+         standard to the magnitude-optimal delay D = 1/(4 fc)\n",
+        b / 1e6
+    );
+    println!(
+        "{:<26} {:>9} {:>11} {:>14} {:>16}",
+        "configuration", "D [ps]", "PNBS ok?", "recon err", "PBS needs fs ≈"
+    );
+
+    let configs = [
+        ("NB 1 Msym/s @ 400 MHz", 400e6, 1e6),
+        ("QPSK 10 Msym/s @ 1 GHz", 1e9, 10e6),
+        ("WB 20 Msym/s @ 1.6 GHz", 1.6e9, 20e6),
+        ("QPSK 10 Msym/s @ 2.2 GHz", 2.2e9, 10e6),
+        ("NB 2 Msym/s @ 2.9 GHz", 2.9e9, 2e6),
+    ];
+
+    for (label, fc, sym_rate) in configs {
+        // The same sampler, reprogrammed only in software. Symbol count
+        // scales so every standard offers a ≥ 4 µs steady window.
+        let band = BandSpec::centered(fc, b);
+        let d_target = optimal_delay(band);
+        let n_sym = ((4e-6 * sym_rate) as usize + 30).max(96);
+        let bb = ShapedBaseband::qpsk_prbs(sym_rate, 0.5, 12, n_sym, 0xACE1);
+        let tx = BandpassSignal::new(bb, fc);
+        let (s0, s1) = tx.steady_time_range();
+        let mut adc = BpTiadc::new(
+            BpTiadcConfig::paper_section_v(d_target).with_sample_rate(b),
+        );
+        let n_start = (s0 * b).ceil() as i64 + 2;
+        let cap = adc.capture(&tx, n_start, 300);
+        let rec = PnbsReconstructor::paper_default(band, adc.true_delay())
+            .expect("optimal delay is valid across carriers");
+        let (lo, hi) = rec.coverage(&cap).expect("capture long enough");
+        let mut rng = Randomizer::from_seed(7);
+        let times: Vec<f64> =
+            (0..200).map(|_| rng.uniform(lo.max(s0), hi.min(s1))).collect();
+        let err = nrmse(&rec.reconstruct(&cap, &times), &tx.sample(&times));
+
+        // What uniform bandpass sampling would demand for this band:
+        // the minimal alias-free rate for the *occupied* band.
+        let occupied = BandSpec::centered(fc, sym_rate * 1.5);
+        let fs_min = pbs::minimum_rate(occupied);
+
+        println!(
+            "{label:<26} {:>9.1} {:>11} {:>13.2}% {:>12.3} MHz",
+            d_target * 1e12,
+            if err < 0.08 { "yes" } else { "NO" },
+            err * 100.0,
+            fs_min / 1e6
+        );
+    }
+
+    println!(
+        "\nPNBS reconstructs every configuration from the same fixed-rate hardware\n\
+         (error grows with carrier because 3 ps of skew jitter costs π·B·(k+1)·ΔD,\n\
+         eq. 4); PBS would need a different, precisely-placed clock per standard."
+    );
+}

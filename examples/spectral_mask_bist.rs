@@ -1,0 +1,53 @@
+//! Spectral-mask compliance testing: reconstruct the PA output via
+//! PNBS and check it against an emission mask — the BIST verdict a
+//! production line would act on.
+//!
+//! ```sh
+//! cargo run --release --example spectral_mask_bist
+//! ```
+
+use rfbist::prelude::*;
+
+fn main() {
+    let engine = BistEngine::new(BistConfig::paper_default());
+    let mask = SpectralMask::qpsk_10msym();
+    println!("mask `{}`:", mask.name());
+    for s in mask.segments() {
+        println!(
+            "  |f - fc| in [{:>4.1}, {:>4.1}] MHz: <= {:>5.1} dBc",
+            s.offset_lo / 1e6,
+            s.offset_hi / 1e6,
+            s.limit_dbc
+        );
+    }
+
+    let build = |imp: TxImpairments| {
+        let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 160, 0xACE1);
+        HomodyneTx::builder(bb, 1e9).impairments(imp).build()
+    };
+
+    // A healthy unit and one driven into early compression (the classic
+    // spectral-regrowth failure the mask exists to catch).
+    let healthy = build(TxImpairments::typical());
+    let weak_pa = build(
+        Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.05 })
+            .inject(TxImpairments::typical()),
+    );
+
+    for (label, tx) in [("healthy", &healthy), ("early-compression PA", &weak_pa)] {
+        let report = engine.run(&tx.rf_output(), &mask, Some(&tx.ideal_rf_output()));
+        println!("\n[{label}]");
+        print!("{report}");
+        if !report.mask.violations.is_empty() {
+            println!("  first violations:");
+            for v in report.mask.violations.iter().take(4) {
+                println!(
+                    "    {:.2} MHz: {:.1} dBc over the {:.1} dBc limit",
+                    v.frequency / 1e6,
+                    v.measured_dbc - v.limit_dbc,
+                    v.limit_dbc
+                );
+            }
+        }
+    }
+}
