@@ -27,8 +27,8 @@ fn bench_reconstruct_point(c: &mut Criterion) {
     let cap = NonuniformCapture::from_signal(&tone, 1.0 / 90e6, 180e-12, -60, 400);
     let mut group = c.benchmark_group("pnbs_reconstruct_point");
     for taps in [21usize, 61, 121] {
-        let rec = PnbsReconstructor::new(band, 180e-12, taps, Window::Kaiser(8.0))
-            .expect("valid delay");
+        let rec =
+            PnbsReconstructor::new(band, 180e-12, taps, Window::Kaiser(8.0)).expect("valid delay");
         group.bench_with_input(BenchmarkId::from_parameter(taps), &taps, |b, _| {
             let mut t = 1.0e-6;
             b.iter(|| {

@@ -24,8 +24,8 @@ fn main() {
     let stimulus = paper_stimulus(96, 0xACE1);
     let mut adc = BpTiadc::new(BpTiadcConfig::paper_section_v(d));
     let cap = adc.capture(&stimulus, 80, 260);
-    let float_rec = PnbsReconstructor::new(band, d, 61, Window::Kaiser(8.0))
-        .expect("paper delay is valid");
+    let float_rec =
+        PnbsReconstructor::new(band, d, 61, Window::Kaiser(8.0)).expect("paper delay is valid");
 
     let mut rng = Randomizer::from_seed(23);
     let (lo, hi) = float_rec.coverage(&cap).expect("capture long enough");
@@ -35,9 +35,16 @@ fn main() {
     let float_err = nrmse(&float_rec.reconstruct(&cap, &times), &truth);
 
     println!("# Extension — fixed-point reconstruction-filter precision");
-    println!("floating-point error floor (10-bit front-end): {:.3} %", float_err * 100.0);
+    println!(
+        "floating-point error floor (10-bit front-end): {:.3} %",
+        float_err * 100.0
+    );
     println!();
-    print_header(&["coeff fractional bits", "delta_eps [%]", "penalty vs float [dB]"]);
+    print_header(&[
+        "coeff fractional bits",
+        "delta_eps [%]",
+        "penalty vs float [dB]",
+    ]);
     for bits in [4u32, 6, 8, 10, 12, 14, 16, 20, 24] {
         let fxp = FixedPointReconstructor::new(float_rec.clone(), bits);
         let got: Vec<f64> = times.iter().map(|&t| fxp.reconstruct_at(&cap, t)).collect();

@@ -25,11 +25,14 @@ fn main() {
     let healthy = TxImpairments::typical();
 
     println!("# Extension — spectral-mask BIST verdicts under injected faults");
-    println!("mask: {} (limits {:?} dBc)", mask.name(), mask
-        .segments()
-        .iter()
-        .map(|s| s.limit_dbc)
-        .collect::<Vec<_>>());
+    println!(
+        "mask: {} (limits {:?} dBc)",
+        mask.name(),
+        mask.segments()
+            .iter()
+            .map(|s| s.limit_dbc)
+            .collect::<Vec<_>>()
+    );
     println!();
     print_header(&[
         "device",
@@ -46,7 +49,11 @@ fn main() {
         let report = engine.run(&tx.rf_output(), &mask, Some(&golden));
         print_row(&[
             label.to_string(),
-            if report.passed() { "PASS".into() } else { "FAIL".into() },
+            if report.passed() {
+                "PASS".into()
+            } else {
+                "FAIL".into()
+            },
             format!("{:+.2}", report.mask.worst_margin_db),
             format!("{:.3}", report.skew_abs_error() * 1e12),
             format!("{:.2}", report.reconstruction_error.unwrap() * 100.0),

@@ -24,7 +24,11 @@ fn case_a() {
         print_row(&[
             r.n.to_string(),
             format!("{:.4}", r.fs_min),
-            if r.fs_max.is_finite() { format!("{:.4}", r.fs_max) } else { "inf".into() },
+            if r.fs_max.is_finite() {
+                format!("{:.4}", r.fs_max)
+            } else {
+                "inf".into()
+            },
         ]);
     }
     println!();
@@ -64,10 +68,14 @@ fn case_b() {
             format!("{:.1}", w.width() / 1e3),
         ]);
     }
-    let near_90: Vec<_> =
-        windows.iter().filter(|w| w.fs_min >= 85e6 && w.fs_max <= 95e6).collect();
-    let min_width =
-        near_90.iter().map(|w| w.width()).fold(f64::INFINITY, f64::min);
+    let near_90: Vec<_> = windows
+        .iter()
+        .filter(|w| w.fs_min >= 85e6 && w.fs_max <= 95e6)
+        .collect();
+    let min_width = near_90
+        .iter()
+        .map(|w| w.width())
+        .fold(f64::INFINITY, f64::min);
     println!();
     println!(
         "Windows near 90 MHz are {:.0}–{:.0} kHz wide → the sampling clock needs",

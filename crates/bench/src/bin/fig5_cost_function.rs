@@ -14,7 +14,10 @@ use rfbist_bench::{paper_cost, print_header, print_row, Frontend};
 
 fn main() {
     let cost = paper_cost(Frontend::Paper, 300, 42);
-    println!("# Fig. 5 — cost function vs D̂ (true D = 180 ps, m = {:.1} ps)", cost.config().m_bound() * 1e12);
+    println!(
+        "# Fig. 5 — cost function vs D̂ (true D = 180 ps, m = {:.1} ps)",
+        cost.config().m_bound() * 1e12
+    );
     println!();
     print_header(&["D_hat [ps]", "cost"]);
     // paper's plotted range: 120..260 ps
@@ -31,7 +34,11 @@ fn main() {
         print_row(&[format!("{:.2}", d * 1e12), format!("{c:.6}")]);
     }
     println!();
-    println!("Minimum of the plotted range: D̂ = {:.2} ps (cost {:.3e})", min_d * 1e12, min_c);
+    println!(
+        "Minimum of the plotted range: D̂ = {:.2} ps (cost {:.3e})",
+        min_d * 1e12,
+        min_c
+    );
     println!();
 
     // uniqueness over the full admissible interval

@@ -39,7 +39,13 @@ fn main() {
     }
 
     println!();
-    print_header(&["D0 [ps]", "final D_hat [ps]", "|err| [ps]", "iterations", "converged"]);
+    print_header(&[
+        "D0 [ps]",
+        "final D_hat [ps]",
+        "|err| [ps]",
+        "iterations",
+        "converged",
+    ]);
     for (d0, r) in starts_ps.iter().zip(&runs) {
         print_row(&[
             format!("{d0}"),
@@ -51,7 +57,5 @@ fn main() {
     }
     println!();
     let worst_iters = runs.iter().map(|r| r.iterations).max().unwrap_or(0);
-    println!(
-        "All runs converged in ≤ {worst_iters} iterations (paper: < 20 every time)."
-    );
+    println!("All runs converged in ≤ {worst_iters} iterations (paper: < 20 every time).");
 }

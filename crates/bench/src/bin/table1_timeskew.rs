@@ -48,7 +48,12 @@ fn main() {
     println!("# Table I — time-skew estimation analysis (true D = 180 ps)");
     println!("(median of {SEEDS} independent jitter/quantization realizations)");
     println!();
-    print_header(&["method", "|D_hat − D| [ps]", "|1 − D_hat/D| [%]", "delta_eps [%]"]);
+    print_header(&[
+        "method",
+        "|D_hat − D| [ps]",
+        "|1 − D_hat/D| [%]",
+        "delta_eps [%]",
+    ]);
 
     let median = |mut v: Vec<f64>| -> f64 {
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -60,9 +65,8 @@ fn main() {
         let f_rf = test_tone_for_ratio(1e9, dual.fast_rate(), ratio);
         let estimates: Vec<f64> = (0..SEEDS)
             .map(|seed| {
-                let mut adc = BpTiadc::new(
-                    BpTiadcConfig::paper_section_v(D_TRUE).with_seed(seed as u64),
-                );
+                let mut adc =
+                    BpTiadc::new(BpTiadcConfig::paper_section_v(D_TRUE).with_seed(seed as u64));
                 let cap = adc.capture(&Tone::new(f_rf, 0.9, 0.37), 0, 300);
                 estimate_skew_jamal(&cap, f_rf).delay
             })
@@ -93,8 +97,7 @@ fn main() {
             let estimates: Vec<f64> = (0..SEEDS)
                 .map(|seed| {
                     let cost = paper_cost(frontend, 300, 42 + seed as u64);
-                    estimate_skew_lms(&cost, LmsConfig::paper_default(d0_ps * 1e-12))
-                        .estimate
+                    estimate_skew_lms(&cost, LmsConfig::paper_default(d0_ps * 1e-12)).estimate
                 })
                 .collect();
             let med_abs = median(estimates.iter().map(|d| (d - D_TRUE).abs()).collect());

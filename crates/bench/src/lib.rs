@@ -5,25 +5,24 @@
 //! scenario (QPSK 10 Msym/s, SRRC α = 0.5, f_c = 1 GHz, B = 90 MHz,
 //! B1 = 45 MHz, D = 180 ps) so all experiments share one ground truth.
 
+use rfbist::fixtures::{paper_stimulus_seeded, paper_tx_seeded};
 use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig, JitterPlacement};
 use rfbist_core::cost::DualRateCost;
 use rfbist_rfchain::impairments::TxImpairments;
 use rfbist_rfchain::txchain::HomodyneTx;
 use rfbist_sampling::dualrate::DualRateConfig;
-use rfbist_signal::baseband::ShapedBaseband;
 use rfbist_signal::bandpass::BandpassSignal;
+use rfbist_signal::baseband::ShapedBaseband;
 
 /// Paper Section V stimulus: QPSK 10 Msym/s, SRRC α = 0.5 over 12
 /// symbols, 1 GHz carrier, PRBS-driven payload.
 pub fn paper_stimulus(symbols: usize, seed: u64) -> BandpassSignal<ShapedBaseband> {
-    let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, symbols, seed);
-    BandpassSignal::new(bb, 1e9)
+    paper_stimulus_seeded(symbols, seed)
 }
 
 /// Paper Section V transmitter with the given impairments.
 pub fn paper_tx(imp: TxImpairments, symbols: usize, seed: u64) -> HomodyneTx<ShapedBaseband> {
-    let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, symbols, seed);
-    HomodyneTx::builder(bb, 1e9).impairments(imp).build()
+    paper_tx_seeded(imp, symbols, seed)
 }
 
 /// Whether an experiment should model the paper's noisy front-end
@@ -87,7 +86,10 @@ pub fn print_row(cells: &[String]) {
 /// Prints a table header and separator.
 pub fn print_header(cells: &[&str]) {
     print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 #[cfg(test)]

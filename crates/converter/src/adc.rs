@@ -35,7 +35,12 @@ impl AdcChannel {
     /// Creates an ideal-mismatch channel on the given clock and
     /// quantizer.
     pub fn new(clock: ClockGenerator, quantizer: Quantizer) -> Self {
-        AdcChannel { clock, quantizer, offset: 0.0, gain_error: 0.0 }
+        AdcChannel {
+            clock,
+            quantizer,
+            offset: 0.0,
+            gain_error: 0.0,
+        }
     }
 
     /// Adds an input-referred DC offset (same units as the signal).
@@ -74,16 +79,12 @@ impl AdcChannel {
     /// Converts the sample at clock edge `n`.
     pub fn convert_at_edge<S: ContinuousSignal>(&self, signal: &S, n: i64) -> f64 {
         let v = signal.eval(self.clock.edge(n));
-        self.quantizer.quantize((v + self.offset) * (1.0 + self.gain_error))
+        self.quantizer
+            .quantize((v + self.offset) * (1.0 + self.gain_error))
     }
 
     /// Captures `count` consecutive samples starting at edge `n_start`.
-    pub fn capture<S: ContinuousSignal>(
-        &self,
-        signal: &S,
-        n_start: i64,
-        count: usize,
-    ) -> Vec<f64> {
+    pub fn capture<S: ContinuousSignal>(&self, signal: &S, n_start: i64, count: usize) -> Vec<f64> {
         (0..count)
             .map(|i| self.convert_at_edge(signal, n_start + i as i64))
             .collect()
@@ -121,8 +122,7 @@ mod tests {
 
     #[test]
     fn gain_error_scales_samples() {
-        let adc =
-            AdcChannel::new(ideal_clock(), Quantizer::new(16, 2.0)).with_gain_error(0.02);
+        let adc = AdcChannel::new(ideal_clock(), Quantizer::new(16, 2.0)).with_gain_error(0.02);
         let sig = FnSignal(|_| 1.0);
         let got = adc.convert_at_edge(&sig, 0);
         assert!((got - 1.02).abs() < 1e-4);

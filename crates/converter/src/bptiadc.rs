@@ -151,7 +151,10 @@ impl BpTiadc {
     /// Panics if `sample_rate <= 0` or the delay target is negative.
     pub fn new(config: BpTiadcConfig) -> Self {
         assert!(config.sample_rate > 0.0, "sample rate must be positive");
-        assert!(config.delay_target >= 0.0, "delay target must be non-negative");
+        assert!(
+            config.delay_target >= 0.0,
+            "delay target must be non-negative"
+        );
         let period = 1.0 / config.sample_rate;
         let mut dcde = Dcde::new(
             config.dcde_resolution,
@@ -282,7 +285,10 @@ mod tests {
             let n = -5 + i as i64;
             let te = n as f64 * t_s;
             assert!((cap.even()[i] - tone.eval(te)).abs() < 1e-6, "even {i}");
-            assert!((cap.odd()[i] - tone.eval(te + 180e-12)).abs() < 1e-6, "odd {i}");
+            assert!(
+                (cap.odd()[i] - tone.eval(te + 180e-12)).abs() < 1e-6,
+                "odd {i}"
+            );
         }
     }
 
@@ -299,7 +305,10 @@ mod tests {
         let times: Vec<f64> = (0..300).map(|_| rng.uniform(0.5e-6, 2.5e-6)).collect();
         let err = nrmse(&rec.reconstruct(&cap, &times), &tone.sample(&times));
         assert!(err < 0.03, "nrmse {err}");
-        assert!(err > 0.001, "suspiciously clean for a 10-bit jittery front-end: {err}");
+        assert!(
+            err > 0.001,
+            "suspiciously clean for a 10-bit jittery front-end: {err}"
+        );
     }
 
     #[test]
@@ -324,7 +333,11 @@ mod tests {
         let new_d = adc.set_delay(300e-12);
         assert!((new_d - 300e-12).abs() < 1e-15);
         let cap_after = adc.capture(&tone, 0, 10);
-        assert_eq!(cap_before.even(), cap_after.even(), "even channel unchanged");
+        assert_eq!(
+            cap_before.even(),
+            cap_after.even(),
+            "even channel unchanged"
+        );
         assert_ne!(cap_before.odd(), cap_after.odd(), "odd channel must move");
         assert_eq!(cap_after.delay(), new_d);
     }

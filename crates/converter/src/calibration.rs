@@ -31,15 +31,31 @@ pub fn estimate_mismatch(capture: &NonuniformCapture) -> MismatchEstimate {
     let pow = |s: &[f64], o: f64| s.iter().map(|&v| (v - o) * (v - o)).sum::<f64>() / n;
     let p_even = pow(capture.even(), offset_even);
     let p_odd = pow(capture.odd(), offset_odd);
-    let gain_ratio = if p_even > 0.0 { (p_odd / p_even).sqrt() } else { 1.0 };
-    MismatchEstimate { offset_even, offset_odd, gain_ratio }
+    let gain_ratio = if p_even > 0.0 {
+        (p_odd / p_even).sqrt()
+    } else {
+        1.0
+    };
+    MismatchEstimate {
+        offset_even,
+        offset_odd,
+        gain_ratio,
+    }
 }
 
 /// Returns a capture with the estimated offsets removed and the odd
 /// stream rescaled onto the even stream's gain.
 pub fn correct(capture: &NonuniformCapture, est: MismatchEstimate) -> NonuniformCapture {
-    let even: Vec<f64> = capture.even().iter().map(|&v| v - est.offset_even).collect();
-    let inv_gain = if est.gain_ratio != 0.0 { 1.0 / est.gain_ratio } else { 1.0 };
+    let even: Vec<f64> = capture
+        .even()
+        .iter()
+        .map(|&v| v - est.offset_even)
+        .collect();
+    let inv_gain = if est.gain_ratio != 0.0 {
+        1.0 / est.gain_ratio
+    } else {
+        1.0
+    };
     let odd: Vec<f64> = capture
         .odd()
         .iter()

@@ -55,7 +55,12 @@ impl ClockGenerator {
     /// Panics if `period <= 0`.
     pub fn new(period: f64, jitter: JitterModel, seed: u64) -> Self {
         assert!(period > 0.0, "clock period must be positive");
-        ClockGenerator { period, jitter, seed, phase_offset: 0.0 }
+        ClockGenerator {
+            period,
+            jitter,
+            seed,
+            phase_offset: 0.0,
+        }
     }
 
     /// Adds a constant phase offset (seconds) to every edge — how the
@@ -119,7 +124,11 @@ impl Dcde {
     pub fn new(resolution: f64, max_code: u32) -> Self {
         assert!(resolution > 0.0, "resolution must be positive");
         assert!(max_code > 0, "max code must be positive");
-        Dcde { resolution, max_code, code: 0 }
+        Dcde {
+            resolution,
+            max_code,
+            code: 0,
+        }
     }
 
     /// A 1 ps / 10-bit DCDE — comfortably covering the paper's
@@ -146,7 +155,9 @@ impl Dcde {
     /// Programs the closest achievable delay to `target` seconds and
     /// returns the actually produced delay.
     pub fn set_delay(&mut self, target: f64) -> f64 {
-        let code = (target / self.resolution).round().clamp(0.0, self.max_code as f64);
+        let code = (target / self.resolution)
+            .round()
+            .clamp(0.0, self.max_code as f64);
         self.code = code as u32;
         self.delay()
     }
@@ -197,9 +208,7 @@ mod tests {
     fn jitter_rms_matches_configuration() {
         let rms = 3e-12;
         let clk = ClockGenerator::new(1e-8, JitterModel::Gaussian { rms }, 7);
-        let deviations: Vec<f64> = (0..20000)
-            .map(|n| clk.edge(n) - n as f64 * 1e-8)
-            .collect();
+        let deviations: Vec<f64> = (0..20000).map(|n| clk.edge(n) - n as f64 * 1e-8).collect();
         let measured = stats::rms(&deviations);
         assert!((measured - rms).abs() / rms < 0.05, "rms {measured}");
         // zero mean
@@ -218,7 +227,11 @@ mod tests {
         let clk = ClockGenerator::new(1e-8, JitterModel::Gaussian { rms: 1e-12 }, 11);
         let dev: Vec<f64> = (0..10000).map(|n| clk.edge(n) - n as f64 * 1e-8).collect();
         let r = stats::autocorrelation(&dev, 1);
-        assert!(r[1].abs() / r[0] < 0.05, "lag-1 correlation {}", r[1] / r[0]);
+        assert!(
+            r[1].abs() / r[0] < 0.05,
+            "lag-1 correlation {}",
+            r[1] / r[0]
+        );
     }
 
     #[test]
@@ -245,7 +258,10 @@ mod tests {
     fn paper_usable_range_is_covered() {
         let dcde = Dcde::fine_ps();
         assert!(dcde.max_delay() > 483e-12);
-        assert!(dcde.resolution() <= 2e-12, "needs ps-class resolution (eq. 5)");
+        assert!(
+            dcde.resolution() <= 2e-12,
+            "needs ps-class resolution (eq. 5)"
+        );
     }
 
     #[test]

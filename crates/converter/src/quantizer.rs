@@ -129,7 +129,10 @@ mod tests {
             .collect();
         let var = stats::variance(&errors);
         let expected = q.lsb() * q.lsb() / 12.0;
-        assert!((var - expected).abs() / expected < 0.05, "{var} vs {expected}");
+        assert!(
+            (var - expected).abs() / expected < 0.05,
+            "{var} vs {expected}"
+        );
     }
 
     #[test]
@@ -159,7 +162,7 @@ mod tests {
         let q = Quantizer::new(1, 1.0);
         assert_eq!(q.lsb(), 1.0);
         assert_eq!(q.quantize(0.7), 0.0 * 1.0_f64.max(0.0)); // rounds 0.7 -> code 1? clamp to max_code = 0
-        // max positive code for 1 bit is 0, min is −1
+                                                             // max positive code for 1 bit is 0, min is −1
         assert_eq!(q.quantize(5.0), 0.0);
         assert_eq!(q.quantize(-5.0), -1.0);
     }

@@ -42,10 +42,7 @@ impl Tiadc {
         assert!(output_rate > 0.0, "output rate must be positive");
         let ch_period = 2.0 / output_rate;
         let quant = Quantizer::new(bits, full_scale);
-        let even = AdcChannel::new(
-            ClockGenerator::new(ch_period, JitterModel::None, 0),
-            quant,
-        );
+        let even = AdcChannel::new(ClockGenerator::new(ch_period, JitterModel::None, 0), quant);
         let odd = AdcChannel::new(
             ClockGenerator::new(ch_period, JitterModel::None, 1)
                 .with_phase_offset(ch_period / 2.0 + skew),
@@ -53,7 +50,11 @@ impl Tiadc {
         )
         .with_offset(offset_mismatch)
         .with_gain_error(gain_mismatch);
-        Tiadc { even, odd, output_rate }
+        Tiadc {
+            even,
+            odd,
+            output_rate,
+        }
     }
 
     /// Aggregate output sample rate in Hz.

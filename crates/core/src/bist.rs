@@ -152,8 +152,7 @@ impl BistEngine {
         let wave = rec.reconstruct(&fast_cap, &grid);
 
         // Δε against the reference, when provided
-        let reconstruction_error =
-            reference.map(|r| nrmse(&wave, &r.sample(&grid)));
+        let reconstruction_error = reference.map(|r| nrmse(&wave, &r.sample(&grid)));
 
         // 5. PSD + mask verdict
         let psd = self.psd_of(&wave);
@@ -173,7 +172,13 @@ impl BistEngine {
     fn psd_of(&self, wave: &[f64]) -> PsdEstimate {
         let seg = (wave.len() / 2).next_power_of_two().min(8192).max(256);
         let seg = seg.min(wave.len());
-        welch(wave, self.config.grid_rate, seg, seg / 2, Window::BlackmanHarris)
+        welch(
+            wave,
+            self.config.grid_rate,
+            seg,
+            seg / 2,
+            Window::BlackmanHarris,
+        )
     }
 }
 
@@ -183,8 +188,8 @@ mod tests {
     use rfbist_rfchain::faults::{Fault, FaultKind};
     use rfbist_rfchain::impairments::TxImpairments;
     use rfbist_rfchain::txchain::HomodyneTx;
-    use rfbist_signal::baseband::ShapedBaseband;
     use rfbist_signal::bandpass::BandpassSignal;
+    use rfbist_signal::baseband::ShapedBaseband;
 
     fn paper_tx(imp: TxImpairments) -> HomodyneTx<ShapedBaseband> {
         let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 160, 0xACE1);
@@ -197,9 +202,17 @@ mod tests {
         let engine = BistEngine::new(BistConfig::paper_default());
         let ideal = tx.ideal_rf_output();
         let report = engine.run(&tx.rf_output(), &SpectralMask::qpsk_10msym(), Some(&ideal));
-        assert!(report.mask.passed, "worst margin {}", report.mask.worst_margin_db);
         assert!(
-            (report.skew.delay - report.true_delay).abs() < 1e-12,
+            report.mask.passed,
+            "worst margin {}",
+            report.mask.worst_margin_db
+        );
+        // The paper front-end wanders the skew itself (3 ps rms DCDE
+        // jitter) and quantizes to 10 bits, so the estimate's noise
+        // floor is a couple of ps; the ideal-front-end test below pins
+        // the algorithmic accuracy to sub-0.3 ps.
+        assert!(
+            (report.skew.delay - report.true_delay).abs() < 2.5e-12,
             "skew {} vs true {}",
             report.skew.delay * 1e12,
             report.true_delay * 1e12
@@ -211,8 +224,8 @@ mod tests {
     #[test]
     fn gross_compression_fault_fails_the_mask() {
         let healthy = TxImpairments::typical();
-        let faulty = Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.05 })
-            .inject(healthy);
+        let faulty =
+            Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.05 }).inject(healthy);
         let tx = paper_tx(faulty);
         let engine = BistEngine::new(BistConfig::paper_default());
         let report = engine.run(
@@ -249,17 +262,38 @@ mod tests {
     }
 
     #[test]
+    fn ideal_frontend_recovers_skew_sub_picosecond() {
+        let tx = paper_tx(TxImpairments::typical());
+        let engine = BistEngine::new(BistConfig::paper_default().with_ideal_frontend());
+        let report = engine.run(
+            &tx.rf_output(),
+            &SpectralMask::qpsk_10msym(),
+            None::<&BandpassSignal<ShapedBaseband>>,
+        );
+        assert!(
+            (report.skew.delay - report.true_delay).abs() < 0.3e-12,
+            "skew {} vs true {}",
+            report.skew.delay * 1e12,
+            report.true_delay * 1e12
+        );
+    }
+
+    #[test]
     fn ideal_frontend_improves_reconstruction_error() {
         let tx = paper_tx(TxImpairments::ideal());
         let ideal_ref = tx.ideal_rf_output();
         let noisy = BistEngine::new(BistConfig::paper_default());
         let clean = BistEngine::new(BistConfig::paper_default().with_ideal_frontend());
-        let r_noisy =
-            noisy.run(&tx.rf_output(), &SpectralMask::qpsk_10msym(), Some(&ideal_ref));
-        let r_clean =
-            clean.run(&tx.rf_output(), &SpectralMask::qpsk_10msym(), Some(&ideal_ref));
-        assert!(
-            r_clean.reconstruction_error.unwrap() < r_noisy.reconstruction_error.unwrap()
+        let r_noisy = noisy.run(
+            &tx.rf_output(),
+            &SpectralMask::qpsk_10msym(),
+            Some(&ideal_ref),
         );
+        let r_clean = clean.run(
+            &tx.rf_output(),
+            &SpectralMask::qpsk_10msym(),
+            Some(&ideal_ref),
+        );
+        assert!(r_clean.reconstruction_error.unwrap() < r_noisy.reconstruction_error.unwrap());
     }
 }

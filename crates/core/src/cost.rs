@@ -55,7 +55,14 @@ impl DualRateCost {
             (1.0 / slow.period() - config.slow_rate()).abs() < 1e-3,
             "slow capture rate disagrees with config"
         );
-        let cost = DualRateCost { fast, slow, config, times, num_taps, window };
+        let cost = DualRateCost {
+            fast,
+            slow,
+            config,
+            times,
+            num_taps,
+            window,
+        };
         // verify coverage with a representative (valid) delay
         let probe = cost.config.delay().min(cost.config.m_bound() * 0.5);
         let (fast_rec, slow_rec) = cost.reconstructors(probe);
@@ -98,7 +105,14 @@ impl DualRateCost {
         assert!(hi > lo, "captures do not overlap in time");
         let mut rng = Randomizer::from_seed(seed);
         let times = (0..n).map(|_| rng.uniform(lo, hi)).collect();
-        DualRateCost { fast, slow, config, times, num_taps, window }
+        DualRateCost {
+            fast,
+            slow,
+            config,
+            times,
+            num_taps,
+            window,
+        }
     }
 
     /// The dual-rate configuration.
@@ -174,8 +188,8 @@ impl DualRateCost {
 mod tests {
     use super::*;
     use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig};
-    use rfbist_signal::baseband::ShapedBaseband;
     use rfbist_signal::bandpass::BandpassSignal;
+    use rfbist_signal::baseband::ShapedBaseband;
 
     fn paper_setup(ideal: bool) -> DualRateCost {
         let cfg = DualRateConfig::paper_section_v();

@@ -51,7 +51,10 @@ pub fn fold_frequency(f_rf: f64, fs: f64) -> (f64, f64) {
 /// `ψ` of `cos(2πf·tₙ + ψ)` (i.e. `atan2(−b, a)`) and the amplitude.
 pub fn sine_fit_phase(samples: &[f64], times: &[f64], freq: f64) -> (f64, f64) {
     assert_eq!(samples.len(), times.len(), "length mismatch");
-    assert!(samples.len() >= 4, "need at least 4 samples for a 3-parameter fit");
+    assert!(
+        samples.len() >= 4,
+        "need at least 4 samples for a 3-parameter fit"
+    );
     let rows: Vec<Vec<f64>> = times
         .iter()
         .map(|&t| {
@@ -92,7 +95,11 @@ pub fn estimate_skew_jamal(capture: &NonuniformCapture, f_rf: f64) -> SkewEstima
     let delay = dpsi / (2.0 * PI * f_rf);
     // The phase difference is only defined modulo the carrier period;
     // report the positive representative (skews are < 1/f_rf here).
-    let delay = if delay < 0.0 { delay + 1.0 / f_rf } else { delay };
+    let delay = if delay < 0.0 {
+        delay + 1.0 / f_rf
+    } else {
+        delay
+    };
     SkewEstimate::from_delay(delay)
 }
 

@@ -109,9 +109,15 @@ impl LmsResult {
 ///
 /// Panics if the configured initial estimate or steps are non-positive.
 pub fn estimate_skew_lms(cost: &DualRateCost, config: LmsConfig) -> LmsResult {
-    assert!(config.initial_estimate > 0.0, "initial estimate must be positive");
+    assert!(
+        config.initial_estimate > 0.0,
+        "initial estimate must be positive"
+    );
     assert!(config.initial_step > 0.0, "initial step must be positive");
-    assert!(config.bootstrap_delta != 0.0, "bootstrap delta must be non-zero");
+    assert!(
+        config.bootstrap_delta != 0.0,
+        "bootstrap delta must be non-zero"
+    );
 
     let m = cost.config().m_bound();
     let clamp = |d: f64| d.clamp(0.5e-12, m - 0.5e-12);
@@ -120,7 +126,12 @@ pub fn estimate_skew_lms(cost: &DualRateCost, config: LmsConfig) -> LmsResult {
     let mut e_cur = cost.evaluate(d_cur);
 
     let mut mu = config.initial_step;
-    let mut trace = vec![LmsIteration { index: 0, estimate: d_cur, cost: e_cur, step: mu }];
+    let mut trace = vec![LmsIteration {
+        index: 0,
+        estimate: d_cur,
+        cost: e_cur,
+        step: mu,
+    }];
     let mut converged = false;
     let mut iterations = 0;
     let mut plateau_count = 0usize;
@@ -129,7 +140,9 @@ pub fn estimate_skew_lms(cost: &DualRateCost, config: LmsConfig) -> LmsResult {
         // Step 2: finite-difference gradient. The probe width follows
         // the step size (floored at the bootstrap delta scale) so the
         // difference stays informative as the search zooms in.
-        let delta = (mu / 4.0).max(config.bootstrap_delta.abs() / 20.0).max(1e-16);
+        let delta = (mu / 4.0)
+            .max(config.bootstrap_delta.abs() / 20.0)
+            .max(1e-16);
         let e_plus = cost.evaluate(clamp(d_cur + delta));
         let e_minus = cost.evaluate(clamp(d_cur - delta));
         let grad = (e_plus - e_minus) / (2.0 * delta);
@@ -161,7 +174,12 @@ pub fn estimate_skew_lms(cost: &DualRateCost, config: LmsConfig) -> LmsResult {
             // µ collapsed without improvement: we are at the minimum to
             // within the probe resolution.
             converged = true;
-            trace.push(LmsIteration { index: i, estimate: d_cur, cost: e_cur, step: mu });
+            trace.push(LmsIteration {
+                index: i,
+                estimate: d_cur,
+                cost: e_cur,
+                step: mu,
+            });
             break;
         }
 
@@ -177,7 +195,12 @@ pub fn estimate_skew_lms(cost: &DualRateCost, config: LmsConfig) -> LmsResult {
 
         d_cur = d_next;
         e_cur = e_next;
-        trace.push(LmsIteration { index: i, estimate: d_cur, cost: e_cur, step: mu });
+        trace.push(LmsIteration {
+            index: i,
+            estimate: d_cur,
+            cost: e_cur,
+            step: mu,
+        });
 
         if e_cur <= config.cost_tolerance || mu < config.min_step || plateau_count >= 2 {
             converged = true;
@@ -185,7 +208,13 @@ pub fn estimate_skew_lms(cost: &DualRateCost, config: LmsConfig) -> LmsResult {
         }
     }
 
-    LmsResult { estimate: d_cur, cost: e_cur, iterations, converged, trace }
+    LmsResult {
+        estimate: d_cur,
+        cost: e_cur,
+        iterations,
+        converged,
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -193,8 +222,8 @@ mod tests {
     use super::*;
     use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig};
     use rfbist_sampling::dualrate::DualRateConfig;
-    use rfbist_signal::baseband::ShapedBaseband;
     use rfbist_signal::bandpass::BandpassSignal;
+    use rfbist_signal::baseband::ShapedBaseband;
 
     fn paper_cost(ideal: bool) -> DualRateCost {
         let cfg = DualRateConfig::paper_section_v();
@@ -228,8 +257,7 @@ mod tests {
     fn converges_from_paper_starting_points_ideal() {
         let cost = paper_cost(true);
         for d0_ps in [50.0, 100.0, 350.0, 400.0] {
-            let result =
-                estimate_skew_lms(&cost, LmsConfig::paper_default(d0_ps * 1e-12));
+            let result = estimate_skew_lms(&cost, LmsConfig::paper_default(d0_ps * 1e-12));
             let err_ps = (result.estimate - 180e-12).abs() * 1e12;
             assert!(
                 err_ps < 0.1,
@@ -245,8 +273,7 @@ mod tests {
         // sub-0.1 ps accuracy for the LMS method.
         let cost = paper_cost(false);
         for d0_ps in [50.0, 400.0] {
-            let result =
-                estimate_skew_lms(&cost, LmsConfig::paper_default(d0_ps * 1e-12));
+            let result = estimate_skew_lms(&cost, LmsConfig::paper_default(d0_ps * 1e-12));
             let err_ps = (result.estimate - 180e-12).abs() * 1e12;
             assert!(
                 err_ps < 1.0,
@@ -261,8 +288,7 @@ mod tests {
         // Paper: "converges, every time, in less than 20 iterations".
         let cost = paper_cost(true);
         for d0_ps in [50.0, 100.0, 350.0, 400.0] {
-            let result =
-                estimate_skew_lms(&cost, LmsConfig::paper_default(d0_ps * 1e-12));
+            let result = estimate_skew_lms(&cost, LmsConfig::paper_default(d0_ps * 1e-12));
             let hit = result
                 .trace
                 .iter()

@@ -45,14 +45,21 @@ impl SpectralMask {
         segments: Vec<MaskSegment>,
     ) -> Self {
         assert!(!segments.is_empty(), "mask needs at least one segment");
-        assert!(reference_half_width > 0.0, "reference width must be positive");
+        assert!(
+            reference_half_width > 0.0,
+            "reference width must be positive"
+        );
         for s in &segments {
             assert!(
                 s.offset_hi > s.offset_lo && s.offset_lo >= 0.0,
                 "segment offsets must satisfy 0 <= lo < hi"
             );
         }
-        SpectralMask { name: name.into(), reference_half_width, segments }
+        SpectralMask {
+            name: name.into(),
+            reference_half_width,
+            segments,
+        }
     }
 
     /// The emission mask used by this repository's experiments for the
@@ -70,9 +77,21 @@ impl SpectralMask {
             "qpsk-10msym-srrc0.5",
             6e6,
             vec![
-                MaskSegment { offset_lo: 8.5e6, offset_hi: 12.5e6, limit_dbc: -28.0 },
-                MaskSegment { offset_lo: 12.5e6, offset_hi: 22.5e6, limit_dbc: -38.0 },
-                MaskSegment { offset_lo: 22.5e6, offset_hi: 43e6, limit_dbc: -42.0 },
+                MaskSegment {
+                    offset_lo: 8.5e6,
+                    offset_hi: 12.5e6,
+                    limit_dbc: -28.0,
+                },
+                MaskSegment {
+                    offset_lo: 12.5e6,
+                    offset_hi: 22.5e6,
+                    limit_dbc: -38.0,
+                },
+                MaskSegment {
+                    offset_lo: 22.5e6,
+                    offset_hi: 43e6,
+                    limit_dbc: -42.0,
+                },
             ],
         )
     }
@@ -194,8 +213,7 @@ mod tests {
         let x: Vec<f64> = (0..n)
             .map(|i| {
                 let t = i as f64 / fs;
-                (2.0 * PI * fc * t).sin()
-                    + amp_spur * (2.0 * PI * (fc + spur_offset) * t).sin()
+                (2.0 * PI * fc * t).sin() + amp_spur * (2.0 * PI * (fc + spur_offset) * t).sin()
             })
             .collect();
         periodogram(&x, fs, Window::BlackmanHarris)
@@ -206,8 +224,16 @@ mod tests {
             "test",
             5e6,
             vec![
-                MaskSegment { offset_lo: 8e6, offset_hi: 20e6, limit_dbc: -30.0 },
-                MaskSegment { offset_lo: 20e6, offset_hi: 40e6, limit_dbc: -50.0 },
+                MaskSegment {
+                    offset_lo: 8e6,
+                    offset_hi: 20e6,
+                    limit_dbc: -30.0,
+                },
+                MaskSegment {
+                    offset_lo: 20e6,
+                    offset_hi: 40e6,
+                    limit_dbc: -50.0,
+                },
             ],
         )
     }
@@ -290,7 +316,11 @@ mod tests {
         let _ = SpectralMask::new(
             "bad",
             1e6,
-            vec![MaskSegment { offset_lo: 5e6, offset_hi: 2e6, limit_dbc: -30.0 }],
+            vec![MaskSegment {
+                offset_lo: 5e6,
+                offset_hi: 2e6,
+                limit_dbc: -30.0,
+            }],
         );
     }
 }

@@ -47,7 +47,9 @@ impl fmt::Display for BistReport {
             self.skew.delay * 1e12,
             self.true_delay * 1e12,
             self.skew_abs_error() * 1e12,
-            self.skew.iterations.map_or("?".to_string(), |i| i.to_string()),
+            self.skew
+                .iterations
+                .map_or("?".to_string(), |i| i.to_string()),
         )?;
         if let Some(e) = self.reconstruction_error {
             writeln!(f, "  reconstruction Δε = {:.3} %", e * 100.0)?;

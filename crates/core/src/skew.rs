@@ -19,7 +19,11 @@ pub struct SkewEstimate {
 impl SkewEstimate {
     /// Wraps a bare delay estimate.
     pub fn from_delay(delay: f64) -> Self {
-        SkewEstimate { delay, residual_cost: None, iterations: None }
+        SkewEstimate {
+            delay,
+            residual_cost: None,
+            iterations: None,
+        }
     }
 }
 
@@ -61,12 +65,8 @@ pub fn skew_error_with_reconstruction<S: ContinuousSignal>(
     times: &[f64],
 ) -> SkewErrorMetrics {
     let mut metrics = skew_error(d_true, d_hat);
-    let rec = PnbsReconstructor::new_unchecked(
-        band,
-        d_hat,
-        61,
-        rfbist_dsp::window::Window::Kaiser(8.0),
-    );
+    let rec =
+        PnbsReconstructor::new_unchecked(band, d_hat, 61, rfbist_dsp::window::Window::Kaiser(8.0));
     let got = rec.reconstruct(capture, times);
     let want = truth.sample(times);
     metrics.reconstruction_error = Some(rfbist_math::stats::nrmse(&got, &want));
@@ -102,10 +102,8 @@ mod tests {
         let cap = NonuniformCapture::from_signal(&tone, 1.0 / 90e6, d, -50, 350);
         let mut rng = Randomizer::from_seed(3);
         let times: Vec<f64> = (0..100).map(|_| rng.uniform(0.5e-6, 2.0e-6)).collect();
-        let good =
-            skew_error_with_reconstruction(d, d, band, &cap, &tone, &times);
-        let bad =
-            skew_error_with_reconstruction(d, d + 5e-12, band, &cap, &tone, &times);
+        let good = skew_error_with_reconstruction(d, d, band, &cap, &tone, &times);
+        let bad = skew_error_with_reconstruction(d, d + 5e-12, band, &cap, &tone, &times);
         let g = good.reconstruction_error.unwrap();
         let b = bad.reconstruction_error.unwrap();
         assert!(g < 0.01, "good {g}");

@@ -49,7 +49,10 @@ pub fn evm(measured: &[Complex64], reference: &[Complex64]) -> EvmResult {
         peak_err = peak_err.max(e);
     }
     let rms = (sum_err / measured.len() as f64).sqrt() / ref_rms;
-    EvmResult { rms, peak: peak_err / ref_rms }
+    EvmResult {
+        rms,
+        peak: peak_err / ref_rms,
+    }
 }
 
 /// Hard-decision detection: maps each measured point to the nearest
@@ -113,8 +116,7 @@ mod tests {
     #[test]
     fn known_offset_gives_known_evm() {
         let c = qpsk(); // unit RMS constellation
-        let measured: Vec<Complex64> =
-            c.iter().map(|&z| z + Complex64::new(0.1, 0.0)).collect();
+        let measured: Vec<Complex64> = c.iter().map(|&z| z + Complex64::new(0.1, 0.0)).collect();
         let r = evm(&measured, &c);
         assert!((r.rms - 0.1).abs() < 1e-12);
         assert!((r.peak - 0.1).abs() < 1e-12);

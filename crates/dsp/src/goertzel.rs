@@ -58,11 +58,7 @@ mod tests {
         let spec = fft_real(&x);
         for k in [0usize, 1, 5, 31, 63] {
             let g = goertzel(&x, k as f64 / n as f64);
-            assert!(
-                (g - spec[k]).abs() < 1e-8,
-                "bin {k}: {g} vs {}",
-                spec[k]
-            );
+            assert!((g - spec[k]).abs() < 1e-8, "bin {k}: {g} vs {}", spec[k]);
         }
     }
 
@@ -75,7 +71,11 @@ mod tests {
             .map(|i| amp * (2.0 * PI * f0 * i as f64).cos())
             .collect();
         let p = goertzel_tone_power(&x, f0);
-        assert!(((p.sqrt() * 2.0) - amp).abs() < 0.01, "amp {}", p.sqrt() * 2.0);
+        assert!(
+            ((p.sqrt() * 2.0) - amp).abs() < 0.01,
+            "amp {}",
+            p.sqrt() * 2.0
+        );
     }
 
     #[test]

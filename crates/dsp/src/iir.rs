@@ -21,7 +21,10 @@ pub struct Biquad {
 impl Biquad {
     /// Identity (pass-through) section.
     pub fn identity() -> Self {
-        Biquad { b: [1.0, 0.0, 0.0], a: [0.0, 0.0] }
+        Biquad {
+            b: [1.0, 0.0, 0.0],
+            a: [0.0, 0.0],
+        }
     }
 
     /// Second-order Butterworth lowpass section with the given analog
@@ -39,7 +42,11 @@ impl Biquad {
         let cw = w0.cos();
         let a0 = 1.0 + alpha;
         Biquad {
-            b: [(1.0 - cw) / 2.0 / a0, (1.0 - cw) / a0, (1.0 - cw) / 2.0 / a0],
+            b: [
+                (1.0 - cw) / 2.0 / a0,
+                (1.0 - cw) / a0,
+                (1.0 - cw) / 2.0 / a0,
+            ],
             a: [-2.0 * cw / a0, (1.0 - alpha) / a0],
         }
     }
@@ -57,7 +64,11 @@ impl Biquad {
         let cw = w0.cos();
         let a0 = 1.0 + alpha;
         Biquad {
-            b: [(1.0 + cw) / 2.0 / a0, -(1.0 + cw) / a0, (1.0 + cw) / 2.0 / a0],
+            b: [
+                (1.0 + cw) / 2.0 / a0,
+                -(1.0 + cw) / a0,
+                (1.0 + cw) / 2.0 / a0,
+            ],
             a: [-2.0 * cw / a0, (1.0 - alpha) / a0],
         }
     }
@@ -247,7 +258,10 @@ mod tests {
         let db1 = f.magnitude_response_db(0.04);
         let db2 = f.magnitude_response_db(0.08);
         let slope_per_octave = db2 - db1;
-        assert!((slope_per_octave + 24.0).abs() < 2.0, "slope {slope_per_octave}");
+        assert!(
+            (slope_per_octave + 24.0).abs() < 2.0,
+            "slope {slope_per_octave}"
+        );
     }
 
     #[test]
@@ -283,7 +297,10 @@ mod tests {
 
     #[test]
     fn stability_check_flags_unstable() {
-        let unstable = Biquad { b: [1.0, 0.0, 0.0], a: [0.0, 1.5] };
+        let unstable = Biquad {
+            b: [1.0, 0.0, 0.0],
+            a: [0.0, 1.5],
+        };
         assert!(!unstable.is_stable());
         let f = IirFilter::from_sections(vec![Biquad::identity(), unstable]);
         assert!(!f.is_stable());
@@ -293,7 +310,9 @@ mod tests {
     fn tone_attenuation_matches_response() {
         let mut f = IirFilter::butterworth_lowpass(4, 0.1);
         let f0 = 0.2;
-        let x: Vec<f64> = (0..2000).map(|i| (2.0 * PI * f0 * i as f64).sin()).collect();
+        let x: Vec<f64> = (0..2000)
+            .map(|i| (2.0 * PI * f0 * i as f64).sin())
+            .collect();
         let y = f.process_block(&x);
         let peak = y[1000..].iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         let expected = f.frequency_response(f0).abs();

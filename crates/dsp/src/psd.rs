@@ -22,7 +22,10 @@ pub struct PsdEstimate {
 impl PsdEstimate {
     /// PSD in dB (10·log10 of the density); floors at −300 dB.
     pub fn psd_db(&self) -> Vec<f64> {
-        self.psd.iter().map(|&p| 10.0 * p.max(1e-30).log10()).collect()
+        self.psd
+            .iter()
+            .map(|&p| 10.0 * p.max(1e-30).log10())
+            .collect()
     }
 
     /// Total power integrated over `[f_lo, f_hi]` (inclusive of partial
@@ -98,9 +101,18 @@ pub fn periodogram(x: &[f64], fs: f64, window: Window) -> PsdEstimate {
 ///
 /// Panics if `segment_len == 0`, `overlap >= segment_len`, `fs <= 0`, or
 /// `x` is shorter than one segment.
-pub fn welch(x: &[f64], fs: f64, segment_len: usize, overlap: usize, window: Window) -> PsdEstimate {
+pub fn welch(
+    x: &[f64],
+    fs: f64,
+    segment_len: usize,
+    overlap: usize,
+    window: Window,
+) -> PsdEstimate {
     assert!(segment_len > 0, "segment length must be positive");
-    assert!(overlap < segment_len, "overlap must be smaller than the segment");
+    assert!(
+        overlap < segment_len,
+        "overlap must be smaller than the segment"
+    );
     assert!(fs > 0.0, "sample rate must be positive");
     assert!(
         x.len() >= segment_len,
@@ -135,7 +147,9 @@ mod tests {
     use std::f64::consts::PI;
 
     fn tone(n: usize, fs: f64, f0: f64, amp: f64) -> Vec<f64> {
-        (0..n).map(|i| amp * (2.0 * PI * f0 * i as f64 / fs).sin()).collect()
+        (0..n)
+            .map(|i| amp * (2.0 * PI * f0 * i as f64 / fs).sin())
+            .collect()
     }
 
     #[test]

@@ -125,7 +125,9 @@ mod tests {
         let f_alias = 0.4; // would alias at m=4 (Nyquist 0.125)
         let x = tone(2048, f_alias);
         let y = decimate(&x, 4, 12);
-        let peak = y[100..y.len() - 100].iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let peak = y[100..y.len() - 100]
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()));
         assert!(peak < 0.01, "alias peak {peak}");
     }
 
@@ -143,7 +145,9 @@ mod tests {
 
     #[test]
     fn integer_delay_matches_shift() {
-        let x: Vec<f64> = (0..200).map(|i| ((i * 7919) % 100) as f64 / 100.0).collect();
+        let x: Vec<f64> = (0..200)
+            .map(|i| ((i * 7919) % 100) as f64 / 100.0)
+            .collect();
         // bandlimit first so sinc interpolation is valid
         let fir = FirFilter::lowpass(41, 0.2, Window::Kaiser(8.0));
         let xb = fir.filter_same(&x);

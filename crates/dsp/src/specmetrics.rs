@@ -82,7 +82,9 @@ pub fn analyze_tone(x: &[f64], fs: f64, window: Window) -> ToneMetrics {
         }
         let k = k as isize;
         let collides_fundamental = (k - kf as isize).abs() <= 2 * LEAK_BINS;
-        let collides_prior = harmonic_bins.iter().any(|&b| (k - b).abs() <= 2 * LEAK_BINS);
+        let collides_prior = harmonic_bins
+            .iter()
+            .any(|&b| (k - b).abs() <= 2 * LEAK_BINS);
         if collides_fundamental || collides_prior {
             continue;
         }
@@ -158,7 +160,9 @@ mod tests {
     use std::f64::consts::PI;
 
     fn sine(n: usize, fs: f64, f0: f64, amp: f64) -> Vec<f64> {
-        (0..n).map(|i| amp * (2.0 * PI * f0 * i as f64 / fs).sin()).collect()
+        (0..n)
+            .map(|i| amp * (2.0 * PI * f0 * i as f64 / fs).sin())
+            .collect()
     }
 
     #[test]

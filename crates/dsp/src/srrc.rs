@@ -56,8 +56,7 @@ pub fn srrc_pulse(t: f64, alpha: f64) -> f64 {
     if (t.abs() - quarter).abs() < 1e-10 {
         // limit at t = ±1/(4α)
         let a = PI / (4.0 * alpha);
-        return (alpha / 2f64.sqrt())
-            * ((1.0 + 2.0 / PI) * a.sin() + (1.0 - 2.0 / PI) * a.cos());
+        return (alpha / 2f64.sqrt()) * ((1.0 + 2.0 / PI) * a.sin() + (1.0 - 2.0 / PI) * a.cos());
     }
     let four_at = 4.0 * alpha * t;
     ((PI * t * (1.0 - alpha)).sin() + four_at * (PI * t * (1.0 + alpha)).cos())

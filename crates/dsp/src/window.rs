@@ -69,9 +69,7 @@ impl Window {
             Window::Bartlett => 1.0 - (2.0 * x - 1.0).abs(),
             Window::Hann => 0.5 - 0.5 * (2.0 * PI * x).cos(),
             Window::Hamming => 0.54 - 0.46 * (2.0 * PI * x).cos(),
-            Window::Blackman => {
-                0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos()
-            }
+            Window::Blackman => 0.42 - 0.5 * (2.0 * PI * x).cos() + 0.08 * (4.0 * PI * x).cos(),
             Window::BlackmanHarris => {
                 0.35875 - 0.48829 * (2.0 * PI * x).cos() + 0.14128 * (4.0 * PI * x).cos()
                     - 0.01168 * (6.0 * PI * x).cos()
@@ -169,7 +167,10 @@ mod tests {
                 let w = win.coefficients(n);
                 assert_symmetric(&w);
                 for &v in &w {
-                    assert!((-1e-12..=1.0 + 1e-12).contains(&v), "{win:?} out of range: {v}");
+                    assert!(
+                        (-1e-12..=1.0 + 1e-12).contains(&v),
+                        "{win:?} out of range: {v}"
+                    );
                 }
             }
         }
@@ -212,7 +213,11 @@ mod tests {
         // Endpoint value is 1/I0(β); I0(8) = 427.56411572 (A&S tables).
         let w = Window::Kaiser(8.0).coefficients(5);
         let expected_edge = 1.0 / 427.56411572;
-        assert!((w[0] - expected_edge).abs() < 1e-9, "{} vs {expected_edge}", w[0]);
+        assert!(
+            (w[0] - expected_edge).abs() < 1e-9,
+            "{} vs {expected_edge}",
+            w[0]
+        );
         assert!((w[2] - 1.0).abs() < 1e-12);
         // strictly increasing toward the center
         assert!(w[0] < w[1] && w[1] < w[2]);

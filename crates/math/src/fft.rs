@@ -37,7 +37,10 @@ pub fn next_power_of_two(n: usize) -> usize {
 /// lengths.
 pub fn fft_radix2_in_place(x: &mut [Complex64]) {
     let n = x.len();
-    assert!(is_power_of_two(n), "radix-2 FFT requires power-of-two length, got {n}");
+    assert!(
+        is_power_of_two(n),
+        "radix-2 FFT requires power-of-two length, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -359,7 +362,9 @@ mod tests {
     fn linearity() {
         let n = 48; // non power of two
         let a: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
-        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(0.0, (i % 7) as f64)).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(0.0, (i % 7) as f64))
+            .collect();
         let sum: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
         let fa = fft(&a);
         let fb = fft(&b);

@@ -53,7 +53,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates an identity matrix of size `n`.
@@ -79,7 +83,11 @@ impl Matrix {
             assert_eq!(r.len(), cols, "all rows must have equal length");
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -340,7 +348,10 @@ mod tests {
     fn error_display() {
         let e = LinalgError::Singular { pivot: 2 };
         assert_eq!(e.to_string(), "matrix is singular at pivot column 2");
-        assert_eq!(LinalgError::ShapeMismatch.to_string(), "operand shapes are incompatible");
+        assert_eq!(
+            LinalgError::ShapeMismatch.to_string(),
+            "operand shapes are incompatible"
+        );
     }
 
     #[test]

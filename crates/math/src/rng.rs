@@ -30,7 +30,10 @@ pub struct Randomizer {
 impl Randomizer {
     /// Creates a randomizer from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
-        Randomizer { rng: StdRng::seed_from_u64(seed), spare_gaussian: None }
+        Randomizer {
+            rng: StdRng::seed_from_u64(seed),
+            spare_gaussian: None,
+        }
     }
 
     /// Uniform sample in `[lo, hi)`.

@@ -185,8 +185,15 @@ mod tests {
         ];
         for (x, expected) in cases {
             let got = bessel_i1(x);
-            let tol = if expected == 0.0 { 1e-12 } else { expected.abs() * 1e-10 };
-            assert!((got - expected).abs() < tol, "I1({x}) = {got}, want {expected}");
+            let tol = if expected == 0.0 {
+                1e-12
+            } else {
+                expected.abs() * 1e-10
+            };
+            assert!(
+                (got - expected).abs() < tol,
+                "I1({x}) = {got}, want {expected}"
+            );
         }
     }
 

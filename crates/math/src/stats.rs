@@ -118,7 +118,12 @@ pub fn autocorrelation(x: &[f64], lags: usize) -> Vec<f64> {
             if k >= n {
                 0.0
             } else {
-                x[..n - k].iter().zip(&x[k..]).map(|(a, b)| a * b).sum::<f64>() / n as f64
+                x[..n - k]
+                    .iter()
+                    .zip(&x[k..])
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+                    / n as f64
             }
         })
         .collect()

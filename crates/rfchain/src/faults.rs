@@ -72,11 +72,20 @@ impl Fault {
             FaultKind::PaGainShift { delta_db } => {
                 let factor = 10f64.powf(delta_db / 20.0);
                 let pa = match healthy.pa {
-                    PaModel::Linear { gain } => PaModel::Linear { gain: gain * factor },
-                    PaModel::Rapp { gain, v_sat, p } => {
-                        PaModel::Rapp { gain: gain * factor, v_sat, p }
-                    }
-                    PaModel::Saleh { alpha_a, beta_a, alpha_p, beta_p } => PaModel::Saleh {
+                    PaModel::Linear { gain } => PaModel::Linear {
+                        gain: gain * factor,
+                    },
+                    PaModel::Rapp { gain, v_sat, p } => PaModel::Rapp {
+                        gain: gain * factor,
+                        v_sat,
+                        p,
+                    },
+                    PaModel::Saleh {
+                        alpha_a,
+                        beta_a,
+                        alpha_p,
+                        beta_p,
+                    } => PaModel::Saleh {
                         alpha_a: alpha_a * factor,
                         beta_a,
                         alpha_p,
@@ -96,14 +105,20 @@ impl Fault {
                     "v_sat factor must be in (0, 1]"
                 );
                 let pa = match healthy.pa {
-                    PaModel::Rapp { gain, v_sat, p } => {
-                        PaModel::Rapp { gain, v_sat: v_sat * v_sat_factor, p }
-                    }
+                    PaModel::Rapp { gain, v_sat, p } => PaModel::Rapp {
+                        gain,
+                        v_sat: v_sat * v_sat_factor,
+                        p,
+                    },
                     // non-Rapp PAs: emulate early compression with a Rapp
                     // wrapper at the reduced saturation level
                     other => {
                         let g = other.small_signal_gain();
-                        PaModel::Rapp { gain: g, v_sat: g * v_sat_factor, p: 2.0 }
+                        PaModel::Rapp {
+                            gain: g,
+                            v_sat: g * v_sat_factor,
+                            p: 2.0,
+                        }
                     }
                 };
                 healthy.with_pa(pa)
@@ -181,11 +196,9 @@ mod tests {
     #[test]
     fn iq_faults_accumulate_on_baseline() {
         let healthy = TxImpairments::typical(); // 0.05 dB residual
-        let faulty =
-            Fault::new(FaultKind::IqGainImbalance { gain_db: 1.0 }).inject(healthy);
+        let faulty = Fault::new(FaultKind::IqGainImbalance { gain_db: 1.0 }).inject(healthy);
         assert!((faulty.iq.gain_db - 1.05).abs() < 1e-12);
-        let faulty2 =
-            Fault::new(FaultKind::IqPhaseImbalance { phase_deg: 3.0 }).inject(healthy);
+        let faulty2 = Fault::new(FaultKind::IqPhaseImbalance { phase_deg: 3.0 }).inject(healthy);
         assert!((faulty2.iq.phase_deg - 3.3).abs() < 1e-12);
     }
 
@@ -202,8 +215,7 @@ mod tests {
     fn standard_set_covers_all_kinds() {
         let set = standard_fault_set();
         assert!(set.len() >= 10);
-        let ids: std::collections::BTreeSet<&str> =
-            set.iter().map(|f| f.kind.id()).collect();
+        let ids: std::collections::BTreeSet<&str> = set.iter().map(|f| f.kind.id()).collect();
         assert_eq!(ids.len(), 5, "all five fault families present");
     }
 

@@ -88,7 +88,11 @@ mod tests {
         let imp = TxImpairments::typical();
         let a = Complex64::new(1.0, 0.0);
         let out = imp.apply(a);
-        assert!((out.abs() / a.abs() - 1.0).abs() < 0.02, "gain {}", out.abs() / a.abs());
+        assert!(
+            (out.abs() / a.abs() - 1.0).abs() < 0.02,
+            "gain {}",
+            out.abs() / a.abs()
+        );
     }
 
     #[test]

@@ -34,7 +34,12 @@ impl IqImbalance {
     /// Creates an imbalance spec. `lo_leakage_dbc` of `-inf` disables
     /// leakage.
     pub fn new(gain_db: f64, phase_deg: f64, lo_leakage_dbc: f64) -> Self {
-        IqImbalance { gain_db, phase_deg, lo_leakage_dbc, lo_leakage_phase: 0.0 }
+        IqImbalance {
+            gain_db,
+            phase_deg,
+            lo_leakage_dbc,
+            lo_leakage_phase: 0.0,
+        }
     }
 
     /// A perfectly balanced modulator.
@@ -170,8 +175,7 @@ mod tests {
         let out = iq.apply(Complex64::ZERO);
         assert!((out.abs() - 0.01).abs() < 1e-9, "leakage {}", out.abs());
         // with phase
-        let iq2 = IqImbalance::new(0.0, 0.0, -40.0)
-            .with_leakage_phase(std::f64::consts::FRAC_PI_2);
+        let iq2 = IqImbalance::new(0.0, 0.0, -40.0).with_leakage_phase(std::f64::consts::FRAC_PI_2);
         let out2 = iq2.apply(Complex64::ZERO);
         assert!(out2.re.abs() < 1e-12);
         assert!((out2.im - 0.01).abs() < 1e-9);

@@ -24,7 +24,10 @@ pub struct Receiver {
 impl Receiver {
     /// A nominal receiver with the given linear voltage gain.
     pub fn new(gain: f64) -> Self {
-        Receiver { gain, iq: IqImbalance::ideal() }
+        Receiver {
+            gain,
+            iq: IqImbalance::ideal(),
+        }
     }
 
     /// Builder-style: receiver-side IQ imbalance.
@@ -74,13 +77,20 @@ pub fn measure_loopback<R: ComplexEnvelope, E: ComplexEnvelope>(
         direct += y * a_ref.conj();
         image += y * a_ref;
     }
-    let chain_gain = if p_ref > 0.0 { (p_out / p_ref).sqrt() } else { 0.0 };
+    let chain_gain = if p_ref > 0.0 {
+        (p_out / p_ref).sqrt()
+    } else {
+        0.0
+    };
     let image_ratio = if direct.norm_sqr() > 0.0 {
         image.norm_sqr() / direct.norm_sqr()
     } else {
         0.0
     };
-    LoopbackMeasurement { chain_gain, image_ratio }
+    LoopbackMeasurement {
+        chain_gain,
+        image_ratio,
+    }
 }
 
 /// Loopback pass/fail on chain gain: PASS when the measured end-to-end
@@ -90,7 +100,10 @@ pub fn loopback_gain_verdict(
     nominal_gain: f64,
     tolerance_db: f64,
 ) -> bool {
-    assert!(nominal_gain > 0.0 && measurement.chain_gain > 0.0, "gains must be positive");
+    assert!(
+        nominal_gain > 0.0 && measurement.chain_gain > 0.0,
+        "gains must be positive"
+    );
     let err_db = 20.0 * (measurement.chain_gain / nominal_gain).log10();
     err_db.abs() <= tolerance_db
 }
@@ -123,9 +136,8 @@ mod tests {
 
     #[test]
     fn weak_tx_with_nominal_rx_is_detected() {
-        let weak = TxImpairments::typical().with_output_gain(
-            TxImpairments::typical().output_gain * 10f64.powf(-1.5 / 20.0),
-        );
+        let weak = TxImpairments::typical()
+            .with_output_gain(TxImpairments::typical().output_gain * 10f64.powf(-1.5 / 20.0));
         let tx = tx_with(weak);
         let rx = Receiver::new(1.0);
         let m = measure_loopback(tx.baseband(), &tx.impaired_envelope(), &rx, &probe_times());
@@ -139,12 +151,16 @@ mod tests {
     fn fault_masking_hot_rx_hides_weak_tx() {
         // The paper's core criticism: the same 1.5 dB-weak Tx passes when
         // the Rx happens to be 1.5 dB hot — a test escape.
-        let weak = TxImpairments::typical().with_output_gain(
-            TxImpairments::typical().output_gain * 10f64.powf(-1.5 / 20.0),
-        );
+        let weak = TxImpairments::typical()
+            .with_output_gain(TxImpairments::typical().output_gain * 10f64.powf(-1.5 / 20.0));
         let tx = tx_with(weak);
         let hot_rx = Receiver::new(10f64.powf(1.5 / 20.0));
-        let m = measure_loopback(tx.baseband(), &tx.impaired_envelope(), &hot_rx, &probe_times());
+        let m = measure_loopback(
+            tx.baseband(),
+            &tx.impaired_envelope(),
+            &hot_rx,
+            &probe_times(),
+        );
         assert!(
             loopback_gain_verdict(&m, 1.0, 1.0),
             "fault masking should let this marginal unit escape"
@@ -156,9 +172,8 @@ mod tests {
         // The BP-TIADC observes the PA output directly, so the same weak
         // Tx is caught regardless of any Rx gain — measured here as the
         // Tx-side chain gain alone.
-        let weak = TxImpairments::typical().with_output_gain(
-            TxImpairments::typical().output_gain * 10f64.powf(-1.5 / 20.0),
-        );
+        let weak = TxImpairments::typical()
+            .with_output_gain(TxImpairments::typical().output_gain * 10f64.powf(-1.5 / 20.0));
         let tx = tx_with(weak);
         let direct = measure_loopback(
             tx.baseband(),
@@ -183,6 +198,10 @@ mod tests {
         let tx = tx_with(compressing);
         let rx = Receiver::new(1.0);
         let m = measure_loopback(tx.baseband(), &tx.impaired_envelope(), &rx, &probe_times());
-        assert!(m.chain_gain < 0.95, "compression should show: {}", m.chain_gain);
+        assert!(
+            m.chain_gain < 0.95,
+            "compression should show: {}",
+            m.chain_gain
+        );
     }
 }

@@ -62,7 +62,9 @@ pub enum PaModel {
 impl PaModel {
     /// Ideal amplifier with gain in dB.
     pub fn linear_db(gain_db: f64) -> Self {
-        PaModel::Linear { gain: 10f64.powf(gain_db / 20.0) }
+        PaModel::Linear {
+            gain: 10f64.powf(gain_db / 20.0),
+        }
     }
 
     /// Rapp model constructor (voltage gain, saturation voltage, knee).
@@ -71,14 +73,22 @@ impl PaModel {
     ///
     /// Panics unless all parameters are positive.
     pub fn rapp(gain: f64, v_sat: f64, p: f64) -> Self {
-        assert!(gain > 0.0 && v_sat > 0.0 && p > 0.0, "Rapp parameters must be positive");
+        assert!(
+            gain > 0.0 && v_sat > 0.0 && p > 0.0,
+            "Rapp parameters must be positive"
+        );
         PaModel::Rapp { gain, v_sat, p }
     }
 
     /// Classic Saleh TWT parameters (α_a = 2.1587, β_a = 1.1517,
     /// α_p = 4.0033, β_p = 9.1040).
     pub fn saleh_classic() -> Self {
-        PaModel::Saleh { alpha_a: 2.1587, beta_a: 1.1517, alpha_p: 4.0033, beta_p: 9.104 }
+        PaModel::Saleh {
+            alpha_a: 2.1587,
+            beta_a: 1.1517,
+            alpha_p: 4.0033,
+            beta_p: 9.104,
+        }
     }
 
     /// AM/AM response: output envelope for input envelope `r ≥ 0`.
@@ -90,7 +100,9 @@ impl PaModel {
                 let lin = gain * r;
                 lin / (1.0 + (lin / v_sat).powf(2.0 * p)).powf(1.0 / (2.0 * p))
             }
-            PaModel::Saleh { alpha_a, beta_a, .. } => alpha_a * r / (1.0 + beta_a * r * r),
+            PaModel::Saleh {
+                alpha_a, beta_a, ..
+            } => alpha_a * r / (1.0 + beta_a * r * r),
             PaModel::Polynomial { a1, a3, a5 } => a1 * r + a3 * r.powi(3) + a5 * r.powi(5),
         }
     }
@@ -98,7 +110,9 @@ impl PaModel {
     /// AM/PM response: phase shift (radians) for input envelope `r ≥ 0`.
     pub fn am_pm(&self, r: f64) -> f64 {
         match *self {
-            PaModel::Saleh { alpha_p, beta_p, .. } => alpha_p * r * r / (1.0 + beta_p * r * r),
+            PaModel::Saleh {
+                alpha_p, beta_p, ..
+            } => alpha_p * r * r / (1.0 + beta_p * r * r),
             _ => 0.0,
         }
     }
@@ -208,7 +222,10 @@ mod tests {
         let rhs = (10f64.powf(2.0 * p / 20.0) - 1.0).powf(1.0 / (2.0 * p));
         let analytic = rhs * v / g0;
         let got = pa.input_p1db().unwrap();
-        assert!((got - analytic).abs() / analytic < 1e-6, "{got} vs {analytic}");
+        assert!(
+            (got - analytic).abs() / analytic < 1e-6,
+            "{got} vs {analytic}"
+        );
     }
 
     #[test]
@@ -242,7 +259,11 @@ mod tests {
 
     #[test]
     fn polynomial_compression() {
-        let pa = PaModel::Polynomial { a1: 10.0, a3: -20.0, a5: 0.0 };
+        let pa = PaModel::Polynomial {
+            a1: 10.0,
+            a3: -20.0,
+            a5: 0.0,
+        };
         assert!((pa.small_signal_gain() - 10.0).abs() < 1e-5);
         // gain at r=0.3: 10 − 20·0.09 = 8.2 → compressed
         assert!((pa.am_am(0.3) / 0.3 - 8.2).abs() < 1e-9);

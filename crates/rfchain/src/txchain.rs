@@ -64,7 +64,10 @@ impl<E: ComplexEnvelope + Clone> HomodyneTx<E> {
 
     /// The impaired envelope as a standalone [`ComplexEnvelope`].
     pub fn impaired_envelope(&self) -> ImpairedEnvelope<E> {
-        ImpairedEnvelope { baseband: self.baseband.clone(), impairments: self.impairments }
+        ImpairedEnvelope {
+            baseband: self.baseband.clone(),
+            impairments: self.impairments,
+        }
     }
 
     /// The RF output as a real passband [`ContinuousSignal`] — what the

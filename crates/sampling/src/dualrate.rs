@@ -34,7 +34,10 @@ impl fmt::Display for DualRateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DualRateError::RatesNotOrdered => {
-                write!(f, "slow-rate bandwidth must be smaller than fast-rate bandwidth")
+                write!(
+                    f,
+                    "slow-rate bandwidth must be smaller than fast-rate bandwidth"
+                )
             }
             DualRateError::DegenerateKPlusK1 => {
                 write!(f, "degenerate configuration: k+·B equals k1·B1 (eq. 9a)")
@@ -104,8 +107,7 @@ impl DualRateConfig {
     /// The paper's configuration: `fc = 1 GHz`, `B = 90 MHz`,
     /// `B1 = 45 MHz`, `D = 180 ps`.
     pub fn paper_section_v() -> Self {
-        DualRateConfig::new(1e9, 90e6, 45e6, 180e-12)
-            .expect("paper configuration is valid")
+        DualRateConfig::new(1e9, 90e6, 45e6, 180e-12).expect("paper configuration is valid")
     }
 
     /// Fast-rate reconstruction band (width `B`).
@@ -148,7 +150,11 @@ mod tests {
     #[test]
     fn paper_configuration_is_valid_and_m_is_483ps() {
         let cfg = DualRateConfig::paper_section_v();
-        assert!((cfg.m_bound() * 1e12 - 483.09).abs() < 0.1, "m = {}", cfg.m_bound());
+        assert!(
+            (cfg.m_bound() * 1e12 - 483.09).abs() < 0.1,
+            "m = {}",
+            cfg.m_bound()
+        );
         assert_eq!(cfg.fast_band().k_plus(), 23);
         assert_eq!(cfg.slow_band().k(), 44);
         assert_eq!(cfg.slow_band().k_plus(), 45);
@@ -219,9 +225,13 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(DualRateError::RatesNotOrdered.to_string().contains("smaller"));
+        assert!(DualRateError::RatesNotOrdered
+            .to_string()
+            .contains("smaller"));
         assert!(DualRateError::DegenerateKPlusK1.to_string().contains("9a"));
-        assert!(DualRateError::DegenerateKPlusK1Plus.to_string().contains("9b"));
+        assert!(DualRateError::DegenerateKPlusK1Plus
+            .to_string()
+            .contains("9b"));
         let e = DualRateError::DelayOutOfRange { m: 483e-12 };
         assert!(e.to_string().contains("483.0 ps"));
     }

@@ -44,7 +44,11 @@ mod tests {
     fn eq5_example_is_about_2ps() {
         let budget = paper_eq5_example();
         // ΔD = 0.01 / (π·80e6·25) = 1.59 ps — the paper rounds to "≈ 2 ps"
-        assert!((budget * 1e12 - 1.5915).abs() < 0.01, "{} ps", budget * 1e12);
+        assert!(
+            (budget * 1e12 - 1.5915).abs() < 0.01,
+            "{} ps",
+            budget * 1e12
+        );
         assert!(budget < 2.1e-12);
     }
 

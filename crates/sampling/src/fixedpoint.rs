@@ -16,7 +16,10 @@ use crate::reconstruct::{NonuniformCapture, PnbsReconstructor};
 ///
 /// Panics if `frac_bits` is 0 or > 60, or `max_abs <= 0`.
 pub fn quantize(x: f64, frac_bits: u32, max_abs: f64) -> f64 {
-    assert!((1..=60).contains(&frac_bits), "fractional bits must be 1..=60");
+    assert!(
+        (1..=60).contains(&frac_bits),
+        "fractional bits must be 1..=60"
+    );
     assert!(max_abs > 0.0, "saturation bound must be positive");
     let scale = (1u64 << frac_bits) as f64;
     let clamped = x.clamp(-max_abs, max_abs);
@@ -38,7 +41,11 @@ impl FixedPointReconstructor {
     /// Wraps `inner`, quantizing kernel values to `frac_bits` fractional
     /// bits.
     pub fn new(inner: PnbsReconstructor, frac_bits: u32) -> Self {
-        FixedPointReconstructor { inner, frac_bits, max_abs: 8.0 }
+        FixedPointReconstructor {
+            inner,
+            frac_bits,
+            max_abs: 8.0,
+        }
     }
 
     /// The emulated fractional precision.
@@ -61,9 +68,7 @@ impl FixedPointReconstructor {
         let t_idx = t / period;
         let nc = t_idx.round() as i64;
         let h = (self.inner.num_taps() / 2) as i64;
-        if nc - h < capture.n_start()
-            || nc + h >= capture.n_start() + capture.len() as i64
-        {
+        if nc - h < capture.n_start() || nc + h >= capture.n_start() + capture.len() as i64 {
             return None;
         }
         // Quantize by probing the exact reconstructor twice per tap is
@@ -75,8 +80,7 @@ impl FixedPointReconstructor {
         let rec = &self.inner;
         let kernel_band = rec.band();
         let d_hat = rec.delay_estimate();
-        let kern =
-            crate::kohlenberg::KohlenbergInterpolant::new_unchecked(kernel_band, d_hat);
+        let kern = crate::kohlenberg::KohlenbergInterpolant::new_unchecked(kernel_band, d_hat);
         let hw = h as f64 + 1.0;
         let window = rfbist_dsp::window::Window::Kaiser(8.0);
         let d_norm = d_hat / period;
@@ -127,7 +131,10 @@ mod tests {
         assert_eq!(quantize(0.3, 2, 8.0), 0.25);
         assert_eq!(quantize(0.4, 2, 8.0), 0.5);
         assert_eq!(quantize(-0.3, 2, 8.0), -0.25);
-        assert_eq!(quantize(0.3, 20, 8.0), (0.3f64 * (1 << 20) as f64).round() / (1 << 20) as f64);
+        assert_eq!(
+            quantize(0.3, 20, 8.0),
+            (0.3f64 * (1 << 20) as f64).round() / (1 << 20) as f64
+        );
     }
 
     #[test]
@@ -159,15 +166,13 @@ mod tests {
         let d = 180e-12;
         let tone = Tone::unit(0.99e9);
         let cap = NonuniformCapture::from_signal(&tone, 1.0 / 90e6, d, -50, 300);
-        let float_rec =
-            PnbsReconstructor::new(band, d, 61, Window::Kaiser(8.0)).unwrap();
+        let float_rec = PnbsReconstructor::new(band, d, 61, Window::Kaiser(8.0)).unwrap();
         let mut rng = Randomizer::from_seed(10);
         let times: Vec<f64> = (0..60).map(|_| rng.uniform(0.5e-6, 2.0e-6)).collect();
         let want = tone.sample(&times);
         let err_at = |bits: u32| {
             let fxp = FixedPointReconstructor::new(float_rec.clone(), bits);
-            let got: Vec<f64> =
-                times.iter().map(|&t| fxp.reconstruct_at(&cap, t)).collect();
+            let got: Vec<f64> = times.iter().map(|&t| fxp.reconstruct_at(&cap, t)).collect();
             nrmse(&got, &want)
         };
         let e6 = err_at(6);
@@ -185,10 +190,8 @@ mod tests {
         let d = 180e-12;
         let tone = Tone::unit(0.99e9);
         let cap = NonuniformCapture::from_signal(&tone, 1.0 / 90e6, d, 0, 80);
-        let fxp = FixedPointReconstructor::new(
-            PnbsReconstructor::paper_default(band, d).unwrap(),
-            16,
-        );
+        let fxp =
+            FixedPointReconstructor::new(PnbsReconstructor::paper_default(band, d).unwrap(), 16);
         assert!(fxp.try_reconstruct_at(&cap, 0.0).is_none());
         assert_eq!(fxp.frac_bits(), 16);
     }

@@ -172,7 +172,14 @@ impl KohlenbergInterpolant {
             Some((k * PI * b * delay).sin())
         };
         let sin_k_plus = (k_plus * PI * b * delay).sin();
-        KohlenbergInterpolant { f_lo: band.f_lo(), bandwidth: b, delay, k, sin_k, sin_k_plus }
+        KohlenbergInterpolant {
+            f_lo: band.f_lo(),
+            bandwidth: b,
+            delay,
+            k,
+            sin_k,
+            sin_k_plus,
+        }
     }
 
     /// The configured delay `D` in seconds.
@@ -332,7 +339,10 @@ mod tests {
         let band = BandSpec::centered(1e9, 80e6);
         let t_s = 1.0 / band.bandwidth();
         let d_k = t_s / 24.0;
-        assert!(check_delay(band, d_k).is_ok(), "constraint (3a) should be waived");
+        assert!(
+            check_delay(band, d_k).is_ok(),
+            "constraint (3a) should be waived"
+        );
         let d_kplus = t_s / 25.0;
         assert!(check_delay(band, d_kplus).is_err());
     }
@@ -374,10 +384,124 @@ mod tests {
     }
 
     #[test]
+    fn forbidden_delays_empty_below_first_singularity() {
+        // max_delay strictly below T/k⁺ (the smallest forbidden value)
+        // must yield no singularities at all — this is the interval the
+        // m-bound guarantees the LMS search stays inside.
+        let band = paper_band();
+        let first = 1.0 / band.bandwidth() / band.k_plus() as f64;
+        assert!(forbidden_delays(band, 0.999 * first).is_empty());
+        // and the boundary itself is inclusive
+        let at = forbidden_delays(band, first);
+        assert_eq!(at.len(), 1);
+        assert!((at[0] - first).abs() < 1e-18);
+    }
+
+    #[test]
+    fn forbidden_delays_dedup_family_coincidence() {
+        // The k and k⁺ families coincide at D = n·T (n·T/k · k = n·T);
+        // the list must carry one entry, not two.
+        let band = paper_band();
+        let t_s = 1.0 / band.bandwidth();
+        let f = forbidden_delays(band, t_s * 1.0001);
+        let at_t: Vec<_> = f.iter().filter(|&&d| (d - t_s).abs() < 1e-15).collect();
+        assert_eq!(at_t.len(), 1, "D = T duplicated: {f:?}");
+    }
+
+    #[test]
+    fn forbidden_delays_integer_positioned_has_single_family() {
+        // B = 80 MHz at 1 GHz: 2·f_lo/B = 24 exactly, so the k family
+        // disappears and all singular delays are multiples of T/25.
+        let band = BandSpec::centered(1e9, 80e6);
+        let t_s = 1.0 / band.bandwidth();
+        let f = forbidden_delays(band, 5.0 * t_s / 25.0 + 1e-15);
+        assert_eq!(f.len(), 5);
+        for (i, d) in f.iter().enumerate() {
+            assert!(
+                (d - (i + 1) as f64 * t_s / 25.0).abs() < 1e-18,
+                "entry {i}: {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_delay_margin_boundary() {
+        // Just inside the relative singularity margin: rejected; a few
+        // margins away: accepted.
+        let band = paper_band();
+        let step = 1.0 / band.bandwidth() / band.k_plus() as f64;
+        assert!(check_delay(band, step * (1.0 + 5e-7)).is_err());
+        assert!(check_delay(band, step * (1.0 - 5e-7)).is_err());
+        assert!(check_delay(band, step * (1.0 + 5e-6)).is_ok());
+        // halfway between the first two k⁺ singularities is safe
+        assert!(check_delay(band, 1.5 * step).is_ok());
+    }
+
+    #[test]
+    fn check_delay_vanishing_delay_counts_as_nonpositive() {
+        // A positive delay far below every singularity spacing carries
+        // no usable second-order information either.
+        let band = paper_band();
+        let step = 1.0 / band.bandwidth() / band.k_plus() as f64;
+        assert_eq!(
+            check_delay(band, 1e-8 * step),
+            Err(DelayConstraintError::NonPositive)
+        );
+        assert!(check_delay(band, 1e-4 * step).is_ok());
+    }
+
+    #[test]
+    fn baseband_degenerate_band_keeps_only_k_plus_family() {
+        // f_lo = 0 ⇒ k = 0 and the band is trivially integer positioned:
+        // only the k⁺ = 1 family applies, i.e. D ≠ n·T.
+        let band = BandSpec::new(0.0, 90e6);
+        assert_eq!(band.k(), 0);
+        assert!(band.is_integer_positioned());
+        let t_s = 1.0 / band.bandwidth();
+        assert!(check_delay(band, 0.5 * t_s).is_ok());
+        assert!(check_delay(band, t_s).is_err());
+        let f = forbidden_delays(band, 3.5 * t_s);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn narrow_band_forbidden_delays_scale_with_position() {
+        // A 1 kHz sliver at 1 GHz: k ≈ 2·10⁶, so singular delays pack
+        // every T/k ≈ 0.5 µs/10⁶ — the sub-ps regime. The arithmetic
+        // must not overflow or lose the ordering.
+        let band = BandSpec::centered(1e9, 1e3);
+        let t_s = 1.0 / band.bandwidth();
+        let step = t_s / band.k_plus() as f64;
+        let f = forbidden_delays(band, 3.0 * step + step * 1e-9);
+        assert!(f.len() >= 3);
+        for w in f.windows(2) {
+            assert!(w[0] < w[1], "not sorted: {f:?}");
+        }
+        assert!(check_delay(band, 0.5 * step).is_ok());
+    }
+
+    #[test]
+    fn optimal_delay_is_admissible_across_carriers() {
+        // 1/(4·f_c) must satisfy eq. (3) for any reasonably positioned
+        // band — the property that makes it a usable DCDE default.
+        for fc in [0.3e9, 0.5e9, 1e9, 1.8e9, 2.4e9] {
+            let band = BandSpec::centered(fc, 90e6);
+            let d = optimal_delay(band);
+            assert!(
+                check_delay(band, d).is_ok(),
+                "optimal delay {d} rejected for fc = {fc}"
+            );
+        }
+    }
+
+    #[test]
     fn error_display_strings() {
         let e = DelayConstraintError::NonPositive;
         assert_eq!(e.to_string(), "delay must be strictly positive");
-        let e2 = DelayConstraintError::NearSingular { forbidden: 483e-12, divisor: 23 };
+        let e2 = DelayConstraintError::NearSingular {
+            forbidden: 483e-12,
+            divisor: 23,
+        };
         assert!(e2.to_string().contains("483.000 ps"));
         assert!(e2.to_string().contains("nT/23"));
     }

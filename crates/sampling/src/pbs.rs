@@ -117,12 +117,7 @@ pub fn classify_fig3a(fh_over_b: f64, fs_over_b: f64) -> Fig3Cell {
 /// symmetric guard band of `guard` Hz carved from each window — the
 /// Fig. 3b view (how much sampling-clock precision uniform bandpass
 /// sampling demands).
-pub fn valid_windows_in(
-    band: BandSpec,
-    fs_lo: f64,
-    fs_hi: f64,
-    guard: f64,
-) -> Vec<RateRange> {
+pub fn valid_windows_in(band: BandSpec, fs_lo: f64, fs_hi: f64, guard: f64) -> Vec<RateRange> {
     assert!(fs_hi > fs_lo, "rate interval must be ordered");
     assert!(guard >= 0.0, "guard must be non-negative");
     valid_rate_ranges(band)
@@ -130,7 +125,11 @@ pub fn valid_windows_in(
         .filter_map(|r| {
             let lo = (r.fs_min + guard).max(fs_lo);
             let hi = (r.fs_max - guard).min(fs_hi);
-            (hi >= lo).then_some(RateRange { n: r.n, fs_min: lo, fs_max: hi })
+            (hi >= lo).then_some(RateRange {
+                n: r.n,
+                fs_min: lo,
+                fs_max: hi,
+            })
         })
         .collect()
 }
@@ -175,9 +174,7 @@ mod tests {
                     "wedge {}",
                     r.n
                 );
-                assert!(
-                    (r.fs_max - 2.0 * band.f_lo() / (r.n as f64 - 1.0)).abs() < 1e-3
-                );
+                assert!((r.fs_max - 2.0 * band.f_lo() / (r.n as f64 - 1.0)).abs() < 1e-3);
             }
         }
     }
@@ -223,7 +220,12 @@ mod tests {
         let wins = valid_windows_in(band, 60e6, 100e6, 0.0);
         assert!(!wins.is_empty());
         for w in &wins {
-            assert!(w.width() < 2e6, "window {} unexpectedly wide: {}", w.n, w.width());
+            assert!(
+                w.width() < 2e6,
+                "window {} unexpectedly wide: {}",
+                w.n,
+                w.width()
+            );
             assert!(w.width() > 0.0);
         }
         // sampling precision requirement: a few hundred kHz near 90 MHz
@@ -256,6 +258,74 @@ mod tests {
         let high_position = BandSpec::new(5.2, 6.2); // fH/B = 6.2
         let deepest = |b: BandSpec| valid_rate_ranges(b)[0].width();
         assert!(deepest(high_position) < deepest(low_position));
+    }
+
+    #[test]
+    fn integer_positioned_deepest_wedge_is_a_point() {
+        // Band (2, 3)·B: the n = 3 wedge collapses to the single rate
+        // fs = 2B — the zero-tolerance case Fig. 3 illustrates.
+        let band = BandSpec::new(2.0, 3.0);
+        let deepest = valid_rate_ranges(band)[0];
+        assert_eq!(deepest.n, 3);
+        assert_eq!(deepest.width(), 0.0);
+        assert!(deepest.contains(2.0));
+        assert!(!deepest.contains(2.0 + 1e-9));
+    }
+
+    #[test]
+    fn wedge_edges_are_inclusive() {
+        let band = BandSpec::new(2.3, 3.3);
+        let finite: Vec<_> = valid_rate_ranges(band)
+            .into_iter()
+            .filter(|r| r.fs_max.is_finite())
+            .collect();
+        assert!(!finite.is_empty());
+        for r in &finite {
+            assert!(is_alias_free(band, r.fs_min), "lower edge of wedge {}", r.n);
+            assert!(is_alias_free(band, r.fs_max), "upper edge of wedge {}", r.n);
+            // strictly outside (and not inside a neighboring wedge for
+            // this band geometry) must alias
+            assert!(!is_alias_free(band, r.fs_max + 1e-6), "above wedge {}", r.n);
+        }
+    }
+
+    #[test]
+    fn low_position_band_has_only_the_nyquist_wedge() {
+        // fH/B < 2 ⇒ n_max = 1: plain super-Nyquist sampling only.
+        let band = BandSpec::new(0.5, 1.5);
+        let ranges = valid_rate_ranges(band);
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].n, 1);
+        assert_eq!(minimum_rate(band), 2.0 * band.f_hi());
+    }
+
+    #[test]
+    fn nonpositive_rate_is_never_alias_free() {
+        let band = BandSpec::new(2.0, 3.0);
+        assert!(!is_alias_free(band, 0.0));
+        assert!(!is_alias_free(band, -1.0));
+    }
+
+    #[test]
+    fn fig3a_boundary_band_touching_dc() {
+        // fH/B = 1 is the degenerate lowpass band (f_lo = 0); Nyquist
+        // sampling at 2B is valid for it.
+        assert_eq!(classify_fig3a(1.0, 2.0), Fig3Cell::Valid);
+        assert_eq!(classify_fig3a(1.0, 100.0), Fig3Cell::Valid);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn fig3a_rejects_band_below_dc() {
+        let _ = classify_fig3a(0.99, 3.0);
+    }
+
+    #[test]
+    fn oversized_guard_consumes_all_windows() {
+        let band = BandSpec::new(2.0e9, 2.03e9);
+        // every window near 60–100 MHz is < 2 MHz wide, so a 2 MHz
+        // guard on each side erases them all
+        assert!(valid_windows_in(band, 60e6, 100e6, 2e6).is_empty());
     }
 
     #[test]

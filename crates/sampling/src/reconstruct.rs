@@ -47,7 +47,13 @@ impl NonuniformCapture {
         assert!(period > 0.0, "sample period must be positive");
         assert_eq!(even.len(), odd.len(), "streams must have equal length");
         assert!(!even.is_empty(), "capture must be non-empty");
-        NonuniformCapture { period, delay, n_start, even, odd }
+        NonuniformCapture {
+            period,
+            delay,
+            n_start,
+            even,
+            odd,
+        }
     }
 
     /// Samples `signal` ideally (no jitter, no quantization): `count`
@@ -68,7 +74,13 @@ impl NonuniformCapture {
             even.push(signal.eval(t));
             odd.push(signal.eval(t + delay));
         }
-        NonuniformCapture { period, delay, n_start, even, odd }
+        NonuniformCapture {
+            period,
+            delay,
+            n_start,
+            even,
+            odd,
+        }
     }
 
     /// Nominal sample period `T` in seconds.
@@ -154,12 +166,20 @@ impl PnbsReconstructor {
     ) -> Result<Self, DelayConstraintError> {
         assert!(num_taps % 2 == 1, "tap count must be odd (nw + 1)");
         let kernel = KohlenbergInterpolant::new(band, delay_estimate)?;
-        Ok(PnbsReconstructor { kernel, band, half_taps: num_taps / 2, window })
+        Ok(PnbsReconstructor {
+            kernel,
+            band,
+            half_taps: num_taps / 2,
+            window,
+        })
     }
 
     /// The paper's configuration: 61 taps (`nw = 60`), Kaiser window
     /// (β = 8).
-    pub fn paper_default(band: BandSpec, delay_estimate: f64) -> Result<Self, DelayConstraintError> {
+    pub fn paper_default(
+        band: BandSpec,
+        delay_estimate: f64,
+    ) -> Result<Self, DelayConstraintError> {
         PnbsReconstructor::new(band, delay_estimate, 61, Window::Kaiser(8.0))
     }
 
@@ -172,7 +192,12 @@ impl PnbsReconstructor {
     ) -> Self {
         assert!(num_taps % 2 == 1, "tap count must be odd (nw + 1)");
         let kernel = KohlenbergInterpolant::new_unchecked(band, delay_estimate);
-        PnbsReconstructor { kernel, band, half_taps: num_taps / 2, window }
+        PnbsReconstructor {
+            kernel,
+            band,
+            half_taps: num_taps / 2,
+            window,
+        }
     }
 
     /// The assumed delay estimate `D̂` in seconds.
@@ -211,9 +236,7 @@ impl PnbsReconstructor {
         let h = self.half_taps as i64;
         let first = nc - h;
         let last = nc + h;
-        if first < capture.n_start()
-            || last >= capture.n_start() + capture.len() as i64
-        {
+        if first < capture.n_start() || last >= capture.n_start() + capture.len() as i64 {
             return None;
         }
         // Window half-width slightly beyond the tap span so no in-span
@@ -233,9 +256,7 @@ impl PnbsReconstructor {
             // odd stream: f(nT + D)·s(nT + D̂ − t)
             let w_o = self.window.at(0.5 + (offset + d_norm) / (2.0 * hw));
             if w_o != 0.0 {
-                acc += capture.odd()[idx]
-                    * self.kernel.eval(n as f64 * period + d_hat - t)
-                    * w_o;
+                acc += capture.odd()[idx] * self.kernel.eval(n as f64 * period + d_hat - t) * w_o;
             }
         }
         Some(acc)
@@ -263,7 +284,10 @@ impl PnbsReconstructor {
     ///
     /// Panics as [`reconstruct_at`](Self::reconstruct_at) does.
     pub fn reconstruct(&self, capture: &NonuniformCapture, times: &[f64]) -> Vec<f64> {
-        times.iter().map(|&t| self.reconstruct_at(capture, t)).collect()
+        times
+            .iter()
+            .map(|&t| self.reconstruct_at(capture, t))
+            .collect()
     }
 }
 
@@ -272,8 +296,8 @@ mod tests {
     use super::*;
     use rfbist_math::rng::Randomizer;
     use rfbist_math::stats::nrmse;
-    use rfbist_signal::baseband::ShapedBaseband;
     use rfbist_signal::bandpass::BandpassSignal;
+    use rfbist_signal::baseband::ShapedBaseband;
     use rfbist_signal::tone::{MultiTone, Tone};
 
     const FC: f64 = 1e9;
@@ -342,8 +366,7 @@ mod tests {
         let want = tone.sample(&times);
         let mut last_err = f64::INFINITY;
         for taps in [21usize, 61, 121, 201] {
-            let rec =
-                PnbsReconstructor::new(band(), D, taps, Window::Kaiser(8.0)).unwrap();
+            let rec = PnbsReconstructor::new(band(), D, taps, Window::Kaiser(8.0)).unwrap();
             let err = nrmse(&rec.reconstruct(&cap, &times), &want);
             assert!(err < last_err, "taps {taps}: {err} !< {last_err}");
             last_err = err;

@@ -38,7 +38,11 @@ impl UniformCapture {
         let samples = (0..count)
             .map(|i| signal.eval((n_start + i as i64) as f64 * period))
             .collect();
-        UniformCapture { period, n_start, samples }
+        UniformCapture {
+            period,
+            n_start,
+            samples,
+        }
     }
 
     /// Sample period in seconds.
@@ -88,17 +92,17 @@ impl PbsReconstructor {
     /// # Panics
     ///
     /// Panics if `num_taps` is even.
-    pub fn new(
-        band: BandSpec,
-        rate: f64,
-        num_taps: usize,
-        window: Window,
-    ) -> Result<Self, f64> {
+    pub fn new(band: BandSpec, rate: f64, num_taps: usize, window: Window) -> Result<Self, f64> {
         assert!(num_taps % 2 == 1, "tap count must be odd");
         if !pbs::is_alias_free(band, rate) {
             return Err(rate);
         }
-        Ok(PbsReconstructor { band, rate, half_taps: num_taps / 2, window })
+        Ok(PbsReconstructor {
+            band,
+            rate,
+            half_taps: num_taps / 2,
+            window,
+        })
     }
 
     /// The sampling rate in Hz.
@@ -120,9 +124,7 @@ impl PbsReconstructor {
         let t_idx = t / period;
         let nc = t_idx.round() as i64;
         let h = self.half_taps as i64;
-        if nc - h < capture.n_start()
-            || nc + h >= capture.n_start() + capture.len() as i64
-        {
+        if nc - h < capture.n_start() || nc + h >= capture.n_start() + capture.len() as i64 {
             return None;
         }
         let b = self.band.bandwidth();
@@ -134,11 +136,7 @@ impl PbsReconstructor {
             let idx = (n - capture.n_start()) as usize;
             let tau = t - n as f64 * period;
             let w = self.window.at(0.5 + (n as f64 - t_idx) / (2.0 * hw));
-            acc += capture.samples()[idx]
-                * gain
-                * sinc(b * tau)
-                * (2.0 * PI * fc * tau).cos()
-                * w;
+            acc += capture.samples()[idx] * gain * sinc(b * tau) * (2.0 * PI * fc * tau).cos() * w;
         }
         Some(acc)
     }
@@ -149,9 +147,8 @@ impl PbsReconstructor {
     ///
     /// Panics outside [`coverage`](Self::coverage).
     pub fn reconstruct_at(&self, capture: &UniformCapture, t: f64) -> f64 {
-        self.try_reconstruct_at(capture, t).unwrap_or_else(|| {
-            panic!("t = {t:.3e} s outside capture coverage")
-        })
+        self.try_reconstruct_at(capture, t)
+            .unwrap_or_else(|| panic!("t = {t:.3e} s outside capture coverage"))
     }
 }
 
@@ -174,7 +171,10 @@ mod tests {
         let mut rng = Randomizer::from_seed(1);
         let times: Vec<f64> = (0..150).map(|_| rng.uniform(1e-6, 3e-6)).collect();
         let err = nrmse(
-            &times.iter().map(|&t| rec.reconstruct_at(&cap, t)).collect::<Vec<_>>(),
+            &times
+                .iter()
+                .map(|&t| rec.reconstruct_at(&cap, t))
+                .collect::<Vec<_>>(),
             &tone.sample(&times),
         );
         assert!(err < 0.02, "nrmse {err}");
@@ -204,7 +204,10 @@ mod tests {
         let mut rng = Randomizer::from_seed(2);
         let times: Vec<f64> = (0..100).map(|_| rng.uniform(1e-6, 4e-6)).collect();
         let err = nrmse(
-            &times.iter().map(|&t| rec.reconstruct_at(&cap, t)).collect::<Vec<_>>(),
+            &times
+                .iter()
+                .map(|&t| rec.reconstruct_at(&cap, t))
+                .collect::<Vec<_>>(),
             &tone.sample(&times),
         );
         assert!(err < 0.02, "nrmse {err}");
@@ -215,8 +218,7 @@ mod tests {
         let tone = Tone::unit(25e6);
         let cap = UniformCapture::from_signal(&tone, 1e-8, 0, 100);
         let rec =
-            PbsReconstructor::new(BandSpec::new(10e6, 40e6), 100e6, 41, Window::Hann)
-                .unwrap();
+            PbsReconstructor::new(BandSpec::new(10e6, 40e6), 100e6, 41, Window::Hann).unwrap();
         let (lo, hi) = rec.coverage(&cap).unwrap();
         assert_eq!(lo, 20.0 * 1e-8);
         assert_eq!(hi, 79.0 * 1e-8);

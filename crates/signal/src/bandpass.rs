@@ -36,7 +36,11 @@ impl<E: ComplexEnvelope> BandpassSignal<E> {
     /// Panics if `carrier_hz <= 0`.
     pub fn new(envelope: E, carrier_hz: f64) -> Self {
         assert!(carrier_hz > 0.0, "carrier frequency must be positive");
-        BandpassSignal { envelope, carrier_hz, carrier_phase: 0.0 }
+        BandpassSignal {
+            envelope,
+            carrier_hz,
+            carrier_phase: 0.0,
+        }
     }
 
     /// Sets an initial carrier phase (radians).
@@ -107,8 +111,7 @@ mod tests {
 
     #[test]
     fn carrier_phase_offset() {
-        let sig = BandpassSignal::new(FnEnvelope(|_| Complex64::ONE), 1e6)
-            .with_carrier_phase(PI);
+        let sig = BandpassSignal::new(FnEnvelope(|_| Complex64::ONE), 1e6).with_carrier_phase(PI);
         assert!((sig.eval(0.0) + 1.0).abs() < 1e-12);
     }
 

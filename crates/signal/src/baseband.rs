@@ -46,7 +46,11 @@ impl ShapedBaseband {
     pub fn new(symbols: Vec<Complex64>, pulse: PulseShape, symbol_rate: f64) -> Self {
         assert!(symbol_rate > 0.0, "symbol rate must be positive");
         assert!(!symbols.is_empty(), "at least one symbol required");
-        ShapedBaseband { symbols, pulse, symbol_period: 1.0 / symbol_rate }
+        ShapedBaseband {
+            symbols,
+            pulse,
+            symbol_period: 1.0 / symbol_rate,
+        }
     }
 
     /// The paper's stimulus: QPSK at `symbol_rate`, SRRC roll-off
@@ -151,13 +155,20 @@ mod tests {
         let symbols = Constellation::Qpsk.prbs_symbols(7, 64);
         let bb = ShapedBaseband::new(
             symbols.clone(),
-            PulseShape::Rc { alpha: 0.35, span: 10 },
+            PulseShape::Rc {
+                alpha: 0.35,
+                span: 10,
+            },
             1e6,
         );
         let ts = bb.symbol_period();
         for k in 15..50 {
             let z = bb.eval_iq(k as f64 * ts);
-            assert!((z - symbols[k]).abs() < 1e-9, "symbol {k}: {z} vs {}", symbols[k]);
+            assert!(
+                (z - symbols[k]).abs() < 1e-9,
+                "symbol {k}: {z} vs {}",
+                symbols[k]
+            );
         }
     }
 
@@ -255,10 +266,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "symbol rate must be positive")]
     fn bad_rate_panics() {
-        let _ = ShapedBaseband::new(
-            vec![Complex64::ONE],
-            PulseShape::Rect,
-            0.0,
-        );
+        let _ = ShapedBaseband::new(vec![Complex64::ONE], PulseShape::Rect, 0.0);
     }
 }

@@ -53,7 +53,11 @@ impl BandlimitedNoise {
         let phases: Vec<f64> = (0..n_tones).map(|_| rng.uniform(0.0, 2.0 * PI)).collect();
         // each tone contributes A²/2 power; total = n·A²/2 = rms²
         let amplitude_per_tone = rms * (2.0 / n_tones as f64).sqrt();
-        BandlimitedNoise { freqs, phases, amplitude_per_tone }
+        BandlimitedNoise {
+            freqs,
+            phases,
+            amplitude_per_tone,
+        }
     }
 
     /// Number of tones in the synthesis.
@@ -87,9 +91,7 @@ mod tests {
         let noise = BandlimitedNoise::new(1e6, 2e6, 200, 0.5, 7);
         assert!((noise.rms() - 0.5).abs() < 1e-12);
         // empirical RMS over a long window
-        let samples: Vec<f64> = (0..20000)
-            .map(|i| noise.eval(i as f64 * 1.7e-8))
-            .collect();
+        let samples: Vec<f64> = (0..20000).map(|i| noise.eval(i as f64 * 1.7e-8)).collect();
         let emp = stats::rms(&samples);
         assert!((emp - 0.5).abs() < 0.05, "empirical rms {emp}");
     }

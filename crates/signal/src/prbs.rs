@@ -88,7 +88,9 @@ impl Prbs {
 
     /// Produces `n` bipolar symbols (`true → +1.0`, `false → −1.0`).
     pub fn bipolar(&mut self, n: usize) -> Vec<f64> {
-        (0..n).map(|_| if self.next_bit() { 1.0 } else { -1.0 }).collect()
+        (0..n)
+            .map(|_| if self.next_bit() { 1.0 } else { -1.0 })
+            .collect()
     }
 }
 
@@ -167,9 +169,7 @@ mod tests {
         let n = order.period() as usize;
         let mut gen = Prbs::new(order, 1);
         let s = gen.bipolar(n);
-        let corr = |lag: usize| -> f64 {
-            (0..n).map(|i| s[i] * s[(i + lag) % n]).sum()
-        };
+        let corr = |lag: usize| -> f64 { (0..n).map(|i| s[i] * s[(i + lag) % n]).sum() };
         assert_eq!(corr(0), n as f64);
         for lag in [1usize, 5, 50] {
             assert_eq!(corr(lag), -1.0, "lag {lag}");

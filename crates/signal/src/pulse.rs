@@ -37,7 +37,10 @@ pub enum PulseShape {
 impl PulseShape {
     /// The paper's shaping: SRRC with α = 0.5, 12-symbol half-span.
     pub fn paper_default() -> Self {
-        PulseShape::Srrc { alpha: 0.5, span: 12 }
+        PulseShape::Srrc {
+            alpha: 0.5,
+            span: 12,
+        }
     }
 
     /// Evaluates the pulse at offset `t` in symbol periods.
@@ -102,13 +105,22 @@ mod tests {
     #[test]
     fn paper_default_parameters() {
         let p = PulseShape::paper_default();
-        assert_eq!(p, PulseShape::Srrc { alpha: 0.5, span: 12 });
+        assert_eq!(
+            p,
+            PulseShape::Srrc {
+                alpha: 0.5,
+                span: 12
+            }
+        );
         assert!((p.occupied_bandwidth_symbols() - 1.5).abs() < 1e-12);
     }
 
     #[test]
     fn srrc_truncates_outside_span() {
-        let p = PulseShape::Srrc { alpha: 0.5, span: 4 };
+        let p = PulseShape::Srrc {
+            alpha: 0.5,
+            span: 4,
+        };
         assert_eq!(p.eval(4.5), 0.0);
         assert_eq!(p.eval(-10.0), 0.0);
         assert!(p.eval(0.0) > 1.0); // SRRC peak is 1−α+4α/π > 1 for α=0.5
@@ -116,7 +128,10 @@ mod tests {
 
     #[test]
     fn rc_zero_isi_within_span() {
-        let p = PulseShape::Rc { alpha: 0.35, span: 6 };
+        let p = PulseShape::Rc {
+            alpha: 0.35,
+            span: 6,
+        };
         assert!((p.eval(0.0) - 1.0).abs() < 1e-12);
         for k in 1..=5 {
             assert!(p.eval(k as f64).abs() < 1e-10);
@@ -143,7 +158,14 @@ mod tests {
 
     #[test]
     fn spans_reported() {
-        assert_eq!(PulseShape::Srrc { alpha: 0.2, span: 9 }.span(), 9);
+        assert_eq!(
+            PulseShape::Srrc {
+                alpha: 0.2,
+                span: 9
+            }
+            .span(),
+            9
+        );
         assert_eq!(PulseShape::Sinc { span: 3 }.span(), 3);
     }
 }

@@ -124,7 +124,9 @@ impl Constellation {
 /// power.
 fn square_qam(m: usize) -> Vec<Complex64> {
     // PAM levels ±1, ±3, … ±(m−1), Gray ordered
-    let levels: Vec<f64> = (0..m).map(|i| (2.0 * i as f64) - (m as f64 - 1.0)).collect();
+    let levels: Vec<f64> = (0..m)
+        .map(|i| (2.0 * i as f64) - (m as f64 - 1.0))
+        .collect();
     // average power of square QAM with these levels: 2(m²−1)/3 · (1/2)? —
     // compute it numerically for robustness.
     let mut pts = Vec::with_capacity(m * m);

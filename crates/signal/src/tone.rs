@@ -34,7 +34,11 @@ impl Tone {
     /// Panics if `frequency` is negative.
     pub fn new(frequency: f64, amplitude: f64, phase: f64) -> Self {
         assert!(frequency >= 0.0, "tone frequency must be non-negative");
-        Tone { frequency, amplitude, phase }
+        Tone {
+            frequency,
+            amplitude,
+            phase,
+        }
     }
 
     /// A unit-amplitude, zero-phase tone.
@@ -83,7 +87,11 @@ impl MultiTone {
     pub fn comb(f_lo: f64, f_hi: f64, n: usize, amplitude: f64) -> Self {
         assert!(n > 0, "multitone needs at least one tone");
         assert!(f_hi >= f_lo, "band must be ordered");
-        let step = if n == 1 { 0.0 } else { (f_hi - f_lo) / (n - 1) as f64 };
+        let step = if n == 1 {
+            0.0
+        } else {
+            (f_hi - f_lo) / (n - 1) as f64
+        };
         let tones = (0..n)
             .map(|k| Tone::new(f_lo + k as f64 * step, amplitude, 0.0))
             .collect();
@@ -102,7 +110,11 @@ impl MultiTone {
 
     /// Total RMS assuming incommensurate frequencies (power sum).
     pub fn rms(&self) -> f64 {
-        self.tones.iter().map(|t| t.rms() * t.rms()).sum::<f64>().sqrt()
+        self.tones
+            .iter()
+            .map(|t| t.rms() * t.rms())
+            .sum::<f64>()
+            .sqrt()
     }
 }
 

@@ -6,16 +6,16 @@
 //! cargo run --release --example fault_injection
 //! ```
 
+use rfbist::fixtures::{paper_engine, paper_mask, paper_tx};
 use rfbist::prelude::*;
 
 fn main() {
-    let engine = BistEngine::new(BistConfig::paper_default());
-    let mask = SpectralMask::qpsk_10msym();
+    let engine = paper_engine();
+    let mask = paper_mask();
     let healthy = TxImpairments::typical();
 
     let run = |imp: TxImpairments| {
-        let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 160, 0xACE1);
-        let tx = HomodyneTx::builder(bb, 1e9).impairments(imp).build();
+        let tx = paper_tx(imp);
         let golden = tx.ideal_rf_output();
         engine.run(&tx.rf_output(), &mask, Some(&golden))
     };
@@ -52,7 +52,11 @@ fn main() {
             if report.mask.passed { "pass" } else { "FAIL" },
             report.mask.worst_margin_db,
             eps * 100.0,
-            if eps_flag { "  <- golden-compare flags" } else { "" }
+            if eps_flag {
+                "  <- golden-compare flags"
+            } else {
+                ""
+            }
         );
     }
 

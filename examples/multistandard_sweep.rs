@@ -9,9 +9,9 @@
 //! cargo run --release --example multistandard_sweep
 //! ```
 
-use rfbist::prelude::*;
 use rfbist::math::rng::Randomizer;
 use rfbist::math::stats::nrmse;
+use rfbist::prelude::*;
 use rfbist::sampling::kohlenberg::optimal_delay;
 use rfbist::sampling::pbs;
 
@@ -44,17 +44,16 @@ fn main() {
         let bb = ShapedBaseband::qpsk_prbs(sym_rate, 0.5, 12, n_sym, 0xACE1);
         let tx = BandpassSignal::new(bb, fc);
         let (s0, s1) = tx.steady_time_range();
-        let mut adc = BpTiadc::new(
-            BpTiadcConfig::paper_section_v(d_target).with_sample_rate(b),
-        );
+        let mut adc = BpTiadc::new(BpTiadcConfig::paper_section_v(d_target).with_sample_rate(b));
         let n_start = (s0 * b).ceil() as i64 + 2;
         let cap = adc.capture(&tx, n_start, 300);
         let rec = PnbsReconstructor::paper_default(band, adc.true_delay())
             .expect("optimal delay is valid across carriers");
         let (lo, hi) = rec.coverage(&cap).expect("capture long enough");
         let mut rng = Randomizer::from_seed(7);
-        let times: Vec<f64> =
-            (0..200).map(|_| rng.uniform(lo.max(s0), hi.min(s1))).collect();
+        let times: Vec<f64> = (0..200)
+            .map(|_| rng.uniform(lo.max(s0), hi.min(s1)))
+            .collect();
         let err = nrmse(&rec.reconstruct(&cap, &times), &tx.sample(&times));
 
         // What uniform bandpass sampling would demand for this band:

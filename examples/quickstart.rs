@@ -5,25 +5,24 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use rfbist::fixtures;
 use rfbist::prelude::*;
 
 fn main() {
     // 1. The device under test: the paper's Section V transmitter —
     //    10 MHz QPSK symbols, SRRC α = 0.5, 1 GHz carrier — with a
-    //    production-typical impairment budget.
-    let baseband = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 160, 0xACE1);
-    let tx = HomodyneTx::builder(baseband, 1e9)
-        .impairments(TxImpairments::typical())
-        .build();
+    //    production-typical impairment budget. (`rfbist::fixtures`
+    //    holds the canonical scenario parameters.)
+    let tx = fixtures::paper_tx(TxImpairments::typical());
 
     // 2. The BIST engine: BP-TIADC capture at B = 90 MHz and
     //    B1 = 45 MHz, offset/gain calibration, LMS time-skew
     //    estimation, PNBS reconstruction, PSD + mask check.
-    let engine = BistEngine::new(BistConfig::paper_default());
+    let engine = fixtures::paper_engine();
 
     // 3. Run. The golden reference (simulation-only) adds the Δε metric.
     let golden = tx.ideal_rf_output();
-    let report = engine.run(&tx.rf_output(), &SpectralMask::qpsk_10msym(), Some(&golden));
+    let report = engine.run(&tx.rf_output(), &fixtures::paper_mask(), Some(&golden));
 
     println!("{report}");
     println!(

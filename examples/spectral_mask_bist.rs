@@ -6,11 +6,12 @@
 //! cargo run --release --example spectral_mask_bist
 //! ```
 
+use rfbist::fixtures::{paper_engine, paper_mask, paper_tx};
 use rfbist::prelude::*;
 
 fn main() {
-    let engine = BistEngine::new(BistConfig::paper_default());
-    let mask = SpectralMask::qpsk_10msym();
+    let engine = paper_engine();
+    let mask = paper_mask();
     println!("mask `{}`:", mask.name());
     for s in mask.segments() {
         println!(
@@ -21,15 +22,10 @@ fn main() {
         );
     }
 
-    let build = |imp: TxImpairments| {
-        let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 160, 0xACE1);
-        HomodyneTx::builder(bb, 1e9).impairments(imp).build()
-    };
-
     // A healthy unit and one driven into early compression (the classic
     // spectral-regrowth failure the mask exists to catch).
-    let healthy = build(TxImpairments::typical());
-    let weak_pa = build(
+    let healthy = paper_tx(TxImpairments::typical());
+    let weak_pa = paper_tx(
         Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.05 })
             .inject(TxImpairments::typical()),
     );

@@ -20,7 +20,7 @@ fn main() {
     );
 
     // Mission-mode stimulus (no dedicated test tone needed for LMS).
-    let tx = BandpassSignal::new(ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 96, 0xACE1), 1e9);
+    let tx = rfbist::fixtures::paper_stimulus(96);
 
     // Capture the same output at the two rates with the 10-bit,
     // 3 ps-jitter front-end. The DCDE is programmed to 180 ps but the

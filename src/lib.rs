@@ -37,6 +37,8 @@
 //! assert!(report.passed());
 //! ```
 
+pub mod fixtures;
+
 pub use rfbist_converter as converter;
 pub use rfbist_core as core;
 pub use rfbist_dsp as dsp;

@@ -7,15 +7,15 @@ use rfbist::math::interp::sinc_uniform;
 use rfbist::math::rng::Randomizer;
 use rfbist::prelude::*;
 
+mod common;
+use common::paper_stimulus;
+
 /// Oversample the analytic signal onto a dense grid, then interpolate
 /// the grid back to off-grid instants and compare with direct analytic
 /// evaluation.
 #[test]
 fn analytic_evaluation_matches_grid_interpolation() {
-    let tx = BandpassSignal::new(
-        ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 64, 0xACE1),
-        1e9,
-    );
+    let tx = paper_stimulus(64);
     // dense grid: 8 GS/s over 2 µs starting inside the steady region
     let fs = 8e9;
     let t0 = 1.3e-6;
@@ -38,10 +38,7 @@ fn analytic_evaluation_matches_grid_interpolation() {
 /// model must equal direct evaluation at the same instants.
 #[test]
 fn capture_agrees_with_direct_sampling() {
-    let tx = BandpassSignal::new(
-        ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 64, 0xACE1),
-        1e9,
-    );
+    let tx = paper_stimulus(64);
     let d = 180e-12;
     let mut adc = BpTiadc::new(BpTiadcConfig::ideal(90e6, d));
     let cap = adc.capture(&tx, 120, 60);

@@ -1,0 +1,8 @@
+//! Shared integration-test fixtures.
+//!
+//! Thin re-export of [`rfbist::fixtures`] so every test file builds the
+//! paper's Section V scenario from one canonical definition instead of
+//! repeating the stimulus/engine/mask parameters inline.
+
+#[allow(unused_imports)]
+pub use rfbist::fixtures::*;

@@ -4,22 +4,19 @@
 
 use rfbist::prelude::*;
 
-fn paper_tx(imp: TxImpairments) -> HomodyneTx<ShapedBaseband> {
-    let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 160, 0xACE1);
-    HomodyneTx::builder(bb, 1e9).impairments(imp).build()
-}
+mod common;
+use common::{paper_engine, paper_mask, paper_tx};
 
 #[test]
 fn healthy_unit_passes_with_margin() {
     let tx = paper_tx(TxImpairments::typical());
-    let engine = BistEngine::new(BistConfig::paper_default());
-    let report = engine.run(
-        &tx.rf_output(),
-        &SpectralMask::qpsk_10msym(),
-        Some(&tx.ideal_rf_output()),
-    );
+    let engine = paper_engine();
+    let report = engine.run(&tx.rf_output(), &paper_mask(), Some(&tx.ideal_rf_output()));
     assert!(report.passed(), "margin {}", report.mask.worst_margin_db);
-    assert!(report.mask.worst_margin_db > 1.0, "needs real margin, not luck");
+    assert!(
+        report.mask.worst_margin_db > 1.0,
+        "needs real margin, not luck"
+    );
     // skew recovered to ~1 ps against the DCDE ground truth
     assert!(report.skew_abs_error() < 2e-12);
     // reconstruction quality in the paper's ballpark (Δε ≈ 1–2 %)
@@ -29,8 +26,8 @@ fn healthy_unit_passes_with_margin() {
 
 #[test]
 fn compressing_pa_fails_mask_and_healthy_margin_orders_by_severity() {
-    let engine = BistEngine::new(BistConfig::paper_default());
-    let mask = SpectralMask::qpsk_10msym();
+    let engine = paper_engine();
+    let mask = paper_mask();
     let margin = |vf: f64| {
         let imp = Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: vf })
             .inject(TxImpairments::typical());
@@ -51,26 +48,36 @@ fn compressing_pa_fails_mask_and_healthy_margin_orders_by_severity() {
     let severe = margin(0.05);
     assert!(severe < mild, "severe {severe} !< mild {mild}");
     assert!(mild < healthy, "mild {mild} !< healthy {healthy}");
-    assert!(severe < 0.0, "gross compression must fail the mask: {severe}");
+    assert!(
+        severe < 0.0,
+        "gross compression must fail the mask: {severe}"
+    );
 }
 
 #[test]
 fn in_band_faults_are_caught_by_golden_comparison() {
-    let engine = BistEngine::new(BistConfig::paper_default());
-    let mask = SpectralMask::qpsk_10msym();
+    let engine = paper_engine();
+    let mask = paper_mask();
     let healthy_tx = paper_tx(TxImpairments::typical());
     let healthy_eps = engine
-        .run(&healthy_tx.rf_output(), &mask, Some(&healthy_tx.ideal_rf_output()))
+        .run(
+            &healthy_tx.rf_output(),
+            &mask,
+            Some(&healthy_tx.ideal_rf_output()),
+        )
         .reconstruction_error
         .expect("reference provided");
 
     // a gross IQ imbalance stays inside the occupied band...
-    let imp = Fault::new(FaultKind::IqGainImbalance { gain_db: 3.0 })
-        .inject(TxImpairments::typical());
+    let imp =
+        Fault::new(FaultKind::IqGainImbalance { gain_db: 3.0 }).inject(TxImpairments::typical());
     let tx = paper_tx(imp);
     let report = engine.run(&tx.rf_output(), &mask, Some(&tx.ideal_rf_output()));
     // ...so the emission mask alone does not flag it...
-    assert!(report.passed(), "IQ imbalance should not trip an emission mask");
+    assert!(
+        report.passed(),
+        "IQ imbalance should not trip an emission mask"
+    );
     // ...but the golden-waveform deviation does.
     let eps = report.reconstruction_error.expect("reference provided");
     assert!(
@@ -82,17 +89,9 @@ fn in_band_faults_are_caught_by_golden_comparison() {
 #[test]
 fn engine_is_deterministic() {
     let tx = paper_tx(TxImpairments::typical());
-    let engine = BistEngine::new(BistConfig::paper_default());
-    let a = engine.run(
-        &tx.rf_output(),
-        &SpectralMask::qpsk_10msym(),
-        Some(&tx.ideal_rf_output()),
-    );
-    let b = engine.run(
-        &tx.rf_output(),
-        &SpectralMask::qpsk_10msym(),
-        Some(&tx.ideal_rf_output()),
-    );
+    let engine = paper_engine();
+    let a = engine.run(&tx.rf_output(), &paper_mask(), Some(&tx.ideal_rf_output()));
+    let b = engine.run(&tx.rf_output(), &paper_mask(), Some(&tx.ideal_rf_output()));
     assert_eq!(a.skew.delay, b.skew.delay);
     assert_eq!(a.mask.worst_margin_db, b.mask.worst_margin_db);
     assert_eq!(a.reconstruction_error, b.reconstruction_error);

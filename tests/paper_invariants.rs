@@ -42,7 +42,9 @@ fn forbidden_delays_sit_outside_search_interval() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    // CI budget: 12 cases per property, and a pinned generation seed so
+    // any failure reproduces identically on every machine.
+    #![proptest_config(ProptestConfig::with_cases_and_seed(12, 0xDA7E_2014))]
 
     /// PNBS reconstructs any in-band tone placed anywhere in any
     /// reasonably-positioned band, for any valid delay.
@@ -121,7 +123,12 @@ proptest! {
     ) {
         use rfbist::converter::quantizer::Quantizer;
         let q = Quantizer::new(bits, 1.0);
-        prop_assert!((q.quantize(a) - a).abs() <= q.lsb() / 2.0 + 1e-15);
+        // The half-LSB bound only holds below the clip point: the top
+        // code sits at (2^b/2 − 1)·lsb, so inputs between it and ±FS
+        // legitimately move by up to a full LSB when clipped.
+        if !q.clips(a) {
+            prop_assert!((q.quantize(a) - a).abs() <= q.lsb() / 2.0 + 1e-15);
+        }
         if a <= b {
             prop_assert!(q.quantize(a) <= q.quantize(b));
         }

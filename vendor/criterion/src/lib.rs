@@ -1,0 +1,232 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! provides the API subset the workspace's `benches/` use —
+//! `Criterion::bench_function`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros —
+//! backed by a deliberately small wall-clock measurement loop. No
+//! statistics, plots, or baselines: each benchmark is warmed up briefly,
+//! timed for a bounded number of iterations, and reported as a single
+//! mean ns/iter line. That keeps `cargo bench` terminating in seconds
+//! while still exercising the exact hot paths.
+//!
+//! ```
+//! use criterion::Criterion;
+//!
+//! let mut c = Criterion::default();
+//! c.bench_function("noop", |b| b.iter(|| 1 + 1));
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` if desired.
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark. Tiny by design: this harness
+/// verifies the hot paths run, it does not produce publishable numbers.
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(250);
+const MAX_ITERS: u64 = 1_000_000;
+
+/// A labeled benchmark identifier, mirroring criterion's `BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its mean wall-clock cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: also calibrates how many iterations fit the budget.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP && warm_iters < MAX_ITERS {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((MEASURE.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, MAX_ITERS);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters == 0 {
+        println!("{name:<44} (closure never called b.iter)");
+    } else {
+        println!(
+            "{name:<44} {:>14.1} ns/iter  ({} iters)",
+            b.ns_per_iter, b.iters
+        );
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher {
+        ns_per_iter: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    report(name, &b);
+}
+
+/// Top-level benchmark driver, mirroring criterion's `Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: group_name.to_owned(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, f);
+        self
+    }
+
+    /// Runs a named benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op here; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; none apply
+            // to this minimal runner, so they are ignored wholesale.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u32;
+        Criterion::default().bench_function("counts", |b| {
+            ran += 1;
+            b.iter(|| black_box(3u64).pow(2));
+        });
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn group_labels_compose() {
+        let id = BenchmarkId::new("radix2", 4096);
+        assert_eq!(id.to_string(), "radix2/4096");
+        assert_eq!(BenchmarkId::from_parameter(61).to_string(), "61");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let data = vec![1.0f64; 8];
+        group.bench_with_input(BenchmarkId::from_parameter(8), &data, |b, d| {
+            assert_eq!(d.len(), 8);
+            b.iter(|| d.iter().sum::<f64>());
+        });
+        group.finish();
+    }
+}

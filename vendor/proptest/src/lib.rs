@@ -1,0 +1,331 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! implements the subset of proptest the workspace's property tests
+//! use: the `proptest!` macro with an inner `#![proptest_config(..)]`
+//! attribute, range strategies (`lo..hi` for floats and integers),
+//! `prop_assume!`, and `prop_assert!`.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **Deterministic**: every run draws cases from a fixed seed held in
+//!   [`test_runner::ProptestConfig::rng_seed`], so a failure always
+//!   reproduces. (Upstream persists failing seeds to a regressions
+//!   file; here the whole run is one fixed stream.)
+//! - **No shrinking**: a failing case reports its inputs but is not
+//!   minimized.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(8))]
+//!     // (`#[test]` goes here in real test code)
+//!     fn addition_commutes(a in -1.0e6f64..1.0e6, b in -1.0e6f64..1.0e6) {
+//!         prop_assert!((a + b - (b + a)).abs() == 0.0);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+pub mod test_runner {
+    /// Run-shaping knobs for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to execute.
+        pub cases: u32,
+        /// Seed for the deterministic case-generation stream.
+        pub rng_seed: u64,
+        /// Give up if `prop_assume!` rejects more than
+        /// `max_global_rejects` candidate cases in total.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                rng_seed: 0x5EED_BA5E,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases with the default seed.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Self::default()
+            }
+        }
+
+        /// Same, with an explicit reproducibility seed.
+        pub fn with_cases_and_seed(cases: u32, rng_seed: u64) -> Self {
+            ProptestConfig {
+                cases,
+                rng_seed,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; draw a fresh case.
+        Reject(String),
+        /// `prop_assert!` failed; the whole test fails.
+        Fail(String),
+    }
+
+    /// Deterministic generation stream handed to strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            use rand::SeedableRng;
+            TestRng {
+                inner: rand::rngs::StdRng::seed_from_u64(seed),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            use rand::RngCore;
+            self.inner.next_u64()
+        }
+
+        pub fn next_f64(&mut self) -> f64 {
+            use rand::RngCore;
+            self.inner.next_f64()
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// A generator of values for one `arg in strategy` binding.
+    ///
+    /// Upstream proptest's `Strategy` produces shrinkable value trees;
+    /// this shim only needs plain sampling.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range {:?}", self);
+            loop {
+                let v = self.start + rng.next_f64() * (self.end - self.start);
+                if v < self.end {
+                    return v;
+                }
+            }
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range {:?}", self);
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    self.start.wrapping_add(hi as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// A strategy producing one constant value (upstream `Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the form used across this workspace: an optional leading
+/// `#![proptest_config(expr)]`, then one or more `#[test]` functions
+/// whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_seed(config.rng_seed);
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            rejected += 1;
+                            if rejected > config.max_global_rejects {
+                                panic!(
+                                    "proptest {}: {} cases rejected by prop_assume! \
+                                     (accepted {} of {}, seed {:#x})",
+                                    stringify!($name),
+                                    rejected,
+                                    accepted,
+                                    config.cases,
+                                    config.rng_seed,
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "proptest {} failed: {}\n(accepted case #{} of {}, seed {:#x})",
+                                stringify!($name),
+                                msg,
+                                accepted + 1,
+                                config.cases,
+                                config.rng_seed,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strat),+ ) $body
+            )*
+        }
+    };
+}
+
+/// Skips the current generated case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Fails the whole property if `cond` does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the whole property unless `lhs == rhs`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($lhs),
+            stringify!($rhs),
+            l,
+            r
+        );
+    }};
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases_and_seed(32, 0xD06A)) ]
+        #[test]
+        fn ranges_respected(x in 2.0f64..3.0, n in 5u32..9) {
+            prop_assert!((2.0..3.0).contains(&x));
+            prop_assert!((5..9).contains(&n));
+        }
+
+        #[test]
+        fn assume_skips(x in 0.0f64..1.0) {
+            prop_assume!(x > 0.25);
+            prop_assert!(x > 0.25);
+        }
+    }
+
+    #[test]
+    fn fail_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0.0f64..1.0) {
+                prop_assert!(x < 0.0, "x was {}", x);
+            }
+        }
+        let err = std::panic::catch_unwind(inner).expect_err("must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("x was"), "got {msg}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn collect() -> Vec<u64> {
+            let mut rng = TestRng::from_seed(77);
+            (0..16).map(|_| rng.next_u64()).collect()
+        }
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,261 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides the exact API subset the workspace uses from
+//! `rand 0.8`: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the
+//! `Rng` extension methods `gen`, `gen_range`. The generator is
+//! xoshiro256++ seeded through SplitMix64 — deterministic, seedable,
+//! and of ample statistical quality for simulation workloads. Stream
+//! values differ from upstream `StdRng` (which is ChaCha12); nothing in
+//! the workspace depends on the upstream stream, only on determinism.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(42);
+//! let mut b = StdRng::seed_from_u64(42);
+//! let x: f64 = a.gen_range(0.0..1.0);
+//! let y: f64 = b.gen_range(0.0..1.0);
+//! assert_eq!(x, y);
+//! assert!((0.0..1.0).contains(&x));
+//! ```
+
+use core::ops::Range;
+
+/// Minimal core trait: a source of uniformly distributed `u64` words.
+pub trait RngCore {
+    /// Next raw 64-bit word from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next `f64` uniform in `[0, 1)` (53 mantissa bits).
+    fn next_f64(&mut self) -> f64 {
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        (self.next_u64() >> 11) as f64 * SCALE
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible from a raw generator via `Rng::gen`.
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Use a high bit: low bits of some generators are weaker.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges samplable by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end,
+            "cannot sample empty range {:?}",
+            self
+        );
+        loop {
+            let v = self.start + rng.next_f64() * (self.end - self.start);
+            // Floating-point rounding can land exactly on `end`; resample.
+            if v < self.end {
+                return v;
+            }
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample empty range {:?}",
+                    self
+                );
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is
+                // negligible for the span sizes used here.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample empty range {:?}",
+                    self
+                );
+                let span = self.end.wrapping_sub(self.start) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_signed!(i8, i16, i32, i64, isize);
+
+/// Extension methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Samples a value of a `Standard`-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for upstream's
+    /// ChaCha12-based `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(1234);
+        let mut b = StdRng::seed_from_u64(1234);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn float_range_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = r.gen_range(-3.0..5.0);
+            assert!((-3.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut r = StdRng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| r.gen::<bool>()).count();
+        assert!(heads > 4500 && heads < 5500, "heads {heads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(0);
+        let _: f64 = r.gen_range(1.0..1.0);
+    }
+}
