@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rfbist_dsp::window::Window;
 use rfbist_sampling::band::BandSpec;
 use rfbist_sampling::kohlenberg::KohlenbergInterpolant;
+use rfbist_sampling::plan::{PnbsPlan, PnbsScratch};
 use rfbist_sampling::reconstruct::{NonuniformCapture, PnbsReconstructor};
 use rfbist_signal::tone::Tone;
 use std::hint::black_box;
@@ -17,6 +18,19 @@ fn bench_kernel_eval(c: &mut Criterion) {
         b.iter(|| {
             t += 1.3e-11;
             black_box(kern.eval(black_box(t)))
+        })
+    });
+
+    // the planned rotor row amortizes its sincos setup over 61 taps
+    let plan = PnbsPlan::new(band, 180e-12, 61, Window::Kaiser(8.0));
+    let mut row = vec![0.0f64; 61];
+    let t_s = 1.0 / 90e6;
+    c.bench_function("pnbs_plan_kernel_row_61", |b| {
+        let mut t0 = 1.0e-9;
+        b.iter(|| {
+            t0 += 1.3e-11;
+            plan.kernel_row(black_box(t0), -t_s, &mut row);
+            black_box(row[60])
         })
     });
 }
@@ -39,6 +53,17 @@ fn bench_reconstruct_point(c: &mut Criterion) {
                 black_box(rec.reconstruct_at(&cap, black_box(t)))
             })
         });
+        // the preserved pre-plan baseline, for the perf trajectory
+        group.bench_with_input(BenchmarkId::new("reference", taps), &taps, |b, _| {
+            let mut t = 1.0e-6;
+            b.iter(|| {
+                t += 7.7e-9;
+                if t > 2.5e-6 {
+                    t = 1.0e-6;
+                }
+                black_box(rec.reconstruct_at_reference(&cap, black_box(t)))
+            })
+        });
     }
     group.finish();
 }
@@ -52,6 +77,14 @@ fn bench_reconstruct_grid(c: &mut Criterion) {
     let grid: Vec<f64> = (0..4096).map(|i| 1.0e-6 + i as f64 * 0.25e-9).collect();
     c.bench_function("pnbs_reconstruct_grid_4096", |b| {
         b.iter(|| black_box(rec.reconstruct(&cap, black_box(&grid))))
+    });
+    // allocation-free batch form with a reused scratch buffer
+    let mut scratch = PnbsScratch::new();
+    c.bench_function("pnbs_reconstruct_batch_4096", |b| {
+        b.iter(|| {
+            let out = rec.reconstruct_batch(&cap, black_box(&grid), &mut scratch);
+            black_box(out[out.len() - 1])
+        })
     });
 }
 

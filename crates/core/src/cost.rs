@@ -16,6 +16,7 @@
 use rfbist_dsp::window::Window;
 use rfbist_math::rng::Randomizer;
 use rfbist_sampling::dualrate::DualRateConfig;
+use rfbist_sampling::plan::{PnbsPlan, PnbsScratch};
 use rfbist_sampling::reconstruct::{NonuniformCapture, PnbsReconstructor};
 
 /// A bound cost function: captures + probe times + filter settings.
@@ -152,35 +153,106 @@ impl DualRateCost {
         )
     }
 
-    /// Evaluates `ε(D̂)` (paper eq. 8).
+    /// Evaluates `ε(D̂)` (paper eq. 8) through the planned batch path.
     ///
     /// Candidates are clamped into the open search interval `]0, m[`
     /// with a 0.1 ps margin, so optimizer overshoot cannot hit the
     /// kernel singularities at the interval ends.
     pub fn evaluate(&self, d_hat: f64) -> f64 {
-        let margin = 0.1e-12;
-        let d = d_hat.clamp(margin, self.config.m_bound() - margin);
+        self.evaluator().eval(d_hat)
+    }
+
+    /// [`evaluate`](Self::evaluate) through the preserved direct
+    /// reconstruction path (four kernel cosines + two Bessel series per
+    /// tap) — the scalar baseline the perf-trajectory harness measures
+    /// the planned engine against.
+    pub fn evaluate_reference(&self, d_hat: f64) -> f64 {
+        let d = self.clamp_candidate(d_hat);
         let (fast_rec, slow_rec) = self.reconstructors(d);
         let mut acc = 0.0;
         for &t in &self.times {
-            let a = fast_rec.reconstruct_at(&self.fast, t);
-            let b = slow_rec.reconstruct_at(&self.slow, t);
+            let a = fast_rec.reconstruct_at_reference(&self.fast, t);
+            let b = slow_rec.reconstruct_at_reference(&self.slow, t);
             acc += (a - b) * (a - b);
         }
         acc / self.times.len() as f64
     }
 
+    /// The shared clamping contract of every evaluation path: the open
+    /// search interval `]0, m[` with a 0.1 ps margin, so optimizer
+    /// overshoot cannot hit the kernel singularities at the ends.
+    fn clamp_candidate(&self, d_hat: f64) -> f64 {
+        let margin = 0.1e-12;
+        d_hat.clamp(margin, self.config.m_bound() - margin)
+    }
+
+    /// A reusable evaluator holding the scratch buffers one cost
+    /// evaluation needs, so grid sweeps and LMS runs allocate once
+    /// instead of per candidate.
+    pub fn evaluator(&self) -> CostEvaluator<'_> {
+        CostEvaluator {
+            cost: self,
+            fast_scratch: PnbsScratch::new(),
+            slow_scratch: PnbsScratch::new(),
+        }
+    }
+
+    /// Evaluates `ε(D̂)` for every candidate in `candidates`, reusing
+    /// one pair of scratch buffers (and one plan per candidate) across
+    /// the whole grid — the batched form of the Fig. 5 sweep.
+    pub fn eval_grid(&self, candidates: &[f64]) -> Vec<f64> {
+        let mut ev = self.evaluator();
+        candidates.iter().map(|&d| ev.eval(d)).collect()
+    }
+
+    /// The uniform grid of `n` candidates across `]0, m[` the paper's
+    /// Fig. 5 sweeps (midpoint placement, so the singular endpoints are
+    /// never touched).
+    pub fn sweep_candidates(&self, n: usize) -> Vec<f64> {
+        assert!(n >= 2, "sweep needs at least two points");
+        let m = self.config.m_bound();
+        (0..n).map(|i| m * (i as f64 + 0.5) / n as f64).collect()
+    }
+
     /// Evaluates the cost on a uniform grid of `n` candidates across
     /// `]0, m[` — the paper's Fig. 5 sweep.
     pub fn sweep(&self, n: usize) -> Vec<(f64, f64)> {
-        assert!(n >= 2, "sweep needs at least two points");
-        let m = self.config.m_bound();
-        (0..n)
-            .map(|i| {
-                let d = m * (i as f64 + 0.5) / n as f64;
-                (d, self.evaluate(d))
-            })
-            .collect()
+        let candidates = self.sweep_candidates(n);
+        let values = self.eval_grid(&candidates);
+        candidates.into_iter().zip(values).collect()
+    }
+}
+
+/// A cost evaluator bound to one [`DualRateCost`], carrying the scratch
+/// buffers the planned reconstruction engine reuses across candidates.
+///
+/// Built by [`DualRateCost::evaluator`]; the LMS estimator keeps one
+/// for its whole descent, and [`DualRateCost::eval_grid`] keeps one for
+/// a whole grid.
+#[derive(Clone, Debug)]
+pub struct CostEvaluator<'a> {
+    cost: &'a DualRateCost,
+    fast_scratch: PnbsScratch,
+    slow_scratch: PnbsScratch,
+}
+
+impl CostEvaluator<'_> {
+    /// Evaluates `ε(D̂)` with the same clamping contract as
+    /// [`DualRateCost::evaluate`].
+    pub fn eval(&mut self, d_hat: f64) -> f64 {
+        let cost = self.cost;
+        let d = cost.clamp_candidate(d_hat);
+        let fast_plan = PnbsPlan::new(cost.config.fast_band(), d, cost.num_taps, cost.window);
+        let slow_plan = PnbsPlan::new(cost.config.slow_band(), d, cost.num_taps, cost.window);
+        let a = fast_plan.reconstruct_batch(&cost.fast, &cost.times, &mut self.fast_scratch);
+        let b = slow_plan.reconstruct_batch(&cost.slow, &cost.times, &mut self.slow_scratch);
+        let acc: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        acc / cost.times.len() as f64
+    }
+
+    /// The bound cost function.
+    pub fn cost(&self) -> &DualRateCost {
+        self.cost
     }
 }
 
@@ -299,6 +371,45 @@ mod tests {
         assert_eq!(cost.fast_capture().len(), 260);
         assert_eq!(cost.slow_capture().len(), 160);
         assert!((cost.config().m_bound() * 1e12 - 483.09).abs() < 0.1);
+    }
+
+    #[test]
+    fn planned_cost_matches_reference_cost() {
+        let cost = paper_setup(false);
+        for d_ps in [50.0, 120.0, 180.0, 250.0, 400.0] {
+            let planned = cost.evaluate(d_ps * 1e-12);
+            let reference = cost.evaluate_reference(d_ps * 1e-12);
+            // Absolute tolerance: near the minimum the cost is a tiny
+            // squared residual, so a relative bound would demand more
+            // agreement of ε than the reconstructions themselves carry.
+            assert!(
+                (planned - reference).abs() <= 1e-9,
+                "D̂ = {d_ps} ps: planned {planned} vs reference {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_grid_matches_pointwise_evaluation() {
+        let cost = paper_setup(true);
+        let candidates: Vec<f64> = (1..=10).map(|i| i as f64 * 40e-12).collect();
+        let grid = cost.eval_grid(&candidates);
+        for (i, &d) in candidates.iter().enumerate() {
+            assert_eq!(grid[i], cost.evaluate(d), "grid diverges at {d:e}");
+        }
+    }
+
+    #[test]
+    fn sweep_uses_midpoint_candidates() {
+        let cost = paper_setup(true);
+        let sweep = cost.sweep(10);
+        let candidates = cost.sweep_candidates(10);
+        let m = cost.config().m_bound();
+        assert_eq!(sweep.len(), 10);
+        for (i, ((d, _), dc)) in sweep.iter().zip(&candidates).enumerate() {
+            assert_eq!(d, dc);
+            assert!((d - m * (i as f64 + 0.5) / 10.0).abs() < 1e-24);
+        }
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub mod report;
 pub mod skew;
 
 pub use bist::{BistConfig, BistEngine};
-pub use cost::DualRateCost;
+pub use cost::{CostEvaluator, DualRateCost};
 pub use lms::{estimate_skew_lms, LmsConfig, LmsResult};
 pub use mask::{MaskReport, SpectralMask};

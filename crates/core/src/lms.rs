@@ -122,8 +122,12 @@ pub fn estimate_skew_lms(cost: &DualRateCost, config: LmsConfig) -> LmsResult {
     let m = cost.config().m_bound();
     let clamp = |d: f64| d.clamp(0.5e-12, m - 0.5e-12);
 
+    // One evaluator for the whole descent: every candidate probed below
+    // reuses its scratch buffers instead of reallocating per call.
+    let mut eval = cost.evaluator();
+
     let mut d_cur = clamp(config.initial_estimate);
-    let mut e_cur = cost.evaluate(d_cur);
+    let mut e_cur = eval.eval(d_cur);
 
     let mut mu = config.initial_step;
     let mut trace = vec![LmsIteration {
@@ -143,8 +147,8 @@ pub fn estimate_skew_lms(cost: &DualRateCost, config: LmsConfig) -> LmsResult {
         let delta = (mu / 4.0)
             .max(config.bootstrap_delta.abs() / 20.0)
             .max(1e-16);
-        let e_plus = cost.evaluate(clamp(d_cur + delta));
-        let e_minus = cost.evaluate(clamp(d_cur - delta));
+        let e_plus = eval.eval(clamp(d_cur + delta));
+        let e_minus = eval.eval(clamp(d_cur - delta));
         let grad = (e_plus - e_minus) / (2.0 * delta);
         if grad == 0.0 {
             converged = true;
@@ -159,7 +163,7 @@ pub fn estimate_skew_lms(cost: &DualRateCost, config: LmsConfig) -> LmsResult {
         let mut e_next = e_cur;
         for _ in 0..config.max_retries {
             d_next = clamp(d_cur - mu * direction);
-            e_next = cost.evaluate(d_next);
+            e_next = eval.eval(d_next);
             if e_next <= e_cur {
                 accepted = true;
                 break;

@@ -72,10 +72,20 @@ impl PsdEstimate {
 pub fn periodogram(x: &[f64], fs: f64, window: Window) -> PsdEstimate {
     assert!(!x.is_empty(), "periodogram of empty signal");
     assert!(fs > 0.0, "sample rate must be positive");
+    let w = window.coefficients(x.len());
+    periodogram_with_coefficients(x, fs, &w)
+}
+
+/// Periodogram core with the window coefficients (and the
+/// normalizations derived from them) supplied by the caller, so
+/// averaging estimators can generate the window once per run instead
+/// of once per segment.
+fn periodogram_with_coefficients(x: &[f64], fs: f64, w: &[f64]) -> PsdEstimate {
     let n = x.len();
-    let w = window.coefficients(n);
+    debug_assert_eq!(n, w.len());
     let u: f64 = w.iter().map(|&v| v * v).sum(); // window power norm
-    let xw: Vec<f64> = x.iter().zip(&w).map(|(a, b)| a * b).collect();
+    let sum: f64 = w.iter().sum();
+    let xw: Vec<f64> = x.iter().zip(w).map(|(a, b)| a * b).collect();
     let spec = fft_real(&xw);
     let nbins = n / 2 + 1;
     let scale = 1.0 / (fs * u);
@@ -88,7 +98,8 @@ pub fn periodogram(x: &[f64], fs: f64, window: Window) -> PsdEstimate {
         }
     }
     let freqs: Vec<f64> = (0..nbins).map(|k| k as f64 * fs / n as f64).collect();
-    let rbw = fs / n as f64 * window.enbw(n);
+    // ENBW in bins is n·Σw²/(Σw)², computed from the shared coefficients.
+    let rbw = fs / n as f64 * (n as f64 * u / (sum * sum));
     PsdEstimate { freqs, psd, rbw }
 }
 
@@ -120,11 +131,14 @@ pub fn welch(
         x.len()
     );
     let hop = segment_len - overlap;
+    // One coefficient vector shared by every segment: window generation
+    // (a Bessel series per tap for Kaiser) runs once, not per segment.
+    let w = window.coefficients(segment_len);
     let mut acc: Option<PsdEstimate> = None;
     let mut count = 0usize;
     let mut start = 0usize;
     while start + segment_len <= x.len() {
-        let est = periodogram(&x[start..start + segment_len], fs, window);
+        let est = periodogram_with_coefficients(&x[start..start + segment_len], fs, &w);
         match &mut acc {
             None => acc = Some(est),
             Some(a) => {

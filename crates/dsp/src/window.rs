@@ -116,10 +116,122 @@ impl Window {
     }
 }
 
+impl Window {
+    /// Prepares this window for repeated pointwise evaluation.
+    ///
+    /// The PNBS reconstruction plan calls the window twice per tap per
+    /// probe instant; for [`Window::Kaiser`] the naive
+    /// [`at`](Self::at) pays a Bessel-`I0` series (with its per-term
+    /// divisions) *and* the `1/I0(β)` normalization on every call. The
+    /// sampler hoists the normalization and rewrites the window as a
+    /// polynomial table evaluated by Horner's rule — see
+    /// [`WindowSampler`].
+    pub fn sampler(self) -> WindowSampler {
+        WindowSampler::new(self)
+    }
+}
+
 impl Default for Window {
     /// Hann — a safe general-purpose default for spectral estimation.
     fn default() -> Self {
         Window::Hann
+    }
+}
+
+/// A window prepared for cheap repeated evaluation at arbitrary
+/// (non-grid) positions.
+///
+/// For the Kaiser window the key identity is that
+/// `I0(β·√(1−t²))` is an *entire* function of `y = 1 − t²`:
+///
+/// ```text
+/// I0(β√y) = Σₖ ((β²/4)ᵏ / (k!)²) · yᵏ
+/// ```
+///
+/// so the whole window is a short polynomial in `y` (≈ 30 terms for
+/// β = 8 at full double precision) whose coefficients — *including* the
+/// hoisted `1/I0(β)` normalization — are computed once. Evaluation is
+/// then one Horner pass: no Bessel series, no per-call divisions. All
+/// other window shapes are already one or two trig calls and delegate
+/// to [`Window::at`].
+///
+/// # Example
+///
+/// ```
+/// use rfbist_dsp::window::Window;
+/// let w = Window::Kaiser(8.0);
+/// let s = w.sampler();
+/// for i in 0..=100 {
+///     let x = i as f64 / 100.0;
+///     assert!((s.at(x) - w.at(x)).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct WindowSampler {
+    repr: SamplerRepr,
+}
+
+#[derive(Clone, Debug)]
+enum SamplerRepr {
+    /// Kaiser as a normalized polynomial in `y = 1 − (2x−1)²`,
+    /// highest-order coefficient first (Horner order).
+    KaiserPoly(Vec<f64>),
+    /// Shapes whose pointwise form is already cheap.
+    Direct(Window),
+}
+
+impl WindowSampler {
+    fn new(window: Window) -> Self {
+        let repr = match window {
+            Window::Kaiser(beta) => {
+                // cₖ = (β²/4)ᵏ/(k!)², accumulated exactly like
+                // `bessel_i0`'s series so the sampler agrees with the
+                // direct path to the same convergence floor.
+                let q = beta * beta / 4.0;
+                let mut coeffs = vec![1.0f64];
+                let mut term = 1.0f64;
+                let mut sum = 1.0f64;
+                let mut k = 1.0f64;
+                loop {
+                    term *= q / (k * k);
+                    coeffs.push(term);
+                    sum += term;
+                    if term < sum * 1e-17 || k > 400.0 {
+                        break;
+                    }
+                    k += 1.0;
+                }
+                // `sum` is Σcₖ = I0(β): fold the normalization in.
+                let inv_norm = 1.0 / sum;
+                coeffs.iter_mut().for_each(|c| *c *= inv_norm);
+                coeffs.reverse();
+                SamplerRepr::KaiserPoly(coeffs)
+            }
+            other => SamplerRepr::Direct(other),
+        };
+        WindowSampler { repr }
+    }
+
+    /// Evaluates the window at normalized position `x ∈ [0, 1]`;
+    /// positions outside the support return 0, exactly as
+    /// [`Window::at`].
+    #[inline]
+    pub fn at(&self, x: f64) -> f64 {
+        match &self.repr {
+            SamplerRepr::Direct(w) => w.at(x),
+            SamplerRepr::KaiserPoly(coeffs) => {
+                if !(0.0..=1.0).contains(&x) {
+                    return 0.0;
+                }
+                let t = 2.0 * x - 1.0;
+                let y = (1.0 - t * t).max(0.0);
+                let mut acc = 0.0;
+                for &c in coeffs {
+                    acc = acc * y + c;
+                }
+                acc
+            }
+        }
     }
 }
 
@@ -260,6 +372,48 @@ mod tests {
         // Hann: CG -> 0.5, ENBW -> 1.5 bins for large N.
         assert!((Window::Hann.coherent_gain(4096) - 0.5).abs() < 1e-3);
         assert!((Window::Hann.enbw(4096) - 1.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn sampler_matches_direct_evaluation() {
+        let windows = [
+            Window::Rectangular,
+            Window::Bartlett,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::BlackmanHarris,
+            Window::Kaiser(0.0),
+            Window::Kaiser(2.5),
+            Window::Kaiser(8.0),
+            Window::Kaiser(14.0),
+        ];
+        for win in windows {
+            let s = win.sampler();
+            for i in 0..=1000 {
+                let x = i as f64 / 1000.0;
+                let diff = (s.at(x) - win.at(x)).abs();
+                assert!(diff < 1e-13, "{win:?} at {x}: diff {diff:.3e}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_is_zero_outside_support() {
+        for win in [Window::Kaiser(8.0), Window::Hann] {
+            let s = win.sampler();
+            assert_eq!(s.at(-1e-12), 0.0);
+            assert_eq!(s.at(1.0 + 1e-12), 0.0);
+            assert_eq!(s.at(f64::NAN), 0.0);
+        }
+    }
+
+    #[test]
+    fn sampler_kaiser_edges_and_center() {
+        let s = Window::Kaiser(8.0).sampler();
+        // Edge value 1/I0(8), center exactly the polynomial's sum = 1.
+        assert!((s.at(0.0) - 1.0 / 427.56411572).abs() < 1e-9);
+        assert!((s.at(0.5) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! - [`poly`]: polynomial evaluation and fitting,
 //! - [`stats`]: descriptive statistics used by measurement code,
 //! - [`interp`]: pointwise interpolation kernels,
+//! - [`rotor`]: incremental phase rotation (`sincos`, [`rotor::PhaseRotor`]),
 //! - [`units`]: newtypes for frequencies, times and decibel quantities,
 //! - [`rng`]: deterministic Gaussian/uniform sampling helpers.
 //!
@@ -37,6 +38,7 @@ pub mod interp;
 pub mod linalg;
 pub mod poly;
 pub mod rng;
+pub mod rotor;
 pub mod special;
 pub mod stats;
 pub mod units;

@@ -105,10 +105,15 @@ pub fn forbidden_delays(band: BandSpec, max_delay: f64) -> Vec<f64> {
     }
     for divisor in divisors {
         let step = t / divisor as f64;
-        let mut n = 1.0;
-        while n * step <= max_delay {
-            out.push(n * step);
-            n += 1.0;
+        // Integer counter: the product n·step is computed fresh either
+        // way (exact in f64 for n < 2⁵³), but `n += 1.0` silently stops
+        // incrementing at 2⁵³ and would spin forever; a u64 cannot.
+        for n in 1u64.. {
+            let d = n as f64 * step;
+            if d > max_delay {
+                break;
+            }
+            out.push(d);
         }
     }
     out.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));

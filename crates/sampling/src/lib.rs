@@ -7,6 +7,8 @@
 //! - [`kohlenberg`]: the second-order interpolants `s₀`, `s₁` (paper
 //!   eq. 2) and the delay constraints (eq. 3),
 //! - [`reconstruct`]: windowed finite-tap PNBS reconstruction (eq. 6),
+//! - [`plan`]: the precomputed batch-evaluation engine behind it
+//!   (phase-rotor kernels, prepared windows, scratch reuse),
 //! - [`dualrate`]: the dual-rate non-degeneracy conditions (eq. 9) and
 //!   the search bound `m`,
 //! - [`error`]: reconstruction-sensitivity bounds (eq. 4) and skew
@@ -32,8 +34,10 @@ pub mod error;
 pub mod fixedpoint;
 pub mod kohlenberg;
 pub mod pbs;
+pub mod plan;
 pub mod reconstruct;
 pub mod uniform;
 
 pub use band::BandSpec;
+pub use plan::{PnbsPlan, PnbsScratch};
 pub use reconstruct::{NonuniformCapture, PnbsReconstructor};

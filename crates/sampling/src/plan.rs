@@ -1,0 +1,472 @@
+//! Planned, batched PNBS reconstruction — the workspace's hottest loop.
+//!
+//! [`super::reconstruct::PnbsReconstructor::try_reconstruct_at`]'s
+//! direct form pays, per tap and per probe instant, four cosine
+//! evaluations of the Kohlenberg kernel (paper eq. 2) and two
+//! Bessel-`I0` Kaiser-window series. Every cost-grid point (Fig. 5),
+//! LMS iteration (Fig. 6) and time-skew sweep (Table 1) multiplies that
+//! by hundreds of probe times and dozens of delay candidates.
+//!
+//! [`PnbsPlan`] precomputes everything that does not depend on the
+//! probe instant:
+//!
+//! - the eq. 2 constants — phase offsets `kπBD̂`, `k⁺πBD̂` (stored as
+//!   their cosine/sine) and the `1/sin(kπBD̂)`, `1/sin(k⁺πBD̂)` scale
+//!   factors,
+//! - the window as a prepared [`WindowSampler`] (for Kaiser: a Horner
+//!   polynomial with the `1/I0(β)` normalization hoisted),
+//!
+//! and replaces the per-tap trigonometry with incremental
+//! [`PhaseRotor`] recurrences: the kernel's three cosine families are
+//! advanced from tap to tap by a fixed complex rotation, so a whole
+//! 61-tap row costs six `sincos` calls total instead of four cosines
+//! and two Bessel series *per tap*.
+//!
+//! The planned path is numerically equivalent to the direct form to
+//! ≪ 1e-9 (enforced by `tests/plan_equivalence.rs`); the direct form is
+//! preserved as `*_reference` on the reconstructor as the measured
+//! baseline for `BENCH_recon.json`.
+
+use crate::band::BandSpec;
+use crate::reconstruct::NonuniformCapture;
+use rfbist_dsp::window::{Window, WindowSampler};
+use rfbist_math::rotor::{sincos, PhaseRotor};
+use std::f64::consts::PI;
+
+/// Constants of one kernel term: `cos φ`, `sin φ` of the phase offset
+/// and the reciprocal of its `sin(·πBD̂)` denominator.
+#[derive(Clone, Copy, Debug)]
+struct TermConsts {
+    cos_phi: f64,
+    sin_phi: f64,
+    inv_sin: f64,
+}
+
+/// Reusable buffers for batch reconstruction; create once and pass to
+/// every [`PnbsPlan::reconstruct_batch`] /
+/// [`super::reconstruct::PnbsReconstructor::reconstruct_batch`] call so
+/// grid sweeps allocate nothing per delay candidate.
+#[derive(Clone, Debug, Default)]
+pub struct PnbsScratch {
+    out: Vec<f64>,
+}
+
+impl PnbsScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The values written by the most recent batch call.
+    pub fn values(&self) -> &[f64] {
+        &self.out
+    }
+
+    /// Consumes the scratch, yielding the most recent batch's values
+    /// without a copy.
+    pub fn into_values(self) -> Vec<f64> {
+        self.out
+    }
+}
+
+/// Per-tap step rotations shared by every probe instant of a capture:
+/// `cos(ωⱼT)`, `sin(ωⱼT)` for the three kernel frequencies.
+#[derive(Clone, Copy, Debug)]
+struct StepParts {
+    cos: [f64; 3],
+    sin: [f64; 3],
+}
+
+/// A fully precomputed reconstruction plan for one band / delay
+/// estimate / tap count / window configuration (paper eq. 6).
+///
+/// # Example
+///
+/// ```
+/// use rfbist_dsp::window::Window;
+/// use rfbist_sampling::band::BandSpec;
+/// use rfbist_sampling::plan::{PnbsPlan, PnbsScratch};
+/// use rfbist_sampling::reconstruct::{NonuniformCapture, PnbsReconstructor};
+/// use rfbist_signal::tone::Tone;
+///
+/// let band = BandSpec::centered(1e9, 90e6);
+/// let d = 180e-12;
+/// let tone = Tone::unit(0.98e9);
+/// let cap = NonuniformCapture::from_signal(&tone, 1.0 / 90e6, d, -40, 300);
+/// let plan = PnbsPlan::new(band, d, 61, Window::Kaiser(8.0));
+/// let mut scratch = PnbsScratch::new();
+/// let got = plan.reconstruct_batch(&cap, &[1.0e-6, 1.1e-6], &mut scratch);
+/// // identical (to ≪ 1e-9) to the reconstructor's scalar path
+/// let rec = PnbsReconstructor::paper_default(band, d).unwrap();
+/// assert!((got[0] - rec.reconstruct_at(&cap, 1.0e-6)).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PnbsPlan {
+    /// Angular frequencies of the three cosine families (rad/s):
+    /// `ω₀ = 2πf_l`, `ω₁ = 2π(kB − f_l)`, `ω₂ = 2π(f_l + B)`.
+    w: [f64; 3],
+    /// `s₀` term constants; `None` for integer-positioned bands where
+    /// the term vanishes identically.
+    s0: Option<TermConsts>,
+    /// `s₁` term constants.
+    s1: TermConsts,
+    /// `1/(2πB)` — the kernel's shared denominator scale.
+    inv_two_pi_b: f64,
+    /// Kernel limit `s(0) = s₀(0) + s₁(0)`.
+    origin: f64,
+    /// The delay estimate `D̂` in seconds.
+    delay: f64,
+    half_taps: usize,
+    sampler: WindowSampler,
+}
+
+impl PnbsPlan {
+    /// Builds a plan for `band` at delay estimate `delay` with
+    /// `num_taps` kernel taps per stream tapered by `window`.
+    ///
+    /// Delay constraints (eq. 3) are *not* checked here — the plan
+    /// mirrors `PnbsReconstructor::new_unchecked` so cost functions can
+    /// probe arbitrary candidates; validated entry points perform the
+    /// check before planning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_taps` is even or zero.
+    pub fn new(band: BandSpec, delay: f64, num_taps: usize, window: Window) -> Self {
+        assert!(num_taps % 2 == 1, "tap count must be odd (nw + 1)");
+        let b = band.bandwidth();
+        let f_lo = band.f_lo();
+        let k = band.k() as f64;
+        let k_plus = band.k_plus() as f64;
+
+        let s0 = if band.is_integer_positioned() {
+            None
+        } else {
+            let phi = k * PI * b * delay;
+            let (sin_phi, cos_phi) = sincos(phi);
+            Some(TermConsts {
+                cos_phi,
+                sin_phi,
+                inv_sin: 1.0 / sin_phi,
+            })
+        };
+        let phi_plus = k_plus * PI * b * delay;
+        let (sin_phi_plus, cos_phi_plus) = sincos(phi_plus);
+        let s1 = TermConsts {
+            cos_phi: cos_phi_plus,
+            sin_phi: sin_phi_plus,
+            inv_sin: 1.0 / sin_phi_plus,
+        };
+
+        let s0_origin = if s0.is_some() {
+            k - 2.0 * f_lo / b
+        } else {
+            0.0
+        };
+        let s1_origin = 1.0 + 2.0 * f_lo / b - k;
+
+        PnbsPlan {
+            w: [
+                2.0 * PI * f_lo,
+                2.0 * PI * (k * b - f_lo),
+                2.0 * PI * (f_lo + b),
+            ],
+            s0,
+            s1,
+            inv_two_pi_b: 1.0 / (2.0 * PI * b),
+            origin: s0_origin + s1_origin,
+            delay,
+            half_taps: num_taps / 2,
+            sampler: window.sampler(),
+        }
+    }
+
+    /// The delay estimate `D̂` in seconds.
+    pub fn delay(&self) -> f64 {
+        self.delay
+    }
+
+    /// Taps per stream (`nw + 1`).
+    pub fn num_taps(&self) -> usize {
+        2 * self.half_taps + 1
+    }
+
+    /// Evaluates the kernel `s(t)` on the uniform grid
+    /// `t0, t0 + step, …` via the phase-rotor recurrences, filling
+    /// `out` — equivalent to `KohlenbergInterpolant::eval` per point
+    /// (to ≪ 1e-9) at a small fraction of the trigonometric cost.
+    pub fn kernel_row(&self, t0: f64, step: f64, out: &mut [f64]) {
+        let mut rot = [
+            PhaseRotor::new(self.w[0] * t0, self.w[0] * step),
+            PhaseRotor::new(self.w[1] * t0, self.w[1] * step),
+            PhaseRotor::new(self.w[2] * t0, self.w[2] * step),
+        ];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let t = t0 + i as f64 * step;
+            *slot = self.kernel_from_rotors(t, &rot);
+            for r in &mut rot {
+                r.advance();
+            }
+        }
+    }
+
+    /// Kernel value at `t` given rotor states currently holding
+    /// `cos/sin(ωⱼt)`.
+    #[inline]
+    fn kernel_from_rotors(&self, t: f64, rot: &[PhaseRotor; 3]) -> f64 {
+        if t.abs() < 1e-18 {
+            return self.origin;
+        }
+        // cos(ωt − φ) = cos ωt·cos φ + sin ωt·sin φ, with the cos/sin
+        // pairs advanced incrementally and φ folded in at plan time.
+        let (c0, s0) = (rot[0].cos(), rot[0].sin());
+        let (c1, s1) = (rot[1].cos(), rot[1].sin());
+        let (c2, s2) = (rot[2].cos(), rot[2].sin());
+        let mut num = ((c2 - c1) * self.s1.cos_phi + (s2 - s1) * self.s1.sin_phi) * self.s1.inv_sin;
+        if let Some(a) = self.s0 {
+            num += ((c1 - c0) * a.cos_phi + (s1 - s0) * a.sin_phi) * a.inv_sin;
+        }
+        num * self.inv_two_pi_b / t
+    }
+
+    /// Step rotations for a capture period `T` — shared by every probe
+    /// instant of a batch, so the per-point trigonometry is six
+    /// `sincos` calls regardless of tap count.
+    fn step_parts(&self, period: f64) -> StepParts {
+        let mut cos = [0.0; 3];
+        let mut sin = [0.0; 3];
+        for j in 0..3 {
+            let (s, c) = sincos(self.w[j] * period);
+            cos[j] = c;
+            sin[j] = s;
+        }
+        StepParts { cos, sin }
+    }
+
+    /// The time interval over which `capture` fully covers the filter
+    /// support: `[(n₀ + h)·T, (n₀ + len − 1 − h)·T]` with `h = nw/2`;
+    /// `None` when the capture is too short for even one evaluation.
+    /// The single definition `PnbsReconstructor::coverage` delegates to.
+    pub fn coverage(&self, capture: &NonuniformCapture) -> Option<(f64, f64)> {
+        let h = self.half_taps as i64;
+        let lo = capture.n_start() + h;
+        let hi = capture.n_start() + capture.len() as i64 - 1 - h;
+        (hi >= lo).then(|| (lo as f64 * capture.period(), hi as f64 * capture.period()))
+    }
+
+    /// One planned eq. 6 evaluation. Mirrors the direct form tap for
+    /// tap; only the per-tap trigonometry is replaced by recurrences.
+    #[inline]
+    fn point(&self, capture: &NonuniformCapture, t: f64, steps: &StepParts) -> Option<f64> {
+        let period = capture.period();
+        let t_idx = t / period;
+        let nc = t_idx.round() as i64;
+        let h = self.half_taps as i64;
+        let first = nc - h;
+        let last = nc + h;
+        if first < capture.n_start() || last >= capture.n_start() + capture.len() as i64 {
+            return None;
+        }
+        let hw = self.half_taps as f64 + 1.0;
+        let inv_2hw = 1.0 / (2.0 * hw);
+        // odd-stream window offset (D̂/T)/(2·hw), pre-divided once
+        let d_shift = self.delay / period * inv_2hw;
+
+        // Kernel arguments: even stream walks t − nT (descending by T),
+        // odd stream walks nT + D̂ − t (ascending by T).
+        let te0 = t - first as f64 * period;
+        let to0 = first as f64 * period + self.delay - t;
+        let x0 = 0.5 + (first as f64 - t_idx) * inv_2hw;
+
+        let mut rot_e = [
+            PhaseRotor::with_step_parts(self.w[0] * te0, steps.cos[0], -steps.sin[0]),
+            PhaseRotor::with_step_parts(self.w[1] * te0, steps.cos[1], -steps.sin[1]),
+            PhaseRotor::with_step_parts(self.w[2] * te0, steps.cos[2], -steps.sin[2]),
+        ];
+        let mut rot_o = [
+            PhaseRotor::with_step_parts(self.w[0] * to0, steps.cos[0], steps.sin[0]),
+            PhaseRotor::with_step_parts(self.w[1] * to0, steps.cos[1], steps.sin[1]),
+            PhaseRotor::with_step_parts(self.w[2] * to0, steps.cos[2], steps.sin[2]),
+        ];
+
+        let base = (first - capture.n_start()) as usize;
+        let even = capture.even();
+        let odd = capture.odd();
+        let mut acc = 0.0;
+        for i in 0..self.num_taps() {
+            let fi = i as f64;
+            let x_e = x0 + fi * inv_2hw;
+            let w_e = self.sampler.at(x_e);
+            if w_e != 0.0 {
+                acc += even[base + i] * self.kernel_from_rotors(te0 - fi * period, &rot_e) * w_e;
+            }
+            let w_o = self.sampler.at(x_e + d_shift);
+            if w_o != 0.0 {
+                acc += odd[base + i] * self.kernel_from_rotors(to0 + fi * period, &rot_o) * w_o;
+            }
+            for r in &mut rot_e {
+                r.advance();
+            }
+            for r in &mut rot_o {
+                r.advance();
+            }
+        }
+        Some(acc)
+    }
+
+    /// Planned reconstruction of `f(t)`, `None` outside coverage.
+    pub fn try_reconstruct_at(&self, capture: &NonuniformCapture, t: f64) -> Option<f64> {
+        let steps = self.step_parts(capture.period());
+        self.point(capture, t, &steps)
+    }
+
+    /// Reconstructs every instant of `times` into `scratch`, reusing
+    /// its buffer across calls, and returns the filled slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics (like `PnbsReconstructor::reconstruct_at`) if any probe
+    /// time falls outside the capture's coverage.
+    pub fn reconstruct_batch<'s>(
+        &self,
+        capture: &NonuniformCapture,
+        times: &[f64],
+        scratch: &'s mut PnbsScratch,
+    ) -> &'s [f64] {
+        let steps = self.step_parts(capture.period());
+        scratch.out.clear();
+        scratch.out.reserve(times.len());
+        for &t in times {
+            let v = self.point(capture, t, &steps).unwrap_or_else(|| {
+                panic!(
+                    "t = {t:.3e} s outside capture coverage {:?}",
+                    self.coverage(capture)
+                )
+            });
+            scratch.out.push(v);
+        }
+        &scratch.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kohlenberg::KohlenbergInterpolant;
+    use rfbist_signal::tone::Tone;
+
+    const FC: f64 = 1e9;
+    const B: f64 = 90e6;
+    const D: f64 = 180e-12;
+
+    fn band() -> BandSpec {
+        BandSpec::centered(FC, B)
+    }
+
+    #[test]
+    fn kernel_row_matches_direct_interpolant() {
+        let kern = KohlenbergInterpolant::new(band(), D).unwrap();
+        let plan = PnbsPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let t_s = 1.0 / B;
+        let mut row = vec![0.0; 61];
+        // a descending even-stream row and an ascending odd-stream row
+        for (t0, step) in [(1.7e-7, -t_s), (-1.7e-7 + D, t_s)] {
+            plan.kernel_row(t0, step, &mut row);
+            for (i, &got) in row.iter().enumerate() {
+                let t = t0 + i as f64 * step;
+                let want = kern.eval(t);
+                assert!(
+                    (got - want).abs() < 1e-10,
+                    "row[{i}] at t = {t:e}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_row_hits_origin_limit() {
+        let kern = KohlenbergInterpolant::new(band(), D).unwrap();
+        let plan = PnbsPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let t_s = 1.0 / B;
+        let mut row = vec![0.0; 7];
+        // t0 = −3T with step T puts tap 3 exactly at t = 0
+        plan.kernel_row(-3.0 * t_s, t_s, &mut row);
+        assert!((row[3] - kern.eval(0.0)).abs() < 1e-12);
+        assert!((row[3] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integer_positioned_band_plan_drops_s0() {
+        let band80 = BandSpec::centered(FC, 80e6);
+        assert!(band80.is_integer_positioned());
+        let kern = KohlenbergInterpolant::new(band80, 200e-12).unwrap();
+        let plan = PnbsPlan::new(band80, 200e-12, 61, Window::Kaiser(8.0));
+        assert!(plan.s0.is_none());
+        let mut row = vec![0.0; 32];
+        plan.kernel_row(0.9e-7, 1.0 / 80e6 / 3.0, &mut row);
+        for (i, &got) in row.iter().enumerate() {
+            let t = 0.9e-7 + i as f64 / 80e6 / 3.0;
+            assert!((got - kern.eval(t)).abs() < 1e-10, "tap {i}");
+        }
+    }
+
+    #[test]
+    fn planned_point_matches_reference_reconstruction() {
+        let tone = Tone::unit(0.98e9);
+        let t_s = 1.0 / B;
+        let cap = NonuniformCapture::from_signal(&tone, t_s, D, -50, 350);
+        let plan = PnbsPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let rec = crate::reconstruct::PnbsReconstructor::paper_default(band(), D).unwrap();
+        for i in 0..40 {
+            let t = 0.6e-6 + i as f64 * 31.7e-9;
+            let got = plan.try_reconstruct_at(&cap, t).unwrap();
+            let want = rec.try_reconstruct_at_reference(&cap, t).unwrap();
+            assert!((got - want).abs() < 1e-10, "t = {t:e}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn batch_reuses_scratch_and_matches_scalar() {
+        let tone = Tone::unit(1.01e9);
+        let t_s = 1.0 / B;
+        let cap = NonuniformCapture::from_signal(&tone, t_s, D, -50, 350);
+        let plan = PnbsPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let times: Vec<f64> = (0..50).map(|i| 0.7e-6 + i as f64 * 23.3e-9).collect();
+        let mut scratch = PnbsScratch::new();
+        let first: Vec<f64> = plan.reconstruct_batch(&cap, &times, &mut scratch).to_vec();
+        // second call reuses the buffer, same values
+        let second = plan.reconstruct_batch(&cap, &times, &mut scratch);
+        assert_eq!(first, second);
+        for (i, &t) in times.iter().enumerate() {
+            let scalar = plan.try_reconstruct_at(&cap, t).unwrap();
+            assert_eq!(first[i], scalar, "batch and scalar paths diverge at {t:e}");
+        }
+        assert_eq!(scratch.values().len(), times.len());
+    }
+
+    #[test]
+    fn batch_coverage_panic_matches_scalar_contract() {
+        let tone = Tone::unit(1.0e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, 0, 100);
+        let plan = PnbsPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        assert!(plan.try_reconstruct_at(&cap, 0.0).is_none());
+        let result = std::panic::catch_unwind(|| {
+            let mut scratch = PnbsScratch::new();
+            let _ = plan.reconstruct_batch(&cap, &[0.0], &mut scratch);
+        });
+        assert!(result.is_err(), "out-of-coverage batch must panic");
+    }
+
+    #[test]
+    fn plan_accessors() {
+        let plan = PnbsPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        assert_eq!(plan.num_taps(), 61);
+        assert_eq!(plan.delay(), D);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_tap_count_panics() {
+        let _ = PnbsPlan::new(band(), D, 60, Window::Kaiser(8.0));
+    }
+}

@@ -12,6 +12,7 @@
 
 use crate::band::BandSpec;
 use crate::kohlenberg::{DelayConstraintError, KohlenbergInterpolant};
+use crate::plan::{PnbsPlan, PnbsScratch};
 use rfbist_dsp::window::Window;
 use rfbist_signal::traits::ContinuousSignal;
 
@@ -144,6 +145,7 @@ pub struct PnbsReconstructor {
     band: BandSpec,
     half_taps: usize,
     window: Window,
+    plan: PnbsPlan,
 }
 
 impl PnbsReconstructor {
@@ -171,6 +173,7 @@ impl PnbsReconstructor {
             band,
             half_taps: num_taps / 2,
             window,
+            plan: PnbsPlan::new(band, delay_estimate, num_taps, window),
         })
     }
 
@@ -197,6 +200,7 @@ impl PnbsReconstructor {
             band,
             half_taps: num_taps / 2,
             window,
+            plan: PnbsPlan::new(band, delay_estimate, num_taps, window),
         }
     }
 
@@ -221,15 +225,31 @@ impl PnbsReconstructor {
     /// Returns `None` when the capture is too short for even one
     /// evaluation.
     pub fn coverage(&self, capture: &NonuniformCapture) -> Option<(f64, f64)> {
-        let h = self.half_taps as i64;
-        let lo = capture.n_start() + h;
-        let hi = capture.n_start() + capture.len() as i64 - 1 - h;
-        (hi >= lo).then(|| (lo as f64 * capture.period(), hi as f64 * capture.period()))
+        self.plan.coverage(capture)
+    }
+
+    /// The precomputed reconstruction plan this reconstructor
+    /// evaluates through (kernel constants, phase rotors, prepared
+    /// window) — see [`PnbsPlan`].
+    pub fn plan(&self) -> &PnbsPlan {
+        &self.plan
     }
 
     /// Reconstructs `f(t)`, returning `None` if the capture does not
     /// cover the filter support at `t`.
+    ///
+    /// Evaluates through the precomputed [`PnbsPlan`]; equivalent to
+    /// [`try_reconstruct_at_reference`](Self::try_reconstruct_at_reference)
+    /// to ≪ 1e-9 at roughly an order of magnitude less cost.
     pub fn try_reconstruct_at(&self, capture: &NonuniformCapture, t: f64) -> Option<f64> {
+        self.plan.try_reconstruct_at(capture, t)
+    }
+
+    /// The direct (unplanned) eq. 6 evaluation: four kernel cosines and
+    /// two Kaiser Bessel-`I0` series per tap. Preserved as the measured
+    /// baseline for the perf-trajectory harness and as the oracle for
+    /// the plan-equivalence tests.
+    pub fn try_reconstruct_at_reference(&self, capture: &NonuniformCapture, t: f64) -> Option<f64> {
         let period = capture.period();
         let t_idx = t / period;
         let nc = t_idx.round() as i64;
@@ -278,16 +298,47 @@ impl PnbsReconstructor {
         })
     }
 
+    /// [`reconstruct_at`](Self::reconstruct_at) through the preserved
+    /// direct path — the scalar baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`reconstruct_at`](Self::reconstruct_at) does.
+    pub fn reconstruct_at_reference(&self, capture: &NonuniformCapture, t: f64) -> f64 {
+        self.try_reconstruct_at_reference(capture, t)
+            .unwrap_or_else(|| {
+                panic!(
+                    "t = {t:.3e} s outside capture coverage {:?}",
+                    self.coverage(capture)
+                )
+            })
+    }
+
     /// Reconstructs at each instant in `times`.
     ///
     /// # Panics
     ///
     /// Panics as [`reconstruct_at`](Self::reconstruct_at) does.
     pub fn reconstruct(&self, capture: &NonuniformCapture, times: &[f64]) -> Vec<f64> {
-        times
-            .iter()
-            .map(|&t| self.reconstruct_at(capture, t))
-            .collect()
+        let mut scratch = PnbsScratch::new();
+        self.reconstruct_batch(capture, times, &mut scratch);
+        scratch.into_values()
+    }
+
+    /// Reconstructs every instant of `times` through the plan, reusing
+    /// `scratch`'s buffer, and returns the filled slice. The
+    /// allocation-free form grid sweeps and cost functions should call.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`reconstruct_at`](Self::reconstruct_at) does.
+    pub fn reconstruct_batch<'s>(
+        &self,
+        capture: &NonuniformCapture,
+        times: &[f64],
+        scratch: &'s mut PnbsScratch,
+    ) -> &'s [f64] {
+        self.plan.reconstruct_batch(capture, times, scratch)
     }
 }
 
@@ -372,6 +423,36 @@ mod tests {
             last_err = err;
         }
         assert!(last_err < 1e-3, "201-tap error {last_err}");
+    }
+
+    #[test]
+    fn planned_and_reference_paths_agree() {
+        let tone = Tone::unit(0.97e9);
+        let t_s = 1.0 / B;
+        let cap = NonuniformCapture::from_signal(&tone, t_s, D, -50, 350);
+        let rec = PnbsReconstructor::paper_default(band(), D).unwrap();
+        for &t in &probe_times(100, 0.5e-6, 2.0e-6, 11) {
+            let planned = rec.reconstruct_at(&cap, t);
+            let reference = rec.reconstruct_at_reference(&cap, t);
+            assert!(
+                (planned - reference).abs() < 1e-10,
+                "t = {t:e}: planned {planned} vs reference {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_path_exactly() {
+        use crate::plan::PnbsScratch;
+        let tone = Tone::unit(0.99e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, -50, 350);
+        let rec = PnbsReconstructor::paper_default(band(), D).unwrap();
+        let times = probe_times(60, 0.5e-6, 2.0e-6, 12);
+        let mut scratch = PnbsScratch::new();
+        let batch = rec.reconstruct_batch(&cap, &times, &mut scratch);
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(batch[i], rec.reconstruct_at(&cap, t));
+        }
     }
 
     #[test]

@@ -35,39 +35,58 @@ fn main() {
         ("NB 2 Msym/s @ 2.9 GHz", 2.9e9, 2e6),
     ];
 
-    for (label, fc, sym_rate) in configs {
-        // The same sampler, reprogrammed only in software. Symbol count
-        // scales so every standard offers a ≥ 4 µs steady window.
-        let band = BandSpec::centered(fc, b);
-        let d_target = optimal_delay(band);
-        let n_sym = ((4e-6 * sym_rate) as usize + 30).max(96);
-        let bb = ShapedBaseband::qpsk_prbs(sym_rate, 0.5, 12, n_sym, 0xACE1);
-        let tx = BandpassSignal::new(bb, fc);
-        let (s0, s1) = tx.steady_time_range();
-        let mut adc = BpTiadc::new(BpTiadcConfig::paper_section_v(d_target).with_sample_rate(b));
-        let n_start = (s0 * b).ceil() as i64 + 2;
-        let cap = adc.capture(&tx, n_start, 300);
-        let rec = PnbsReconstructor::paper_default(band, adc.true_delay())
-            .expect("optimal delay is valid across carriers");
-        let (lo, hi) = rec.coverage(&cap).expect("capture long enough");
-        let mut rng = Randomizer::from_seed(7);
-        let times: Vec<f64> = (0..200)
-            .map(|_| rng.uniform(lo.max(s0), hi.min(s1)))
+    // Each standard is independent: run them on scoped worker threads
+    // and print the rows in configuration order once all have joined.
+    let rows: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .iter()
+            .map(|&(label, fc, sym_rate)| {
+                scope.spawn(move || {
+                    // The same sampler, reprogrammed only in software.
+                    // Symbol count scales so every standard offers a
+                    // ≥ 4 µs steady window.
+                    let band = BandSpec::centered(fc, b);
+                    let d_target = optimal_delay(band);
+                    let n_sym = ((4e-6 * sym_rate) as usize + 30).max(96);
+                    let bb = ShapedBaseband::qpsk_prbs(sym_rate, 0.5, 12, n_sym, 0xACE1);
+                    let tx = BandpassSignal::new(bb, fc);
+                    let (s0, s1) = tx.steady_time_range();
+                    let mut adc =
+                        BpTiadc::new(BpTiadcConfig::paper_section_v(d_target).with_sample_rate(b));
+                    let n_start = (s0 * b).ceil() as i64 + 2;
+                    let cap = adc.capture(&tx, n_start, 300);
+                    let rec = PnbsReconstructor::paper_default(band, adc.true_delay())
+                        .expect("optimal delay is valid across carriers");
+                    let (lo, hi) = rec.coverage(&cap).expect("capture long enough");
+                    let mut rng = Randomizer::from_seed(7);
+                    let times: Vec<f64> = (0..200)
+                        .map(|_| rng.uniform(lo.max(s0), hi.min(s1)))
+                        .collect();
+                    let err = nrmse(&rec.reconstruct(&cap, &times), &tx.sample(&times));
+
+                    // What uniform bandpass sampling would demand for
+                    // this band: the minimal alias-free rate for the
+                    // *occupied* band.
+                    let occupied = BandSpec::centered(fc, sym_rate * 1.5);
+                    let fs_min = pbs::minimum_rate(occupied);
+
+                    format!(
+                        "{label:<26} {:>9.1} {:>11} {:>13.2}% {:>12.3} MHz",
+                        d_target * 1e12,
+                        if err < 0.08 { "yes" } else { "NO" },
+                        err * 100.0,
+                        fs_min / 1e6
+                    )
+                })
+            })
             .collect();
-        let err = nrmse(&rec.reconstruct(&cap, &times), &tx.sample(&times));
-
-        // What uniform bandpass sampling would demand for this band:
-        // the minimal alias-free rate for the *occupied* band.
-        let occupied = BandSpec::centered(fc, sym_rate * 1.5);
-        let fs_min = pbs::minimum_rate(occupied);
-
-        println!(
-            "{label:<26} {:>9.1} {:>11} {:>13.2}% {:>12.3} MHz",
-            d_target * 1e12,
-            if err < 0.08 { "yes" } else { "NO" },
-            err * 100.0,
-            fs_min / 1e6
-        );
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("standard sweep worker panicked"))
+            .collect()
+    });
+    for row in rows {
+        println!("{row}");
     }
 
     println!(

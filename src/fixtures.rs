@@ -90,6 +90,24 @@ pub fn paper_engine() -> BistEngine {
     BistEngine::new(BistConfig::paper_default())
 }
 
+/// The Section V dual-rate cost function over an ideal front-end:
+/// both-rate captures of the QPSK stimulus plus `n_probes` random probe
+/// times — the fixture the plan-equivalence and Fig. 5-shaped tests
+/// share.
+pub fn paper_cost_fixture(n_probes: usize, seed: u64) -> DualRateCost {
+    let cfg = DualRateConfig::paper_section_v();
+    let tx = paper_stimulus_seeded(96, PAPER_PRBS_SEED);
+    let mut fast = BpTiadc::new(BpTiadcConfig::ideal(cfg.fast_rate(), cfg.delay()));
+    let mut slow = BpTiadc::new(BpTiadcConfig::ideal(cfg.slow_rate(), cfg.delay()));
+    DualRateCost::paper_probes(
+        fast.capture(&tx, 80, 260),
+        slow.capture(&tx, 40, 160),
+        cfg,
+        n_probes,
+        seed,
+    )
+}
+
 /// The QPSK 10 Msym/s emission mask the engine's verdict checks.
 pub fn paper_mask() -> SpectralMask {
     SpectralMask::qpsk_10msym()

@@ -62,6 +62,7 @@ pub mod prelude {
     pub use rfbist_rfchain::txchain::HomodyneTx;
     pub use rfbist_sampling::band::BandSpec;
     pub use rfbist_sampling::dualrate::DualRateConfig;
+    pub use rfbist_sampling::plan::{PnbsPlan, PnbsScratch};
     pub use rfbist_sampling::reconstruct::{NonuniformCapture, PnbsReconstructor};
     pub use rfbist_signal::prelude::*;
 }
