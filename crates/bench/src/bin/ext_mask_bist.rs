@@ -38,6 +38,7 @@ fn main() {
         "device",
         "verdict",
         "worst margin [dB]",
+        "violating bins",
         "skew |err| [ps]",
         "delta_eps vs golden [%]",
     ]);
@@ -55,6 +56,7 @@ fn main() {
                 "FAIL".into()
             },
             format!("{:+.2}", report.mask.worst_margin_db),
+            format!("{}", report.mask.violation_count),
             format!("{:.3}", report.skew_abs_error() * 1e12),
             format!("{:.2}", report.reconstruction_error.unwrap() * 100.0),
         ]);

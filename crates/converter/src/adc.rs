@@ -84,10 +84,22 @@ impl AdcChannel {
     }
 
     /// Captures `count` consecutive samples starting at edge `n_start`.
+    ///
+    /// Batched: the clock edges are generated in one
+    /// [`ClockGenerator::edges`] call, the signal is sampled through
+    /// its (overridable) [`ContinuousSignal::sample`] batch entry
+    /// point, and the mismatch/quantization stage runs as one pass
+    /// over the buffer — so many-seed sweeps pay per-capture, not
+    /// per-point, setup. Values are identical to evaluating
+    /// [`convert_at_edge`](Self::convert_at_edge) per index.
     pub fn capture<S: ContinuousSignal>(&self, signal: &S, n_start: i64, count: usize) -> Vec<f64> {
-        (0..count)
-            .map(|i| self.convert_at_edge(signal, n_start + i as i64))
-            .collect()
+        let times = self.clock.edges(n_start, count);
+        let mut samples = signal.sample(&times);
+        let gain = 1.0 + self.gain_error;
+        for v in &mut samples {
+            *v = self.quantizer.quantize((*v + self.offset) * gain);
+        }
+        samples
     }
 }
 

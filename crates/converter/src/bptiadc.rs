@@ -146,6 +146,17 @@ pub struct BpTiadc {
 impl BpTiadc {
     /// Builds the converter from a configuration.
     ///
+    /// The DCDE is sized to cover one clock period at the configured
+    /// step resolution. Its code register is 32-bit, so for slow-rate /
+    /// fine-resolution configurations where `period / resolution`
+    /// exceeds `u32::MAX` (≈ 4.3e9 steps — e.g. rates below ~233 Hz at
+    /// 1 ps resolution, where the period tops 4.3 ms)
+    /// the range saturates: the largest programmable delay clamps at
+    /// `u32::MAX · resolution` instead of the full period. Every
+    /// realistic converter clock sits many orders of magnitude inside
+    /// the bound; `dcde_range_saturates_for_slow_fine_configs` pins the
+    /// clamping behavior.
+    ///
     /// # Panics
     ///
     /// Panics if `sample_rate <= 0` or the delay target is negative.
@@ -156,6 +167,7 @@ impl BpTiadc {
             "delay target must be non-negative"
         );
         let period = 1.0 / config.sample_rate;
+        // float→u32 `as` saturates, bounding the range documented above
         let mut dcde = Dcde::new(
             config.dcde_resolution,
             ((1.0 / config.sample_rate) / config.dcde_resolution).ceil() as u32,
@@ -374,6 +386,48 @@ mod tests {
             .map(|i| ((cap2.odd()[i] - cap2.even()[i]) / 1e7 - 180e-12).abs())
             .fold(0.0f64, f64::max);
         assert!(wander > 3e-12, "DcdeOnly spacing should wander: {wander}");
+    }
+
+    #[test]
+    fn dcde_range_saturates_for_slow_fine_configs() {
+        // period / resolution = 10 s / 1 ps = 1e13 steps overflows the
+        // 32-bit code register; the float→u32 cast saturates, so the
+        // programmable range clamps at u32::MAX steps (≈ 4.295 ms)
+        // instead of covering the full period
+        let mut cfg = BpTiadcConfig::ideal(0.1, 0.0);
+        cfg.dcde_resolution = 1e-12;
+        let mut adc = BpTiadc::new(cfg);
+        let got = adc.set_delay(5.0); // ask for half the 10 s period
+        let clamp = u32::MAX as f64 * 1e-12;
+        assert_eq!(got, clamp, "range must clamp at u32::MAX steps");
+        assert!(got < 1.0 / cfg.sample_rate, "clamp is below the period");
+        // a fast-clock config is far inside the bound: the full period
+        // remains addressable
+        let mut paper = BpTiadc::new(BpTiadcConfig::paper_section_v(180e-12));
+        let period = 1.0 / 90e6;
+        assert!((paper.set_delay(period) - period).abs() <= 1e-12);
+    }
+
+    #[test]
+    fn capture_matches_per_edge_conversion() {
+        // the batched capture path (edges + sample + one-pass
+        // mismatch/quantize) must be sample-identical to the scalar
+        // per-edge path, jitter and mismatches included
+        let tone = Tone::new(0.99e9, 0.9, 0.3);
+        let cfg = BpTiadcConfig::paper_section_v(180e-12).with_mismatch(0.05, -0.02, 0.01, -0.03);
+        let adc = BpTiadc::new(cfg);
+        let batched = adc.even.capture(&tone, -7, 64);
+        for (i, &v) in batched.iter().enumerate() {
+            assert_eq!(v, adc.even.convert_at_edge(&tone, -7 + i as i64), "i {i}");
+        }
+        let odd = adc.odd.capture(&tone, -7, 64);
+        for (i, &v) in odd.iter().enumerate() {
+            assert_eq!(
+                v,
+                adc.odd.convert_at_edge(&tone, -7 + i as i64),
+                "odd i {i}"
+            );
+        }
     }
 
     #[test]

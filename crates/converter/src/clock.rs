@@ -89,6 +89,13 @@ impl ClockGenerator {
         }
     }
 
+    /// The times of `count` consecutive edges starting at `n_start` —
+    /// the batched form of [`edge`](Self::edge), producing identical
+    /// values (jitter is a pure per-index hash).
+    pub fn edges(&self, n_start: i64, count: usize) -> Vec<f64> {
+        (0..count).map(|i| self.edge(n_start + i as i64)).collect()
+    }
+
     /// Deterministic per-index standard-normal variate (seeded hash).
     fn unit_jitter(&self, n: i64) -> f64 {
         // SplitMix-style avalanche of (seed, n) so neighbouring indices
@@ -213,6 +220,21 @@ mod tests {
         assert!((measured - rms).abs() / rms < 0.05, "rms {measured}");
         // zero mean
         assert!(stats::mean(&deviations).abs() < 0.1e-12);
+    }
+
+    #[test]
+    fn batched_edges_match_scalar_edges() {
+        for jitter in [JitterModel::None, JitterModel::paper_default()] {
+            let clk = ClockGenerator::new(1e-8, jitter, 42).with_phase_offset(180e-12);
+            let batch = clk.edges(-5, 40);
+            assert_eq!(batch.len(), 40);
+            for (i, &t) in batch.iter().enumerate() {
+                assert_eq!(t, clk.edge(-5 + i as i64), "{jitter:?} edge {i}");
+            }
+        }
+        assert!(ClockGenerator::new(1e-8, JitterModel::None, 0)
+            .edges(3, 0)
+            .is_empty());
     }
 
     #[test]

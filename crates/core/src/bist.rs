@@ -13,16 +13,31 @@
 
 use crate::cost::DualRateCost;
 use crate::lms::{estimate_skew_lms, LmsConfig};
-use crate::mask::SpectralMask;
+use crate::mask::{MaskReport, SpectralMask};
 use crate::report::BistReport;
+use crate::scan::MaskScanEngine;
 use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig};
 use rfbist_converter::calibration::auto_calibrate;
-use rfbist_dsp::psd::{welch, PsdEstimate};
+use rfbist_dsp::psd::welch;
 use rfbist_dsp::window::Window;
 use rfbist_math::stats::nrmse;
 use rfbist_sampling::dualrate::DualRateConfig;
 use rfbist_sampling::reconstruct::PnbsReconstructor;
 use rfbist_signal::traits::ContinuousSignal;
+
+/// How the engine turns the reconstructed waveform into a mask verdict.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScanStrategy {
+    /// Full Welch/FFT PSD over every bin, then [`SpectralMask::check`] —
+    /// the reference path, kept verbatim for equivalence testing.
+    FftWelch,
+    /// Banked-Goertzel scan ([`MaskScanEngine`]) evaluating only the
+    /// bins the mask constrains — same segmentation, window and
+    /// normalization, agreeing with `FftWelch` to numerical noise while
+    /// skipping the ~96 % of the spectrum the mask never reads.
+    #[default]
+    BankedGoertzel,
+}
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -51,6 +66,8 @@ pub struct BistConfig {
     pub grid_rate: f64,
     /// Number of grid samples for PSD estimation.
     pub grid_len: usize,
+    /// How the mask verdict is computed from the reconstructed grid.
+    pub scan_strategy: ScanStrategy,
 }
 
 impl BistConfig {
@@ -73,6 +90,7 @@ impl BistConfig {
             lms_initial: 100e-12,
             grid_rate: 4e9,
             grid_len: 12288,
+            scan_strategy: ScanStrategy::default(),
         }
     }
 
@@ -83,6 +101,24 @@ impl BistConfig {
         self.frontend_slow = BpTiadcConfig::ideal(self.dual.slow_rate(), self.dual.delay());
         self
     }
+
+    /// Builder-style: select the mask-verdict scan strategy.
+    pub fn with_scan_strategy(mut self, strategy: ScanStrategy) -> Self {
+        self.scan_strategy = strategy;
+        self
+    }
+}
+
+/// The Welch segmentation the engine applies to a `grid_len`-sample
+/// reconstruction: segment length chosen for ≲ 1 MHz resolution
+/// bandwidth at the default 4 GHz grid (so mask segments a few MHz
+/// wide are resolved), 50 % overlap. Shared by both scan strategies
+/// and by the perf harness, so every consumer measures the same
+/// estimator.
+pub fn welch_segmentation(grid_len: usize) -> (usize, usize) {
+    let seg = (grid_len / 2).next_power_of_two().clamp(256, 8192);
+    let seg = seg.min(grid_len);
+    (seg, seg / 2)
 }
 
 /// The BIST engine.
@@ -147,6 +183,12 @@ impl BistEngine {
             .expect("fast capture too short for reconstruction");
         let dt = 1.0 / cfg.grid_rate;
         let usable = ((hi - lo) / dt) as usize;
+        assert!(
+            usable > 0,
+            "capture too short for the analysis grid: reconstruction coverage \
+             [{lo:.3e}, {hi:.3e}] s spans less than one sample at {:.3e} Hz",
+            cfg.grid_rate
+        );
         let n_grid = cfg.grid_len.min(usable);
         let grid: Vec<f64> = (0..n_grid).map(|i| lo + i as f64 * dt).collect();
         let wave = rec.reconstruct(&fast_cap, &grid);
@@ -154,9 +196,8 @@ impl BistEngine {
         // Δε against the reference, when provided
         let reconstruction_error = reference.map(|r| nrmse(&wave, &r.sample(&grid)));
 
-        // 5. PSD + mask verdict
-        let psd = self.psd_of(&wave);
-        let mask_report = mask.check(&psd, cfg.dual.fast_band().center());
+        // 5. PSD + mask verdict via the configured scan strategy
+        let mask_report = self.mask_verdict(&wave, mask);
 
         BistReport {
             skew,
@@ -166,19 +207,29 @@ impl BistEngine {
         }
     }
 
-    /// Welch PSD of the reconstructed grid waveform; segment length is
-    /// chosen for ≲ 1 MHz resolution bandwidth at the default 4 GHz
-    /// grid, so mask segments a few MHz wide are resolved.
-    fn psd_of(&self, wave: &[f64]) -> PsdEstimate {
-        let seg = (wave.len() / 2).next_power_of_two().min(8192).max(256);
-        let seg = seg.min(wave.len());
-        welch(
-            wave,
-            self.config.grid_rate,
-            seg,
-            seg / 2,
-            Window::BlackmanHarris,
-        )
+    /// Mask verdict of the reconstructed grid waveform under the
+    /// configured [`ScanStrategy`]: both paths share the
+    /// [`welch_segmentation`] parameters and the Blackman–Harris
+    /// window, differing only in which bins they materialize.
+    fn mask_verdict(&self, wave: &[f64], mask: &SpectralMask) -> MaskReport {
+        let cfg = &self.config;
+        let (seg, overlap) = welch_segmentation(wave.len());
+        let carrier = cfg.dual.fast_band().center();
+        match cfg.scan_strategy {
+            ScanStrategy::FftWelch => {
+                let psd = welch(wave, cfg.grid_rate, seg, overlap, Window::BlackmanHarris);
+                mask.check(&psd, carrier)
+            }
+            ScanStrategy::BankedGoertzel => MaskScanEngine::new(
+                mask,
+                carrier,
+                cfg.grid_rate,
+                seg,
+                overlap,
+                Window::BlackmanHarris,
+            )
+            .scan(wave),
+        }
     }
 }
 
@@ -276,6 +327,71 @@ mod tests {
             report.skew.delay * 1e12,
             report.true_delay * 1e12
         );
+    }
+
+    #[test]
+    fn scan_strategies_agree_on_verdict_and_margin() {
+        // the default engine runs the banked scan; the FFT-Welch
+        // reference path must produce the same verdict to well under
+        // the 0.5 dB equivalence budget, for healthy and faulty units
+        let engine_scan = BistEngine::new(BistConfig::paper_default());
+        assert_eq!(
+            engine_scan.config().scan_strategy,
+            ScanStrategy::BankedGoertzel
+        );
+        let engine_fft =
+            BistEngine::new(BistConfig::paper_default().with_scan_strategy(ScanStrategy::FftWelch));
+        let healthy = paper_tx(TxImpairments::typical());
+        let faulty = paper_tx(
+            Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.05 })
+                .inject(TxImpairments::typical()),
+        );
+        for tx in [&healthy, &faulty] {
+            let a = engine_scan.run(
+                &tx.rf_output(),
+                &SpectralMask::qpsk_10msym(),
+                None::<&BandpassSignal<ShapedBaseband>>,
+            );
+            let b = engine_fft.run(
+                &tx.rf_output(),
+                &SpectralMask::qpsk_10msym(),
+                None::<&BandpassSignal<ShapedBaseband>>,
+            );
+            assert_eq!(a.mask.passed, b.mask.passed);
+            assert!(
+                (a.mask.worst_margin_db - b.mask.worst_margin_db).abs() < 0.5,
+                "margins {} vs {}",
+                a.mask.worst_margin_db,
+                b.mask.worst_margin_db
+            );
+            assert_eq!(a.mask.violation_count, b.mask.violation_count);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capture too short")]
+    fn too_coarse_grid_fails_early_with_clear_error() {
+        // a grid sample longer than the whole reconstruction coverage
+        // used to surface as a panic deep inside the Welch estimator;
+        // the engine must reject it at the reconstruction step
+        let tx = paper_tx(TxImpairments::typical());
+        let mut cfg = BistConfig::paper_default();
+        cfg.grid_rate = 1e5; // 10 µs per grid sample vs ~3.5 µs coverage
+        let engine = BistEngine::new(cfg);
+        let _ = engine.run(
+            &tx.rf_output(),
+            &SpectralMask::qpsk_10msym(),
+            None::<&BandpassSignal<ShapedBaseband>>,
+        );
+    }
+
+    #[test]
+    fn welch_segmentation_tracks_grid_length() {
+        assert_eq!(welch_segmentation(12288), (8192, 4096));
+        assert_eq!(welch_segmentation(100_000), (8192, 4096));
+        assert_eq!(welch_segmentation(1000), (512, 256));
+        // short grids: the segment never exceeds the signal
+        assert_eq!(welch_segmentation(100), (100, 50));
     }
 
     #[test]

@@ -201,8 +201,7 @@ impl DualRateCost {
     /// one pair of scratch buffers (and one plan per candidate) across
     /// the whole grid — the batched form of the Fig. 5 sweep.
     pub fn eval_grid(&self, candidates: &[f64]) -> Vec<f64> {
-        let mut ev = self.evaluator();
-        candidates.iter().map(|&d| ev.eval(d)).collect()
+        self.evaluator().eval_grid(candidates)
     }
 
     /// The uniform grid of `n` candidates across `]0, m[` the paper's
@@ -248,6 +247,14 @@ impl CostEvaluator<'_> {
         let b = slow_plan.reconstruct_batch(&cost.slow, &cost.times, &mut self.slow_scratch);
         let acc: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
         acc / cost.times.len() as f64
+    }
+
+    /// Evaluates a batch of candidates through this evaluator's scratch
+    /// buffers — the entry point [`DualRateCost::eval_grid`] and the
+    /// LMS gradient probes share, so plan setup and scratch reuse
+    /// amortize across every candidate of a descent or sweep.
+    pub fn eval_grid(&mut self, candidates: &[f64]) -> Vec<f64> {
+        candidates.iter().map(|&d| self.eval(d)).collect()
     }
 
     /// The bound cost function.
@@ -397,6 +404,10 @@ mod tests {
         for (i, &d) in candidates.iter().enumerate() {
             assert_eq!(grid[i], cost.evaluate(d), "grid diverges at {d:e}");
         }
+        // the evaluator's batch entry point (shared with the LMS
+        // gradient probes) is the same computation
+        let mut ev = cost.evaluator();
+        assert_eq!(ev.eval_grid(&candidates), grid);
     }
 
     #[test]

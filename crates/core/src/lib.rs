@@ -9,6 +9,8 @@
 //! - [`skew`]: estimate/error-metric types shared by both estimators,
 //! - [`mask`]: spectral masks and compliance checking (the BIST's
 //!   verdict machinery),
+//! - [`scan`]: the banked-Goertzel mask-bin scanner (evaluates only
+//!   the bins the mask constrains),
 //! - [`bist`]: the end-to-end engine (capture → calibrate → estimate →
 //!   reconstruct → mask check),
 //! - [`report`]: serializable result records.
@@ -45,9 +47,11 @@ pub mod jamal;
 pub mod lms;
 pub mod mask;
 pub mod report;
+pub mod scan;
 pub mod skew;
 
-pub use bist::{BistConfig, BistEngine};
+pub use bist::{BistConfig, BistEngine, ScanStrategy};
 pub use cost::{CostEvaluator, DualRateCost};
 pub use lms::{estimate_skew_lms, LmsConfig, LmsResult};
 pub use mask::{MaskReport, SpectralMask};
+pub use scan::{MaskScanEngine, MaskScanScratch};

@@ -143,12 +143,16 @@ pub fn estimate_skew_lms(cost: &DualRateCost, config: LmsConfig) -> LmsResult {
     for i in 1..=config.max_iterations {
         // Step 2: finite-difference gradient. The probe width follows
         // the step size (floored at the bootstrap delta scale) so the
-        // difference stays informative as the search zooms in.
+        // difference stays informative as the search zooms in. The
+        // probes go through the evaluator's batch entry point — a
+        // structural alignment with `eval_grid` sweeps (one evaluator,
+        // one scratch pair, arbitrary probe stencils), not a flop
+        // reduction: each candidate still plans independently.
         let delta = (mu / 4.0)
             .max(config.bootstrap_delta.abs() / 20.0)
             .max(1e-16);
-        let e_plus = eval.eval(clamp(d_cur + delta));
-        let e_minus = eval.eval(clamp(d_cur - delta));
+        let probes = eval.eval_grid(&[clamp(d_cur + delta), clamp(d_cur - delta)]);
+        let (e_plus, e_minus) = (probes[0], probes[1]);
         let grad = (e_plus - e_minus) / (2.0 * delta);
         if grad == 0.0 {
             converged = true;

@@ -9,6 +9,11 @@
 
 use rfbist_dsp::psd::PsdEstimate;
 
+/// Cap on the number of [`MaskViolation`] entries a [`MaskReport`]
+/// carries; [`MaskReport::violation_count`] always records the full
+/// total, so truncation is visible.
+pub const MAX_REPORTED_VIOLATIONS: usize = 64;
+
 /// One mask segment: limits on `offset_lo ≤ |f − f_c| ≤ offset_hi`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -106,6 +111,24 @@ impl SpectralMask {
         &self.segments
     }
 
+    /// Half-width of the 0 dBc reference region around the carrier.
+    pub fn reference_half_width(&self) -> f64 {
+        self.reference_half_width
+    }
+
+    /// The limit binding at absolute carrier offset `offset`: the
+    /// *tightest* (lowest) `limit_dbc` among every segment containing
+    /// the offset, so a bin landing exactly on a shared boundary
+    /// (`offset_hi == next.offset_lo`) is held to the stricter
+    /// neighbour. `None` when no segment covers the offset.
+    pub fn limit_at(&self, offset: f64) -> Option<f64> {
+        self.segments
+            .iter()
+            .filter(|s| offset >= s.offset_lo && offset <= s.offset_hi)
+            .map(|s| s.limit_dbc)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite mask limits"))
+    }
+
     /// Checks a one-sided PSD (as produced by the reconstruction path)
     /// against the mask around the given carrier.
     ///
@@ -114,7 +137,11 @@ impl SpectralMask {
     ///
     /// # Panics
     ///
-    /// Panics if the PSD contains no bins inside the reference region.
+    /// Panics if the PSD contains no bins inside the reference region,
+    /// or none inside any mask segment — either way the estimate cannot
+    /// support a verdict (resolution too coarse, or the mask lies
+    /// outside the analysis band), and a silent `passed` would be a
+    /// false negative.
     pub fn check(&self, psd: &PsdEstimate, carrier_hz: f64) -> MaskReport {
         let db: Vec<f64> = psd.psd_db();
         let reference_db = psd
@@ -129,40 +156,72 @@ impl SpectralMask {
             "PSD has no bins within the mask reference region"
         );
 
-        let mut worst_margin = f64::INFINITY;
-        let mut worst_frequency = carrier_hz;
-        let mut violations = Vec::new();
-        for (f, p) in psd.freqs.iter().zip(&db) {
-            let offset = (f - carrier_hz).abs();
-            let segment = self
-                .segments
-                .iter()
-                .find(|s| offset >= s.offset_lo && offset <= s.offset_hi);
-            if let Some(s) = segment {
-                let rel = p - reference_db;
-                let margin = s.limit_dbc - rel;
-                if margin < worst_margin {
-                    worst_margin = margin;
-                    worst_frequency = *f;
-                }
-                if margin < 0.0 && violations.len() < 64 {
-                    violations.push(MaskViolation {
-                        frequency: *f,
-                        measured_dbc: rel,
-                        limit_dbc: s.limit_dbc,
-                    });
-                }
+        let (report, masked_bins) = report_from_margins(
+            self.name.clone(),
+            carrier_hz,
+            reference_db,
+            psd.freqs.iter().zip(&db).filter_map(|(f, p)| {
+                self.limit_at((f - carrier_hz).abs())
+                    .map(|limit| (*f, limit, p - reference_db))
+            }),
+        );
+        assert!(
+            masked_bins > 0,
+            "PSD has no bins within any mask segment — cannot produce a verdict"
+        );
+        report
+    }
+}
+
+/// Folds per-bin `(frequency, limit_dbc, measured_dbc)` margins into a
+/// [`MaskReport`], returning it with the number of bins consumed.
+///
+/// The single definition of the verdict semantics — worst-margin
+/// selection, violation counting and the [`MAX_REPORTED_VIOLATIONS`]
+/// truncation — shared by [`SpectralMask::check`] and the banked
+/// [`crate::scan::MaskScanEngine`], so the two paths cannot drift.
+pub(crate) fn report_from_margins<I>(
+    mask_name: String,
+    carrier_hz: f64,
+    reference_db: f64,
+    bins: I,
+) -> (MaskReport, usize)
+where
+    I: Iterator<Item = (f64, f64, f64)>,
+{
+    let mut worst_margin = f64::INFINITY;
+    let mut worst_frequency = carrier_hz;
+    let mut violations = Vec::new();
+    let mut violation_count = 0usize;
+    let mut masked_bins = 0usize;
+    for (frequency, limit_dbc, measured_dbc) in bins {
+        masked_bins += 1;
+        let margin = limit_dbc - measured_dbc;
+        if margin < worst_margin {
+            worst_margin = margin;
+            worst_frequency = frequency;
+        }
+        if margin < 0.0 {
+            violation_count += 1;
+            if violations.len() < MAX_REPORTED_VIOLATIONS {
+                violations.push(MaskViolation {
+                    frequency,
+                    measured_dbc,
+                    limit_dbc,
+                });
             }
         }
-        MaskReport {
-            mask_name: self.name.clone(),
-            passed: violations.is_empty(),
-            worst_margin_db: worst_margin,
-            worst_frequency_hz: worst_frequency,
-            reference_db,
-            violations,
-        }
     }
+    let report = MaskReport {
+        mask_name,
+        passed: violation_count == 0,
+        worst_margin_db: worst_margin,
+        worst_frequency_hz: worst_frequency,
+        reference_db,
+        violation_count,
+        violations,
+    };
+    (report, masked_bins)
 }
 
 /// One mask violation.
@@ -192,7 +251,12 @@ pub struct MaskReport {
     pub worst_frequency_hz: f64,
     /// Absolute reference (0 dBc) density level, dB.
     pub reference_db: f64,
-    /// Violating bins (capped at 64 entries).
+    /// Total number of violating bins, including any beyond the
+    /// [`violations`](Self::violations) cap — compare against
+    /// `violations.len()` to detect truncation.
+    pub violation_count: usize,
+    /// Violating bins (capped at [`MAX_REPORTED_VIOLATIONS`] entries;
+    /// see [`violation_count`](Self::violation_count) for the total).
     pub violations: Vec<MaskViolation>,
 }
 
@@ -302,6 +366,75 @@ mod tests {
         assert_eq!(m.segments().len(), 3);
         assert!(m.segments()[0].limit_dbc > m.segments()[2].limit_dbc);
         assert_eq!(m.name(), "qpsk-10msym-srrc0.5");
+    }
+
+    /// A hand-built PSD with bins at exactly the given absolute
+    /// frequencies and dB levels — for pinning behavior at exact
+    /// segment boundaries, which windowed periodograms only hit when
+    /// the bin grid happens to align.
+    fn psd_at_exact_bins(bins: &[(f64, f64)]) -> PsdEstimate {
+        PsdEstimate {
+            freqs: bins.iter().map(|(f, _)| *f).collect(),
+            psd: bins.iter().map(|(_, db)| 10f64.powf(db / 10.0)).collect(),
+            rbw: 1e5,
+        }
+    }
+
+    #[test]
+    fn tighter_limit_binds_at_shared_segment_boundary() {
+        // qpsk_10msym shares the 12.5 MHz edge between the −28 dBc and
+        // −38 dBc segments. A −30 dBc spur exactly on the edge passes
+        // the looser segment but violates the tighter one — the tighter
+        // limit must bind.
+        let mask = SpectralMask::qpsk_10msym();
+        let fc = 1e9;
+        let psd = psd_at_exact_bins(&[
+            (fc, 0.0),            // reference peak
+            (fc + 10e6, -40.0),   // interior of the first segment, clean
+            (fc + 12.5e6, -30.0), // spur exactly on the shared edge
+            (fc + 30e6, -60.0),   // far segment, clean
+        ]);
+        let report = mask.check(&psd, fc);
+        assert!(!report.passed, "looser segment must not shadow the edge");
+        assert_eq!(report.violation_count, 1);
+        assert_eq!(report.violations[0].limit_dbc, -38.0);
+        assert_eq!(report.violations[0].frequency, fc + 12.5e6);
+        assert!((report.worst_margin_db + 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn limit_at_selects_tightest_cover() {
+        let mask = test_mask();
+        assert_eq!(mask.limit_at(10e6), Some(-30.0));
+        assert_eq!(mask.limit_at(20e6), Some(-50.0), "shared edge");
+        assert_eq!(mask.limit_at(30e6), Some(-50.0));
+        assert_eq!(mask.limit_at(1e6), None);
+        assert_eq!(mask.limit_at(50e6), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no bins within any mask segment")]
+    fn psd_missing_all_mask_segments_is_an_error() {
+        // the old behavior silently returned passed with +inf margin
+        let mask = test_mask();
+        let psd = psd_at_exact_bins(&[(100e6, 0.0), (102e6, -20.0)]);
+        let _ = mask.check(&psd, 100e6);
+    }
+
+    #[test]
+    fn violation_count_reports_beyond_the_cap() {
+        // a wideband fault: every second bin of the first segment is
+        // 20 dB over the limit — far more than the 64-entry cap
+        let mask = test_mask();
+        let fc = 100e6;
+        let mut bins = vec![(fc, 0.0)];
+        for i in 0..200 {
+            bins.push((fc + 9e6 + i as f64 * 50e3, -10.0));
+        }
+        let report = mask.check(&psd_at_exact_bins(&bins), fc);
+        assert!(!report.passed);
+        assert_eq!(report.violations.len(), MAX_REPORTED_VIOLATIONS);
+        assert_eq!(report.violation_count, 200, "truncation must be visible");
     }
 
     #[test]

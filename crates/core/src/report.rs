@@ -77,6 +77,7 @@ mod tests {
                 worst_margin_db: if passed { 7.5 } else { -3.0 },
                 worst_frequency_hz: 1.013e9,
                 reference_db: -40.0,
+                violation_count: 0,
                 violations: vec![],
             },
             reconstruction_error: Some(0.0084),

@@ -1,0 +1,427 @@
+//! Banked-Goertzel spectral-mask scanning.
+//!
+//! The FFT-Welch verdict path estimates the full one-sided PSD of the
+//! reconstructed waveform — thousands of bins — and then checks the
+//! few dozen bins a [`SpectralMask`] actually constrains. The
+//! [`MaskScanEngine`] inverts that: it enumerates, once, exactly the
+//! Welch bins that fall inside a mask segment or the 0 dBc reference
+//! region, and evaluates *only those* with a
+//! [`GoertzelBank`](rfbist_dsp::goertzel::GoertzelBank) — one batched
+//! recurrence pass per Welch segment, the same window coefficients,
+//! hop and density normalization as [`rfbist_dsp::psd::welch`], and a
+//! shared accumulator for the segment average.
+//!
+//! Because the probed frequencies are the *same* bin centers the FFT
+//! would produce and Goertzel evaluates the same DFT sum, the two
+//! paths agree to numerical noise (≪ 0.5 dB; in practice ~1e-9 dB) —
+//! `tests/mask_scan_equivalence.rs` pins this on the Section V
+//! fixtures. The win is arithmetic volume: for the paper's 4 GHz
+//! analysis grid the mask constrains ~170 of 4097 bins, so the banked
+//! scan skips ~96 % of the spectrum the FFT must compute. The FFT
+//! still wins when most bins are needed; the break-even against this
+//! workspace's radix-2 FFT sits near `N/8` probed bins
+//! (`BENCH_recon.json`, `mask_scan` section).
+
+use crate::mask::{report_from_margins, MaskReport, SpectralMask};
+use rfbist_dsp::goertzel::{GoertzelBank, GoertzelScratch};
+use rfbist_dsp::window::Window;
+
+/// One probed Welch bin and its verdict role.
+#[derive(Clone, Copy, Debug)]
+struct ScanBin {
+    /// Absolute bin center frequency, Hz.
+    freq: f64,
+    /// Binding mask limit in dBc (tightest covering segment), `None`
+    /// for bins probed only for the 0 dBc reference.
+    limit_dbc: Option<f64>,
+    /// Whether the bin lies inside the reference region.
+    in_reference: bool,
+    /// One-sided density factor: 2 for interior bins, 1 for DC/Nyquist.
+    one_sided: f64,
+}
+
+/// Reusable buffers for [`MaskScanEngine::scan_with`]; create once per
+/// sweep so repeated scans allocate nothing (the
+/// [`PnbsScratch`](rfbist_sampling::plan::PnbsScratch) shape applied
+/// to the verdict path).
+#[derive(Clone, Debug, Default)]
+pub struct MaskScanScratch {
+    windowed: Vec<f64>,
+    acc: Vec<f64>,
+    goertzel: GoertzelScratch,
+}
+
+impl MaskScanScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A prepared spectral-mask compliance scanner: mask bin table,
+/// Goertzel coefficient bank and window coefficients for one
+/// (mask, carrier, sample rate, Welch segmentation) configuration.
+///
+/// Mirrors the `PnbsPlan` split: everything that does not depend on
+/// the waveform — bin selection, `2cos ω` tables, window, density
+/// normalization — is computed once here; [`scan`](Self::scan) then
+/// runs one banked recurrence pass per Welch segment.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_core::mask::SpectralMask;
+/// use rfbist_core::scan::MaskScanEngine;
+/// use rfbist_dsp::window::Window;
+/// use std::f64::consts::PI;
+///
+/// let fs = 400e6;
+/// let fc = 100e6;
+/// let x: Vec<f64> = (0..8192)
+///     .map(|i| (2.0 * PI * fc * i as f64 / fs).sin())
+///     .collect();
+/// let mask = SpectralMask::new(
+///     "doc",
+///     5e6,
+///     vec![rfbist_core::mask::MaskSegment {
+///         offset_lo: 8e6,
+///         offset_hi: 40e6,
+///         limit_dbc: -30.0,
+///     }],
+/// );
+/// let engine = MaskScanEngine::new(&mask, fc, fs, 4096, 2048, Window::BlackmanHarris);
+/// let report = engine.scan(&x);
+/// assert!(report.passed);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MaskScanEngine {
+    mask_name: String,
+    carrier_hz: f64,
+    segment_len: usize,
+    hop: usize,
+    window: Vec<f64>,
+    /// `1/(fs·Σw²)` — the Welch density normalization shared by every
+    /// probed bin.
+    scale: f64,
+    bank: GoertzelBank,
+    bins: Vec<ScanBin>,
+}
+
+impl MaskScanEngine {
+    /// Prepares a scanner for `mask` around `carrier_hz` on waveforms
+    /// sampled at `fs`, Welch-averaged over `segment_len`-sample
+    /// segments overlapping by `overlap` samples under `window`.
+    ///
+    /// The probed bins are exactly the `k·fs/segment_len` centers of
+    /// the equivalent [`rfbist_dsp::psd::welch`] estimate that fall
+    /// inside the reference region or a mask segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same parameter contract as `welch`
+    /// (`segment_len > 0`, `overlap < segment_len`, `fs > 0`), and —
+    /// like [`SpectralMask::check`] on an equivalent PSD — when the bin
+    /// grid puts no bin inside the reference region or none inside any
+    /// mask segment: a scan that could never fail must not be
+    /// constructible.
+    pub fn new(
+        mask: &SpectralMask,
+        carrier_hz: f64,
+        fs: f64,
+        segment_len: usize,
+        overlap: usize,
+        window: Window,
+    ) -> Self {
+        assert!(segment_len > 0, "segment length must be positive");
+        assert!(
+            overlap < segment_len,
+            "overlap must be smaller than the segment"
+        );
+        assert!(fs > 0.0, "sample rate must be positive");
+
+        let nbins = segment_len / 2 + 1;
+        let mut bins = Vec::new();
+        let mut freqs = Vec::new();
+        let mut masked_bins = 0usize;
+        let mut reference_bins = 0usize;
+        for k in 0..nbins {
+            // same expression as the PSD estimator's bin centers, so
+            // boundary decisions cannot diverge by an ulp
+            let freq = k as f64 * fs / segment_len as f64;
+            let offset = (freq - carrier_hz).abs();
+            let in_reference = offset <= mask.reference_half_width();
+            let limit_dbc = mask.limit_at(offset);
+            if !in_reference && limit_dbc.is_none() {
+                continue;
+            }
+            masked_bins += usize::from(limit_dbc.is_some());
+            reference_bins += usize::from(in_reference);
+            let is_nyquist = segment_len % 2 == 0 && k == nbins - 1;
+            bins.push(ScanBin {
+                freq,
+                limit_dbc,
+                in_reference,
+                one_sided: if k == 0 || is_nyquist { 1.0 } else { 2.0 },
+            });
+            freqs.push(k as f64 / segment_len as f64);
+        }
+        assert!(
+            reference_bins > 0,
+            "scan grid has no bins within the mask reference region"
+        );
+        assert!(
+            masked_bins > 0,
+            "scan grid has no bins within any mask segment — cannot produce a verdict"
+        );
+
+        let window = window.coefficients(segment_len);
+        let u: f64 = window.iter().map(|&v| v * v).sum();
+        MaskScanEngine {
+            mask_name: mask.name().to_string(),
+            carrier_hz,
+            segment_len,
+            hop: segment_len - overlap,
+            window,
+            scale: 1.0 / (fs * u),
+            bank: GoertzelBank::new(&freqs),
+            bins,
+        }
+    }
+
+    /// Number of probed bins (mask + reference).
+    pub fn probed_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The carrier frequency the mask is centered on, Hz.
+    pub fn carrier_hz(&self) -> f64 {
+        self.carrier_hz
+    }
+
+    /// Scans `wave` and returns the mask verdict, allocating fresh
+    /// scratch; use [`scan_with`](Self::scan_with) in sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wave` is shorter than one Welch segment.
+    pub fn scan(&self, wave: &[f64]) -> MaskReport {
+        self.scan_with(wave, &mut MaskScanScratch::new())
+    }
+
+    /// [`scan`](Self::scan) with caller-owned scratch buffers, so
+    /// repeated scans (fault sweeps, benches) allocate nothing.
+    pub fn scan_with(&self, wave: &[f64], scratch: &mut MaskScanScratch) -> MaskReport {
+        assert!(
+            wave.len() >= self.segment_len,
+            "waveform shorter ({}) than one scan segment ({})",
+            wave.len(),
+            self.segment_len
+        );
+        // Welch-style segment averaging of banked Goertzel powers: the
+        // same hop/window/normalization as `welch`, with only the
+        // probed bins ever materialized.
+        scratch.acc.clear();
+        scratch.acc.resize(self.bins.len(), 0.0);
+        let mut count = 0usize;
+        let mut start = 0usize;
+        while start + self.segment_len <= wave.len() {
+            scratch.windowed.clear();
+            scratch.windowed.extend(
+                wave[start..start + self.segment_len]
+                    .iter()
+                    .zip(&self.window)
+                    .map(|(a, b)| a * b),
+            );
+            let powers = self
+                .bank
+                .powers_into(&scratch.windowed, &mut scratch.goertzel);
+            for (a, p) in scratch.acc.iter_mut().zip(powers) {
+                *a += *p;
+            }
+            count += 1;
+            start += self.hop;
+        }
+
+        // Per-bin one-sided density in dB, matching `PsdEstimate::psd_db`
+        // (including its 1e-30 floor).
+        let norm = self.scale / count as f64;
+        let db = |acc: f64, one_sided: f64| 10.0 * (acc * norm * one_sided).max(1e-30).log10();
+
+        let reference_db = self
+            .bins
+            .iter()
+            .zip(&scratch.acc)
+            .filter(|(b, _)| b.in_reference)
+            .map(|(b, &a)| db(a, b.one_sided))
+            .fold(f64::NEG_INFINITY, f64::max);
+        debug_assert!(reference_db.is_finite(), "reference bins pinned in new()");
+
+        // same verdict fold as `SpectralMask::check` — one definition,
+        // so the two scan strategies cannot drift
+        let (report, _) = report_from_margins(
+            self.mask_name.clone(),
+            self.carrier_hz,
+            reference_db,
+            self.bins
+                .iter()
+                .zip(&scratch.acc)
+                .filter_map(|(bin, &acc)| {
+                    bin.limit_dbc
+                        .map(|limit| (bin.freq, limit, db(acc, bin.one_sided) - reference_db))
+                }),
+        );
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfbist_dsp::psd::welch;
+    use std::f64::consts::PI;
+
+    const FS: f64 = 400e6;
+    const FC: f64 = 100e6;
+
+    fn spur_wave(n: usize, spur_offset: f64, spur_dbc: f64) -> Vec<f64> {
+        let amp = 10f64.powf(spur_dbc / 20.0);
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / FS;
+                (2.0 * PI * FC * t).sin() + amp * (2.0 * PI * (FC + spur_offset) * t).sin()
+            })
+            .collect()
+    }
+
+    fn test_mask() -> SpectralMask {
+        SpectralMask::new(
+            "scan-test",
+            5e6,
+            vec![
+                crate::mask::MaskSegment {
+                    offset_lo: 8e6,
+                    offset_hi: 20e6,
+                    limit_dbc: -30.0,
+                },
+                crate::mask::MaskSegment {
+                    offset_lo: 20e6,
+                    offset_hi: 40e6,
+                    limit_dbc: -50.0,
+                },
+            ],
+        )
+    }
+
+    fn engines() -> (MaskScanEngine, impl Fn(&[f64]) -> MaskReport) {
+        let mask = test_mask();
+        let scan = MaskScanEngine::new(&mask, FC, FS, 4096, 2048, Window::BlackmanHarris);
+        let fft = move |wave: &[f64]| {
+            let psd = welch(wave, FS, 4096, 2048, Window::BlackmanHarris);
+            mask.check(&psd, FC)
+        };
+        (scan, fft)
+    }
+
+    #[test]
+    fn scan_matches_fft_welch_verdict_bit_for_bit_in_db() {
+        let (scan, fft) = engines();
+        for (offset, level) in [(15e6, -80.0), (15e6, -20.0), (30e6, -45.0), (12e6, -29.0)] {
+            let wave = spur_wave(12288, offset, level);
+            let a = scan.scan(&wave);
+            let b = fft(&wave);
+            assert_eq!(a.passed, b.passed, "spur {offset:e} @ {level} dBc");
+            assert!(
+                (a.worst_margin_db - b.worst_margin_db).abs() < 1e-6,
+                "margins {} vs {}",
+                a.worst_margin_db,
+                b.worst_margin_db
+            );
+            assert_eq!(a.worst_frequency_hz, b.worst_frequency_hz);
+            assert!((a.reference_db - b.reference_db).abs() < 1e-6);
+            assert_eq!(a.violation_count, b.violation_count);
+            assert_eq!(a.violations.len(), b.violations.len());
+            for (va, vb) in a.violations.iter().zip(&b.violations) {
+                assert_eq!(va.frequency, vb.frequency);
+                assert_eq!(va.limit_dbc, vb.limit_dbc);
+                assert!((va.measured_dbc - vb.measured_dbc).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn probed_bins_are_a_small_fraction_of_the_spectrum() {
+        let (scan, _) = engines();
+        // 4096-sample segments ⇒ 2049 one-sided bins; the mask +
+        // reference regions cover ~(2·32 + 10) MHz of the 200 MHz span
+        let nbins = 4096 / 2 + 1;
+        assert!(scan.probed_bins() * 2 < nbins, "{}", scan.probed_bins());
+        assert!(scan.probed_bins() > 50, "{}", scan.probed_bins());
+        assert_eq!(scan.carrier_hz(), FC);
+    }
+
+    #[test]
+    fn scratch_reuse_is_exact() {
+        let (scan, _) = engines();
+        let clean = spur_wave(12288, 15e6, -70.0);
+        let dirty = spur_wave(12288, 15e6, -10.0);
+        let mut scratch = MaskScanScratch::new();
+        let a1 = scan.scan_with(&clean, &mut scratch);
+        let b1 = scan.scan_with(&dirty, &mut scratch);
+        assert_eq!(a1, scan.scan(&clean), "scratch must not leak state");
+        assert_eq!(b1, scan.scan(&dirty));
+        assert!(a1.passed && !b1.passed);
+    }
+
+    #[test]
+    fn uneven_trailing_segment_is_discarded_like_welch() {
+        let (scan, fft) = engines();
+        // 9000 samples: one full 4096 segment at 0, one at 2048; the
+        // tail past 6144 is dropped by both paths
+        let wave = spur_wave(9000, 25e6, -44.0);
+        let a = scan.scan(&wave);
+        let b = fft(&wave);
+        assert_eq!(a.passed, b.passed);
+        assert!((a.worst_margin_db - b.worst_margin_db).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter")]
+    fn short_waveform_panics() {
+        let (scan, _) = engines();
+        let _ = scan.scan(&spur_wave(1000, 15e6, -40.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no bins within any mask segment")]
+    fn unresolvable_mask_is_rejected_at_construction() {
+        // 16-sample segments ⇒ 25 MHz bins; the carrier sits on bin 4
+        // (reference resolved) but every bin offset is a multiple of
+        // 25 MHz, all outside the 8–20 MHz mask segment
+        let mask = SpectralMask::new(
+            "narrow",
+            5e6,
+            vec![crate::mask::MaskSegment {
+                offset_lo: 8e6,
+                offset_hi: 20e6,
+                limit_dbc: -30.0,
+            }],
+        );
+        let _ = MaskScanEngine::new(&mask, FC, FS, 16, 8, Window::BlackmanHarris);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference region")]
+    fn unresolvable_reference_is_rejected_at_construction() {
+        // carrier far off the bin grid relative to a tiny reference
+        let mask = SpectralMask::new(
+            "ref",
+            1e3,
+            vec![crate::mask::MaskSegment {
+                offset_lo: 8e6,
+                offset_hi: 40e6,
+                limit_dbc: -30.0,
+            }],
+        );
+        let _ = MaskScanEngine::new(&mask, FC + 40e3, FS, 4096, 2048, Window::BlackmanHarris);
+    }
+}

@@ -1,7 +1,9 @@
-//! Goertzel algorithm: single-bin DFT evaluation.
+//! Goertzel algorithm: single-bin and banked multi-bin DFT evaluation.
 //!
 //! Cheaper than a full FFT when only a handful of frequencies matter —
-//! e.g. probing the two channel spectra at the Jamal calibration tone.
+//! e.g. probing the two channel spectra at the Jamal calibration tone,
+//! or sweeping the few dozen PSD bins a spectral mask actually
+//! constrains ([`GoertzelBank`]).
 
 use rfbist_math::Complex64;
 use std::f64::consts::PI;
@@ -44,6 +46,253 @@ pub fn goertzel_magnitude(x: &[f64], f: f64) -> f64 {
 pub fn goertzel_tone_power(x: &[f64], f: f64) -> f64 {
     let n = x.len() as f64;
     goertzel(x, f).norm_sqr() / (n * n)
+}
+
+/// Reusable state buffers for [`GoertzelBank`]; create once and pass to
+/// every [`GoertzelBank::powers_into`] call so segment-averaged scans
+/// allocate nothing per segment (the `PnbsScratch` shape applied to
+/// spectral scanning).
+#[derive(Clone, Debug, Default)]
+pub struct GoertzelScratch {
+    s1: Vec<f64>,
+    s2: Vec<f64>,
+    out: Vec<f64>,
+}
+
+impl GoertzelScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-bin values written by the most recent banked call.
+    pub fn values(&self) -> &[f64] {
+        &self.out
+    }
+}
+
+/// A bank of Goertzel recurrences advanced together in one pass over
+/// the data — the batched form of [`goertzel`] for evaluating many
+/// spectral bins of the *same* signal segment.
+///
+/// One pass costs one fused multiply-add and one subtraction per bin
+/// per sample, with all per-bin state held in flat arrays so the inner
+/// loop vectorizes. Against a radix-2 FFT of length `N` this wins
+/// whenever the probed bin count is small compared to the transform —
+/// exactly the spectral-mask situation, where a 8192-bin PSD is checked
+/// against a mask that constrains only a few dozen bins. When most of
+/// the spectrum is needed, use the FFT instead; the break-even on this
+/// workspace's scalar FFT sits near `N/8` bins (see the
+/// `mask_scan` section of `BENCH_recon.json`).
+///
+/// The coefficient table (`2cos ω`, and `cos ω`/`sin ω` for the final
+/// extraction) is computed once at construction and shared by every
+/// segment the bank processes.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_dsp::goertzel::{goertzel, GoertzelBank, GoertzelScratch};
+///
+/// let x: Vec<f64> = (0..256).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let bank = GoertzelBank::new(&[0.05, 0.125, 0.3]);
+/// let mut scratch = GoertzelScratch::new();
+/// let powers = bank.powers_into(&x, &mut scratch).to_vec();
+/// for (i, &f) in [0.05, 0.125, 0.3].iter().enumerate() {
+///     assert!((powers[i] - goertzel(&x, f).norm_sqr()).abs() < 1e-6);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct GoertzelBank {
+    freqs: Vec<f64>,
+    /// `2cos ωⱼ` — the recurrence coefficient per bin.
+    coeff: Vec<f64>,
+    cos_w: Vec<f64>,
+    sin_w: Vec<f64>,
+}
+
+impl GoertzelBank {
+    /// Builds a bank probing the given normalized frequencies (cycles
+    /// per sample, not restricted to bin centers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs` is empty.
+    pub fn new(freqs: &[f64]) -> Self {
+        assert!(!freqs.is_empty(), "goertzel bank needs at least one bin");
+        let mut coeff = Vec::with_capacity(freqs.len());
+        let mut cos_w = Vec::with_capacity(freqs.len());
+        let mut sin_w = Vec::with_capacity(freqs.len());
+        for &f in freqs {
+            let w = 2.0 * PI * f;
+            coeff.push(2.0 * w.cos());
+            cos_w.push(w.cos());
+            sin_w.push(w.sin());
+        }
+        GoertzelBank {
+            freqs: freqs.to_vec(),
+            coeff,
+            cos_w,
+            sin_w,
+        }
+    }
+
+    /// Number of bins in the bank.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// `true` when the bank has no bins (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// The probed normalized frequencies.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Advances every bin's recurrence over `x` in one pass, leaving
+    /// the final states `(s[N−1], s[N−2])` in `(s1, s2)` of the
+    /// scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty.
+    fn run_states(&self, x: &[f64], scratch: &mut GoertzelScratch) {
+        assert!(!x.is_empty(), "goertzel over empty data");
+        let m = self.len();
+        scratch.s1.clear();
+        scratch.s1.resize(m, 0.0);
+        scratch.s2.clear();
+        scratch.s2.resize(m, 0.0);
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: feature support verified at runtime; the kernel
+            // body is ordinary safe Rust, recompiled at wider vectors
+            // with hardware-FMA steps.
+            if std::arch::is_x86_feature_detected!("fma") {
+                if std::arch::is_x86_feature_detected!("avx512f") {
+                    unsafe {
+                        Self::advance_avx512(&self.coeff, x, &mut scratch.s1, &mut scratch.s2)
+                    };
+                    return;
+                }
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    unsafe { Self::advance_avx2(&self.coeff, x, &mut scratch.s1, &mut scratch.s2) };
+                    return;
+                }
+            }
+        }
+        Self::advance::<false>(&self.coeff, x, &mut scratch.s1, &mut scratch.s2);
+    }
+
+    /// One recurrence step `x + c·s₁ − s₂`. `FUSED` selects the
+    /// hardware fused multiply-add form `c·s₁ + (x − s₂)` — two vector
+    /// ops instead of three, differing from the plain form by one
+    /// rounding (~1 ulp per step). Only the SIMD wrappers pass `true`:
+    /// without hardware FMA, `mul_add` falls back to a soft-float
+    /// routine orders of magnitude slower.
+    #[inline(always)]
+    fn step<const FUSED: bool>(c: f64, p1: f64, p2: f64, x: f64) -> f64 {
+        if FUSED {
+            c.mul_add(p1, x - p2)
+        } else {
+            x + c * p1 - p2
+        }
+    }
+
+    /// The recurrence kernel: sample-outer / bins-inner in flat slice
+    /// form (the shape the loop vectorizer handles best — every bin is
+    /// an independent lane), with four samples folded per pass so each
+    /// bin's state round-trips through L1 once per *four* samples
+    /// instead of once per sample:
+    ///
+    /// ```text
+    /// sₙ   = x₀ + c·s₁ − s₂      sₙ₊₂ = x₂ + c·sₙ₊₁ − sₙ
+    /// sₙ₊₁ = x₁ + c·sₙ − s₁      sₙ₊₃ = x₃ + c·sₙ₊₂ − sₙ₊₁
+    /// (s₁, s₂) ← (sₙ₊₃, sₙ₊₂)
+    /// ```
+    #[inline(always)]
+    fn advance<const FUSED: bool>(coeff: &[f64], x: &[f64], s1: &mut [f64], s2: &mut [f64]) {
+        let mut quads = x.chunks_exact(4);
+        for quad in &mut quads {
+            let (x0, x1, x2, x3) = (quad[0], quad[1], quad[2], quad[3]);
+            for ((c, p1), p2) in coeff.iter().zip(s1.iter_mut()).zip(s2.iter_mut()) {
+                let s_a = Self::step::<FUSED>(*c, *p1, *p2, x0);
+                let s_b = Self::step::<FUSED>(*c, s_a, *p1, x1);
+                let s_c = Self::step::<FUSED>(*c, s_b, s_a, x2);
+                let s_d = Self::step::<FUSED>(*c, s_c, s_b, x3);
+                *p1 = s_d;
+                *p2 = s_c;
+            }
+        }
+        for &x0 in quads.remainder() {
+            for ((c, p1), p2) in coeff.iter().zip(s1.iter_mut()).zip(s2.iter_mut()) {
+                let s = Self::step::<FUSED>(*c, *p1, *p2, x0);
+                *p2 = *p1;
+                *p1 = s;
+            }
+        }
+    }
+
+    /// [`advance`](Self::advance) compiled with AVX2 + FMA enabled and
+    /// fused steps. Selected at runtime by `run_states`; agrees with
+    /// the portable path to ~1 ulp per step (single rounding), far
+    /// inside every consumer's tolerance.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn advance_avx2(coeff: &[f64], x: &[f64], s1: &mut [f64], s2: &mut [f64]) {
+        Self::advance::<true>(coeff, x, s1, s2)
+    }
+
+    /// [`advance`](Self::advance) compiled with AVX-512F + FMA enabled
+    /// — the AVX2 variant's contract at twice the lane count.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,fma")]
+    unsafe fn advance_avx512(coeff: &[f64], x: &[f64], s1: &mut [f64], s2: &mut [f64]) {
+        Self::advance::<true>(coeff, x, s1, s2)
+    }
+
+    /// Evaluates `|X(fⱼ)|²` for every bin of the bank over `x` in one
+    /// pass, writing into `scratch` and returning the filled slice.
+    ///
+    /// Same scaling as `goertzel(x, f).norm_sqr()`: the squared direct
+    /// DFT coefficient, `|Σ x[n]·e^{-j2πfn}|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty.
+    pub fn powers_into<'s>(&self, x: &[f64], scratch: &'s mut GoertzelScratch) -> &'s [f64] {
+        self.run_states(x, scratch);
+        // |X|² = s₁² + s₂² − 2cos ω·s₁·s₂ (phase rotations drop out).
+        scratch.out.clear();
+        scratch.out.extend(
+            scratch
+                .s1
+                .iter()
+                .zip(&scratch.s2)
+                .zip(&self.coeff)
+                .map(|((&s1, &s2), &c)| s1 * s1 + s2 * s2 - c * s1 * s2),
+        );
+        &scratch.out
+    }
+
+    /// Evaluates the complex DFT coefficient at every bin — the banked
+    /// equivalent of calling [`goertzel`] per frequency, with the same
+    /// `X(f) = Σ x[n]·e^{-j2πfn}` reference.
+    pub fn dft(&self, x: &[f64]) -> Vec<Complex64> {
+        let mut scratch = GoertzelScratch::new();
+        self.run_states(x, &mut scratch);
+        let n = x.len() as f64;
+        (0..self.len())
+            .map(|j| {
+                let (s1, s2) = (scratch.s1[j], scratch.s2[j]);
+                let y = Complex64::new(s1 - self.cos_w[j] * s2, self.sin_w[j] * s2);
+                y * Complex64::cis(-2.0 * PI * self.freqs[j] * (n - 1.0))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -105,5 +354,90 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_input_panics() {
         let _ = goertzel(&[], 0.1);
+    }
+
+    #[test]
+    fn bank_matches_scalar_goertzel() {
+        // odd and even lengths pin the state-array parity normalization
+        for n in [255usize, 256, 1000] {
+            let x: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.21).sin() + 0.4 * (i as f64 * 0.043).cos())
+                .collect();
+            let freqs: Vec<f64> = vec![0.01, 0.125, 7.0 / n as f64, 0.33, 0.499];
+            let bank = GoertzelBank::new(&freqs);
+            let mut scratch = GoertzelScratch::new();
+            let powers = bank.powers_into(&x, &mut scratch).to_vec();
+            let spectra = bank.dft(&x);
+            for (j, &f) in freqs.iter().enumerate() {
+                let want = goertzel(&x, f);
+                assert!(
+                    (powers[j] - want.norm_sqr()).abs() <= 1e-9 * want.norm_sqr().max(1.0),
+                    "n {n} bin {j}: {} vs {}",
+                    powers[j],
+                    want.norm_sqr()
+                );
+                assert!(
+                    (spectra[j] - want).abs() <= 1e-8 * want.abs().max(1.0),
+                    "n {n} bin {j}: {} vs {want}",
+                    spectra[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bank_matches_fft_at_bin_centers() {
+        let n = 512;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() - 0.2).collect();
+        let spec = fft_real(&x);
+        let ks = [0usize, 3, 100, 255];
+        let freqs: Vec<f64> = ks.iter().map(|&k| k as f64 / n as f64).collect();
+        let bank = GoertzelBank::new(&freqs);
+        let mut scratch = GoertzelScratch::new();
+        let powers = bank.powers_into(&x, &mut scratch);
+        for (j, &k) in ks.iter().enumerate() {
+            assert!(
+                (powers[j] - spec[k].norm_sqr()).abs() < 1e-7,
+                "bin {k}: {} vs {}",
+                powers[j],
+                spec[k].norm_sqr()
+            );
+        }
+    }
+
+    #[test]
+    fn bank_scratch_is_reusable_across_segments() {
+        let bank = GoertzelBank::new(&[0.1, 0.2]);
+        let mut scratch = GoertzelScratch::new();
+        let a: Vec<f64> = (0..128).map(|i| (i as f64 * 0.11).sin()).collect();
+        let b: Vec<f64> = (0..64).map(|i| (i as f64 * 0.31).cos()).collect();
+        let pa = bank.powers_into(&a, &mut scratch).to_vec();
+        let pb = bank.powers_into(&b, &mut scratch).to_vec();
+        // re-running the first segment reproduces it exactly: no state
+        // leaks between segments
+        assert_eq!(bank.powers_into(&a, &mut scratch), &pa[..]);
+        assert_eq!(bank.powers_into(&b, &mut scratch), &pb[..]);
+        assert_eq!(scratch.values().len(), 2);
+    }
+
+    #[test]
+    fn bank_accessors() {
+        let bank = GoertzelBank::new(&[0.05, 0.25]);
+        assert_eq!(bank.len(), 2);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.freqs(), &[0.05, 0.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn empty_bank_panics() {
+        let _ = GoertzelBank::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn bank_empty_input_panics() {
+        let mut scratch = GoertzelScratch::new();
+        let _ = GoertzelBank::new(&[0.1]).powers_into(&[], &mut scratch);
     }
 }

@@ -7,7 +7,20 @@
 //! and through the Kaiser-design formula from stopband attenuation.
 
 use rfbist_math::special::bessel_i0;
+use std::cell::RefCell;
 use std::f64::consts::PI;
+use std::rc::Rc;
+
+thread_local! {
+    /// Most-recently-used coefficient table, keyed by (window, length).
+    /// Welch PSDs, the banked mask scan and repeated BIST runs all
+    /// regenerate the same window — a cosine or Bessel series per tap,
+    /// ~300 µs for the mask path's 8192-tap Blackman–Harris — so the
+    /// cache turns steady-state regeneration into one memcpy. A single
+    /// entry suffices: the workspace's window traffic comes in runs of
+    /// one configuration (mirroring the FFT twiddle cache).
+    static COEFF_CACHE: RefCell<Option<(Window, usize, Rc<[f64]>)>> = const { RefCell::new(None) };
+}
 
 /// Window function selector.
 ///
@@ -50,8 +63,19 @@ impl Window {
         if n == 1 {
             return vec![1.0];
         }
-        let m = (n - 1) as f64;
-        (0..n).map(|i| self.at(i as f64 / m)).collect()
+        COEFF_CACHE.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            if let Some((w, len, table)) = slot.as_ref() {
+                if *w == self && *len == n {
+                    return table.to_vec();
+                }
+            }
+            let m = (n - 1) as f64;
+            let table: Rc<[f64]> = (0..n).map(|i| self.at(i as f64 / m)).collect();
+            let out = table.to_vec();
+            *slot = Some((self, n, table));
+            out
+        })
     }
 
     /// Evaluates the window at normalized position `x ∈ [0, 1]`

@@ -35,7 +35,11 @@ fn main() {
         println!("\n[{label}]");
         print!("{report}");
         if !report.mask.violations.is_empty() {
-            println!("  first violations:");
+            println!(
+                "  {} violating bins ({} carried in the report); first:",
+                report.mask.violation_count,
+                report.mask.violations.len()
+            );
             for v in report.mask.violations.iter().take(4) {
                 println!(
                     "    {:.2} MHz: {:.1} dBc over the {:.1} dBc limit",

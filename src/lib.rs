@@ -50,11 +50,12 @@ pub use rfbist_signal as signal;
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig, JitterPlacement};
-    pub use rfbist_core::bist::{BistConfig, BistEngine};
+    pub use rfbist_core::bist::{BistConfig, BistEngine, ScanStrategy};
     pub use rfbist_core::cost::DualRateCost;
     pub use rfbist_core::jamal::{estimate_skew_jamal, test_tone_for_ratio};
     pub use rfbist_core::lms::{estimate_skew_lms, LmsConfig};
     pub use rfbist_core::mask::{MaskSegment, SpectralMask};
+    pub use rfbist_core::scan::{MaskScanEngine, MaskScanScratch};
     pub use rfbist_rfchain::faults::{standard_fault_set, Fault, FaultKind};
     pub use rfbist_rfchain::impairments::TxImpairments;
     pub use rfbist_rfchain::iqmod::IqImbalance;
