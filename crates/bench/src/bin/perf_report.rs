@@ -24,6 +24,15 @@
 //!    (`CostEvaluator` per worker) is reported alongside. The same
 //!    run also reports the NRMSE between the planned and reference
 //!    grids — the ≤ 1e-9 equivalence contract.
+//! 4. **grid_reconstruct** — the analysis-grid workload of
+//!    `BistEngine::run` (~12288 uniform points at 4 GHz): the
+//!    per-point planned batch vs the grid-aware plan
+//!    (`PnbsGridPlan::reconstruct_grid`, cross-point rotor reuse).
+//!    Asserted ≥ 2× (full) / ≥ 1.5× (quick) at ≤ 1e-9 NRMSE.
+//! 5. **mask_scan** — one spectral-mask verdict, FFT-Welch vs the
+//!    banked Goertzel scan. The speedup floor is asserted only when
+//!    the AVX2+FMA kernels can dispatch (on plain SSE2/NEON the bank
+//!    loses to the FFT by design); agreement is asserted everywhere.
 
 use rfbist_bench::{paper_cost, paper_stimulus, par, Frontend};
 use rfbist_core::bist::welch_segmentation;
@@ -33,8 +42,9 @@ use rfbist_dsp::psd::welch;
 use rfbist_dsp::window::Window;
 use rfbist_math::stats::nrmse;
 use rfbist_sampling::band::BandSpec;
+use rfbist_sampling::gridplan::GridScratch;
 use rfbist_sampling::kohlenberg::KohlenbergInterpolant;
-use rfbist_sampling::plan::PnbsPlan;
+use rfbist_sampling::plan::{PnbsPlan, PnbsScratch};
 use rfbist_sampling::reconstruct::{NonuniformCapture, PnbsReconstructor};
 use rfbist_signal::tone::Tone;
 use rfbist_signal::traits::ContinuousSignal;
@@ -166,6 +176,52 @@ fn bench_cost_grid(cfg: &Config) -> CostGridResult {
     }
 }
 
+struct GridReconResult {
+    per_point_ns: f64,
+    grid_ns: f64,
+    nrmse: f64,
+    points: usize,
+}
+
+/// The analysis-grid workload: `BistEngine::run` step 4 reconstructs
+/// the RF waveform on a dense uniform grid (~12288 points at 4 GHz)
+/// before every mask verdict. Per-point planned path
+/// (`reconstruct_batch`, six rotor re-seeds + two Kaiser Horner
+/// evaluations per tap per point) vs the grid-aware plan
+/// (`reconstruct_grid`, cross-point rotors + factored per-sample
+/// tables + tabulated window). Both paths reuse their scratch across
+/// repetitions, exactly as the engine does across verdicts.
+fn bench_grid_reconstruct(cfg: &Config) -> GridReconResult {
+    const FS_GRID: f64 = 4e9;
+    let band = BandSpec::centered(FC, B);
+    let stim = paper_stimulus(96, 0xACE1);
+    let cap = NonuniformCapture::from_signal(&stim, 1.0 / B, D, 80, 380);
+    let rec = PnbsReconstructor::paper_default(band, D).expect("valid delay");
+    let (lo, hi) = rec.coverage(&cap).expect("capture too short");
+    let dt = 1.0 / FS_GRID;
+    let points = if cfg.quick { 4096 } else { 12288 }.min(((hi - lo) / dt) as usize);
+    let times: Vec<f64> = (0..points).map(|i| lo + i as f64 * dt).collect();
+
+    let mut pp_scratch = PnbsScratch::new();
+    let per_point_ns = median_ns_per_op(cfg.reps, points, || {
+        black_box(rec.reconstruct_batch(&cap, &times, &mut pp_scratch));
+    });
+    let per_point_wave = pp_scratch.values().to_vec();
+
+    let mut grid_scratch = GridScratch::new();
+    let grid_ns = median_ns_per_op(cfg.reps, points, || {
+        black_box(rec.reconstruct_grid(&cap, lo, dt, points, &mut grid_scratch));
+    });
+    let grid_wave = grid_scratch.values();
+
+    GridReconResult {
+        per_point_ns,
+        grid_ns,
+        nrmse: nrmse(grid_wave, &per_point_wave),
+        points,
+    }
+}
+
 struct MaskScanResult {
     fft_welch_ns: f64,
     banked_ns: f64,
@@ -283,6 +339,15 @@ fn main() {
         grid.workers,
         grid.reference_ns / grid.parallel_ns,
     );
+    let grid_recon = bench_grid_reconstruct(&cfg);
+    println!(
+        "grid_reconstruct   {:>10.1} ns/pt per-point plan {:>10.1} ns/pt grid plan  ({:.2}x over {} points, nrmse {:.3e})",
+        grid_recon.per_point_ns,
+        grid_recon.grid_ns,
+        grid_recon.per_point_ns / grid_recon.grid_ns,
+        grid_recon.points,
+        grid_recon.nrmse,
+    );
     let mask_scan = bench_mask_scan(&cfg);
     println!(
         "mask_scan          {:>10.1} us/verdict fft-welch  {:>10.1} us/verdict banked  ({:.2}x, {} of {} bins, margin delta {:.3e} dB)",
@@ -320,6 +385,13 @@ fn main() {
     "parallel_speedup": {grid_par_speedup:.3},
     "planned_vs_reference_nrmse": {nrmse:.3e}
   }},
+  "grid_reconstruct": {{
+    "points": {grid_recon_points},
+    "per_point_median_ns_per_point": {grid_recon_pp:.2},
+    "grid_plan_median_ns_per_point": {grid_recon_grid:.2},
+    "speedup": {grid_recon_speedup:.3},
+    "grid_vs_per_point_nrmse": {grid_recon_nrmse:.3e}
+  }},
   "mask_scan": {{
     "probed_bins": {scan_bins},
     "total_bins": {scan_total},
@@ -347,6 +419,11 @@ fn main() {
         grid_par = grid.parallel_ns,
         grid_par_speedup = grid.reference_ns / grid.parallel_ns,
         nrmse = grid.nrmse,
+        grid_recon_points = grid_recon.points,
+        grid_recon_pp = grid_recon.per_point_ns,
+        grid_recon_grid = grid_recon.grid_ns,
+        grid_recon_speedup = grid_recon.per_point_ns / grid_recon.grid_ns,
+        grid_recon_nrmse = grid_recon.nrmse,
         scan_bins = mask_scan.probed_bins,
         scan_total = mask_scan.total_bins,
         scan_fft = mask_scan.fft_welch_ns,
@@ -377,6 +454,24 @@ fn main() {
         "cost-grid speedup below the {floor}x floor: {:.2}x",
         grid.reference_ns / grid.planned_ns
     );
+    // Grid-reconstruct contracts: the grid-aware plan must agree with
+    // the per-point plan on the analysis-grid workload and more than
+    // halve its cost (full mode; quick mode gets noise headroom on
+    // shared runners). These are not SIMD-dependent — both paths are
+    // scalar — so they hold unconditionally; in CI the smoke only runs
+    // on the AVX2-capable default job regardless (the scalar-flags job
+    // runs the test suite alone).
+    assert!(
+        grid_recon.nrmse <= 1e-9,
+        "grid plan diverged from the per-point plan: nrmse {}",
+        grid_recon.nrmse
+    );
+    let grid_floor = if cfg.quick { 1.5 } else { 2.0 };
+    assert!(
+        grid_recon.per_point_ns / grid_recon.grid_ns >= grid_floor,
+        "grid-reconstruct speedup below the {grid_floor}x floor: {:.2}x",
+        grid_recon.per_point_ns / grid_recon.grid_ns
+    );
     // Mask-scan contracts: the banked Goertzel path must agree with the
     // FFT-Welch reference on the Section V fixture (they probe the same
     // bins, so the budgeted 0.5 dB is ~9 orders of magnitude of
@@ -391,11 +486,37 @@ fn main() {
     // Floors sit well under the ~1.5x a quiet x86 machine measures:
     // the FFT side's large allocations make single runs noisy, and the
     // banked side's FMA kernel needs the runtime-dispatched SIMD path
-    // (any AVX2+FMA-era core) to win at all.
+    // (any AVX2+FMA-era core) to win at all. On plain SSE2/NEON
+    // hardware the Goertzel bank genuinely loses to the FFT (it trades
+    // O(N log N) for O(bins·N) and needs vector width to come out
+    // ahead), so the speedup floor is asserted only where the AVX2+FMA
+    // kernels can dispatch; the measured ratio is reported either way.
     let scan_floor = if cfg.quick { 1.0 } else { 1.25 };
-    assert!(
-        mask_scan.fft_welch_ns / mask_scan.banked_ns > scan_floor,
-        "banked mask scan must beat FFT-Welch (>{scan_floor}x): {:.2}x",
-        mask_scan.fft_welch_ns / mask_scan.banked_ns
-    );
+    if scan_simd_available() {
+        assert!(
+            mask_scan.fft_welch_ns / mask_scan.banked_ns > scan_floor,
+            "banked mask scan must beat FFT-Welch (>{scan_floor}x): {:.2}x",
+            mask_scan.fft_welch_ns / mask_scan.banked_ns
+        );
+    } else {
+        println!(
+            "mask_scan speedup floor (> {scan_floor}x) not asserted: no AVX2+FMA on this CPU \
+             (measured {:.2}x)",
+            mask_scan.fft_welch_ns / mask_scan.banked_ns
+        );
+    }
+}
+
+/// Whether the banked Goertzel scan's runtime-dispatched AVX2+FMA
+/// kernels can engage on this CPU — the precondition for the scan's
+/// speedup floor (see `rfbist_dsp::goertzel`).
+fn scan_simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
 }

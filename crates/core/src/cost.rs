@@ -16,8 +16,15 @@
 use rfbist_dsp::window::Window;
 use rfbist_math::rng::Randomizer;
 use rfbist_sampling::dualrate::DualRateConfig;
+use rfbist_sampling::gridplan::{GridScratch, PnbsGridPlan};
 use rfbist_sampling::plan::{PnbsPlan, PnbsScratch};
 use rfbist_sampling::reconstruct::{NonuniformCapture, PnbsReconstructor};
+
+/// The paper's probe-schedule reconstruction configuration (61 taps,
+/// Kaiser β = 8), shared by the coverage-window computation and both
+/// generated schedules so they can never drift apart.
+const PAPER_PROBE_TAPS: usize = 61;
+const PAPER_PROBE_WINDOW: Window = Window::Kaiser(8.0);
 
 /// A bound cost function: captures + probe times + filter settings.
 #[derive(Clone, Debug)]
@@ -26,6 +33,11 @@ pub struct DualRateCost {
     slow: NonuniformCapture,
     config: DualRateConfig,
     times: Vec<f64>,
+    /// `Some((t0, step))` when `times` is the uniform grid
+    /// `t0, t0 + step, …` — the schedule that routes every cost
+    /// evaluation through the grid-aware reconstruction plan
+    /// ([`PnbsGridPlan`]) instead of the per-point batch path.
+    grid: Option<(f64, f64)>,
     num_taps: usize,
     window: Window,
 }
@@ -61,6 +73,7 @@ impl DualRateCost {
             slow,
             config,
             times,
+            grid: None,
             num_taps,
             window,
         };
@@ -80,6 +93,31 @@ impl DualRateCost {
         cost
     }
 
+    /// The probe window shared by every generated schedule: the
+    /// intersection of both captures' paper-configuration (61-tap
+    /// Kaiser) coverage, evaluated at a representative valid delay.
+    /// One definition, so the random and uniform-grid schedules can
+    /// never drift onto different windows.
+    fn probe_window(
+        fast: &NonuniformCapture,
+        slow: &NonuniformCapture,
+        config: &DualRateConfig,
+    ) -> (f64, f64) {
+        let num_taps = PAPER_PROBE_TAPS;
+        let window = PAPER_PROBE_WINDOW;
+        let probe_delay = config.delay().min(config.m_bound() * 0.5);
+        let fast_rec = PnbsReconstructor::new(config.fast_band(), probe_delay, num_taps, window)
+            .expect("valid probe delay");
+        let slow_rec = PnbsReconstructor::new(config.slow_band(), probe_delay, num_taps, window)
+            .expect("valid probe delay");
+        let (f_lo, f_hi) = fast_rec.coverage(fast).expect("fast capture too short");
+        let (s_lo, s_hi) = slow_rec.coverage(slow).expect("slow capture too short");
+        let lo = f_lo.max(s_lo);
+        let hi = f_hi.min(s_hi);
+        assert!(hi > lo, "captures do not overlap in time");
+        (lo, hi)
+    }
+
     /// The paper's probe setup: `n` random times drawn uniformly from
     /// the intersection of both captures' coverage (the paper uses
     /// N = 300 over a 1230 ns window), 61-tap Kaiser reconstruction.
@@ -91,19 +129,7 @@ impl DualRateCost {
         seed: u64,
     ) -> Self {
         assert!(n > 0, "at least one probe time required");
-        let num_taps = 61;
-        let window = Window::Kaiser(8.0);
-        // coverage intersection at a representative delay
-        let probe_delay = config.delay().min(config.m_bound() * 0.5);
-        let fast_rec = PnbsReconstructor::new(config.fast_band(), probe_delay, num_taps, window)
-            .expect("valid probe delay");
-        let slow_rec = PnbsReconstructor::new(config.slow_band(), probe_delay, num_taps, window)
-            .expect("valid probe delay");
-        let (f_lo, f_hi) = fast_rec.coverage(&fast).expect("fast capture too short");
-        let (s_lo, s_hi) = slow_rec.coverage(&slow).expect("slow capture too short");
-        let lo = f_lo.max(s_lo);
-        let hi = f_hi.min(s_hi);
-        assert!(hi > lo, "captures do not overlap in time");
+        let (lo, hi) = Self::probe_window(&fast, &slow, &config);
         let mut rng = Randomizer::from_seed(seed);
         let times = (0..n).map(|_| rng.uniform(lo, hi)).collect();
         DualRateCost {
@@ -111,9 +137,51 @@ impl DualRateCost {
             slow,
             config,
             times,
-            num_taps,
-            window,
+            grid: None,
+            num_taps: PAPER_PROBE_TAPS,
+            window: PAPER_PROBE_WINDOW,
         }
+    }
+
+    /// Uniform-grid probe schedule: `n` probe times at the midpoints of
+    /// a uniform subdivision of both captures' coverage intersection
+    /// (so the singular coverage edges are never touched), 61-tap
+    /// Kaiser reconstruction.
+    ///
+    /// Functionally interchangeable with
+    /// [`paper_probes`](Self::paper_probes) — the cost keeps its unique
+    /// minimum at the true delay — but the uniform spacing lets every
+    /// evaluation reconstruct both captures through the grid-aware plan
+    /// ([`PnbsGridPlan`]): per-tap rotors are reused *across* probe
+    /// points instead of being re-seeded per point, which is where LMS
+    /// descents and Fig. 5 sweeps spend their time.
+    pub fn grid_probes(
+        fast: NonuniformCapture,
+        slow: NonuniformCapture,
+        config: DualRateConfig,
+        n: usize,
+    ) -> Self {
+        assert!(n > 0, "at least one probe time required");
+        let (lo, hi) = Self::probe_window(&fast, &slow, &config);
+        let step = (hi - lo) / n as f64;
+        let t0 = lo + 0.5 * step;
+        let times = (0..n).map(|i| t0 + i as f64 * step).collect();
+        DualRateCost {
+            fast,
+            slow,
+            config,
+            times,
+            grid: Some((t0, step)),
+            num_taps: PAPER_PROBE_TAPS,
+            window: PAPER_PROBE_WINDOW,
+        }
+    }
+
+    /// `Some((t0, step))` when the probe times form a uniform grid (the
+    /// [`grid_probes`](Self::grid_probes) schedule), enabling the
+    /// grid-aware reconstruction path inside every evaluation.
+    pub fn probe_grid(&self) -> Option<(f64, f64)> {
+        self.grid
     }
 
     /// The dual-rate configuration.
@@ -194,6 +262,8 @@ impl DualRateCost {
             cost: self,
             fast_scratch: PnbsScratch::new(),
             slow_scratch: PnbsScratch::new(),
+            fast_grid: GridScratch::new(),
+            slow_grid: GridScratch::new(),
         }
     }
 
@@ -233,14 +303,32 @@ pub struct CostEvaluator<'a> {
     cost: &'a DualRateCost,
     fast_scratch: PnbsScratch,
     slow_scratch: PnbsScratch,
+    fast_grid: GridScratch,
+    slow_grid: GridScratch,
 }
 
 impl CostEvaluator<'_> {
     /// Evaluates `ε(D̂)` with the same clamping contract as
     /// [`DualRateCost::evaluate`].
+    ///
+    /// Uniform-grid probe schedules
+    /// ([`DualRateCost::grid_probes`]) dispatch to the grid-aware
+    /// reconstruction plan; random schedules use the per-point batch
+    /// path. Both agree with the direct reference to ≤ 1e-9.
     pub fn eval(&mut self, d_hat: f64) -> f64 {
         let cost = self.cost;
         let d = cost.clamp_candidate(d_hat);
+        if let Some((t0, step)) = cost.grid {
+            let n = cost.times.len();
+            let fast_plan =
+                PnbsGridPlan::new(cost.config.fast_band(), d, cost.num_taps, cost.window);
+            let slow_plan =
+                PnbsGridPlan::new(cost.config.slow_band(), d, cost.num_taps, cost.window);
+            let a = fast_plan.reconstruct_grid(&cost.fast, t0, step, n, &mut self.fast_grid);
+            let b = slow_plan.reconstruct_grid(&cost.slow, t0, step, n, &mut self.slow_grid);
+            let acc: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+            return acc / n as f64;
+        }
         let fast_plan = PnbsPlan::new(cost.config.fast_band(), d, cost.num_taps, cost.window);
         let slow_plan = PnbsPlan::new(cost.config.slow_band(), d, cost.num_taps, cost.window);
         let a = fast_plan.reconstruct_batch(&cost.fast, &cost.times, &mut self.fast_scratch);
@@ -406,6 +494,75 @@ mod tests {
         }
         // the evaluator's batch entry point (shared with the LMS
         // gradient probes) is the same computation
+        let mut ev = cost.evaluator();
+        assert_eq!(ev.eval_grid(&candidates), grid);
+    }
+
+    fn paper_grid_setup(ideal: bool) -> DualRateCost {
+        let random = paper_setup(ideal);
+        DualRateCost::grid_probes(
+            random.fast_capture().clone(),
+            random.slow_capture().clone(),
+            *random.config(),
+            120,
+        )
+    }
+
+    #[test]
+    fn grid_probes_form_a_uniform_midpoint_grid() {
+        let cost = paper_grid_setup(true);
+        let (t0, step) = cost.probe_grid().expect("grid schedule");
+        assert!(step > 0.0);
+        assert_eq!(cost.times().len(), 120);
+        for (i, &t) in cost.times().iter().enumerate() {
+            assert_eq!(t, t0 + i as f64 * step, "probe {i} off the grid");
+        }
+        // random schedules expose no grid
+        assert!(paper_setup(true).probe_grid().is_none());
+    }
+
+    #[test]
+    fn grid_probed_cost_keeps_minimum_at_true_delay() {
+        let cost = paper_grid_setup(true);
+        let sweep = cost.sweep(60);
+        let (d_min, _) = sweep
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(
+            (d_min - 180e-12).abs() < 5e-12,
+            "minimum at {} ps",
+            d_min * 1e12
+        );
+        let at_truth = cost.evaluate(180e-12);
+        let away = cost.evaluate(120e-12);
+        assert!(away > 20.0 * at_truth, "contrast {away} vs {at_truth}");
+    }
+
+    #[test]
+    fn grid_probed_cost_matches_reference_cost() {
+        // The grid-aware reconstruction path inside the evaluator must
+        // agree with the direct reference over the same probe times.
+        let cost = paper_grid_setup(false);
+        for d_ps in [50.0, 120.0, 180.0, 250.0, 400.0] {
+            let planned = cost.evaluate(d_ps * 1e-12);
+            let reference = cost.evaluate_reference(d_ps * 1e-12);
+            assert!(
+                (planned - reference).abs() <= 1e-9,
+                "D̂ = {d_ps} ps: grid {planned} vs reference {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_probed_eval_grid_matches_pointwise_evaluation() {
+        let cost = paper_grid_setup(true);
+        let candidates: Vec<f64> = (1..=8).map(|i| i as f64 * 50e-12).collect();
+        let grid = cost.eval_grid(&candidates);
+        for (i, &d) in candidates.iter().enumerate() {
+            assert_eq!(grid[i], cost.evaluate(d), "grid diverges at {d:e}");
+        }
         let mut ev = cost.evaluator();
         assert_eq!(ev.eval_grid(&candidates), grid);
     }

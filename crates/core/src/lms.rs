@@ -310,6 +310,31 @@ mod tests {
     }
 
     #[test]
+    fn converges_on_grid_probed_cost() {
+        // The uniform-grid probe schedule sends every gradient probe
+        // and update evaluation through the grid-aware reconstruction
+        // plan; Algorithm 1 must converge exactly as it does on the
+        // paper's random probe times.
+        let random = paper_cost(true);
+        let cost = DualRateCost::grid_probes(
+            random.fast_capture().clone(),
+            random.slow_capture().clone(),
+            *random.config(),
+            120,
+        );
+        for d0_ps in [50.0, 400.0] {
+            let result = estimate_skew_lms(&cost, LmsConfig::paper_default(d0_ps * 1e-12));
+            let err_ps = (result.estimate - 180e-12).abs() * 1e12;
+            assert!(
+                err_ps < 0.1,
+                "from {d0_ps} ps: estimate {} ps (err {err_ps} ps)",
+                result.estimate * 1e12
+            );
+            assert!(result.converged);
+        }
+    }
+
+    #[test]
     fn cost_decreases_monotonically_along_trace() {
         let cost = paper_cost(true);
         let result = estimate_skew_lms(&cost, LmsConfig::paper_default(100e-12));

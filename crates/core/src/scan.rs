@@ -156,7 +156,7 @@ impl MaskScanEngine {
             }
             masked_bins += usize::from(limit_dbc.is_some());
             reference_bins += usize::from(in_reference);
-            let is_nyquist = segment_len % 2 == 0 && k == nbins - 1;
+            let is_nyquist = segment_len.is_multiple_of(2) && k == nbins - 1;
             bins.push(ScanBin {
                 freq,
                 limit_dbc,

@@ -128,7 +128,7 @@ mod tests {
     fn peak_exceeds_rms_for_single_outlier() {
         let c = qpsk();
         let mut measured = c.clone();
-        measured[2] = measured[2] + Complex64::new(0.5, 0.0);
+        measured[2] += Complex64::new(0.5, 0.0);
         let r = evm(&measured, &c);
         assert!(r.peak > r.rms);
         assert!((r.peak - 0.5).abs() < 1e-12);

@@ -171,7 +171,7 @@ impl GoertzelBank {
             // SAFETY: feature support verified at runtime; the kernel
             // body is ordinary safe Rust, recompiled at wider vectors
             // with hardware-FMA steps.
-            if std::arch::is_x86_feature_detected!("fma") {
+            if !force_scalar() && std::arch::is_x86_feature_detected!("fma") {
                 if std::arch::is_x86_feature_detected!("avx512f") {
                     unsafe {
                         Self::advance_avx512(&self.coeff, x, &mut scratch.s1, &mut scratch.s2)
@@ -293,6 +293,24 @@ impl GoertzelBank {
             })
             .collect()
     }
+}
+
+/// `true` when `RFBIST_FORCE_SCALAR` is set (to anything but `0` or
+/// empty): the runtime SIMD dispatch is skipped and the portable
+/// `advance::<false>` kernel runs instead. `RUSTFLAGS`-level feature
+/// flags cannot reach the `target_feature`-recompiled kernels (that is
+/// the whole point of runtime dispatch), so this is the hook CI's
+/// scalar-portability job uses to actually execute the fallback path
+/// on SIMD-capable runners. Read once and cached.
+#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+fn force_scalar() -> bool {
+    use std::sync::OnceLock;
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| {
+        std::env::var("RFBIST_FORCE_SCALAR")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
 }
 
 #[cfg(test)]

@@ -92,7 +92,7 @@ fn periodogram_with_coefficients(x: &[f64], fs: f64, w: &[f64]) -> PsdEstimate {
     let mut psd: Vec<f64> = (0..nbins).map(|k| spec[k].norm_sqr() * scale).collect();
     // double the interior bins for one-sided density
     for (k, p) in psd.iter_mut().enumerate() {
-        let is_nyquist = n % 2 == 0 && k == nbins - 1;
+        let is_nyquist = n.is_multiple_of(2) && k == nbins - 1;
         if k != 0 && !is_nyquist {
             *p *= 2.0;
         }

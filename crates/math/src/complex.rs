@@ -174,6 +174,8 @@ impl Mul for Complex64 {
 
 impl Div for Complex64 {
     type Output = Complex64;
+    // division by a complex IS multiplication by its reciprocal
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.inv()

@@ -57,8 +57,8 @@ pub fn sinc_uniform(y: &[f64], t0: f64, dt: f64, t: f64, half_width: usize) -> f
     let lo = (center - half_width as isize).max(0) as usize;
     let hi = ((center + half_width as isize) as usize).min(y.len().saturating_sub(1));
     let mut acc = 0.0;
-    for k in lo..=hi {
-        acc += y[k] * sinc(pos - k as f64);
+    for (k, &yk) in y.iter().enumerate().take(hi + 1).skip(lo) {
+        acc += yk * sinc(pos - k as f64);
     }
     acc
 }

@@ -119,6 +119,57 @@ impl PhaseRotor {
     }
 }
 
+/// Advances between *exact* re-seedings in [`fill_phasor_table`]. The
+/// Newton renormalization bounds magnitude error but not phase error,
+/// which still accumulates O(n·ε); re-seeding from a direct `sincos`
+/// every 256 entries caps the accumulated phase drift at
+/// ≈ 256·ε ≈ 6e-14 rad regardless of table length, while keeping the
+/// amortized trigonometric cost at one `sincos` per 256 entries.
+const RESEED_INTERVAL: usize = 256;
+
+/// Fills `cos_out`/`sin_out` with `cos/sin(phase0 + n·step)` for
+/// `n = 0, 1, …` by phase-rotor recurrence, re-seeding exactly every
+/// [`RESEED_INTERVAL`] entries so the tables stay within a bounded
+/// phase error of a direct per-entry `sincos` for arbitrarily long
+/// runs — the builder behind the grid-aware reconstruction plan's
+/// per-sample phasor tables.
+///
+/// # Example
+///
+/// ```
+/// use rfbist_math::rotor::fill_phasor_table;
+///
+/// let mut c = vec![0.0; 1000];
+/// let mut s = vec![0.0; 1000];
+/// fill_phasor_table(0.3, 0.017, &mut c, &mut s);
+/// for n in (0..1000).step_by(97) {
+///     let phase = 0.3 + n as f64 * 0.017;
+///     assert!((c[n] - phase.cos()).abs() < 1e-12);
+///     assert!((s[n] - phase.sin()).abs() < 1e-12);
+/// }
+/// ```
+///
+/// # Panics
+///
+/// Panics if the output slices differ in length.
+pub fn fill_phasor_table(phase0: f64, step: f64, cos_out: &mut [f64], sin_out: &mut [f64]) {
+    assert_eq!(
+        cos_out.len(),
+        sin_out.len(),
+        "phasor table slices must have equal length"
+    );
+    let (ds, dc) = sincos(step);
+    let mut rot = PhaseRotor::with_step_parts(phase0, dc, ds);
+    for (i, (c, s)) in cos_out.iter_mut().zip(sin_out.iter_mut()).enumerate() {
+        if i > 0 && i % RESEED_INTERVAL == 0 {
+            rot = PhaseRotor::with_step_parts(phase0 + i as f64 * step, dc, ds);
+        }
+        *c = rot.cos();
+        *s = rot.sin();
+        rot.advance();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +224,59 @@ mod tests {
             a.advance();
             b.advance();
         }
+    }
+
+    #[test]
+    fn fill_phasor_table_tracks_direct_evaluation() {
+        // Long enough to cross many reseed boundaries, RF-scale phases.
+        let phase0 = 2.0 * PI * 1.045e9 * -1.7e-6;
+        let step = 2.0 * PI * 1.045e9 / 90e6;
+        let n = 5000;
+        let mut c = vec![0.0; n];
+        let mut s = vec![0.0; n];
+        fill_phasor_table(phase0, step, &mut c, &mut s);
+        for i in 0..n {
+            let phase = phase0 + i as f64 * step;
+            assert!(
+                (c[i] - phase.cos()).abs() < 5e-10,
+                "cos drift at entry {i}: {} vs {}",
+                c[i],
+                phase.cos()
+            );
+            assert!((s[i] - phase.sin()).abs() < 5e-10, "sin drift at entry {i}");
+        }
+    }
+
+    #[test]
+    fn fill_phasor_table_is_exact_at_reseed_points() {
+        let mut c = vec![0.0; 600];
+        let mut s = vec![0.0; 600];
+        fill_phasor_table(1.1, 0.37, &mut c, &mut s);
+        for i in [0usize, 256, 512] {
+            let (ds, dc) = sincos(1.1 + i as f64 * 0.37);
+            assert_eq!(c[i], dc, "reseed entry {i} must equal direct sincos");
+            assert_eq!(s[i], ds);
+        }
+    }
+
+    #[test]
+    fn fill_phasor_table_empty_and_short() {
+        let mut c: Vec<f64> = vec![];
+        let mut s: Vec<f64> = vec![];
+        fill_phasor_table(0.5, 0.1, &mut c, &mut s);
+        let mut c1 = [0.0];
+        let mut s1 = [0.0];
+        fill_phasor_table(0.5, 0.1, &mut c1, &mut s1);
+        assert_eq!(c1[0], 0.5f64.cos());
+        assert_eq!(s1[0], 0.5f64.sin());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn fill_phasor_table_length_mismatch_panics() {
+        let mut c = [0.0; 3];
+        let mut s = [0.0; 4];
+        fill_phasor_table(0.0, 0.1, &mut c, &mut s);
     }
 
     #[test]

@@ -180,7 +180,7 @@ mod tests {
         let cases: [(f64, f64); 4] = [
             (0.0, 0.0),
             (1.0, 0.5651591039924851),
-            (2.0, 1.5906368546373291),
+            (2.0, 1.590636854637329),
             (5.0, 24.33564214245053),
         ];
         for (x, expected) in cases {

@@ -1,0 +1,695 @@
+//! Grid-aware PNBS reconstruction — cross-point rotor reuse on uniform
+//! analysis grids.
+//!
+//! The per-point plan ([`PnbsPlan`]) already removed the per-tap
+//! trigonometry from one eq. 6 evaluation, but it still *re-seeds* six
+//! phase rotors (six `sincos` calls) at every probe instant and pays a
+//! ~31-term Kaiser Horner polynomial twice per tap. On the workloads
+//! that dominate the end-to-end BIST — the dense analysis grid
+//! (`BistEngine::run` reconstructs ~12288 uniform points per verdict)
+//! and uniform-grid cost probes — the probe instants are consecutive
+//! points of a *uniform* grid, so the kernel phases advance by a fixed
+//! increment from point to point and nothing needs re-seeding.
+//!
+//! [`PnbsGridPlan`] exploits that structure twice over:
+//!
+//! - **Cross-point rotors.** Each cosine family's time phasor
+//!   `e^{jωⱼ(t − n_ref·T)}` is advanced once per *grid point* by a
+//!   precomputed grid-step rotor `e^{jωⱼ·Δt}` (with a periodic exact
+//!   re-seed bounding phase drift on arbitrarily long grids), instead
+//!   of six `sincos` re-seeds per point.
+//! - **Factored per-sample tables.** The kernel numerator is a fixed
+//!   linear combination `Σⱼ αⱼcos(ωⱼτ) + βⱼsin(ωⱼτ)` of the three
+//!   families, and `τ = t − nT` splits by the angle-sum identity into
+//!   the time phasor times a per-*sample* phasor `e^{jωⱼ(n − n_ref)T}`.
+//!   Folding `(αⱼ, βⱼ)` into per-sample tables (built once per grid
+//!   call with [`fill_phasor_table`]'s re-seeded recurrences) collapses
+//!   the whole per-tap kernel numerator to six fused multiply-adds per
+//!   stream.
+//! - **Tabulated window.** The Kaiser Horner polynomial is replaced by
+//!   the cached cubic [`WindowTable`], built *node-aligned* to the tap
+//!   stride `1/(2(h+1))`: every tap of a point's window row then shares
+//!   one set of interpolation weights and an integer node stride, so a
+//!   row costs four contiguous loads and four fused multiply-adds per
+//!   tap (≤ 5e-12 from the exact sampler, with a direct fallback for
+//!   shapes the table cannot represent).
+//!
+//! Near the kernel origin (|τ| below [`NEAR_ORIGIN_FRACTION`] of a
+//! sample period) the `1/τ` pole amplifies the tables' bounded phase
+//! error, so those few taps — at most one per stream per point — drop
+//! to an exact small-argument evaluation. The result tracks the
+//! per-point plan and the direct reference to ≪ 1e-9
+//! (`tests/grid_plan_equivalence.rs`), at less than half the per-point
+//! plan's cost (`BENCH_recon.json`, `grid_reconstruct`).
+
+use crate::plan::PnbsPlan;
+use crate::reconstruct::NonuniformCapture;
+use rfbist_dsp::window::{Window, WindowTable};
+use rfbist_math::rotor::{fill_phasor_table, sincos};
+
+/// Grid points between exact re-seeds of the three time phasors. The
+/// grid-step rotor's phase error grows O(points·ε); re-seeding every
+/// 256 points caps it at ≈ 6e-14 rad — far below the near-origin
+/// guard's budget — for arbitrarily long grids.
+const TIME_RESEED_INTERVAL: usize = 256;
+
+/// Taps whose kernel argument is within this fraction of a sample
+/// period of the origin are evaluated exactly instead of through the
+/// factored tables: at `|τ| ≥ T/16` the `1/τ` amplification of the
+/// tables' ~4e-12 rad worst-case phase error stays below ~1e-11 of
+/// kernel value, and the exact path costs three `sincos` on at most
+/// one tap per stream per point.
+const NEAR_ORIGIN_FRACTION: f64 = 1.0 / 16.0;
+
+/// Reusable buffers for grid reconstruction: the output values plus
+/// the per-sample factored phasor tables, so repeated grid calls (one
+/// per cost candidate, one per BIST verdict) allocate nothing in
+/// steady state.
+#[derive(Clone, Debug, Default)]
+pub struct GridScratch {
+    out: Vec<f64>,
+    /// Even-stream per-sample constants, interleaved
+    /// `[A₀, B₀, A₁, B₁, A₂, B₂]` per sample — one pair per cosine
+    /// family, `(αⱼ, βⱼ)` folded in.
+    even_tab: Vec<f64>,
+    /// Odd-stream per-sample constants, same layout.
+    odd_tab: Vec<f64>,
+    cos_buf: Vec<f64>,
+    sin_buf: Vec<f64>,
+    /// Per-point window rows (one value per tap and stream), refilled
+    /// for every grid point.
+    win_e: Vec<f64>,
+    win_o: Vec<f64>,
+}
+
+impl GridScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The values written by the most recent grid call.
+    pub fn values(&self) -> &[f64] {
+        &self.out
+    }
+
+    /// Consumes the scratch, yielding the most recent grid's values
+    /// without a copy.
+    pub fn into_values(self) -> Vec<f64> {
+        self.out
+    }
+}
+
+/// A [`PnbsPlan`] extended for uniform-grid reconstruction with
+/// cross-point rotor reuse (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use rfbist_dsp::window::Window;
+/// use rfbist_sampling::band::BandSpec;
+/// use rfbist_sampling::gridplan::{GridScratch, PnbsGridPlan};
+/// use rfbist_sampling::reconstruct::{NonuniformCapture, PnbsReconstructor};
+/// use rfbist_signal::tone::Tone;
+///
+/// let band = BandSpec::centered(1e9, 90e6);
+/// let d = 180e-12;
+/// let tone = Tone::unit(0.98e9);
+/// let cap = NonuniformCapture::from_signal(&tone, 1.0 / 90e6, d, -40, 300);
+/// let plan = PnbsGridPlan::new(band, d, 61, Window::Kaiser(8.0));
+/// let mut scratch = GridScratch::new();
+/// let wave = plan.reconstruct_grid(&cap, 1.0e-6, 2.5e-10, 64, &mut scratch);
+/// // identical (to ≪ 1e-9) to the per-point planned path
+/// let rec = PnbsReconstructor::paper_default(band, d).unwrap();
+/// assert!((wave[5] - rec.reconstruct_at(&cap, 1.0e-6 + 5.0 * 2.5e-10)).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PnbsGridPlan {
+    plan: PnbsPlan,
+    window_table: WindowTable,
+    /// Cosine weights of the factored kernel numerator
+    /// `Σⱼ αⱼ·cos(ωⱼτ) + βⱼ·sin(ωⱼτ)`.
+    alpha: [f64; 3],
+    /// Sine weights of the factored kernel numerator.
+    beta: [f64; 3],
+}
+
+impl PnbsGridPlan {
+    /// Builds a grid plan for `band` at delay estimate `delay` with
+    /// `num_taps` kernel taps per stream tapered by `window`. Delay
+    /// constraints are not checked, mirroring [`PnbsPlan::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_taps` is even or zero.
+    pub fn new(band: crate::band::BandSpec, delay: f64, num_taps: usize, window: Window) -> Self {
+        Self::from_plan(PnbsPlan::new(band, delay, num_taps, window), window)
+    }
+
+    /// Wraps an existing per-point plan, adding the grid machinery
+    /// (window table, factored numerator weights).
+    pub fn from_plan(plan: PnbsPlan, window: Window) -> Self {
+        // Regroup the eq. 2 numerator
+        //   ((c₂ − c₁)cos φ₁ + (s₂ − s₁)sin φ₁)/sin φ₁
+        // + ((c₁ − c₀)cos φ₀ + (s₁ − s₀)sin φ₀)/sin φ₀
+        // by cosine family: αⱼ, βⱼ multiply cos(ωⱼτ), sin(ωⱼτ).
+        let a1 = plan.s1.cos_phi * plan.s1.inv_sin;
+        let b1 = plan.s1.sin_phi * plan.s1.inv_sin;
+        let mut alpha = [0.0, -a1, a1];
+        let mut beta = [0.0, -b1, b1];
+        if let Some(s0) = plan.s0 {
+            let a0 = s0.cos_phi * s0.inv_sin;
+            let b0 = s0.sin_phi * s0.inv_sin;
+            alpha[0] = -a0;
+            beta[0] = -b0;
+            alpha[1] += a0;
+            beta[1] += b0;
+        }
+        // Node-align the table on the tap stride 1/(2(h+1)) so a whole
+        // window row shares one interpolation-weight set per point.
+        let alignment = 2 * (plan.half_taps + 1);
+        PnbsGridPlan {
+            plan,
+            window_table: window.tabulated_aligned(alignment),
+            alpha,
+            beta,
+        }
+    }
+
+    /// The wrapped per-point plan.
+    pub fn plan(&self) -> &PnbsPlan {
+        &self.plan
+    }
+
+    /// The delay estimate `D̂` in seconds.
+    pub fn delay(&self) -> f64 {
+        self.plan.delay()
+    }
+
+    /// Taps per stream (`nw + 1`).
+    pub fn num_taps(&self) -> usize {
+        self.plan.num_taps()
+    }
+
+    /// Exact kernel evaluation for taps inside the near-origin guard
+    /// ring: the factored-table path's `1/τ` pole would amplify the
+    /// tables' bounded phase error there, so these few taps pay three
+    /// direct `sincos` instead.
+    fn kernel_near_origin(&self, tau: f64) -> f64 {
+        if tau.abs() < 1e-18 {
+            return self.plan.origin;
+        }
+        let mut num = 0.0;
+        for j in 0..3 {
+            let (s, c) = sincos(self.plan.w[j] * tau);
+            num += self.alpha[j] * c + self.beta[j] * s;
+        }
+        num * self.plan.inv_two_pi_b / tau
+    }
+
+    /// Fills the per-sample factored phasor tables for samples
+    /// `first_n ..= first_n + span − 1`, phased relative to `n_ref` so
+    /// the table and time-phasor arguments stay as small as the grid
+    /// geometry allows.
+    fn fill_sample_tables(
+        &self,
+        capture: &NonuniformCapture,
+        first_n: i64,
+        span: usize,
+        n_ref: i64,
+        scratch: &mut GridScratch,
+    ) {
+        let period = capture.period();
+        scratch.cos_buf.resize(span, 0.0);
+        scratch.sin_buf.resize(span, 0.0);
+        scratch.even_tab.resize(span * 6, 0.0);
+        scratch.odd_tab.resize(span * 6, 0.0);
+        let base_offset = (first_n - n_ref) as f64 * period;
+        for j in 0..3 {
+            let w = self.plan.w[j];
+            let (aj, bj) = (self.alpha[j], self.beta[j]);
+            let step_phase = w * period;
+            // Even stream: phasors of ωⱼ·(n − n_ref)·T.
+            fill_phasor_table(
+                w * base_offset,
+                step_phase,
+                &mut scratch.cos_buf,
+                &mut scratch.sin_buf,
+            );
+            for (k, (&cn, &sn)) in scratch
+                .cos_buf
+                .iter()
+                .zip(scratch.sin_buf.iter())
+                .enumerate()
+            {
+                scratch.even_tab[k * 6 + 2 * j] = aj * cn - bj * sn;
+                scratch.even_tab[k * 6 + 2 * j + 1] = aj * sn + bj * cn;
+            }
+            // Odd stream: phasors of ωⱼ·((n − n_ref)·T + D̂).
+            fill_phasor_table(
+                w * (base_offset + self.plan.delay),
+                step_phase,
+                &mut scratch.cos_buf,
+                &mut scratch.sin_buf,
+            );
+            for (k, (&cn, &sn)) in scratch
+                .cos_buf
+                .iter()
+                .zip(scratch.sin_buf.iter())
+                .enumerate()
+            {
+                scratch.odd_tab[k * 6 + 2 * j] = aj * cn + bj * sn;
+                scratch.odd_tab[k * 6 + 2 * j + 1] = aj * sn - bj * cn;
+            }
+        }
+    }
+
+    /// Reconstructs the `n` uniform grid instants `t0, t0 + step, …`
+    /// into `scratch`, returning `None` when the grid is not fully
+    /// inside the capture's coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive.
+    pub fn try_reconstruct_grid<'s>(
+        &self,
+        capture: &NonuniformCapture,
+        t0: f64,
+        step: f64,
+        n: usize,
+        scratch: &'s mut GridScratch,
+    ) -> Option<&'s [f64]> {
+        assert!(step > 0.0, "grid step must be positive");
+        scratch.out.clear();
+        if n == 0 {
+            return Some(&scratch.out);
+        }
+        let period = capture.period();
+        let h = self.plan.half_taps as i64;
+        // The grid is monotone, so endpoint tap windows bound every
+        // point's window.
+        let nc_first = (t0 / period).round() as i64;
+        let nc_last = ((t0 + (n - 1) as f64 * step) / period).round() as i64;
+        let first_n = nc_first - h;
+        let last_n = nc_last + h;
+        if first_n < capture.n_start() || last_n >= capture.n_start() + capture.len() as i64 {
+            return None;
+        }
+        let span = (last_n - first_n + 1) as usize;
+        self.fill_sample_tables(capture, first_n, span, nc_first, scratch);
+
+        // Monomorphize the walk over the window-row filler: the aligned
+        // cubic table shares one interpolation-weight set across a
+        // whole row; kinked windows fall back to per-tap sampling.
+        let hw = self.plan.half_taps as f64 + 1.0;
+        let inv_2hw = 1.0 / (2.0 * hw);
+        let d_shift = self.plan.delay / period * inv_2hw;
+        Some(match self.window_table.cubic_parts() {
+            Some((scale, vals)) => {
+                let stride = (scale as usize) / (2 * (self.plan.half_taps + 1));
+                debug_assert_eq!(
+                    stride * 2 * (self.plan.half_taps + 1),
+                    scale as usize,
+                    "window table must be node-aligned on the tap stride"
+                );
+                self.walk_grid(
+                    capture,
+                    t0,
+                    step,
+                    n,
+                    first_n,
+                    scratch,
+                    move |x0: f64, we: &mut [f64], wo: &mut [f64]| {
+                        fill_window_row(scale, vals, stride, inv_2hw, x0, we);
+                        fill_window_row(scale, vals, stride, inv_2hw, x0 + d_shift, wo);
+                    },
+                )
+            }
+            None => {
+                let table = &self.window_table;
+                self.walk_grid(
+                    capture,
+                    t0,
+                    step,
+                    n,
+                    first_n,
+                    scratch,
+                    move |x0: f64, we: &mut [f64], wo: &mut [f64]| {
+                        for (k, (e, o)) in we.iter_mut().zip(wo.iter_mut()).enumerate() {
+                            let x = x0 + k as f64 * inv_2hw;
+                            *e = table.at(x);
+                            *o = table.at(x + d_shift);
+                        }
+                    },
+                )
+            }
+        })
+    }
+
+    /// The grid walk itself: advances the three time phasors point to
+    /// point with the grid-step rotors and accumulates eq. 6 through
+    /// the factored per-sample tables. `fill_windows(x0, we, wo)`
+    /// writes both streams' per-tap window rows for the point whose
+    /// first tap sits at normalized window position `x0`.
+    /// `scratch.even_tab`/`odd_tab` must already cover `first_n ..`
+    /// (see `fill_sample_tables`).
+    #[allow(clippy::too_many_arguments)]
+    fn walk_grid<'s, W: Fn(f64, &mut [f64], &mut [f64])>(
+        &self,
+        capture: &NonuniformCapture,
+        t0: f64,
+        step: f64,
+        n: usize,
+        first_n: i64,
+        scratch: &'s mut GridScratch,
+        fill_windows: W,
+    ) -> &'s [f64] {
+        let period = capture.period();
+        let h = self.plan.half_taps as i64;
+        let num_taps = self.plan.num_taps();
+        let hw = self.plan.half_taps as f64 + 1.0;
+        let inv_2hw = 1.0 / (2.0 * hw);
+        let inv_two_pi_b = self.plan.inv_two_pi_b;
+        let tau_guard = NEAR_ORIGIN_FRACTION * period;
+        let t_ref = (first_n + h) as f64 * period;
+        let even = capture.even();
+        let odd = capture.odd();
+
+        // Grid-step rotations of the three time phasors.
+        let mut step_cos = [0.0; 3];
+        let mut step_sin = [0.0; 3];
+        for j in 0..3 {
+            let (s, c) = sincos(self.plan.w[j] * step);
+            step_cos[j] = c;
+            step_sin[j] = s;
+        }
+
+        // Field-disjoint borrows: the output grows while the factored
+        // tables are read and the window rows are refilled.
+        let out = &mut scratch.out;
+        let even_tab = scratch.even_tab.as_slice();
+        let odd_tab = scratch.odd_tab.as_slice();
+        scratch.win_e.resize(num_taps, 0.0);
+        scratch.win_o.resize(num_taps, 0.0);
+        let win_e = scratch.win_e.as_mut_slice();
+        let win_o = scratch.win_o.as_mut_slice();
+        out.reserve(n);
+        let mut ct = [0.0; 3];
+        let mut st = [0.0; 3];
+        for i in 0..n {
+            let t = t0 + i as f64 * step;
+            if i % TIME_RESEED_INTERVAL == 0 {
+                // exact re-seed: bounds rotor phase drift on long grids
+                for j in 0..3 {
+                    let (s, c) = sincos(self.plan.w[j] * (t - t_ref));
+                    ct[j] = c;
+                    st[j] = s;
+                }
+            }
+            let t_idx = t / period;
+            let nc = t_idx.round() as i64;
+            let first = nc - h;
+            let te0 = t - first as f64 * period;
+            let to0 = first as f64 * period + self.plan.delay - t;
+            let x0 = 0.5 + (first as f64 - t_idx) * inv_2hw;
+            let tab_base = (first - first_n) as usize * 6;
+            let cap_base = (first - capture.n_start()) as usize;
+            fill_windows(x0, win_e, win_o);
+            let ev = &even[cap_base..cap_base + num_taps];
+            let od = &odd[cap_base..cap_base + num_taps];
+            let etab = even_tab[tab_base..].chunks_exact(6);
+            let otab = odd_tab[tab_base..].chunks_exact(6);
+            // Two accumulators halve the floating-add dependency chain.
+            let mut acc_e = 0.0;
+            let mut acc_o = 0.0;
+            for (k, (((((&fe, &fo), et), ot), &w_e), &w_o)) in ev
+                .iter()
+                .zip(od)
+                .zip(etab)
+                .zip(otab)
+                .zip(win_e.iter())
+                .zip(win_o.iter())
+                .enumerate()
+            {
+                let fk = k as f64;
+                if w_e != 0.0 {
+                    let tau_e = te0 - fk * period;
+                    let s_e = if tau_e.abs() < tau_guard {
+                        self.kernel_near_origin(tau_e)
+                    } else {
+                        let num = ct[0] * et[0]
+                            + st[0] * et[1]
+                            + ct[1] * et[2]
+                            + st[1] * et[3]
+                            + ct[2] * et[4]
+                            + st[2] * et[5];
+                        num * inv_two_pi_b / tau_e
+                    };
+                    acc_e += fe * s_e * w_e;
+                }
+                if w_o != 0.0 {
+                    let tau_o = to0 + fk * period;
+                    let s_o = if tau_o.abs() < tau_guard {
+                        self.kernel_near_origin(tau_o)
+                    } else {
+                        let num = ct[0] * ot[0]
+                            + st[0] * ot[1]
+                            + ct[1] * ot[2]
+                            + st[1] * ot[3]
+                            + ct[2] * ot[4]
+                            + st[2] * ot[5];
+                        num * inv_two_pi_b / tau_o
+                    };
+                    acc_o += fo * s_o * w_o;
+                }
+            }
+            out.push(acc_e + acc_o);
+            for j in 0..3 {
+                let c = ct[j] * step_cos[j] - st[j] * step_sin[j];
+                let s = ct[j] * step_sin[j] + st[j] * step_cos[j];
+                ct[j] = c;
+                st[j] = s;
+            }
+        }
+        out.as_slice()
+    }
+
+    /// Reconstructs the `n` uniform grid instants `t0, t0 + step, …`
+    /// into `scratch`, reusing its buffers across calls, and returns
+    /// the filled slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics (like the per-point batch path) if any grid instant falls
+    /// outside the capture's coverage, or if `step` is not positive.
+    pub fn reconstruct_grid<'s>(
+        &self,
+        capture: &NonuniformCapture,
+        t0: f64,
+        step: f64,
+        n: usize,
+        scratch: &'s mut GridScratch,
+    ) -> &'s [f64] {
+        self.try_reconstruct_grid(capture, t0, step, n, scratch)
+            .unwrap_or_else(|| {
+                panic!(
+                    "grid [{t0:.3e}, {:.3e}] s outside capture coverage {:?}",
+                    t0 + n.saturating_sub(1) as f64 * step,
+                    self.plan.coverage(capture)
+                )
+            })
+    }
+}
+
+/// Fills one stream's per-tap window row for a grid point whose first
+/// tap sits at normalized position `x_start`, walking the row at
+/// stride `inv_2hw` through a node-aligned cubic table
+/// ([`Window::tabulated_aligned`]): the stride spans exactly `stride`
+/// table nodes, so every tap shares the interpolation weights computed
+/// once from the fractional node position, and each value is four
+/// contiguous loads and four fused multiply-adds. Taps beyond the
+/// window support get exact zeros, matching [`WindowTable::at`].
+#[inline(always)]
+fn fill_window_row(
+    scale: f64,
+    vals: &[f64],
+    stride: usize,
+    inv_2hw: f64,
+    x_start: f64,
+    out: &mut [f64],
+) {
+    debug_assert!(x_start > 0.0 && x_start < 1.0);
+    let pos = x_start * scale;
+    let i0 = pos as usize;
+    let s = pos - i0 as f64;
+    // Shared cubic-Lagrange weights on the stencil at s ∈ {−1, 0, 1, 2}.
+    let sp = s + 1.0;
+    let sm = s - 1.0;
+    let s2 = s - 2.0;
+    let c0 = -(s * sm * s2) / 6.0;
+    let c1 = sp * sm * s2 * 0.5;
+    let c2 = -(sp * s * s2) * 0.5;
+    let c3 = sp * s * sm / 6.0;
+    // Taps past the support edge (odd stream, large D̂) are zero.
+    let k_hi = if x_start + (out.len() - 1) as f64 * inv_2hw <= 1.0 {
+        out.len() - 1
+    } else {
+        (((1.0 - x_start) / inv_2hw).floor().max(0.0) as usize).min(out.len() - 1)
+    };
+    for (k, w) in out.iter_mut().enumerate() {
+        if k > k_hi {
+            *w = 0.0;
+            continue;
+        }
+        // x ≤ 1 keeps the stencil inside the padded table
+        let p = &vals[i0 + k * stride..i0 + k * stride + 4];
+        *w = c0 * p[0] + c1 * p[1] + c2 * p[2] + c3 * p[3];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::band::BandSpec;
+    use crate::plan::PnbsScratch;
+    use crate::reconstruct::PnbsReconstructor;
+    use rfbist_signal::tone::Tone;
+
+    const FC: f64 = 1e9;
+    const B: f64 = 90e6;
+    const D: f64 = 180e-12;
+
+    fn band() -> BandSpec {
+        BandSpec::centered(FC, B)
+    }
+
+    fn grid_times(t0: f64, step: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| t0 + i as f64 * step).collect()
+    }
+
+    #[test]
+    fn grid_matches_per_point_plan_on_tone() {
+        let tone = Tone::unit(0.98e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, -50, 350);
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let (t0, step, n) = (0.6e-6, 2.5e-10, 2000);
+        let mut scratch = GridScratch::new();
+        let got = plan.reconstruct_grid(&cap, t0, step, n, &mut scratch);
+        let mut pp = PnbsScratch::new();
+        let want = plan
+            .plan()
+            .reconstruct_batch(&cap, &grid_times(t0, step, n), &mut pp);
+        for i in 0..n {
+            assert!(
+                (got[i] - want[i]).abs() < 1e-10,
+                "point {i}: {} vs {} (diff {:e})",
+                got[i],
+                want[i],
+                (got[i] - want[i]).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn grid_hits_exact_sample_instants() {
+        // t0 an exact multiple of T: some grid points land on sample
+        // instants (τ ≈ 0) and must take the origin branch, matching
+        // the per-point plan.
+        let tone = Tone::unit(1.01e9);
+        let t_s = 1.0 / B;
+        let cap = NonuniformCapture::from_signal(&tone, t_s, D, -50, 350);
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let t0 = 90.0 * t_s;
+        let step = t_s / 4.0;
+        let n = 64;
+        let mut scratch = GridScratch::new();
+        let got = plan
+            .reconstruct_grid(&cap, t0, step, n, &mut scratch)
+            .to_vec();
+        for (i, &g) in got.iter().enumerate() {
+            let want = plan.plan().try_reconstruct_at(&cap, t0 + i as f64 * step);
+            assert!((g - want.unwrap()).abs() < 1e-10, "point {i}");
+        }
+    }
+
+    #[test]
+    fn integer_positioned_band_grid_matches() {
+        let band80 = BandSpec::centered(FC, 80e6);
+        let tone = Tone::unit(0.99e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / 80e6, 200e-12, -50, 350);
+        let plan = PnbsGridPlan::new(band80, 200e-12, 61, Window::Kaiser(8.0));
+        assert!(plan.plan().num_taps() == 61);
+        let mut scratch = GridScratch::new();
+        let got = plan
+            .reconstruct_grid(&cap, 0.9e-6, 3.1e-10, 500, &mut scratch)
+            .to_vec();
+        let rec = PnbsReconstructor::paper_default(band80, 200e-12).unwrap();
+        for (i, &g) in got.iter().enumerate() {
+            let t = 0.9e-6 + i as f64 * 3.1e-10;
+            assert!(
+                (g - rec.reconstruct_at_reference(&cap, t)).abs() < 1e-9,
+                "point {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_idempotent() {
+        let tone = Tone::unit(0.97e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, -50, 350);
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let mut scratch = GridScratch::new();
+        let first = plan
+            .reconstruct_grid(&cap, 0.7e-6, 2.5e-10, 300, &mut scratch)
+            .to_vec();
+        let second = plan.reconstruct_grid(&cap, 0.7e-6, 2.5e-10, 300, &mut scratch);
+        assert_eq!(first, second);
+        assert_eq!(scratch.values().len(), 300);
+    }
+
+    #[test]
+    fn empty_grid_yields_empty_slice() {
+        let tone = Tone::unit(1.0e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, 0, 100);
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let mut scratch = GridScratch::new();
+        assert!(plan
+            .try_reconstruct_grid(&cap, 0.0, 1e-9, 0, &mut scratch)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn out_of_coverage_grid_is_none_and_panics() {
+        let tone = Tone::unit(1.0e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, 0, 100);
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let mut scratch = GridScratch::new();
+        assert!(plan
+            .try_reconstruct_grid(&cap, 0.0, 1e-9, 8, &mut scratch)
+            .is_none());
+        let result = std::panic::catch_unwind(|| {
+            let mut scratch = GridScratch::new();
+            let _ = plan.reconstruct_grid(&cap, 0.0, 1e-9, 8, &mut scratch);
+        });
+        assert!(result.is_err(), "out-of-coverage grid must panic");
+    }
+
+    #[test]
+    #[should_panic(expected = "grid step must be positive")]
+    fn non_positive_step_panics() {
+        let tone = Tone::unit(1.0e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, 0, 100);
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let mut scratch = GridScratch::new();
+        let _ = plan.try_reconstruct_grid(&cap, 1e-6, 0.0, 4, &mut scratch);
+    }
+
+    #[test]
+    fn accessors_delegate_to_plan() {
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        assert_eq!(plan.num_taps(), 61);
+        assert_eq!(plan.delay(), D);
+        assert_eq!(plan.plan().num_taps(), 61);
+    }
+}

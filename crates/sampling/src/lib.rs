@@ -9,6 +9,9 @@
 //! - [`reconstruct`]: windowed finite-tap PNBS reconstruction (eq. 6),
 //! - [`plan`]: the precomputed batch-evaluation engine behind it
 //!   (phase-rotor kernels, prepared windows, scratch reuse),
+//! - [`gridplan`]: the grid-aware engine for uniform analysis grids
+//!   (cross-point rotor reuse, factored per-sample phasor tables,
+//!   tabulated windows),
 //! - [`dualrate`]: the dual-rate non-degeneracy conditions (eq. 9) and
 //!   the search bound `m`,
 //! - [`error`]: reconstruction-sensitivity bounds (eq. 4) and skew
@@ -32,6 +35,7 @@ pub mod band;
 pub mod dualrate;
 pub mod error;
 pub mod fixedpoint;
+pub mod gridplan;
 pub mod kohlenberg;
 pub mod pbs;
 pub mod plan;
@@ -39,5 +43,6 @@ pub mod reconstruct;
 pub mod uniform;
 
 pub use band::BandSpec;
+pub use gridplan::{GridScratch, PnbsGridPlan};
 pub use plan::{PnbsPlan, PnbsScratch};
 pub use reconstruct::{NonuniformCapture, PnbsReconstructor};

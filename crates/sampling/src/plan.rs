@@ -36,10 +36,10 @@ use std::f64::consts::PI;
 /// Constants of one kernel term: `cos φ`, `sin φ` of the phase offset
 /// and the reciprocal of its `sin(·πBD̂)` denominator.
 #[derive(Clone, Copy, Debug)]
-struct TermConsts {
-    cos_phi: f64,
-    sin_phi: f64,
-    inv_sin: f64,
+pub(crate) struct TermConsts {
+    pub(crate) cos_phi: f64,
+    pub(crate) sin_phi: f64,
+    pub(crate) inv_sin: f64,
 }
 
 /// Reusable buffers for batch reconstruction; create once and pass to
@@ -104,20 +104,20 @@ struct StepParts {
 pub struct PnbsPlan {
     /// Angular frequencies of the three cosine families (rad/s):
     /// `ω₀ = 2πf_l`, `ω₁ = 2π(kB − f_l)`, `ω₂ = 2π(f_l + B)`.
-    w: [f64; 3],
+    pub(crate) w: [f64; 3],
     /// `s₀` term constants; `None` for integer-positioned bands where
     /// the term vanishes identically.
-    s0: Option<TermConsts>,
+    pub(crate) s0: Option<TermConsts>,
     /// `s₁` term constants.
-    s1: TermConsts,
+    pub(crate) s1: TermConsts,
     /// `1/(2πB)` — the kernel's shared denominator scale.
-    inv_two_pi_b: f64,
+    pub(crate) inv_two_pi_b: f64,
     /// Kernel limit `s(0) = s₀(0) + s₁(0)`.
-    origin: f64,
+    pub(crate) origin: f64,
     /// The delay estimate `D̂` in seconds.
-    delay: f64,
-    half_taps: usize,
-    sampler: WindowSampler,
+    pub(crate) delay: f64,
+    pub(crate) half_taps: usize,
+    pub(crate) sampler: WindowSampler,
 }
 
 impl PnbsPlan {

@@ -162,13 +162,9 @@ mod tests {
             1e6,
         );
         let ts = bb.symbol_period();
-        for k in 15..50 {
+        for (k, &sym) in symbols.iter().enumerate().take(50).skip(15) {
             let z = bb.eval_iq(k as f64 * ts);
-            assert!(
-                (z - symbols[k]).abs() < 1e-9,
-                "symbol {k}: {z} vs {}",
-                symbols[k]
-            );
+            assert!((z - sym).abs() < 1e-9, "symbol {k}: {z} vs {sym}");
         }
     }
 

@@ -186,7 +186,7 @@ proptest! {
         fc_mhz in 300.0f64..2500.0,
         rel_tone in 0.15f64..0.85,
         rel_delay in 0.1f64..0.9,
-        phase in 0.0f64..6.28,
+        phase in 0.0f64..std::f64::consts::TAU,
     ) {
         let band = BandSpec::centered(fc_mhz * 1e6, B);
         let m = 1.0 / (band.k_plus() as f64 * B);

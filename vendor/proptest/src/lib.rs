@@ -243,7 +243,10 @@ macro_rules! proptest {
 #[macro_export]
 macro_rules! prop_assume {
     ($cond:expr) => {
-        if !($cond) {
+        // bound to a bool first so float comparisons don't trip
+        // clippy::neg_cmp_op_on_partial_ord at every expansion site
+        let holds: bool = $cond;
+        if !holds {
             return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
                 ::std::string::String::from(stringify!($cond)),
             ));
@@ -257,13 +260,14 @@ macro_rules! prop_assert {
     ($cond:expr) => {
         $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
     };
-    ($cond:expr, $($fmt:tt)*) => {
-        if !($cond) {
+    ($cond:expr, $($fmt:tt)*) => {{
+        let holds: bool = $cond;
+        if !holds {
             return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
                 ::std::format!($($fmt)*),
             ));
         }
-    };
+    }};
 }
 
 /// Fails the whole property unless `lhs == rhs`.
