@@ -14,24 +14,29 @@
 //! in-band/EVM check in a production BIST.
 
 use rfbist_bench::{paper_tx, print_header, print_row};
-use rfbist_core::bist::{BistConfig, BistEngine};
-use rfbist_core::mask::SpectralMask;
+use rfbist_core::bist::{BistConfig, BistEngine, BistScratch};
+use rfbist_core::mask::MaskLibrary;
 use rfbist_rfchain::faults::standard_fault_set;
 use rfbist_rfchain::impairments::TxImpairments;
 
 fn main() {
     let engine = BistEngine::new(BistConfig::paper_default());
-    let mask = SpectralMask::qpsk_10msym();
+    let library = MaskLibrary::builtin();
+    let mask = &library
+        .get("qpsk-10msym-srrc0.5")
+        .expect("paper standard is built in")
+        .mask;
     let healthy = TxImpairments::typical();
 
     println!("# Extension — spectral-mask BIST verdicts under injected faults");
     println!(
-        "mask: {} (limits {:?} dBc)",
+        "mask: {} (limits {:?} dBc), from the {}-standard library",
         mask.name(),
         mask.segments()
             .iter()
             .map(|s| s.limit_dbc)
-            .collect::<Vec<_>>()
+            .collect::<Vec<_>>(),
+        library.len()
     );
     println!();
     print_header(&[
@@ -43,11 +48,15 @@ fn main() {
         "delta_eps vs golden [%]",
     ]);
 
-    // baseline: the golden reference is the same payload, no impairments
-    let run = |imp: TxImpairments, label: &str| {
+    // baseline: the golden reference is the same payload, no
+    // impairments. One shared scratch across the sweep — the fault
+    // loop is exactly the repeated-verdict workload `run_with` exists
+    // for.
+    let mut scratch = BistScratch::new();
+    let mut run = |imp: TxImpairments, label: &str| {
         let tx = paper_tx(imp, 160, 0xACE1);
         let golden = tx.ideal_rf_output();
-        let report = engine.run(&tx.rf_output(), &mask, Some(&golden));
+        let report = engine.run_with(&tx.rf_output(), mask, Some(&golden), &mut scratch);
         print_row(&[
             label.to_string(),
             if report.passed() {

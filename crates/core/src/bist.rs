@@ -13,16 +13,16 @@
 
 use crate::cost::DualRateCost;
 use crate::lms::{estimate_skew_lms, LmsConfig};
-use crate::mask::{MaskReport, SpectralMask};
+use crate::mask::SpectralMask;
 use crate::report::BistReport;
-use crate::scan::MaskScanEngine;
+use crate::scan::{EarlyVerdict, MaskScanEngine, ScanFeed, StreamScratch};
 use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig};
 use rfbist_converter::calibration::auto_calibrate;
 use rfbist_dsp::psd::welch;
 use rfbist_dsp::window::Window;
 use rfbist_math::stats::nrmse;
 use rfbist_sampling::dualrate::DualRateConfig;
-use rfbist_sampling::gridplan::GridScratch;
+use rfbist_sampling::gridplan::{GridScratch, GRID_BLOCK_LEN};
 use rfbist_sampling::reconstruct::PnbsReconstructor;
 use rfbist_signal::traits::ContinuousSignal;
 
@@ -87,6 +87,18 @@ pub struct BistConfig {
     pub scan_strategy: ScanStrategy,
     /// How the cost function's probe times are placed.
     pub probe_schedule: ProbeSchedule,
+    /// Early-verdict policy for the streaming
+    /// [`BankedGoertzel`](ScanStrategy::BankedGoertzel) path: stop
+    /// reconstructing as soon as a provisional violation exceeds its
+    /// limit by the guard margin. `None` (the default) always measures
+    /// the full capture.
+    pub early_verdict: Option<EarlyVerdict>,
+    /// Producer threads for the streaming reconstruction feed:
+    /// `0` = one per available core beyond the scan consumer (the
+    /// default), `1` = produce blocks in-thread. Any value yields
+    /// bit-identical verdicts — blocks re-seed exactly, so only the
+    /// wall clock changes.
+    pub stream_workers: usize,
 }
 
 impl BistConfig {
@@ -111,6 +123,8 @@ impl BistConfig {
             grid_len: 12288,
             scan_strategy: ScanStrategy::default(),
             probe_schedule: ProbeSchedule::default(),
+            early_verdict: None,
+            stream_workers: 0,
         }
     }
 
@@ -133,6 +147,34 @@ impl BistConfig {
         self.probe_schedule = schedule;
         self
     }
+
+    /// Builder-style: arm the streaming early-verdict policy.
+    pub fn with_early_verdict(mut self, policy: EarlyVerdict) -> Self {
+        self.early_verdict = Some(policy);
+        self
+    }
+
+    /// Builder-style: set the streaming producer worker count
+    /// (`0` = auto, `1` = in-thread).
+    pub fn with_stream_workers(mut self, workers: usize) -> Self {
+        self.stream_workers = workers;
+        self
+    }
+
+    /// The producer worker count [`stream_workers`](Self::stream_workers)
+    /// resolves to on this machine: the configured value, or — for the
+    /// `0` auto default — one worker per available core beyond the
+    /// scan consumer (at least one). The single definition shared by
+    /// the engine and the perf harness, so benches measure the
+    /// engine's actual default.
+    pub fn resolved_stream_workers(&self) -> usize {
+        match self.stream_workers {
+            0 => std::thread::available_parallelism()
+                .map(|p| p.get().saturating_sub(1).max(1))
+                .unwrap_or(1),
+            w => w,
+        }
+    }
 }
 
 /// The Welch segmentation the engine applies to a `grid_len`-sample
@@ -145,6 +187,77 @@ pub fn welch_segmentation(grid_len: usize) -> (usize, usize) {
     let seg = (grid_len / 2).next_power_of_two().clamp(256, 8192);
     let seg = seg.min(grid_len);
     (seg, seg / 2)
+}
+
+/// Reusable engine buffers: grid-reconstruction scratch, streaming-scan
+/// scratch and the prepared [`MaskScanEngine`] (cached against its
+/// configuration), so sweep loops
+/// ([`run_with`](BistEngine::run_with)) stop paying per-verdict
+/// allocation and scanner construction. One fresh instance per
+/// [`run`](BistEngine::run) preserves the allocating convenience form.
+#[derive(Clone, Debug, Default)]
+pub struct BistScratch {
+    grid: GridScratch,
+    stream: StreamScratch,
+    scan_cache: Option<ScanCacheEntry>,
+}
+
+impl BistScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A cached [`MaskScanEngine`] keyed by everything its construction
+/// depends on.
+#[derive(Clone, Debug)]
+struct ScanCacheEntry {
+    mask: SpectralMask,
+    carrier_hz: f64,
+    fs: f64,
+    segment_len: usize,
+    overlap: usize,
+    engine: MaskScanEngine,
+}
+
+/// Returns the cached scanner for this configuration, rebuilding it
+/// only when the mask or scan geometry changed since the last verdict.
+fn scan_engine_cached<'a>(
+    cache: &'a mut Option<ScanCacheEntry>,
+    mask: &SpectralMask,
+    carrier_hz: f64,
+    fs: f64,
+    segment_len: usize,
+    overlap: usize,
+) -> &'a MaskScanEngine {
+    let stale = !matches!(
+        cache,
+        Some(e)
+            if e.mask == *mask
+                && e.carrier_hz == carrier_hz
+                && e.fs == fs
+                && e.segment_len == segment_len
+                && e.overlap == overlap
+    );
+    if stale {
+        *cache = Some(ScanCacheEntry {
+            mask: mask.clone(),
+            carrier_hz,
+            fs,
+            segment_len,
+            overlap,
+            engine: MaskScanEngine::new(
+                mask,
+                carrier_hz,
+                fs,
+                segment_len,
+                overlap,
+                Window::BlackmanHarris,
+            ),
+        });
+    }
+    &cache.as_ref().expect("just filled").engine
 }
 
 /// The BIST engine.
@@ -165,14 +278,45 @@ impl BistEngine {
     }
 
     /// Runs the full BIST sequence against the device-under-test output
-    /// `dut`, checking `mask`. When `reference` is given, the report
-    /// also carries the relative RMS error between the reconstruction
-    /// and that reference (Δε in the paper's Table I).
+    /// `dut`, checking `mask`, allocating fresh scratch. When
+    /// `reference` is given, the report also carries the relative RMS
+    /// error between the reconstruction and that reference (Δε in the
+    /// paper's Table I). Sweep loops should prefer
+    /// [`run_with`](Self::run_with).
     pub fn run<S: ContinuousSignal, R: ContinuousSignal>(
         &self,
         dut: &S,
         mask: &SpectralMask,
         reference: Option<&R>,
+    ) -> BistReport {
+        self.run_with(dut, mask, reference, &mut BistScratch::new())
+    }
+
+    /// [`run`](Self::run) with caller-owned [`BistScratch`], so
+    /// repeated verdicts (fault sweeps, multi-standard loops, benches)
+    /// reuse the scan buffers and the prepared scanner instead of
+    /// reallocating them per call; the in-thread block feed
+    /// (`stream_workers` resolving to 1) and the `FftWelch` path also
+    /// reuse the grid scratch. Parallel producers own per-worker grid
+    /// scratches for the duration of the call — bounded per-verdict
+    /// setup that the reconstruction win amortizes (a persistent
+    /// worker pool is a ROADMAP item).
+    ///
+    /// Under [`ScanStrategy::BankedGoertzel`] the analysis grid is
+    /// streamed: reconstruction blocks feed the scan as they are
+    /// produced (optionally from parallel producers —
+    /// [`BistConfig::stream_workers`]), the full grid never
+    /// materializes, and an armed [`BistConfig::early_verdict`] stops
+    /// reconstruction as soon as the verdict is decided (the report's
+    /// `early_exit` flag records this; Δε then covers only the
+    /// reconstructed prefix). [`ScanStrategy::FftWelch`] keeps the
+    /// batch reference pipeline byte-identical.
+    pub fn run_with<S: ContinuousSignal, R: ContinuousSignal>(
+        &self,
+        dut: &S,
+        mask: &SpectralMask,
+        reference: Option<&R>,
+        scratch: &mut BistScratch,
     ) -> BistReport {
         let cfg = &self.config;
 
@@ -221,52 +365,99 @@ impl BistEngine {
             cfg.grid_rate
         );
         let n_grid = cfg.grid_len.min(usable);
-        // Grid-aware reconstruction: the analysis grid is uniform, so
-        // per-tap rotors are reused across all ~12288 points instead of
-        // being re-seeded per point — the hottest loop of the whole run.
-        let mut grid_scratch = GridScratch::new();
-        rec.reconstruct_grid(&fast_cap, lo, dt, n_grid, &mut grid_scratch);
-        let wave = grid_scratch.into_values();
 
-        // Δε against the reference, when provided
-        let reconstruction_error = reference.map(|r| {
-            let grid: Vec<f64> = (0..n_grid).map(|i| lo + i as f64 * dt).collect();
-            nrmse(&wave, &r.sample(&grid))
-        });
-
-        // 5. PSD + mask verdict via the configured scan strategy
-        let mask_report = self.mask_verdict(&wave, mask);
+        // 4 + 5. reconstruction and mask verdict. Both strategies share
+        // the [`welch_segmentation`] parameters and the Blackman–Harris
+        // window; they differ in which bins they materialize and in how
+        // the grid flows into the scan.
+        let (seg, overlap) = welch_segmentation(n_grid);
+        let carrier = cfg.dual.fast_band().center();
+        let (mask_report, reconstruction_error, early_exit) = match cfg.scan_strategy {
+            // The preserved batch reference: materialize the full
+            // analysis grid (grid-aware plan, cross-point rotor reuse),
+            // estimate the complete PSD, check the mask — byte-identical
+            // to the pre-streaming pipeline.
+            ScanStrategy::FftWelch => {
+                rec.reconstruct_grid(&fast_cap, lo, dt, n_grid, &mut scratch.grid);
+                let wave = scratch.grid.values();
+                let reconstruction_error = reference.map(|r| {
+                    let grid: Vec<f64> = (0..n_grid).map(|i| lo + i as f64 * dt).collect();
+                    nrmse(wave, &r.sample(&grid))
+                });
+                let psd = welch(wave, cfg.grid_rate, seg, overlap, Window::BlackmanHarris);
+                (mask.check(&psd, carrier), reconstruction_error, false)
+            }
+            // The streaming pipeline: the block-reseeded walk feeds the
+            // banked scan segment by segment — one pass, no full-grid
+            // buffer — and the early-verdict policy can stop
+            // reconstruction (the hottest loop of the whole run) as
+            // soon as the verdict is decided. Blocks re-seed exactly,
+            // so the verdict is bit-identical to scanning the batch
+            // reconstruction.
+            ScanStrategy::BankedGoertzel => {
+                let BistScratch {
+                    grid,
+                    stream,
+                    scan_cache,
+                } = scratch;
+                let engine =
+                    scan_engine_cached(scan_cache, mask, carrier, cfg.grid_rate, seg, overlap);
+                let mut scan = engine.stream(stream, cfg.early_verdict);
+                // Δε accumulators, summed in grid order so a full
+                // capture reproduces `nrmse` over the batch wave
+                // bit-for-bit.
+                let (mut err_num, mut err_den) = (0.0f64, 0.0f64);
+                let mut consume = |start: usize, block: &[f64]| {
+                    if let Some(r) = reference {
+                        for (i, &g) in block.iter().enumerate() {
+                            let rv = r.eval(lo + (start + i) as f64 * dt);
+                            err_num += (g - rv) * (g - rv);
+                            err_den += rv * rv;
+                        }
+                    }
+                    scan.push(block) == ScanFeed::Continue
+                };
+                let workers = cfg.resolved_stream_workers();
+                if workers > 1 {
+                    rec.grid_plan()
+                        .stream_blocks_parallel(&fast_cap, lo, dt, n_grid, workers, |idx, b| {
+                            consume(idx * GRID_BLOCK_LEN, b)
+                        })
+                        .expect("coverage verified above");
+                } else {
+                    let mut produced = 0usize;
+                    let mut blocks = rec.reconstruct_blocks(&fast_cap, lo, dt, n_grid, grid);
+                    while let Some(block) = blocks.next_block() {
+                        let start = produced;
+                        produced += block.len();
+                        if !consume(start, block) {
+                            break;
+                        }
+                    }
+                }
+                let early_exit = scan.early_stopped();
+                let mask_report = scan.finish();
+                let reconstruction_error = reference.map(|_| {
+                    if err_den == 0.0 {
+                        if err_num == 0.0 {
+                            0.0
+                        } else {
+                            f64::INFINITY
+                        }
+                    } else {
+                        (err_num / err_den).sqrt()
+                    }
+                });
+                (mask_report, reconstruction_error, early_exit)
+            }
+        };
 
         BistReport {
             skew,
             true_delay: fast_adc.true_delay(),
             mask: mask_report,
             reconstruction_error,
-        }
-    }
-
-    /// Mask verdict of the reconstructed grid waveform under the
-    /// configured [`ScanStrategy`]: both paths share the
-    /// [`welch_segmentation`] parameters and the Blackman–Harris
-    /// window, differing only in which bins they materialize.
-    fn mask_verdict(&self, wave: &[f64], mask: &SpectralMask) -> MaskReport {
-        let cfg = &self.config;
-        let (seg, overlap) = welch_segmentation(wave.len());
-        let carrier = cfg.dual.fast_band().center();
-        match cfg.scan_strategy {
-            ScanStrategy::FftWelch => {
-                let psd = welch(wave, cfg.grid_rate, seg, overlap, Window::BlackmanHarris);
-                mask.check(&psd, carrier)
-            }
-            ScanStrategy::BankedGoertzel => MaskScanEngine::new(
-                mask,
-                carrier,
-                cfg.grid_rate,
-                seg,
-                overlap,
-                Window::BlackmanHarris,
-            )
-            .scan(wave),
+            early_exit,
         }
     }
 }
@@ -452,6 +643,101 @@ mod tests {
             &SpectralMask::qpsk_10msym(),
             None::<&BandpassSignal<ShapedBaseband>>,
         );
+    }
+
+    #[test]
+    fn run_with_scratch_reuse_is_exact() {
+        // a sweep loop sharing one BistScratch (grid buffers, stream
+        // states, cached scanner) must reproduce fresh-scratch runs
+        // bit for bit, healthy and faulty alike
+        let engine = BistEngine::new(BistConfig::paper_default());
+        let healthy = paper_tx(TxImpairments::typical());
+        let faulty = paper_tx(
+            Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.05 })
+                .inject(TxImpairments::typical()),
+        );
+        let mut scratch = BistScratch::new();
+        for tx in [&healthy, &faulty, &healthy] {
+            let reused = engine.run_with(
+                &tx.rf_output(),
+                &SpectralMask::qpsk_10msym(),
+                Some(&tx.ideal_rf_output()),
+                &mut scratch,
+            );
+            let fresh = engine.run(
+                &tx.rf_output(),
+                &SpectralMask::qpsk_10msym(),
+                Some(&tx.ideal_rf_output()),
+            );
+            assert_eq!(reused.mask, fresh.mask);
+            assert_eq!(reused.reconstruction_error, fresh.reconstruction_error);
+            assert_eq!(reused.skew.delay, fresh.skew.delay);
+        }
+    }
+
+    #[test]
+    fn early_verdict_skips_nothing_on_healthy_units() {
+        let tx = paper_tx(TxImpairments::typical());
+        let armed = BistEngine::new(
+            BistConfig::paper_default().with_early_verdict(EarlyVerdict::paper_default()),
+        );
+        let unarmed = BistEngine::new(BistConfig::paper_default());
+        let a = armed.run(
+            &tx.rf_output(),
+            &SpectralMask::qpsk_10msym(),
+            None::<&BandpassSignal<ShapedBaseband>>,
+        );
+        let b = unarmed.run(
+            &tx.rf_output(),
+            &SpectralMask::qpsk_10msym(),
+            None::<&BandpassSignal<ShapedBaseband>>,
+        );
+        assert!(!a.early_exit, "policy must not fire on a passing unit");
+        assert_eq!(a.mask, b.mask, "armed run must match the full verdict");
+    }
+
+    #[test]
+    fn early_verdict_stops_gross_failures_mid_capture() {
+        let faulty = Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.05 })
+            .inject(TxImpairments::typical());
+        let tx = paper_tx(faulty);
+        let engine = BistEngine::new(
+            BistConfig::paper_default().with_early_verdict(EarlyVerdict::paper_default()),
+        );
+        let report = engine.run(
+            &tx.rf_output(),
+            &SpectralMask::qpsk_10msym(),
+            None::<&BandpassSignal<ShapedBaseband>>,
+        );
+        assert!(report.early_exit, "gross regrowth must decide early");
+        assert!(!report.mask.passed);
+        assert!(report.mask.worst_margin_db < -EarlyVerdict::paper_default().guard_db);
+    }
+
+    #[test]
+    fn stream_worker_count_does_not_change_the_verdict() {
+        // blocks re-seed exactly, so parallel producers must be
+        // bit-identical to the in-thread feed
+        let tx = paper_tx(TxImpairments::typical());
+        let base = BistEngine::new(BistConfig::paper_default().with_stream_workers(1));
+        let want = base.run(
+            &tx.rf_output(),
+            &SpectralMask::qpsk_10msym(),
+            Some(&tx.ideal_rf_output()),
+        );
+        for workers in [0usize, 3] {
+            let engine = BistEngine::new(BistConfig::paper_default().with_stream_workers(workers));
+            let got = engine.run(
+                &tx.rf_output(),
+                &SpectralMask::qpsk_10msym(),
+                Some(&tx.ideal_rf_output()),
+            );
+            assert_eq!(got.mask, want.mask, "workers = {workers}");
+            assert_eq!(
+                got.reconstruction_error, want.reconstruction_error,
+                "workers = {workers}"
+            );
+        }
     }
 
     #[test]

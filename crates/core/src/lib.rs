@@ -10,7 +10,8 @@
 //! - [`mask`]: spectral masks and compliance checking (the BIST's
 //!   verdict machinery),
 //! - [`scan`]: the banked-Goertzel mask-bin scanner (evaluates only
-//!   the bins the mask constrains),
+//!   the bins the mask constrains), batched or as a push-style
+//!   streaming consumer with early verdicts,
 //! - [`bist`]: the end-to-end engine (capture → calibrate → estimate →
 //!   reconstruct → mask check),
 //! - [`report`]: serializable result records.
@@ -50,8 +51,8 @@ pub mod report;
 pub mod scan;
 pub mod skew;
 
-pub use bist::{BistConfig, BistEngine, ScanStrategy};
+pub use bist::{BistConfig, BistEngine, BistScratch, ScanStrategy};
 pub use cost::{CostEvaluator, DualRateCost};
 pub use lms::{estimate_skew_lms, LmsConfig, LmsResult};
-pub use mask::{MaskReport, SpectralMask};
-pub use scan::{MaskScanEngine, MaskScanScratch};
+pub use mask::{MaskLibrary, MaskReport, MaskStandard, SpectralMask};
+pub use scan::{EarlyVerdict, MaskScanEngine, MaskScanScratch, StreamScratch, StreamingMaskScan};

@@ -15,8 +15,13 @@ pub struct BistReport {
     /// Spectral-mask verdict.
     pub mask: MaskReport,
     /// Relative RMS reconstruction error against a supplied reference
-    /// (Δε), when a reference was given.
+    /// (Δε), when a reference was given. After an early exit this
+    /// covers only the reconstructed prefix of the analysis grid.
     pub reconstruction_error: Option<f64>,
+    /// `true` when the streaming early-verdict policy stopped
+    /// reconstruction before the full analysis grid — the mask verdict
+    /// is then a (failing) partial-capture verdict.
+    pub early_exit: bool,
 }
 
 impl BistReport {
@@ -54,6 +59,9 @@ impl fmt::Display for BistReport {
         if let Some(e) = self.reconstruction_error {
             writeln!(f, "  reconstruction Δε = {:.3} %", e * 100.0)?;
         }
+        if self.early_exit {
+            writeln!(f, "  early exit: verdict decided mid-capture")?;
+        }
         Ok(())
     }
 }
@@ -79,8 +87,10 @@ mod tests {
                 reference_db: -40.0,
                 violation_count: 0,
                 violations: vec![],
+                truncated: false,
             },
             reconstruction_error: Some(0.0084),
+            early_exit: false,
         }
     }
 
@@ -101,5 +111,13 @@ mod tests {
         assert!(s.contains("0.840 %"), "{s}");
         let f = dummy_report(false);
         assert!(f.to_string().contains("FAIL"));
+    }
+
+    #[test]
+    fn display_mentions_early_exit() {
+        let mut r = dummy_report(false);
+        assert!(!r.to_string().contains("early exit"));
+        r.early_exit = true;
+        assert!(r.to_string().contains("early exit"), "{r}");
     }
 }

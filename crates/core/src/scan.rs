@@ -23,7 +23,7 @@
 //! (`BENCH_recon.json`, `mask_scan` section).
 
 use crate::mask::{report_from_margins, MaskReport, SpectralMask};
-use rfbist_dsp::goertzel::{GoertzelBank, GoertzelScratch};
+use rfbist_dsp::goertzel::{GoertzelBank, GoertzelScratch, GoertzelState};
 use rfbist_dsp::window::Window;
 
 /// One probed Welch bin and its verdict role.
@@ -242,6 +242,15 @@ impl MaskScanEngine {
             start += self.hop;
         }
 
+        self.report_from_acc(&scratch.acc, count)
+    }
+
+    /// Folds per-bin accumulated segment powers (`count` completed
+    /// Welch segments) into the mask verdict — the single definition
+    /// shared by the batched [`scan_with`](Self::scan_with) and the
+    /// push-style [`StreamingMaskScan`], so a streamed verdict is
+    /// bit-identical to a batched one over the same segments.
+    fn report_from_acc(&self, acc: &[f64], count: usize) -> MaskReport {
         // Per-bin one-sided density in dB, matching `PsdEstimate::psd_db`
         // (including its 1e-30 floor).
         let norm = self.scale / count as f64;
@@ -250,7 +259,7 @@ impl MaskScanEngine {
         let reference_db = self
             .bins
             .iter()
-            .zip(&scratch.acc)
+            .zip(acc)
             .filter(|(b, _)| b.in_reference)
             .map(|(b, &a)| db(a, b.one_sided))
             .fold(f64::NEG_INFINITY, f64::max);
@@ -262,15 +271,256 @@ impl MaskScanEngine {
             self.mask_name.clone(),
             self.carrier_hz,
             reference_db,
-            self.bins
-                .iter()
-                .zip(&scratch.acc)
-                .filter_map(|(bin, &acc)| {
-                    bin.limit_dbc
-                        .map(|limit| (bin.freq, limit, db(acc, bin.one_sided) - reference_db))
-                }),
+            self.bins.iter().zip(acc).filter_map(|(bin, &acc)| {
+                bin.limit_dbc
+                    .map(|limit| (bin.freq, limit, db(acc, bin.one_sided) - reference_db))
+            }),
         );
         report
+    }
+
+    /// Starts a push-style streaming scan over this engine's
+    /// configuration, accumulating into `scratch` (reusable across
+    /// captures, so sweep loops allocate nothing per verdict). Pass an
+    /// [`EarlyVerdict`] policy to stop the feed as soon as a violation
+    /// exceeds its limit by the guard margin.
+    pub fn stream<'a>(
+        &'a self,
+        scratch: &'a mut StreamScratch,
+        early: Option<EarlyVerdict>,
+    ) -> StreamingMaskScan<'a> {
+        scratch.acc.clear();
+        scratch.acc.resize(self.bins.len(), 0.0);
+        // One carried Goertzel state per concurrently open segment: a
+        // sample at index i lies in at most ceil(seg/hop) segments, and
+        // slot s % cap is always retired before segment s + cap opens.
+        let concurrent = self.segment_len.div_ceil(self.hop);
+        scratch.states.resize_with(concurrent, GoertzelState::new);
+        StreamingMaskScan {
+            engine: self,
+            scratch,
+            early,
+            pushed: 0,
+            segments: 0,
+            early_stopped: false,
+        }
+    }
+}
+
+/// Early-verdict policy for [`StreamingMaskScan`]: stop the capture as
+/// soon as a *provisional* verdict (from the Welch segments completed
+/// so far) shows a violation exceeding its limit by more than
+/// `guard_db`. The guard absorbs the drift between a partial segment
+/// average and the full-capture estimate, so marginal units still get
+/// the complete measurement while gross failures stop reconstruction
+/// early — the low-cost streaming-BIST trade of Negreiros et al.
+/// (arXiv:0710.4718).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EarlyVerdict {
+    /// How many dB past the limit a provisional violation must be
+    /// before the feed stops.
+    pub guard_db: f64,
+}
+
+impl EarlyVerdict {
+    /// A policy with the given guard margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `guard_db` is negative or non-finite.
+    pub fn with_guard(guard_db: f64) -> Self {
+        assert!(
+            guard_db.is_finite() && guard_db >= 0.0,
+            "guard margin must be a non-negative dB value"
+        );
+        EarlyVerdict { guard_db }
+    }
+
+    /// The default 6 dB guard: one-segment Welch estimates of the
+    /// Section V fixtures scatter well under 3 dB around the full
+    /// average, so 6 dB keeps passing and marginal units on the full
+    /// measurement while gross regrowth (tens of dB over the limit)
+    /// stops at the first completed segment.
+    pub fn paper_default() -> Self {
+        EarlyVerdict { guard_db: 6.0 }
+    }
+}
+
+impl Default for EarlyVerdict {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Reusable buffers for [`MaskScanEngine::stream`]: per-segment
+/// Goertzel states, the running per-bin power accumulator and a
+/// windowed-chunk buffer. Memory is bounded by
+/// `ceil(segment/hop)` states of `2·probed_bins` values plus one
+/// chunk — independent of the capture length, which is the point of
+/// the streaming scan.
+#[derive(Clone, Debug, Default)]
+pub struct StreamScratch {
+    states: Vec<GoertzelState>,
+    acc: Vec<f64>,
+    windowed: Vec<f64>,
+}
+
+impl StreamScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Feedback from one [`StreamingMaskScan::push`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanFeed {
+    /// Keep feeding samples.
+    Continue,
+    /// The early-verdict policy fired: the verdict is already decided
+    /// (failing), further samples are ignored — stop producing them.
+    EarlyStop,
+}
+
+/// A push-style spectral-mask scan: feed reconstruction blocks (or any
+/// sample chunks) as they are produced, and Welch segments are
+/// windowed, banked through the Goertzel recurrences and folded into
+/// the verdict *as they complete* — segment overlap across chunk
+/// boundaries is carried in per-segment recurrence states, so no
+/// segment (let alone the full capture) ever materializes.
+///
+/// Feeding the same samples in any chunking yields a verdict
+/// bit-identical to [`MaskScanEngine::scan`] on the concatenated
+/// capture (pinned by `tests/stream_scan_equivalence.rs`): the
+/// windowed products, the per-bin recurrences and the segment fold all
+/// perform the same operations in the same order.
+#[derive(Debug)]
+pub struct StreamingMaskScan<'a> {
+    engine: &'a MaskScanEngine,
+    scratch: &'a mut StreamScratch,
+    early: Option<EarlyVerdict>,
+    pushed: usize,
+    segments: usize,
+    early_stopped: bool,
+}
+
+impl StreamingMaskScan<'_> {
+    /// Feeds the next chunk of the capture. Returns
+    /// [`ScanFeed::EarlyStop`] once the early-verdict policy has fired
+    /// (subsequent pushes are ignored no-ops).
+    pub fn push(&mut self, samples: &[f64]) -> ScanFeed {
+        if self.early_stopped {
+            return ScanFeed::EarlyStop;
+        }
+        let engine = self.engine;
+        let seg = engine.segment_len;
+        let hop = engine.hop;
+        let StreamScratch {
+            states,
+            acc,
+            windowed,
+        } = &mut *self.scratch;
+        let cap = states.len();
+        let start_idx = self.pushed;
+        let end_idx = start_idx + samples.len();
+        self.pushed = end_idx;
+        // Welch segments intersecting [start_idx, end_idx): segment s
+        // covers [s·hop, s·hop + seg).
+        let s_lo = if start_idx < seg {
+            0
+        } else {
+            (start_idx - seg) / hop + 1
+        };
+        let s_hi = end_idx.saturating_sub(1) / hop;
+        for s in s_lo..=s_hi {
+            let seg_start = s * hop;
+            if seg_start >= end_idx {
+                break;
+            }
+            let a = seg_start.max(start_idx);
+            let b = (seg_start + seg).min(end_idx);
+            if a >= b {
+                continue;
+            }
+            let state = &mut states[s % cap];
+            if a == seg_start {
+                engine.bank.reset_state(state);
+            }
+            // Window the chunk at its position inside the segment —
+            // the same products `scan_with` forms for the whole
+            // segment at once.
+            let wpos = a - seg_start;
+            windowed.clear();
+            windowed.extend(
+                samples[a - start_idx..b - start_idx]
+                    .iter()
+                    .zip(&engine.window[wpos..wpos + (b - a)])
+                    .map(|(x, w)| x * w),
+            );
+            engine.bank.advance_state(state, windowed);
+            if b == seg_start + seg {
+                // segment complete: fold its powers into the Welch
+                // average (segments complete in start order, matching
+                // the batched loop)
+                engine.bank.accumulate_powers(state, acc);
+                self.segments += 1;
+                if let Some(policy) = self.early {
+                    let provisional = engine.report_from_acc(acc, self.segments);
+                    if provisional.worst_margin_db < -policy.guard_db {
+                        self.early_stopped = true;
+                        return ScanFeed::EarlyStop;
+                    }
+                }
+            }
+        }
+        ScanFeed::Continue
+    }
+
+    /// Samples pushed so far (including any ignored after an early
+    /// stop).
+    pub fn samples_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Welch segments folded into the verdict so far.
+    pub fn segments_completed(&self) -> usize {
+        self.segments
+    }
+
+    /// Whether the early-verdict policy fired.
+    pub fn early_stopped(&self) -> bool {
+        self.early_stopped
+    }
+
+    /// The provisional verdict over the segments completed so far, or
+    /// `None` before the first segment completes. Mid-capture reports
+    /// carry the full violation machinery of a final report — including
+    /// the truncation flag, so a partial report cannot silently drop
+    /// violations.
+    pub fn partial_report(&self) -> Option<MaskReport> {
+        (self.segments > 0).then(|| {
+            self.engine
+                .report_from_acc(&self.scratch.acc, self.segments)
+        })
+    }
+
+    /// Final verdict over every completed segment (a trailing partial
+    /// segment is discarded, exactly as the batched scan and `welch`
+    /// discard it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streamed capture was shorter than one Welch
+    /// segment — the same contract as [`MaskScanEngine::scan`].
+    pub fn finish(self) -> MaskReport {
+        assert!(
+            self.segments > 0,
+            "streamed capture shorter ({}) than one scan segment ({})",
+            self.pushed,
+            self.engine.segment_len
+        );
+        self.engine
+            .report_from_acc(&self.scratch.acc, self.segments)
     }
 }
 
@@ -382,6 +632,138 @@ mod tests {
         let b = fft(&wave);
         assert_eq!(a.passed, b.passed);
         assert!((a.worst_margin_db - b.worst_margin_db).abs() < 1e-6);
+    }
+
+    fn stream_in_chunks(
+        scan: &MaskScanEngine,
+        wave: &[f64],
+        chunk: usize,
+        early: Option<EarlyVerdict>,
+    ) -> (MaskReport, bool) {
+        let mut scratch = StreamScratch::new();
+        let mut stream = scan.stream(&mut scratch, early);
+        for piece in wave.chunks(chunk) {
+            if stream.push(piece) == ScanFeed::EarlyStop {
+                break;
+            }
+        }
+        let stopped = stream.early_stopped();
+        (stream.finish(), stopped)
+    }
+
+    #[test]
+    fn streamed_scan_is_bit_identical_to_batched_scan() {
+        let (scan, _) = engines();
+        for (offset, level) in [(15e6, -80.0), (15e6, -20.0), (30e6, -45.0)] {
+            let wave = spur_wave(12288, offset, level);
+            let batched = scan.scan(&wave);
+            // chunk sizes off the segment, hop and 4-sample-unroll
+            // boundaries must all reproduce the batched verdict exactly
+            for chunk in [256usize, 4096, 12288, 1000, 7, 2049] {
+                let (streamed, _) = stream_in_chunks(&scan, &wave, chunk, None);
+                assert_eq!(streamed, batched, "chunk {chunk} @ spur {offset:e}/{level}");
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_trailing_tail_is_discarded_like_welch() {
+        let (scan, _) = engines();
+        let wave = spur_wave(9000, 25e6, -44.0);
+        let batched = scan.scan(&wave);
+        let (streamed, _) = stream_in_chunks(&scan, &wave, 333, None);
+        assert_eq!(streamed, batched);
+    }
+
+    #[test]
+    fn streaming_progress_and_partial_reports() {
+        let (scan, _) = engines();
+        let wave = spur_wave(12288, 15e6, -70.0);
+        let mut scratch = StreamScratch::new();
+        let mut stream = scan.stream(&mut scratch, None);
+        assert!(stream.partial_report().is_none(), "no segment complete yet");
+        stream.push(&wave[..4000]);
+        assert_eq!(stream.segments_completed(), 0);
+        stream.push(&wave[4000..5000]);
+        assert_eq!(stream.segments_completed(), 1, "first 4096-segment done");
+        let partial = stream.partial_report().expect("one segment complete");
+        assert!(partial.passed);
+        stream.push(&wave[5000..]);
+        assert_eq!(stream.samples_pushed(), 12288);
+        // 12288 samples, seg 4096, hop 2048 ⇒ 5 complete segments
+        assert_eq!(stream.segments_completed(), 5);
+        assert!(!stream.early_stopped());
+        assert_eq!(stream.finish(), scan.scan(&wave));
+    }
+
+    #[test]
+    fn early_verdict_fires_on_gross_violation_only() {
+        let (scan, _) = engines();
+        // passing fixture: the policy must never fire
+        let clean = spur_wave(12288, 15e6, -70.0);
+        let (report, stopped) =
+            stream_in_chunks(&scan, &clean, 256, Some(EarlyVerdict::paper_default()));
+        assert!(!stopped && report.passed);
+        // marginal violation (−2 dB margin): inside the 6 dB guard,
+        // the full capture must still be measured
+        let marginal = spur_wave(12288, 15e6, -28.0);
+        let (report, stopped) =
+            stream_in_chunks(&scan, &marginal, 256, Some(EarlyVerdict::paper_default()));
+        assert!(!stopped, "guard must absorb marginal violations");
+        assert!(!report.passed);
+        // gross violation: stops at the first completed segment
+        let gross = spur_wave(12288, 15e6, -10.0);
+        let mut scratch = StreamScratch::new();
+        let mut stream = scan.stream(&mut scratch, Some(EarlyVerdict::paper_default()));
+        let mut fed = 0;
+        for piece in gross.chunks(256) {
+            fed += piece.len();
+            if stream.push(piece) == ScanFeed::EarlyStop {
+                break;
+            }
+        }
+        assert!(stream.early_stopped());
+        assert_eq!(fed, 4096, "stopped at the first completed segment");
+        // pushes after the stop are ignored no-ops
+        let mut stream2 = stream;
+        assert_eq!(stream2.push(&gross[..256]), ScanFeed::EarlyStop);
+        assert!(!stream2.finish().passed);
+    }
+
+    #[test]
+    fn stream_scratch_reuse_is_exact() {
+        let (scan, _) = engines();
+        let clean = spur_wave(12288, 15e6, -70.0);
+        let dirty = spur_wave(12288, 15e6, -10.0);
+        let mut scratch = StreamScratch::new();
+        let mut reports = Vec::new();
+        for wave in [&clean, &dirty, &clean] {
+            let mut stream = scan.stream(&mut scratch, None);
+            for piece in wave.chunks(512) {
+                stream.push(piece);
+            }
+            reports.push(stream.finish());
+        }
+        assert_eq!(reports[0], reports[2], "scratch must not leak state");
+        assert_eq!(reports[0], scan.scan(&clean));
+        assert_eq!(reports[1], scan.scan(&dirty));
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter")]
+    fn streamed_short_capture_panics_at_finish() {
+        let (scan, _) = engines();
+        let wave = spur_wave(1000, 15e6, -40.0);
+        let mut scratch = StreamScratch::new();
+        let mut stream = scan.stream(&mut scratch, None);
+        stream.push(&wave);
+        let _ = stream.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_guard_is_rejected() {
+        let _ = EarlyVerdict::with_guard(-1.0);
     }
 
     #[test]

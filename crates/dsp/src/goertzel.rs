@@ -71,6 +71,31 @@ impl GoertzelScratch {
     }
 }
 
+/// Carried recurrence state for one segment fed incrementally through
+/// [`GoertzelBank::advance_state`] — the streaming form of
+/// [`GoertzelBank::powers_into`] for feeds (block-reseeded
+/// reconstruction, live captures) where a full segment never exists in
+/// memory at once.
+///
+/// Because the Goertzel recurrence is strictly sequential per bin,
+/// advancing a state over a segment split into arbitrary chunks
+/// performs the *same* floating-point operations in the same order as
+/// one pass over the whole segment: the streamed powers are
+/// bit-identical to the batched ones, regardless of chunking.
+#[derive(Clone, Debug, Default)]
+pub struct GoertzelState {
+    s1: Vec<f64>,
+    s2: Vec<f64>,
+}
+
+impl GoertzelState {
+    /// An empty state; sized and zeroed by
+    /// [`GoertzelBank::reset_state`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A bank of Goertzel recurrences advanced together in one pass over
 /// the data — the batched form of [`goertzel`] for evaluating many
 /// spectral bins of the *same* signal segment.
@@ -166,6 +191,15 @@ impl GoertzelBank {
         scratch.s1.resize(m, 0.0);
         scratch.s2.clear();
         scratch.s2.resize(m, 0.0);
+        self.advance_dispatch(x, &mut scratch.s1, &mut scratch.s2);
+    }
+
+    /// One runtime-dispatched recurrence pass over `x`, continuing from
+    /// the states already in `(s1, s2)` — shared by the batched
+    /// [`powers_into`](Self::powers_into) (which zeroes the states
+    /// first) and the incremental [`advance_state`](Self::advance_state)
+    /// (which carries them across chunks).
+    fn advance_dispatch(&self, x: &[f64], s1: &mut [f64], s2: &mut [f64]) {
         #[cfg(target_arch = "x86_64")]
         {
             // SAFETY: feature support verified at runtime; the kernel
@@ -173,18 +207,69 @@ impl GoertzelBank {
             // with hardware-FMA steps.
             if !force_scalar() && std::arch::is_x86_feature_detected!("fma") {
                 if std::arch::is_x86_feature_detected!("avx512f") {
-                    unsafe {
-                        Self::advance_avx512(&self.coeff, x, &mut scratch.s1, &mut scratch.s2)
-                    };
+                    unsafe { Self::advance_avx512(&self.coeff, x, s1, s2) };
                     return;
                 }
                 if std::arch::is_x86_feature_detected!("avx2") {
-                    unsafe { Self::advance_avx2(&self.coeff, x, &mut scratch.s1, &mut scratch.s2) };
+                    unsafe { Self::advance_avx2(&self.coeff, x, s1, s2) };
                     return;
                 }
             }
         }
-        Self::advance::<false>(&self.coeff, x, &mut scratch.s1, &mut scratch.s2);
+        Self::advance::<false>(&self.coeff, x, s1, s2);
+    }
+
+    /// Sizes and zeroes `state` for a fresh segment of this bank.
+    pub fn reset_state(&self, state: &mut GoertzelState) {
+        let m = self.len();
+        state.s1.clear();
+        state.s1.resize(m, 0.0);
+        state.s2.clear();
+        state.s2.resize(m, 0.0);
+    }
+
+    /// Advances every bin's recurrence over the next chunk `x` of a
+    /// segment, carrying `state` across calls. Feeding a segment in any
+    /// chunking produces bit-identical states to one
+    /// [`powers_into`](Self::powers_into) pass over the whole segment
+    /// (the recurrence is strictly sequential per bin). An empty chunk
+    /// is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was not sized by
+    /// [`reset_state`](Self::reset_state) for this bank.
+    pub fn advance_state(&self, state: &mut GoertzelState, x: &[f64]) {
+        assert_eq!(
+            state.s1.len(),
+            self.len(),
+            "state not sized for this bank — call reset_state first"
+        );
+        if x.is_empty() {
+            return;
+        }
+        self.advance_dispatch(x, &mut state.s1, &mut state.s2);
+    }
+
+    /// Adds `|X(fⱼ)|²` of the segment accumulated in `state` onto
+    /// `acc[j]` — the Welch-averaging form of the power extraction in
+    /// [`powers_into`](Self::powers_into) (same per-bin expression, so
+    /// a streamed segment average is bit-identical to a batched one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` or `state` do not match the bank's bin count.
+    pub fn accumulate_powers(&self, state: &GoertzelState, acc: &mut [f64]) {
+        assert_eq!(acc.len(), self.len(), "accumulator/bank size mismatch");
+        assert_eq!(state.s1.len(), self.len(), "state/bank size mismatch");
+        for (((a, &s1), &s2), &c) in acc
+            .iter_mut()
+            .zip(&state.s1)
+            .zip(&state.s2)
+            .zip(&self.coeff)
+        {
+            *a += s1 * s1 + s2 * s2 - c * s1 * s2;
+        }
     }
 
     /// One recurrence step `x + c·s₁ − s₂`. `FUSED` selects the
@@ -436,6 +521,75 @@ mod tests {
         assert_eq!(bank.powers_into(&a, &mut scratch), &pa[..]);
         assert_eq!(bank.powers_into(&b, &mut scratch), &pb[..]);
         assert_eq!(scratch.values().len(), 2);
+    }
+
+    #[test]
+    fn incremental_state_matches_batched_pass_bit_for_bit() {
+        let n = 1000;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.17).sin() + 0.2 * (i as f64 * 0.051).cos())
+            .collect();
+        let bank = GoertzelBank::new(&[0.03, 0.125, 0.31, 0.499]);
+        let mut scratch = GoertzelScratch::new();
+        let batched = bank.powers_into(&x, &mut scratch).to_vec();
+        // any chunking — including chunk boundaries off the 4-sample
+        // unroll — must reproduce the batched states exactly
+        for chunks in [vec![1000], vec![256, 256, 256, 232], vec![7, 501, 3, 489]] {
+            let mut state = GoertzelState::new();
+            bank.reset_state(&mut state);
+            let mut start = 0;
+            for len in chunks {
+                bank.advance_state(&mut state, &x[start..start + len]);
+                start += len;
+            }
+            assert_eq!(start, n);
+            let mut acc = vec![0.0; bank.len()];
+            bank.accumulate_powers(&state, &mut acc);
+            assert_eq!(acc, batched, "chunked pass diverged");
+        }
+    }
+
+    #[test]
+    fn accumulate_powers_sums_across_segments() {
+        let bank = GoertzelBank::new(&[0.1, 0.2]);
+        let a: Vec<f64> = (0..128).map(|i| (i as f64 * 0.11).sin()).collect();
+        let b: Vec<f64> = (0..96).map(|i| (i as f64 * 0.31).cos()).collect();
+        let mut scratch = GoertzelScratch::new();
+        let pa = bank.powers_into(&a, &mut scratch).to_vec();
+        let pb = bank.powers_into(&b, &mut scratch).to_vec();
+        let mut acc = vec![0.0; 2];
+        let mut state = GoertzelState::new();
+        for seg in [&a, &b] {
+            bank.reset_state(&mut state);
+            bank.advance_state(&mut state, seg);
+            bank.accumulate_powers(&state, &mut acc);
+        }
+        for j in 0..2 {
+            assert_eq!(acc[j], pa[j] + pb[j]);
+        }
+    }
+
+    #[test]
+    fn empty_chunk_is_a_noop() {
+        let bank = GoertzelBank::new(&[0.1]);
+        let mut state = GoertzelState::new();
+        bank.reset_state(&mut state);
+        let x = [1.0, -0.5, 0.25];
+        bank.advance_state(&mut state, &x[..2]);
+        bank.advance_state(&mut state, &[]);
+        bank.advance_state(&mut state, &x[2..]);
+        let mut acc = [0.0];
+        bank.accumulate_powers(&state, &mut acc);
+        let mut scratch = GoertzelScratch::new();
+        assert_eq!(acc[0], bank.powers_into(&x, &mut scratch)[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reset_state")]
+    fn unsized_state_panics() {
+        let bank = GoertzelBank::new(&[0.1, 0.2]);
+        let mut state = GoertzelState::new();
+        bank.advance_state(&mut state, &[1.0]);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use rfbist_math::special::bessel_i0;
 use std::cell::RefCell;
 use std::f64::consts::PI;
-use std::rc::Rc;
+use std::sync::Arc;
 
 thread_local! {
     /// Most-recently-used coefficient table, keyed by (window, length).
@@ -20,7 +20,7 @@ thread_local! {
     /// entry suffices: the workspace's window traffic comes in runs of
     /// one configuration (mirroring the FFT twiddle cache).
     #[allow(clippy::type_complexity)]
-    static COEFF_CACHE: RefCell<Option<(Window, usize, Rc<[f64]>)>> = const { RefCell::new(None) };
+    static COEFF_CACHE: RefCell<Option<(Window, usize, Arc<[f64]>)>> = const { RefCell::new(None) };
 
     /// Most-recently-used [`WindowTable`], keyed by (window, node
     /// alignment). Grid-plan construction tabulates the same window for
@@ -78,7 +78,7 @@ impl Window {
                 }
             }
             let m = (n - 1) as f64;
-            let table: Rc<[f64]> = (0..n).map(|i| self.at(i as f64 / m)).collect();
+            let table: Arc<[f64]> = (0..n).map(|i| self.at(i as f64 / m)).collect();
             let out = table.to_vec();
             *slot = Some((self, n, table));
             out
@@ -387,7 +387,7 @@ enum TableRepr {
     /// beyond the support edges so every interval (and a stencil
     /// anchored exactly at x = 1) has its four-node Lagrange stencil.
     /// `scale = m as f64`.
-    Cubic { scale: f64, vals: Rc<[f64]> },
+    Cubic { scale: f64, vals: Arc<[f64]> },
     /// Shapes the cubic table cannot represent to tolerance.
     Direct(WindowSampler),
 }
@@ -400,7 +400,7 @@ impl WindowTable {
         // x = 1 still has its four nodes).
         let m = alignment * TABLE_INTERVALS.div_ceil(alignment);
         let h = 1.0 / m as f64;
-        let vals: Rc<[f64]> = (0..=m + 3)
+        let vals: Arc<[f64]> = (0..=m + 3)
             .map(|j| sampler.at_extended((j as f64 - 1.0) * h))
             .collect();
         let table = WindowTable {

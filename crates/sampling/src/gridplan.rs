@@ -47,11 +47,18 @@ use crate::reconstruct::NonuniformCapture;
 use rfbist_dsp::window::{Window, WindowTable};
 use rfbist_math::rotor::{fill_phasor_table, sincos};
 
-/// Grid points between exact re-seeds of the three time phasors. The
-/// grid-step rotor's phase error grows O(points·ε); re-seeding every
-/// 256 points caps it at ≈ 6e-14 rad — far below the near-origin
-/// guard's budget — for arbitrarily long grids.
-const TIME_RESEED_INTERVAL: usize = 256;
+/// Grid points between exact re-seeds of the three time phasors, and
+/// the chunk size of the streaming block producer
+/// ([`PnbsGridPlan::reconstruct_blocks`]): each [`GridBlocks`] block is
+/// one re-seed interval, so the block feed and the monolithic walk
+/// re-seed at the same absolute grid indices. The grid-step rotor's
+/// phase error grows O(points·ε); re-seeding every 256 points caps it
+/// at ≈ 6e-14 rad — far below the near-origin guard's budget — for
+/// arbitrarily long grids.
+pub const GRID_BLOCK_LEN: usize = 256;
+
+/// Internal alias documenting the re-seed role of [`GRID_BLOCK_LEN`].
+const TIME_RESEED_INTERVAL: usize = GRID_BLOCK_LEN;
 
 /// Taps whose kernel argument is within this fraction of a sample
 /// period of the origin are evaluated exactly instead of through the
@@ -284,27 +291,33 @@ impl PnbsGridPlan {
         if n == 0 {
             return Some(&scratch.out);
         }
-        let period = capture.period();
+        let (first_n, span) = self.grid_sample_span(capture, t0, step, n)?;
         let h = self.plan.half_taps as i64;
-        // The grid is monotone, so endpoint tap windows bound every
-        // point's window.
-        let nc_first = (t0 / period).round() as i64;
-        let nc_last = ((t0 + (n - 1) as f64 * step) / period).round() as i64;
-        let first_n = nc_first - h;
-        let last_n = nc_last + h;
-        if first_n < capture.n_start() || last_n >= capture.n_start() + capture.len() as i64 {
-            return None;
-        }
-        let span = (last_n - first_n + 1) as usize;
-        self.fill_sample_tables(capture, first_n, span, nc_first, scratch);
+        self.fill_sample_tables(capture, first_n, span, first_n + h, scratch);
+        self.walk_span_dispatched(capture, t0, step, 0, n, first_n, scratch);
+        Some(&scratch.out)
+    }
 
-        // Monomorphize the walk over the window-row filler: the aligned
-        // cubic table shares one interpolation-weight set across a
-        // whole row; kinked windows fall back to per-tap sampling.
+    /// Monomorphizes the walk over the window-row filler: the aligned
+    /// cubic table shares one interpolation-weight set across a whole
+    /// row; kinked windows fall back to per-tap sampling. Shared by the
+    /// monolithic grid walk (`i_start = 0`, `len = n`) and the
+    /// streaming block producer (one re-seed chunk per call).
+    #[allow(clippy::too_many_arguments)]
+    fn walk_span_dispatched(
+        &self,
+        capture: &NonuniformCapture,
+        t0: f64,
+        step: f64,
+        i_start: usize,
+        len: usize,
+        first_n: i64,
+        scratch: &mut GridScratch,
+    ) {
         let hw = self.plan.half_taps as f64 + 1.0;
         let inv_2hw = 1.0 / (2.0 * hw);
-        let d_shift = self.plan.delay / period * inv_2hw;
-        Some(match self.window_table.cubic_parts() {
+        let d_shift = self.plan.delay / capture.period() * inv_2hw;
+        match self.window_table.cubic_parts() {
             Some((scale, vals)) => {
                 let stride = (scale as usize) / (2 * (self.plan.half_taps + 1));
                 debug_assert_eq!(
@@ -312,11 +325,12 @@ impl PnbsGridPlan {
                     scale as usize,
                     "window table must be node-aligned on the tap stride"
                 );
-                self.walk_grid(
+                self.walk_span(
                     capture,
                     t0,
                     step,
-                    n,
+                    i_start,
+                    len,
                     first_n,
                     scratch,
                     move |x0: f64, we: &mut [f64], wo: &mut [f64]| {
@@ -327,11 +341,12 @@ impl PnbsGridPlan {
             }
             None => {
                 let table = &self.window_table;
-                self.walk_grid(
+                self.walk_span(
                     capture,
                     t0,
                     step,
-                    n,
+                    i_start,
+                    len,
                     first_n,
                     scratch,
                     move |x0: f64, we: &mut [f64], wo: &mut [f64]| {
@@ -343,27 +358,42 @@ impl PnbsGridPlan {
                     },
                 )
             }
-        })
+        }
     }
 
     /// The grid walk itself: advances the three time phasors point to
     /// point with the grid-step rotors and accumulates eq. 6 through
-    /// the factored per-sample tables. `fill_windows(x0, we, wo)`
-    /// writes both streams' per-tap window rows for the point whose
-    /// first tap sits at normalized window position `x0`.
+    /// the factored per-sample tables, appending grid points
+    /// `i_start .. i_start + len` (absolute indices of the
+    /// `t0`-anchored grid) to `scratch.out`. `fill_windows(x0, we,
+    /// wo)` writes both streams' per-tap window rows for the point
+    /// whose first tap sits at normalized window position `x0`.
     /// `scratch.even_tab`/`odd_tab` must already cover `first_n ..`
     /// (see `fill_sample_tables`).
+    ///
+    /// The phasors re-seed exactly at absolute indices that are
+    /// multiples of [`GRID_BLOCK_LEN`], so a span starting on a block
+    /// boundary seeds on entry: walking a grid in
+    /// [`GRID_BLOCK_LEN`]-sized spans performs bit-identical arithmetic
+    /// to one monolithic walk — the property that makes the streamed
+    /// block feed (and its parallel producers) exactly reproduce the
+    /// batch reconstruction.
     #[allow(clippy::too_many_arguments)]
-    fn walk_grid<'s, W: Fn(f64, &mut [f64], &mut [f64])>(
+    fn walk_span<W: Fn(f64, &mut [f64], &mut [f64])>(
         &self,
         capture: &NonuniformCapture,
         t0: f64,
         step: f64,
-        n: usize,
+        i_start: usize,
+        len: usize,
         first_n: i64,
-        scratch: &'s mut GridScratch,
+        scratch: &mut GridScratch,
         fill_windows: W,
-    ) -> &'s [f64] {
+    ) {
+        debug_assert!(
+            i_start.is_multiple_of(TIME_RESEED_INTERVAL),
+            "spans must start on a re-seed boundary"
+        );
         let period = capture.period();
         let h = self.plan.half_taps as i64;
         let num_taps = self.plan.num_taps();
@@ -393,10 +423,10 @@ impl PnbsGridPlan {
         scratch.win_o.resize(num_taps, 0.0);
         let win_e = scratch.win_e.as_mut_slice();
         let win_o = scratch.win_o.as_mut_slice();
-        out.reserve(n);
+        out.reserve(len);
         let mut ct = [0.0; 3];
         let mut st = [0.0; 3];
-        for i in 0..n {
+        for i in i_start..i_start + len {
             let t = t0 + i as f64 * step;
             if i % TIME_RESEED_INTERVAL == 0 {
                 // exact re-seed: bounds rotor phase drift on long grids
@@ -471,7 +501,6 @@ impl PnbsGridPlan {
                 st[j] = s;
             }
         }
-        out.as_slice()
     }
 
     /// Reconstructs the `n` uniform grid instants `t0, t0 + step, …`
@@ -498,6 +527,266 @@ impl PnbsGridPlan {
                     self.plan.coverage(capture)
                 )
             })
+    }
+
+    /// The capture-sample span `(first_n, span)` the `n`-point grid
+    /// reads, or `None` when the grid leaves the capture's coverage.
+    /// `n` must be positive.
+    fn grid_sample_span(
+        &self,
+        capture: &NonuniformCapture,
+        t0: f64,
+        step: f64,
+        n: usize,
+    ) -> Option<(i64, usize)> {
+        let period = capture.period();
+        let h = self.plan.half_taps as i64;
+        // The grid is monotone, so endpoint tap windows bound every
+        // point's window.
+        let nc_first = (t0 / period).round() as i64;
+        let nc_last = ((t0 + (n - 1) as f64 * step) / period).round() as i64;
+        let first_n = nc_first - h;
+        let last_n = nc_last + h;
+        if first_n < capture.n_start() || last_n >= capture.n_start() + capture.len() as i64 {
+            return None;
+        }
+        Some((first_n, (last_n - first_n + 1) as usize))
+    }
+
+    /// Streams the `n` uniform grid instants `t0, t0 + step, …` as
+    /// [`GRID_BLOCK_LEN`]-point blocks — the re-seed chunks the grid
+    /// walk already produces — reconstructed into `scratch` one block
+    /// per [`GridBlocks::next_block`] call, with no allocation per
+    /// block in steady state. Returns `None` when the grid is not
+    /// fully inside the capture's coverage.
+    ///
+    /// Blocks start on the walk's re-seed boundaries, so the
+    /// concatenated blocks are **bit-identical** to one
+    /// [`reconstruct_grid`](Self::reconstruct_grid) call over the same
+    /// grid (pinned by the gridplan tests and
+    /// `tests/stream_scan_equivalence.rs`) — a consumer fed block by
+    /// block sees exactly the batch waveform, without the full grid
+    /// ever materializing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive.
+    pub fn try_reconstruct_blocks<'a>(
+        &'a self,
+        capture: &'a NonuniformCapture,
+        t0: f64,
+        step: f64,
+        n: usize,
+        scratch: &'a mut GridScratch,
+    ) -> Option<GridBlocks<'a>> {
+        assert!(step > 0.0, "grid step must be positive");
+        let mut first_n = 0;
+        if n > 0 {
+            let (fnn, span) = self.grid_sample_span(capture, t0, step, n)?;
+            first_n = fnn;
+            let h = self.plan.half_taps as i64;
+            self.fill_sample_tables(capture, first_n, span, first_n + h, scratch);
+        }
+        Some(GridBlocks {
+            plan: self,
+            capture,
+            scratch,
+            t0,
+            step,
+            n,
+            first_n,
+            produced: 0,
+        })
+    }
+
+    /// [`try_reconstruct_blocks`](Self::try_reconstruct_blocks),
+    /// panicking (like [`reconstruct_grid`](Self::reconstruct_grid))
+    /// when the grid leaves the capture's coverage.
+    pub fn reconstruct_blocks<'a>(
+        &'a self,
+        capture: &'a NonuniformCapture,
+        t0: f64,
+        step: f64,
+        n: usize,
+        scratch: &'a mut GridScratch,
+    ) -> GridBlocks<'a> {
+        let coverage = self.plan.coverage(capture);
+        self.try_reconstruct_blocks(capture, t0, step, n, scratch)
+            .unwrap_or_else(|| {
+                panic!(
+                    "grid [{t0:.3e}, {:.3e}] s outside capture coverage {coverage:?}",
+                    t0 + n.saturating_sub(1) as f64 * step,
+                )
+            })
+    }
+
+    /// Drives `consume(block_index, block)` over every
+    /// [`GRID_BLOCK_LEN`]-point block of the grid **in index order**,
+    /// reconstructing blocks on `workers` scoped producer threads —
+    /// the pipelined form of [`reconstruct_blocks`]
+    /// (Self::reconstruct_blocks) for consumers (the streaming mask
+    /// scan) that are much cheaper than the reconstruction feeding
+    /// them. Because every block re-seeds exactly, the consumer sees
+    /// bit-identical blocks regardless of the worker count or
+    /// scheduling; only the wall-clock changes.
+    ///
+    /// `consume` returns `false` to stop the feed early (a streaming
+    /// early verdict): producers drain and exit, and the number of
+    /// points actually consumed is returned. In-flight memory is
+    /// bounded by a few blocks per worker — the full grid never
+    /// materializes. Returns `None` when the grid is not fully inside
+    /// the capture's coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive or `workers` is zero, and
+    /// propagates producer panics.
+    pub fn stream_blocks_parallel<F: FnMut(usize, &[f64]) -> bool>(
+        &self,
+        capture: &NonuniformCapture,
+        t0: f64,
+        step: f64,
+        n: usize,
+        workers: usize,
+        mut consume: F,
+    ) -> Option<usize> {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::mpsc::sync_channel;
+        use std::sync::Mutex;
+
+        assert!(step > 0.0, "grid step must be positive");
+        assert!(workers > 0, "need at least one producer");
+        if n == 0 {
+            return Some(0);
+        }
+        let span = self.grid_sample_span(capture, t0, step, n)?;
+        let nblocks = n.div_ceil(GRID_BLOCK_LEN);
+        let workers = workers.min(nblocks);
+        let stop = AtomicBool::new(false);
+        // Recycled block buffers: the pool bounds steady-state
+        // allocation to the in-flight window.
+        let pool: Mutex<Vec<Vec<f64>>> = Mutex::new(Vec::new());
+        let (tx, rx) = sync_channel::<(usize, Vec<f64>)>(2 * workers);
+        let mut consumed = 0usize;
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let (stop, pool) = (&stop, &pool);
+                let (first_n, span) = span;
+                scope.spawn(move || {
+                    let mut scratch = GridScratch::new();
+                    let h = self.plan.half_taps as i64;
+                    self.fill_sample_tables(capture, first_n, span, first_n + h, &mut scratch);
+                    // Static round-robin: uniform per-block cost makes
+                    // it within a few percent of optimal (the
+                    // rfbist-bench chunked-sweep argument).
+                    let mut idx = w;
+                    while idx < nblocks && !stop.load(Ordering::Relaxed) {
+                        let i_start = idx * GRID_BLOCK_LEN;
+                        let len = (n - i_start).min(GRID_BLOCK_LEN);
+                        scratch.out.clear();
+                        self.walk_span_dispatched(
+                            capture,
+                            t0,
+                            step,
+                            i_start,
+                            len,
+                            first_n,
+                            &mut scratch,
+                        );
+                        let mut buf = pool.lock().expect("pool").pop().unwrap_or_default();
+                        std::mem::swap(&mut buf, &mut scratch.out);
+                        if tx.send((idx, buf)).is_err() {
+                            break; // consumer hung up after an early stop
+                        }
+                        idx += workers;
+                    }
+                });
+            }
+            drop(tx);
+            // The consumer runs on the calling thread, re-ordering the
+            // workers' blocks so `consume` always sees the grid in
+            // order.
+            let mut pending: std::collections::BTreeMap<usize, Vec<f64>> =
+                std::collections::BTreeMap::new();
+            let mut next = 0usize;
+            for (idx, buf) in rx {
+                pending.insert(idx, buf);
+                while let Some(buf) = pending.remove(&next) {
+                    if !stop.load(Ordering::Relaxed) {
+                        let keep_going = consume(next, &buf);
+                        consumed += buf.len();
+                        if !keep_going {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    pool.lock().expect("pool").push(buf);
+                    next += 1;
+                }
+                if stop.load(Ordering::Relaxed) {
+                    // keep draining so blocked producers can exit
+                    pending.clear();
+                }
+            }
+        });
+        Some(consumed)
+    }
+}
+
+/// A lending iterator over the grid's [`GRID_BLOCK_LEN`]-point
+/// re-seed blocks, produced by
+/// [`PnbsGridPlan::reconstruct_blocks`]. Each
+/// [`next_block`](Self::next_block) reconstructs the next chunk into
+/// the borrowed scratch and yields it; the final block may be shorter.
+///
+/// This is the producer side of the streaming BIST pipeline: feed each
+/// block straight into a consumer (the engine pushes them into
+/// `rfbist_core`'s streaming mask scan) and the full analysis grid
+/// never materializes.
+#[derive(Debug)]
+pub struct GridBlocks<'a> {
+    plan: &'a PnbsGridPlan,
+    capture: &'a NonuniformCapture,
+    scratch: &'a mut GridScratch,
+    t0: f64,
+    step: f64,
+    n: usize,
+    first_n: i64,
+    produced: usize,
+}
+
+impl GridBlocks<'_> {
+    /// Reconstructs and yields the next block, or `None` when the grid
+    /// is exhausted. The yielded slice lives in the scratch buffer and
+    /// is overwritten by the next call.
+    pub fn next_block(&mut self) -> Option<&[f64]> {
+        let remaining = self.n - self.produced;
+        if remaining == 0 {
+            return None;
+        }
+        let len = remaining.min(GRID_BLOCK_LEN);
+        self.scratch.out.clear();
+        self.plan.walk_span_dispatched(
+            self.capture,
+            self.t0,
+            self.step,
+            self.produced,
+            len,
+            self.first_n,
+            self.scratch,
+        );
+        self.produced += len;
+        Some(&self.scratch.out)
+    }
+
+    /// Grid points yielded so far.
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+
+    /// Total grid points this feed will yield.
+    pub fn grid_len(&self) -> usize {
+        self.n
     }
 }
 
@@ -683,6 +972,158 @@ mod tests {
         let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
         let mut scratch = GridScratch::new();
         let _ = plan.try_reconstruct_grid(&cap, 1e-6, 0.0, 4, &mut scratch);
+    }
+
+    #[test]
+    fn block_feed_matches_monolithic_grid() {
+        let tone = Tone::unit(0.98e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, -50, 350);
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        // n not a multiple of the block length: final block is partial
+        let (t0, step, n) = (0.6e-6, 2.5e-10, 2000);
+        let mut scratch = GridScratch::new();
+        let want = plan
+            .reconstruct_grid(&cap, t0, step, n, &mut scratch)
+            .to_vec();
+        let mut block_scratch = GridScratch::new();
+        let mut blocks = plan.reconstruct_blocks(&cap, t0, step, n, &mut block_scratch);
+        assert_eq!(blocks.grid_len(), n);
+        let mut got = Vec::new();
+        let mut sizes = Vec::new();
+        while let Some(block) = blocks.next_block() {
+            sizes.push(block.len());
+            got.extend_from_slice(block);
+        }
+        assert_eq!(blocks.produced(), n);
+        assert_eq!(got.len(), n);
+        // all blocks are full re-seed chunks except the final partial
+        assert!(sizes[..sizes.len() - 1]
+            .iter()
+            .all(|&s| s == GRID_BLOCK_LEN));
+        assert_eq!(*sizes.last().unwrap(), n % GRID_BLOCK_LEN);
+        // blocks start on re-seed boundaries, so the feed is
+        // bit-identical to the monolithic walk — not just close
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_block_feed_matches_sequential_feed() {
+        let tone = Tone::unit(0.98e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, -50, 350);
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let (t0, step, n) = (0.6e-6, 2.5e-10, 2000);
+        let mut scratch = GridScratch::new();
+        let want = plan
+            .reconstruct_grid(&cap, t0, step, n, &mut scratch)
+            .to_vec();
+        for workers in [1usize, 2, 3, 7] {
+            let mut got = vec![f64::NAN; n];
+            let mut cursor = 0usize;
+            let consumed = plan
+                .stream_blocks_parallel(&cap, t0, step, n, workers, |idx, block| {
+                    assert_eq!(idx * GRID_BLOCK_LEN, cursor, "blocks must arrive in order");
+                    got[cursor..cursor + block.len()].copy_from_slice(block);
+                    cursor += block.len();
+                    true
+                })
+                .expect("grid inside coverage");
+            assert_eq!(consumed, n, "workers = {workers}");
+            assert_eq!(got, want, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_block_feed_early_stop_bounds_consumption() {
+        let tone = Tone::unit(0.98e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, -50, 350);
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let (t0, step, n) = (0.6e-6, 2.5e-10, 2000);
+        let mut seen = 0usize;
+        let consumed = plan
+            .stream_blocks_parallel(&cap, t0, step, n, 3, |_, block| {
+                seen += block.len();
+                seen < 600 // stop after the third block
+            })
+            .expect("grid inside coverage");
+        assert_eq!(consumed, seen);
+        assert_eq!(consumed, 3 * GRID_BLOCK_LEN);
+        // out-of-coverage grids are still rejected up front
+        let short = NonuniformCapture::from_signal(&tone, 1.0 / B, D, 0, 100);
+        assert!(plan
+            .stream_blocks_parallel(&short, 0.0, 1e-9, 8, 2, |_, _| true)
+            .is_none());
+    }
+
+    #[test]
+    fn block_feed_handles_origin_branch_and_bartlett_fallback() {
+        // exact sample instants exercise the near-origin guard inside
+        // the block walk; Bartlett's kinked shape exercises the
+        // non-cubic window-row fallback
+        let tone = Tone::unit(1.01e9);
+        let t_s = 1.0 / B;
+        let cap = NonuniformCapture::from_signal(&tone, t_s, D, -50, 350);
+        for window in [Window::Kaiser(8.0), Window::Bartlett] {
+            let plan = PnbsGridPlan::new(band(), D, 61, window);
+            let (t0, step, n) = (90.0 * t_s, t_s / 4.0, 300);
+            let mut scratch = GridScratch::new();
+            let want = plan
+                .reconstruct_grid(&cap, t0, step, n, &mut scratch)
+                .to_vec();
+            let mut bs = GridScratch::new();
+            let mut blocks = plan.reconstruct_blocks(&cap, t0, step, n, &mut bs);
+            let mut got = Vec::new();
+            while let Some(block) = blocks.next_block() {
+                got.extend_from_slice(block);
+            }
+            for i in 0..n {
+                assert!(
+                    (got[i] - want[i]).abs() < 1e-9,
+                    "{window:?} point {i}: {} vs {}",
+                    got[i],
+                    want[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_feed_scratch_reuse_is_idempotent() {
+        let tone = Tone::unit(0.97e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, -50, 350);
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let mut scratch = GridScratch::new();
+        let mut first = Vec::new();
+        let mut blocks = plan.reconstruct_blocks(&cap, 0.7e-6, 2.5e-10, 600, &mut scratch);
+        while let Some(b) = blocks.next_block() {
+            first.extend_from_slice(b);
+        }
+        let mut second = Vec::new();
+        let mut blocks = plan.reconstruct_blocks(&cap, 0.7e-6, 2.5e-10, 600, &mut scratch);
+        while let Some(b) = blocks.next_block() {
+            second.extend_from_slice(b);
+        }
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn block_feed_coverage_and_empty_grid() {
+        let tone = Tone::unit(1.0e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, 0, 100);
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let mut scratch = GridScratch::new();
+        assert!(plan
+            .try_reconstruct_blocks(&cap, 0.0, 1e-9, 8, &mut scratch)
+            .is_none());
+        let mut empty = plan
+            .try_reconstruct_blocks(&cap, 0.0, 1e-9, 0, &mut scratch)
+            .expect("empty grid needs no coverage");
+        assert!(empty.next_block().is_none());
+        assert_eq!(empty.produced(), 0);
+        let result = std::panic::catch_unwind(|| {
+            let mut scratch = GridScratch::new();
+            let _ = plan.reconstruct_blocks(&cap, 0.0, 1e-9, 8, &mut scratch);
+        });
+        assert!(result.is_err(), "out-of-coverage block feed must panic");
     }
 
     #[test]

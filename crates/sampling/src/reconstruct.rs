@@ -11,7 +11,7 @@
 //! (paper Section IV) is about making `D̂` match `D`.
 
 use crate::band::BandSpec;
-use crate::gridplan::{GridScratch, PnbsGridPlan};
+use crate::gridplan::{GridBlocks, GridScratch, PnbsGridPlan};
 use crate::kohlenberg::{DelayConstraintError, KohlenbergInterpolant};
 use crate::plan::{PnbsPlan, PnbsScratch};
 use rfbist_dsp::window::Window;
@@ -387,6 +387,29 @@ impl PnbsReconstructor {
     ) -> Option<&'s [f64]> {
         self.grid_plan
             .try_reconstruct_grid(capture, t0, step, n, scratch)
+    }
+
+    /// Streams the `n` uniform grid instants as
+    /// [`GRID_BLOCK_LEN`](crate::gridplan::GRID_BLOCK_LEN)-point
+    /// blocks through the grid plan's block kernel
+    /// ([`PnbsGridPlan::reconstruct_blocks`]) — the producer side of a
+    /// streaming verdict pipeline, where no full-grid buffer ever
+    /// materializes. Agrees with
+    /// [`reconstruct_grid`](Self::reconstruct_grid) to ≪ 1e-9.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`reconstruct_grid`](Self::reconstruct_grid) does.
+    pub fn reconstruct_blocks<'a>(
+        &'a self,
+        capture: &'a NonuniformCapture,
+        t0: f64,
+        step: f64,
+        n: usize,
+        scratch: &'a mut GridScratch,
+    ) -> GridBlocks<'a> {
+        self.grid_plan
+            .reconstruct_blocks(capture, t0, step, n, scratch)
     }
 }
 

@@ -1,81 +1,171 @@
 //! Multistandard flexibility: the property that motivates PNBS over
-//! uniform bandpass sampling. Sweep carrier frequencies and modulation
-//! bandwidths (an SDR hopping across standards) and show that the same
-//! two-ADC sampler reconstructs every configuration at the minimal
-//! rate, while uniform sampling would need a re-planned clock each
-//! time.
+//! uniform bandpass sampling — and, since the streaming refactor, the
+//! property the [`MaskLibrary`] makes testable end to end. The same
+//! two-ADC sampler (both channels fixed at B = 90 MHz) hops across
+//! five named standards; per standard only software retunes: the DCDE
+//! delay target, the analysis grid (rate and length chosen for the
+//! mask's resolution bandwidth) and the emission mask pulled from the
+//! library. Every verdict runs the full streaming BIST pipeline:
+//! capture → calibrate → LMS skew → block-fed reconstruction → banked
+//! mask scan.
 //!
 //! ```sh
 //! cargo run --release --example multistandard_sweep
 //! ```
 
-use rfbist::math::rng::Randomizer;
-use rfbist::math::stats::nrmse;
 use rfbist::prelude::*;
 use rfbist::sampling::kohlenberg::optimal_delay;
 use rfbist::sampling::pbs;
 
+/// Per-standard deployment row: carrier and the analysis grid meeting
+/// the standard's resolution-bandwidth requirement
+/// (`MaskStandard::max_rbw_hz`) while keeping the grid's Nyquist above
+/// the carrier-plus-band edge.
+struct Deployment {
+    standard: &'static str,
+    fc: f64,
+    grid_rate: f64,
+    grid_len: usize,
+    /// Capture lengths covering the grid duration (pairs at B, B1).
+    fast_len: usize,
+    slow_len: usize,
+}
+
+const B: f64 = 90e6;
+const B1: f64 = 45e6;
+
+fn deployments() -> Vec<Deployment> {
+    vec![
+        // GSM-shaped narrowband at VHF/UHF: the 100-kHz-scale mask
+        // offsets need a ~70 kHz RBW, so the grid slows to 300 MHz and
+        // lengthens to 8192 points (27 µs of capture).
+        Deployment {
+            standard: "gsm-like-270k",
+            fc: 100e6,
+            grid_rate: 300e6,
+            grid_len: 8192,
+            fast_len: 2600,
+            slow_len: 1400,
+        },
+        // The paper's Section V configuration, unchanged.
+        Deployment {
+            standard: "qpsk-10msym-srrc0.5",
+            fc: 1e9,
+            grid_rate: 4e9,
+            grid_len: 12288,
+            fast_len: 380,
+            slow_len: 200,
+        },
+        Deployment {
+            standard: "wcdma-like-3g84",
+            fc: 1.55e9,
+            grid_rate: 4e9,
+            grid_len: 12288,
+            fast_len: 380,
+            slow_len: 200,
+        },
+        Deployment {
+            standard: "lte5-like",
+            fc: 2.175e9,
+            grid_rate: 5e9,
+            grid_len: 16384,
+            fast_len: 380,
+            slow_len: 200,
+        },
+        Deployment {
+            standard: "wb-20msym-srrc0.35",
+            fc: 2.85e9,
+            grid_rate: 6.5e9,
+            grid_len: 16384,
+            fast_len: 380,
+            slow_len: 200,
+        },
+    ]
+}
+
+/// Builds the per-standard engine configuration: same hardware, new
+/// software plan.
+fn engine_for(dep: &Deployment, d_target: f64) -> BistEngine {
+    let dual = DualRateConfig::new(dep.fc, B, B1, d_target)
+        .expect("deployment carriers satisfy the eq. 9 identifiability conditions");
+    let mut cfg = BistConfig::paper_default();
+    cfg.dual = dual;
+    cfg.frontend_fast = BpTiadcConfig::paper_section_v(dual.delay());
+    cfg.frontend_slow = BpTiadcConfig::paper_section_v(dual.delay())
+        .with_sample_rate(dual.slow_rate())
+        .with_seed(0x51DE);
+    cfg.fast_len = dep.fast_len;
+    cfg.slow_len = dep.slow_len;
+    cfg.grid_rate = dep.grid_rate;
+    cfg.grid_len = dep.grid_len;
+    cfg.lms_initial = 0.55 * d_target;
+    BistEngine::new(cfg)
+}
+
 fn main() {
-    let b = 90e6; // the fixed per-channel ADC rate of the platform
+    let library = MaskLibrary::builtin();
     println!(
-        "fixed BP-TIADC: two channels at B = {} MHz; the DCDE retunes per\n\
-         standard to the magnitude-optimal delay D = 1/(4 fc)\n",
-        b / 1e6
+        "fixed BP-TIADC: two channels at B = {} MHz; per standard only software\n\
+         retunes — DCDE target D = 1/(4 fc), analysis grid from the mask's RBW,\n\
+         emission mask from the library ({} standards)\n",
+        B / 1e6,
+        library.len()
     );
     println!(
-        "{:<26} {:>9} {:>11} {:>14} {:>16}",
-        "configuration", "D [ps]", "PNBS ok?", "recon err", "PBS needs fs ≈"
+        "{:<22} {:>9} {:>9} {:>10} {:>8} {:>13} {:>10} {:>14}",
+        "standard",
+        "fc [MHz]",
+        "D [ps]",
+        "RBW [kHz]",
+        "verdict",
+        "margin [dB]",
+        "Δε [%]",
+        "PBS needs ≈MHz"
     );
 
-    let configs = [
-        ("NB 1 Msym/s @ 400 MHz", 400e6, 1e6),
-        ("QPSK 10 Msym/s @ 1 GHz", 1e9, 10e6),
-        ("WB 20 Msym/s @ 1.6 GHz", 1.6e9, 20e6),
-        ("QPSK 10 Msym/s @ 2.2 GHz", 2.2e9, 10e6),
-        ("NB 2 Msym/s @ 2.9 GHz", 2.9e9, 2e6),
-    ];
-
-    // Each standard is independent: run them on scoped worker threads
-    // and print the rows in configuration order once all have joined.
+    // Each standard is independent: scoped worker threads, rows
+    // printed in deployment order once all have joined.
+    let deps = deployments();
     let rows: Vec<String> = std::thread::scope(|scope| {
-        let handles: Vec<_> = configs
+        let handles: Vec<_> = deps
             .iter()
-            .map(|&(label, fc, sym_rate)| {
+            .map(|dep| {
+                let library = &library;
                 scope.spawn(move || {
-                    // The same sampler, reprogrammed only in software.
-                    // Symbol count scales so every standard offers a
-                    // ≥ 4 µs steady window.
-                    let band = BandSpec::centered(fc, b);
-                    let d_target = optimal_delay(band);
-                    let n_sym = ((4e-6 * sym_rate) as usize + 30).max(96);
-                    let bb = ShapedBaseband::qpsk_prbs(sym_rate, 0.5, 12, n_sym, 0xACE1);
-                    let tx = BandpassSignal::new(bb, fc);
-                    let (s0, s1) = tx.steady_time_range();
-                    let mut adc =
-                        BpTiadc::new(BpTiadcConfig::paper_section_v(d_target).with_sample_rate(b));
-                    let n_start = (s0 * b).ceil() as i64 + 2;
-                    let cap = adc.capture(&tx, n_start, 300);
-                    let rec = PnbsReconstructor::paper_default(band, adc.true_delay())
-                        .expect("optimal delay is valid across carriers");
-                    let (lo, hi) = rec.coverage(&cap).expect("capture long enough");
-                    let mut rng = Randomizer::from_seed(7);
-                    let times: Vec<f64> = (0..200)
-                        .map(|_| rng.uniform(lo.max(s0), hi.min(s1)))
-                        .collect();
-                    let err = nrmse(&rec.reconstruct(&cap, &times), &tx.sample(&times));
+                    let std = library
+                        .get(dep.standard)
+                        .expect("deployment names a library standard");
+                    let d_target = optimal_delay(BandSpec::centered(dep.fc, B));
+                    let engine = engine_for(dep, d_target);
+
+                    // Stimulus long enough for the capture span.
+                    let span = (engine.config().fast_start as f64 + dep.fast_len as f64) / B * 1.2;
+                    let n_sym = ((span * std.symbol_rate) as usize + 30).max(96);
+                    let bb =
+                        ShapedBaseband::qpsk_prbs(std.symbol_rate, std.rolloff, 12, n_sym, 0xACE1);
+                    let tx = HomodyneTx::builder(bb, dep.fc)
+                        .impairments(TxImpairments::typical())
+                        .build();
+                    let report =
+                        engine.run(&tx.rf_output(), &std.mask, Some(&tx.ideal_rf_output()));
 
                     // What uniform bandpass sampling would demand for
-                    // this band: the minimal alias-free rate for the
-                    // *occupied* band.
-                    let occupied = BandSpec::centered(fc, sym_rate * 1.5);
+                    // this standard's occupied band.
+                    let occupied =
+                        BandSpec::centered(dep.fc, std.symbol_rate * (1.0 + std.rolloff));
                     let fs_min = pbs::minimum_rate(occupied);
+                    let (seg, _) = rfbist::core::bist::welch_segmentation(dep.grid_len);
 
                     format!(
-                        "{label:<26} {:>9.1} {:>11} {:>13.2}% {:>12.3} MHz",
+                        "{:<22} {:>9.0} {:>9.1} {:>10.1} {:>8} {:>+13.2} {:>10.2} {:>14.1}",
+                        std.name(),
+                        dep.fc / 1e6,
                         d_target * 1e12,
-                        if err < 0.08 { "yes" } else { "NO" },
-                        err * 100.0,
-                        fs_min / 1e6
+                        dep.grid_rate / seg as f64 / 1e3,
+                        if report.passed() { "PASS" } else { "FAIL" },
+                        report.mask.worst_margin_db,
+                        report.reconstruction_error.unwrap() * 100.0,
+                        fs_min / 1e6,
                     )
                 })
             })
@@ -89,9 +179,41 @@ fn main() {
         println!("{row}");
     }
 
+    // The streaming early verdict: a grossly compressed PA on the
+    // paper standard is decided at the first completed Welch segment,
+    // before two thirds of the reconstruction is ever produced.
+    let dep = &deps[1];
+    let std = library.get(dep.standard).unwrap();
+    let d_target = optimal_delay(BandSpec::centered(dep.fc, B));
+    let engine = BistEngine::new(
+        engine_for(dep, d_target)
+            .config()
+            .clone()
+            .with_early_verdict(EarlyVerdict::paper_default()),
+    );
+    let bb = ShapedBaseband::qpsk_prbs(std.symbol_rate, std.rolloff, 12, 160, 0xACE1);
+    let faulty = HomodyneTx::builder(bb, dep.fc)
+        .impairments(
+            Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.05 })
+                .inject(TxImpairments::typical()),
+        )
+        .build();
+    let report = engine.run(
+        &faulty.rf_output(),
+        &std.mask,
+        None::<&BandpassSignal<ShapedBaseband>>,
+    );
     println!(
-        "\nPNBS reconstructs every configuration from the same fixed-rate hardware\n\
-         (error grows with carrier because 3 ps of skew jitter costs π·B·(k+1)·ΔD,\n\
-         eq. 4); PBS would need a different, precisely-placed clock per standard."
+        "\nstreaming early verdict (weak-PA unit, {} mask): {} with margin {:+.1} dB, \n\
+         early_exit = {} — reconstruction stopped at the first completed segment",
+        std.name(),
+        if report.passed() { "PASS" } else { "FAIL" },
+        report.mask.worst_margin_db,
+        report.early_exit,
+    );
+
+    println!(
+        "\nPNBS + the mask library test every configuration from the same fixed-rate\n\
+         hardware; PBS would need a different, precisely-placed clock per standard."
     );
 }

@@ -50,12 +50,14 @@ pub use rfbist_signal as signal;
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig, JitterPlacement};
-    pub use rfbist_core::bist::{BistConfig, BistEngine, ProbeSchedule, ScanStrategy};
+    pub use rfbist_core::bist::{BistConfig, BistEngine, BistScratch, ProbeSchedule, ScanStrategy};
     pub use rfbist_core::cost::DualRateCost;
     pub use rfbist_core::jamal::{estimate_skew_jamal, test_tone_for_ratio};
     pub use rfbist_core::lms::{estimate_skew_lms, LmsConfig};
-    pub use rfbist_core::mask::{MaskSegment, SpectralMask};
-    pub use rfbist_core::scan::{MaskScanEngine, MaskScanScratch};
+    pub use rfbist_core::mask::{MaskLibrary, MaskSegment, MaskStandard, SpectralMask};
+    pub use rfbist_core::scan::{
+        EarlyVerdict, MaskScanEngine, MaskScanScratch, ScanFeed, StreamScratch,
+    };
     pub use rfbist_rfchain::faults::{standard_fault_set, Fault, FaultKind};
     pub use rfbist_rfchain::impairments::TxImpairments;
     pub use rfbist_rfchain::iqmod::IqImbalance;
@@ -63,7 +65,7 @@ pub mod prelude {
     pub use rfbist_rfchain::txchain::HomodyneTx;
     pub use rfbist_sampling::band::BandSpec;
     pub use rfbist_sampling::dualrate::DualRateConfig;
-    pub use rfbist_sampling::gridplan::{GridScratch, PnbsGridPlan};
+    pub use rfbist_sampling::gridplan::{GridBlocks, GridScratch, PnbsGridPlan, GRID_BLOCK_LEN};
     pub use rfbist_sampling::plan::{PnbsPlan, PnbsScratch};
     pub use rfbist_sampling::reconstruct::{NonuniformCapture, PnbsReconstructor};
     pub use rfbist_signal::prelude::*;
