@@ -16,6 +16,7 @@ use crate::lms::{estimate_skew_lms, LmsConfig};
 use crate::mask::SpectralMask;
 use crate::report::BistReport;
 use crate::scan::{EarlyVerdict, MaskScanEngine, ScanFeed, StreamScratch};
+use crate::skew::SkewEstimate;
 use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig};
 use rfbist_converter::calibration::auto_calibrate;
 use rfbist_dsp::psd::welch;
@@ -54,6 +55,90 @@ pub enum ScanStrategy {
     /// skipping the ~96 % of the spectrum the mask never reads.
     #[default]
     BankedGoertzel,
+}
+
+/// Acceptance gate on the per-run skew estimate, folded into
+/// [`BistReport::passed`]: a diverged LMS (or one stranded at a huge
+/// residual cost) reconstructs a distorted waveform, and a mask
+/// verdict on that waveform is meaningless — it must not report PASS.
+/// Runs on an externally calibrated skew
+/// ([`BistConfig::calibrated_skew`]) skip the gate; the calibration
+/// run itself carried it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SkewGate {
+    /// Require the LMS iteration to have met its convergence
+    /// criterion.
+    pub require_convergence: bool,
+    /// Maximum acceptable residual cost at the estimate, in the cost
+    /// function's raw amplitude² units ([`DualRateCost`] is
+    /// unnormalized). `None` accepts any residual.
+    pub max_residual_cost: Option<f64>,
+}
+
+impl SkewGate {
+    /// The default gate: LMS convergence required, no residual bound.
+    pub fn paper_default() -> Self {
+        SkewGate {
+            require_convergence: true,
+            max_residual_cost: None,
+        }
+    }
+}
+
+impl Default for SkewGate {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Noise-figure measurement configuration: the engine measures the
+/// mean reconstructed density over an out-of-band offset window and
+/// reports its excess over a reference floor as the noise figure —
+/// the same low-cost PSD-reuse NF strategy of Barragan et al. (see
+/// PAPERS.md), riding the Welch/Goertzel machinery the mask verdict
+/// already runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseFigureConfig {
+    /// Measurement band lower edge, as an absolute offset from the
+    /// carrier in Hz (both sidebands are measured).
+    pub offset_lo: f64,
+    /// Measurement band upper edge (offset from the carrier, Hz). Must
+    /// stay inside the reconstruction band (±B/2 around the carrier).
+    pub offset_hi: f64,
+    /// Reference (design) noise density in dB/Hz;
+    /// `NF = measured density − reference`.
+    pub reference_density_dbhz: f64,
+    /// Verdict gate: maximum acceptable noise figure in dB, folded
+    /// into [`BistReport::passed`] when set.
+    pub max_nf_db: Option<f64>,
+}
+
+impl NoiseFigureConfig {
+    /// A measurement band over `[offset_lo, offset_hi]` Hz from the
+    /// carrier against the given reference floor, with no verdict
+    /// limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is malformed.
+    pub fn new(offset_lo: f64, offset_hi: f64, reference_density_dbhz: f64) -> Self {
+        assert!(
+            offset_lo >= 0.0 && offset_hi > offset_lo,
+            "noise band offsets must satisfy 0 <= lo < hi"
+        );
+        NoiseFigureConfig {
+            offset_lo,
+            offset_hi,
+            reference_density_dbhz,
+            max_nf_db: None,
+        }
+    }
+
+    /// Builder-style: arm the verdict limit.
+    pub fn with_max_nf(mut self, max_nf_db: f64) -> Self {
+        self.max_nf_db = Some(max_nf_db);
+        self
+    }
 }
 
 /// Engine configuration.
@@ -99,6 +184,21 @@ pub struct BistConfig {
     /// bit-identical verdicts — blocks re-seed exactly, so only the
     /// wall clock changes.
     pub stream_workers: usize,
+    /// Externally calibrated skew in seconds: when set, the engine
+    /// skips the per-run cost/LMS estimation and reconstructs with
+    /// this delay. Skew is a hardware property of the sampler, not of
+    /// the stimulus — estimate it once on a wideband calibration burst
+    /// ([`BistEngine::calibrate_skew`]) and reuse it across
+    /// per-standard verdicts. This closes the narrowband trap: a
+    /// GSM-like 270 ksym/s carrier leaves the dual-rate cost surface
+    /// nearly flat and the LMS settles ~170 ps off, while a 10 Msym/s
+    /// burst through the *same* front-end recovers it to sub-ps.
+    pub calibrated_skew: Option<f64>,
+    /// Acceptance gate on the per-run skew estimate, folded into the
+    /// overall verdict.
+    pub skew_gate: SkewGate,
+    /// Optional noise-figure measurement and verdict limit.
+    pub noise_figure: Option<NoiseFigureConfig>,
 }
 
 impl BistConfig {
@@ -125,6 +225,9 @@ impl BistConfig {
             probe_schedule: ProbeSchedule::default(),
             early_verdict: None,
             stream_workers: 0,
+            calibrated_skew: None,
+            skew_gate: SkewGate::paper_default(),
+            noise_figure: None,
         }
     }
 
@@ -158,6 +261,29 @@ impl BistConfig {
     /// (`0` = auto, `1` = in-thread).
     pub fn with_stream_workers(mut self, workers: usize) -> Self {
         self.stream_workers = workers;
+        self
+    }
+
+    /// Builder-style: reuse an externally calibrated skew (seconds),
+    /// bypassing the per-run LMS estimation.
+    pub fn with_calibrated_skew(mut self, delay: f64) -> Self {
+        assert!(
+            delay.is_finite() && delay > 0.0,
+            "calibrated skew must be a positive delay"
+        );
+        self.calibrated_skew = Some(delay);
+        self
+    }
+
+    /// Builder-style: set the skew acceptance gate.
+    pub fn with_skew_gate(mut self, gate: SkewGate) -> Self {
+        self.skew_gate = gate;
+        self
+    }
+
+    /// Builder-style: arm the noise-figure measurement.
+    pub fn with_noise_figure(mut self, nf: NoiseFigureConfig) -> Self {
+        self.noise_figure = Some(nf);
         self
     }
 
@@ -218,11 +344,14 @@ struct ScanCacheEntry {
     fs: f64,
     segment_len: usize,
     overlap: usize,
+    noise_band: Option<(f64, f64)>,
     engine: MaskScanEngine,
 }
 
 /// Returns the cached scanner for this configuration, rebuilding it
-/// only when the mask or scan geometry changed since the last verdict.
+/// only when the mask, scan geometry or noise band changed since the
+/// last verdict.
+#[allow(clippy::too_many_arguments)]
 fn scan_engine_cached<'a>(
     cache: &'a mut Option<ScanCacheEntry>,
     mask: &SpectralMask,
@@ -230,6 +359,7 @@ fn scan_engine_cached<'a>(
     fs: f64,
     segment_len: usize,
     overlap: usize,
+    noise_band: Option<(f64, f64)>,
 ) -> &'a MaskScanEngine {
     let stale = !matches!(
         cache,
@@ -239,6 +369,7 @@ fn scan_engine_cached<'a>(
                 && e.fs == fs
                 && e.segment_len == segment_len
                 && e.overlap == overlap
+                && e.noise_band == noise_band
     );
     if stale {
         *cache = Some(ScanCacheEntry {
@@ -247,14 +378,26 @@ fn scan_engine_cached<'a>(
             fs,
             segment_len,
             overlap,
-            engine: MaskScanEngine::new(
-                mask,
-                carrier_hz,
-                fs,
-                segment_len,
-                overlap,
-                Window::BlackmanHarris,
-            ),
+            noise_band,
+            engine: match noise_band {
+                Some(band) => MaskScanEngine::with_noise_band(
+                    mask,
+                    carrier_hz,
+                    fs,
+                    segment_len,
+                    overlap,
+                    Window::BlackmanHarris,
+                    band,
+                ),
+                None => MaskScanEngine::new(
+                    mask,
+                    carrier_hz,
+                    fs,
+                    segment_len,
+                    overlap,
+                    Window::BlackmanHarris,
+                ),
+            },
         });
     }
     &cache.as_ref().expect("just filled").engine
@@ -320,31 +463,47 @@ impl BistEngine {
     ) -> BistReport {
         let cfg = &self.config;
 
-        // 1. capture at both rates
+        // 1 + 2. fast-rate capture and offset/gain background
+        //        calibration (the slow channel is only needed when the
+        //        skew must be estimated on this run)
         let mut fast_adc = BpTiadc::new(cfg.frontend_fast);
-        let mut slow_adc = BpTiadc::new(cfg.frontend_slow);
         let fast_raw = fast_adc.capture(dut, cfg.fast_start, cfg.fast_len);
-        let slow_raw = slow_adc.capture(dut, cfg.slow_start, cfg.slow_len);
-
-        // 2. offset/gain background calibration
         let (fast_cap, _) = auto_calibrate(&fast_raw);
-        let (slow_cap, _) = auto_calibrate(&slow_raw);
 
-        // 3. LMS skew estimation on the dual-rate cost
-        let cost = match cfg.probe_schedule {
-            ProbeSchedule::Random => DualRateCost::paper_probes(
-                fast_cap.clone(),
-                slow_cap,
-                cfg.dual,
-                cfg.probe_count,
-                cfg.probe_seed,
-            ),
-            ProbeSchedule::UniformGrid => {
-                DualRateCost::grid_probes(fast_cap.clone(), slow_cap, cfg.dual, cfg.probe_count)
+        // 3. skew: reuse the calibrated value when one is supplied
+        //    (skew is a hardware property — the wideband calibration
+        //    burst already measured it), otherwise estimate per run
+        //    with the LMS on the dual-rate cost
+        let (skew, skew_ok) = match cfg.calibrated_skew {
+            Some(delay) => (SkewEstimate::from_delay(delay), true),
+            None => {
+                let mut slow_adc = BpTiadc::new(cfg.frontend_slow);
+                let slow_raw = slow_adc.capture(dut, cfg.slow_start, cfg.slow_len);
+                let (slow_cap, _) = auto_calibrate(&slow_raw);
+                let cost = match cfg.probe_schedule {
+                    ProbeSchedule::Random => DualRateCost::paper_probes(
+                        fast_cap.clone(),
+                        slow_cap,
+                        cfg.dual,
+                        cfg.probe_count,
+                        cfg.probe_seed,
+                    ),
+                    ProbeSchedule::UniformGrid => DualRateCost::grid_probes(
+                        fast_cap.clone(),
+                        slow_cap,
+                        cfg.dual,
+                        cfg.probe_count,
+                    ),
+                };
+                let lms = estimate_skew_lms(&cost, LmsConfig::paper_default(cfg.lms_initial));
+                let ok = (!cfg.skew_gate.require_convergence || lms.converged)
+                    && cfg
+                        .skew_gate
+                        .max_residual_cost
+                        .is_none_or(|max| lms.cost <= max);
+                (lms.to_estimate(), ok)
             }
         };
-        let lms = estimate_skew_lms(&cost, LmsConfig::paper_default(cfg.lms_initial));
-        let skew = lms.to_estimate();
 
         // 4. dense reconstruction from the fast capture
         let rec = PnbsReconstructor::new_unchecked(
@@ -372,84 +531,111 @@ impl BistEngine {
         // the grid flows into the scan.
         let (seg, overlap) = welch_segmentation(n_grid);
         let carrier = cfg.dual.fast_band().center();
-        let (mask_report, reconstruction_error, early_exit) = match cfg.scan_strategy {
-            // The preserved batch reference: materialize the full
-            // analysis grid (grid-aware plan, cross-point rotor reuse),
-            // estimate the complete PSD, check the mask — byte-identical
-            // to the pre-streaming pipeline.
-            ScanStrategy::FftWelch => {
-                rec.reconstruct_grid(&fast_cap, lo, dt, n_grid, &mut scratch.grid);
-                let wave = scratch.grid.values();
-                let reconstruction_error = reference.map(|r| {
-                    let grid: Vec<f64> = (0..n_grid).map(|i| lo + i as f64 * dt).collect();
-                    nrmse(wave, &r.sample(&grid))
-                });
-                let psd = welch(wave, cfg.grid_rate, seg, overlap, Window::BlackmanHarris);
-                (mask.check(&psd, carrier), reconstruction_error, false)
-            }
-            // The streaming pipeline: the block-reseeded walk feeds the
-            // banked scan segment by segment — one pass, no full-grid
-            // buffer — and the early-verdict policy can stop
-            // reconstruction (the hottest loop of the whole run) as
-            // soon as the verdict is decided. Blocks re-seed exactly,
-            // so the verdict is bit-identical to scanning the batch
-            // reconstruction.
-            ScanStrategy::BankedGoertzel => {
-                let BistScratch {
-                    grid,
-                    stream,
-                    scan_cache,
-                } = scratch;
-                let engine =
-                    scan_engine_cached(scan_cache, mask, carrier, cfg.grid_rate, seg, overlap);
-                let mut scan = engine.stream(stream, cfg.early_verdict);
-                // Δε accumulators, summed in grid order so a full
-                // capture reproduces `nrmse` over the batch wave
-                // bit-for-bit.
-                let (mut err_num, mut err_den) = (0.0f64, 0.0f64);
-                let mut consume = |start: usize, block: &[f64]| {
-                    if let Some(r) = reference {
-                        for (i, &g) in block.iter().enumerate() {
-                            let rv = r.eval(lo + (start + i) as f64 * dt);
-                            err_num += (g - rv) * (g - rv);
-                            err_den += rv * rv;
-                        }
-                    }
-                    scan.push(block) == ScanFeed::Continue
-                };
-                let workers = cfg.resolved_stream_workers();
-                if workers > 1 {
-                    rec.grid_plan()
-                        .stream_blocks_parallel(&fast_cap, lo, dt, n_grid, workers, |idx, b| {
-                            consume(idx * GRID_BLOCK_LEN, b)
-                        })
-                        .expect("coverage verified above");
-                } else {
-                    let mut produced = 0usize;
-                    let mut blocks = rec.reconstruct_blocks(&fast_cap, lo, dt, n_grid, grid);
-                    while let Some(block) = blocks.next_block() {
-                        let start = produced;
-                        produced += block.len();
-                        if !consume(start, block) {
-                            break;
-                        }
-                    }
+        let noise_band = cfg.noise_figure.map(|nf| (nf.offset_lo, nf.offset_hi));
+        let (mask_report, reconstruction_error, early_exit, noise_density_dbhz) =
+            match cfg.scan_strategy {
+                // The preserved batch reference: materialize the full
+                // analysis grid (grid-aware plan, cross-point rotor reuse),
+                // estimate the complete PSD, check the mask — byte-identical
+                // to the pre-streaming pipeline.
+                ScanStrategy::FftWelch => {
+                    rec.reconstruct_grid(&fast_cap, lo, dt, n_grid, &mut scratch.grid);
+                    let wave = scratch.grid.values();
+                    let reconstruction_error = reference.map(|r| {
+                        let grid: Vec<f64> = (0..n_grid).map(|i| lo + i as f64 * dt).collect();
+                        nrmse(wave, &r.sample(&grid))
+                    });
+                    let psd = welch(wave, cfg.grid_rate, seg, overlap, Window::BlackmanHarris);
+                    let noise_density = noise_band.and_then(|(lo, hi)| {
+                        psd.mean_density_in_offset_band(carrier, lo, hi)
+                            .map(|d| 10.0 * d.max(1e-30).log10())
+                    });
+                    (
+                        mask.check(&psd, carrier),
+                        reconstruction_error,
+                        false,
+                        noise_density,
+                    )
                 }
-                let early_exit = scan.early_stopped();
-                let mask_report = scan.finish();
-                let reconstruction_error = reference.map(|_| {
-                    if err_den == 0.0 {
-                        if err_num == 0.0 {
-                            0.0
-                        } else {
-                            f64::INFINITY
+                // The streaming pipeline: the block-reseeded walk feeds the
+                // banked scan segment by segment — one pass, no full-grid
+                // buffer — and the early-verdict policy can stop
+                // reconstruction (the hottest loop of the whole run) as
+                // soon as the verdict is decided. Blocks re-seed exactly,
+                // so the verdict is bit-identical to scanning the batch
+                // reconstruction.
+                ScanStrategy::BankedGoertzel => {
+                    let BistScratch {
+                        grid,
+                        stream,
+                        scan_cache,
+                    } = scratch;
+                    let engine = scan_engine_cached(
+                        scan_cache,
+                        mask,
+                        carrier,
+                        cfg.grid_rate,
+                        seg,
+                        overlap,
+                        noise_band,
+                    );
+                    let mut scan = engine.stream(stream, cfg.early_verdict);
+                    // Δε accumulators, summed in grid order so a full
+                    // capture reproduces `nrmse` over the batch wave
+                    // bit-for-bit.
+                    let (mut err_num, mut err_den) = (0.0f64, 0.0f64);
+                    let mut consume = |start: usize, block: &[f64]| {
+                        if let Some(r) = reference {
+                            for (i, &g) in block.iter().enumerate() {
+                                let rv = r.eval(lo + (start + i) as f64 * dt);
+                                err_num += (g - rv) * (g - rv);
+                                err_den += rv * rv;
+                            }
                         }
+                        scan.push(block) == ScanFeed::Continue
+                    };
+                    let workers = cfg.resolved_stream_workers();
+                    if workers > 1 {
+                        rec.grid_plan()
+                            .stream_blocks_parallel(&fast_cap, lo, dt, n_grid, workers, |idx, b| {
+                                consume(idx * GRID_BLOCK_LEN, b)
+                            })
+                            .expect("coverage verified above");
                     } else {
-                        (err_num / err_den).sqrt()
+                        let mut produced = 0usize;
+                        let mut blocks = rec.reconstruct_blocks(&fast_cap, lo, dt, n_grid, grid);
+                        while let Some(block) = blocks.next_block() {
+                            let start = produced;
+                            produced += block.len();
+                            if !consume(start, block) {
+                                break;
+                            }
+                        }
                     }
-                });
-                (mask_report, reconstruction_error, early_exit)
+                    let early_exit = scan.early_stopped();
+                    let noise_density = scan.noise_density_dbhz();
+                    let mask_report = scan.finish();
+                    let reconstruction_error = reference.map(|_| {
+                        if err_den == 0.0 {
+                            if err_num == 0.0 {
+                                0.0
+                            } else {
+                                f64::INFINITY
+                            }
+                        } else {
+                            (err_num / err_den).sqrt()
+                        }
+                    });
+                    (mask_report, reconstruction_error, early_exit, noise_density)
+                }
+            };
+
+        let (noise_figure_db, nf_ok) = match (cfg.noise_figure, noise_density_dbhz) {
+            (Some(nf), Some(density)) => {
+                let figure = density - nf.reference_density_dbhz;
+                (Some(figure), nf.max_nf_db.is_none_or(|max| figure <= max))
             }
+            _ => (None, true),
         };
 
         BistReport {
@@ -458,7 +644,47 @@ impl BistEngine {
             mask: mask_report,
             reconstruction_error,
             early_exit,
+            skew_ok,
+            noise_figure_db,
+            nf_ok,
         }
+    }
+
+    /// Runs only the front half of the BIST — capture at both rates,
+    /// background calibration, dual-rate cost, LMS — against a
+    /// calibration `stimulus`, returning the skew estimate with its
+    /// residual/iteration metadata.
+    ///
+    /// Skew is a property of the sampler hardware (DCDE setting, clock
+    /// routing), not of the stimulus, but its *identifiability* is: a
+    /// narrowband carrier leaves the dual-rate cost surface nearly
+    /// flat and the LMS can settle far from the true delay (~170 ps
+    /// off for a GSM-like 270 ksym/s stimulus) while a wideband burst
+    /// through the same front-end pins it to sub-ps. Calibrate once on
+    /// a wideband burst at the deployment carrier, then run
+    /// per-standard verdicts with
+    /// [`BistConfig::with_calibrated_skew`].
+    pub fn calibrate_skew<S: ContinuousSignal>(&self, stimulus: &S) -> SkewEstimate {
+        let cfg = &self.config;
+        let mut fast_adc = BpTiadc::new(cfg.frontend_fast);
+        let mut slow_adc = BpTiadc::new(cfg.frontend_slow);
+        let fast_raw = fast_adc.capture(stimulus, cfg.fast_start, cfg.fast_len);
+        let slow_raw = slow_adc.capture(stimulus, cfg.slow_start, cfg.slow_len);
+        let (fast_cap, _) = auto_calibrate(&fast_raw);
+        let (slow_cap, _) = auto_calibrate(&slow_raw);
+        let cost = match cfg.probe_schedule {
+            ProbeSchedule::Random => DualRateCost::paper_probes(
+                fast_cap,
+                slow_cap,
+                cfg.dual,
+                cfg.probe_count,
+                cfg.probe_seed,
+            ),
+            ProbeSchedule::UniformGrid => {
+                DualRateCost::grid_probes(fast_cap, slow_cap, cfg.dual, cfg.probe_count)
+            }
+        };
+        estimate_skew_lms(&cost, LmsConfig::paper_default(cfg.lms_initial)).to_estimate()
     }
 }
 
@@ -467,9 +693,11 @@ mod tests {
     use super::*;
     use rfbist_rfchain::faults::{Fault, FaultKind};
     use rfbist_rfchain::impairments::TxImpairments;
-    use rfbist_rfchain::txchain::HomodyneTx;
+    use rfbist_rfchain::txchain::{HomodyneTx, ImpairedEnvelope};
     use rfbist_signal::bandpass::BandpassSignal;
     use rfbist_signal::baseband::ShapedBaseband;
+    use rfbist_signal::noise::BandlimitedNoise;
+    use rfbist_signal::traits::Sum;
 
     fn paper_tx(imp: TxImpairments) -> HomodyneTx<ShapedBaseband> {
         let bb = ShapedBaseband::qpsk_prbs(10e6, 0.5, 12, 160, 0xACE1);
@@ -766,5 +994,133 @@ mod tests {
             Some(&ideal_ref),
         );
         assert!(r_clean.reconstruction_error.unwrap() < r_noisy.reconstruction_error.unwrap());
+    }
+
+    /// Healthy paper transmitter plus injected band-limited noise of
+    /// known one-sided density, and that density in dB/Hz. The chain
+    /// is impairment-free so the probe band holds only the injected
+    /// floor — typical-impairment regrowth shoulders would add a
+    /// couple of dB on top of it and mask the density physics under
+    /// test.
+    fn noisy_paper_tx(
+        rms: f64,
+    ) -> (
+        Sum<BandpassSignal<ImpairedEnvelope<ShapedBaseband>>, BandlimitedNoise>,
+        f64,
+    ) {
+        let tx = paper_tx(TxImpairments::ideal());
+        // span the whole ±44 MHz reconstruction band around the
+        // carrier so the density is flat across the NF probe offsets
+        let (f_lo, f_hi) = (1e9 - 44e6, 1e9 + 44e6);
+        let noise = BandlimitedNoise::new(f_lo, f_hi, 600, rms, 0xF107);
+        let density_dbhz = 10.0 * (rms * rms / (f_hi - f_lo)).log10();
+        (Sum::new(tx.rf_output(), noise), density_dbhz)
+    }
+
+    #[test]
+    fn noise_figure_tracks_injected_noise_density() {
+        // with the reference floor set at the injected density the
+        // measured figure must come out near 0 dB — the densities the
+        // two PSD paths report agree with rms²/BW physics. The
+        // front-end must be ideal here: the paper front-end's 3 ps
+        // DCDE jitter smears the carrier into a real ≈ −117 dB/Hz
+        // floor that sits right on top of the injected one.
+        let (dut, density_dbhz) = noisy_paper_tx(0.01);
+        let nf_cfg = NoiseFigureConfig::new(25e6, 40e6, density_dbhz);
+        let engine = BistEngine::new(
+            BistConfig::paper_default()
+                .with_ideal_frontend()
+                .with_noise_figure(nf_cfg),
+        );
+        let report = engine.run(
+            &dut,
+            &SpectralMask::qpsk_10msym(),
+            None::<&BandpassSignal<ShapedBaseband>>,
+        );
+        let nf = report.noise_figure_db.expect("NF was configured");
+        assert!(nf.abs() < 1.5, "noise figure off by {nf} dB");
+        assert!(report.nf_ok, "no limit configured, gate must stay open");
+        assert!(report.mask.passed, "injected floor must not trip the mask");
+    }
+
+    #[test]
+    fn noise_figure_limit_fails_the_verdict() {
+        let (dut, density_dbhz) = noisy_paper_tx(0.01);
+        // reference 10 dB below the injected density → NF ≈ 10 dB,
+        // over a 5 dB limit
+        let nf_cfg = NoiseFigureConfig::new(25e6, 40e6, density_dbhz - 10.0).with_max_nf(5.0);
+        let engine = BistEngine::new(BistConfig::paper_default().with_noise_figure(nf_cfg));
+        let report = engine.run(
+            &dut,
+            &SpectralMask::qpsk_10msym(),
+            None::<&BandpassSignal<ShapedBaseband>>,
+        );
+        assert!(report.mask.passed, "mask itself is still clean");
+        assert!(
+            !report.nf_ok,
+            "NF {:?} must exceed the 5 dB limit",
+            report.noise_figure_db
+        );
+        assert!(!report.passed(), "NF gate must fail the overall verdict");
+    }
+
+    #[test]
+    fn scan_strategies_agree_on_noise_figure() {
+        let (dut, density_dbhz) = noisy_paper_tx(0.01);
+        let nf_cfg = NoiseFigureConfig::new(25e6, 40e6, density_dbhz);
+        let banked = BistEngine::new(BistConfig::paper_default().with_noise_figure(nf_cfg));
+        let welch = BistEngine::new(
+            BistConfig::paper_default()
+                .with_noise_figure(nf_cfg)
+                .with_scan_strategy(ScanStrategy::FftWelch),
+        );
+        let mask = SpectralMask::qpsk_10msym();
+        let a = banked.run(&dut, &mask, None::<&BandpassSignal<ShapedBaseband>>);
+        let b = welch.run(&dut, &mask, None::<&BandpassSignal<ShapedBaseband>>);
+        let (nf_a, nf_b) = (a.noise_figure_db.unwrap(), b.noise_figure_db.unwrap());
+        assert!(
+            (nf_a - nf_b).abs() < 0.5,
+            "banked {nf_a} dB vs welch {nf_b} dB"
+        );
+    }
+
+    #[test]
+    fn skew_gate_residual_limit_fails_the_verdict() {
+        // an impossible residual requirement: the mask still passes but
+        // the skew acceptance gate pulls the overall verdict down
+        let tx = paper_tx(TxImpairments::typical());
+        let gate = SkewGate {
+            require_convergence: true,
+            max_residual_cost: Some(1e-30),
+        };
+        let engine = BistEngine::new(BistConfig::paper_default().with_skew_gate(gate));
+        let report = engine.run(
+            &tx.rf_output(),
+            &SpectralMask::qpsk_10msym(),
+            None::<&BandpassSignal<ShapedBaseband>>,
+        );
+        assert!(report.mask.passed);
+        assert!(!report.skew_ok);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn calibrated_skew_is_reused_and_stays_accurate() {
+        let tx = paper_tx(TxImpairments::typical());
+        let base = BistConfig::paper_default();
+        let est = BistEngine::new(base.clone()).calibrate_skew(&tx.rf_output());
+        let engine = BistEngine::new(base.with_calibrated_skew(est.delay));
+        let report = engine.run(
+            &tx.rf_output(),
+            &SpectralMask::qpsk_10msym(),
+            Some(&tx.ideal_rf_output()),
+        );
+        assert!(report.passed(), "calibrated healthy run must pass");
+        assert!(report.skew_ok, "calibrated skew carries the gate");
+        assert!(
+            report.skew_abs_error() < 2.5e-12,
+            "calibrated skew error {} ps",
+            report.skew_abs_error() * 1e12
+        );
     }
 }

@@ -1,0 +1,663 @@
+//! Monte-Carlo fault-coverage campaign: the "how good is this BIST"
+//! measurement the paper only samples.
+//!
+//! The DATE 2014 strategy exists to catch out-of-spec transmitters,
+//! so its figure of merit is not any single verdict but the
+//! *detection-coverage / false-alarm matrix*: across every supported
+//! standard, over independent payload realizations and clock-jitter
+//! profiles, which injected faults does the pipeline flag and how
+//! often does it condemn a healthy unit? This module sweeps
+//! [`standard_fault_set`] (plus the healthy baseline) through
+//! [`BistEngine::run_with`] on every [`MaskLibrary`] standard and
+//! accumulates exactly that matrix.
+//!
+//! Each deployment calibrates the sampler skew once on a wideband
+//! burst ([`BistEngine::calibrate_skew`]) and reuses the estimate for
+//! every per-standard verdict — the fix for the narrowband trap where
+//! a GSM-like stimulus leaves the LMS ~170 ps off while the mask
+//! still passes. Disable [`CampaignConfig::wideband_calibration`] to
+//! reproduce the broken per-run behavior.
+//!
+//! A fault counts as *detected* when the overall verdict fails
+//! (mask, skew gate or noise figure) **or** the golden-waveform
+//! deviation Δε exceeds [`CampaignConfig::eps_ratio`] times the
+//! healthy baseline of the same trial — the complementary in-band
+//! check the emission mask cannot see (IQ imbalance, carrier
+//! feed-through stay inside the occupied band).
+
+use crate::bist::{BistConfig, BistEngine, BistScratch};
+use crate::mask::MaskLibrary;
+use rfbist_converter::bptiadc::BpTiadcConfig;
+use rfbist_converter::clock::JitterModel;
+use rfbist_rfchain::faults::{gross_fault_set, standard_fault_set, Fault};
+use rfbist_rfchain::impairments::TxImpairments;
+use rfbist_rfchain::txchain::HomodyneTx;
+use rfbist_sampling::band::BandSpec;
+use rfbist_sampling::dualrate::DualRateConfig;
+use rfbist_sampling::kohlenberg::optimal_delay;
+use rfbist_signal::baseband::ShapedBaseband;
+use std::fmt::Write as _;
+
+/// Fixed fast-channel rate shared by every deployment, Hz (the
+/// flexibility claim: hardware never retunes).
+pub const CAMPAIGN_B: f64 = 90e6;
+/// Fixed slow-channel rate, Hz.
+pub const CAMPAIGN_B1: f64 = 45e6;
+
+/// Wideband calibration-burst symbol rate (the paper's Section V
+/// stimulus): fast enough to make the dual-rate cost surface steep at
+/// every deployment carrier.
+pub const CALIBRATION_SYMBOL_RATE: f64 = 10e6;
+
+/// One per-standard deployment row: the carrier the standard occupies
+/// and the analysis grid meeting its resolution-bandwidth
+/// requirement. Hardware (the two ADC rates) is shared across rows —
+/// only software retunes.
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    /// Name of a [`MaskLibrary`] standard.
+    pub standard: String,
+    /// Carrier frequency, Hz.
+    pub carrier_hz: f64,
+    /// Dense reconstruction grid rate for PSD estimation, Hz.
+    pub grid_rate: f64,
+    /// Analysis grid length in samples.
+    pub grid_len: usize,
+    /// Fast-channel capture length in pairs.
+    pub fast_len: usize,
+    /// Slow-channel capture length in pairs.
+    pub slow_len: usize,
+}
+
+impl Deployment {
+    /// The five builtin-library deployments of the multistandard
+    /// sweep: GSM-shaped narrowband at VHF/UHF through a 20 Msym/s
+    /// wideband carrier at 2.85 GHz, all on the same fixed-rate
+    /// BP-TIADC.
+    pub fn builtin_five() -> Vec<Deployment> {
+        let row = |standard: &str,
+                   carrier_hz: f64,
+                   grid_rate: f64,
+                   grid_len: usize,
+                   fast_len: usize,
+                   slow_len: usize| Deployment {
+            standard: standard.to_string(),
+            carrier_hz,
+            grid_rate,
+            grid_len,
+            fast_len,
+            slow_len,
+        };
+        vec![
+            // the 100-kHz-scale mask offsets need a ~70 kHz RBW: the
+            // grid slows to 300 MHz over 8192 points (27 µs capture)
+            row("gsm-like-270k", 100e6, 300e6, 8192, 2600, 1400),
+            // the paper's Section V configuration, unchanged
+            row("qpsk-10msym-srrc0.5", 1e9, 4e9, 12288, 380, 200),
+            row("wcdma-like-3g84", 1.55e9, 4e9, 12288, 380, 200),
+            // the two thin-margin standards (healthy units clear their
+            // masks by under 1 dB) take a doubled grid and capture: the
+            // extra Welch segments halve the per-realization margin
+            // swing that would otherwise condemn healthy units
+            row("lte5-like", 2.175e9, 5e9, 32768, 760, 400),
+            row("wb-20msym-srrc0.35", 2.85e9, 6.5e9, 32768, 760, 400),
+        ]
+    }
+
+    /// The DCDE delay target for this deployment's band,
+    /// `D = 1/(4 fc)` via [`optimal_delay`].
+    pub fn delay_target(&self) -> f64 {
+        optimal_delay(BandSpec::centered(self.carrier_hz, CAMPAIGN_B))
+    }
+
+    /// The per-standard engine configuration: same hardware, new
+    /// software plan (DCDE target, capture lengths, analysis grid,
+    /// LMS seed point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the carrier violates the eq. 9 identifiability
+    /// conditions for the fixed rate pair.
+    pub fn bist_config(&self) -> BistConfig {
+        let d_target = self.delay_target();
+        let dual = DualRateConfig::new(self.carrier_hz, CAMPAIGN_B, CAMPAIGN_B1, d_target)
+            .expect("deployment carrier satisfies the eq. 9 identifiability conditions");
+        let mut cfg = BistConfig::paper_default();
+        cfg.dual = dual;
+        cfg.frontend_fast = BpTiadcConfig::paper_section_v(dual.delay());
+        cfg.frontend_slow = BpTiadcConfig::paper_section_v(dual.delay())
+            .with_sample_rate(dual.slow_rate())
+            .with_seed(0x51DE);
+        cfg.fast_len = self.fast_len;
+        cfg.slow_len = self.slow_len;
+        cfg.grid_rate = self.grid_rate;
+        cfg.grid_len = self.grid_len;
+        cfg.lms_initial = 0.55 * d_target;
+        cfg
+    }
+
+    /// Capture span in seconds (start margin plus length at the fast
+    /// rate, with 20 % slack) — what the stimulus must cover.
+    fn capture_span(&self, fast_start: i64) -> f64 {
+        (fast_start as f64 + self.fast_len as f64) / CAMPAIGN_B * 1.2
+    }
+}
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Deployments to score, one per standard.
+    pub deployments: Vec<Deployment>,
+    /// Fault corpus injected on every standard.
+    pub faults: Vec<Fault>,
+    /// Independent Monte-Carlo trials per (standard, jitter) cell:
+    /// each trial draws a fresh PRBS payload.
+    pub trials: usize,
+    /// Seed the per-trial payload seeds derive from.
+    pub base_seed: u64,
+    /// Clock-jitter profiles (RMS seconds) applied to both front-end
+    /// channels — the impairment sweep axis.
+    pub jitter_rms: Vec<f64>,
+    /// Golden-comparison detection threshold: a run is flagged when
+    /// Δε exceeds this multiple of the same trial's healthy baseline.
+    pub eps_ratio: f64,
+    /// Calibrate skew once per (deployment, jitter) on a wideband
+    /// burst and reuse it for every verdict (the narrowband fix).
+    /// When `false`, every run re-estimates skew from its own
+    /// stimulus — the pre-fix behavior, kept for A/B measurement.
+    pub wideband_calibration: bool,
+}
+
+impl CampaignConfig {
+    /// The full campaign: all five standards, the whole graded fault
+    /// catalogue, two payload trials, two in-spec clock profiles (a
+    /// quiet 1.5 ps DCDE and the paper's 3 ps). Jitter beyond spec is
+    /// not a healthy condition — at 2+ GHz carriers a 6 ps clock
+    /// raises the sampled noise floor ∝ (2π·fc·σ)² straight through
+    /// the thin LTE/wideband masks, which is a clock *fault*, not a
+    /// false alarm.
+    pub fn paper_default() -> Self {
+        CampaignConfig {
+            deployments: Deployment::builtin_five(),
+            faults: standard_fault_set(),
+            trials: 2,
+            base_seed: 0xACE1,
+            jitter_rms: vec![1.5e-12, 3e-12],
+            eps_ratio: 2.0,
+            wideband_calibration: true,
+        }
+    }
+
+    /// CI-sized smoke campaign: still all five standards (the
+    /// acceptance claim is per-standard), but only the gross fault
+    /// grades, one trial, the paper's jitter profile.
+    pub fn quick() -> Self {
+        CampaignConfig {
+            faults: gross_fault_set(),
+            trials: 1,
+            jitter_rms: vec![3e-12],
+            ..Self::paper_default()
+        }
+    }
+
+    /// The PRBS payload seed of trial `trial` — a Weyl sequence off
+    /// [`CampaignConfig::base_seed`], so trials are decorrelated but
+    /// the whole campaign stays reproducible from one number.
+    pub fn trial_seed(&self, trial: usize) -> u64 {
+        self.base_seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(trial as u64 + 1))
+    }
+}
+
+/// Per-fault tally within one standard.
+#[derive(Clone, Debug)]
+pub struct FaultOutcome {
+    /// The injected fault.
+    pub fault: Fault,
+    /// Runs performed.
+    pub runs: usize,
+    /// Runs flagged by the overall verdict alone (mask, skew gate or
+    /// noise figure).
+    pub verdict_detected: usize,
+    /// Runs flagged by verdict *or* golden comparison — the
+    /// campaign's detection criterion.
+    pub detected: usize,
+}
+
+/// Accumulated results for one standard.
+#[derive(Clone, Debug)]
+pub struct StandardOutcome {
+    /// Library standard name.
+    pub standard: String,
+    /// Healthy-baseline runs performed.
+    pub healthy_runs: usize,
+    /// Healthy runs the verdict condemned (should be zero).
+    pub false_alarms: usize,
+    /// Per-fault tallies, one per corpus entry.
+    pub per_fault: Vec<FaultOutcome>,
+    /// Worst `|D̂ − D|` across every run of this standard, seconds.
+    pub worst_skew_error: f64,
+}
+
+impl StandardOutcome {
+    /// Total fault-injected runs.
+    pub fn fault_runs(&self) -> usize {
+        self.per_fault.iter().map(|f| f.runs).sum()
+    }
+
+    /// Total detected fault runs.
+    pub fn detected(&self) -> usize {
+        self.per_fault.iter().map(|f| f.detected).sum()
+    }
+
+    /// Detected fraction of fault runs (1.0 when no fault ran).
+    pub fn detection_rate(&self) -> f64 {
+        let runs = self.fault_runs();
+        if runs == 0 {
+            1.0
+        } else {
+            self.detected() as f64 / runs as f64
+        }
+    }
+
+    /// False-alarm fraction of healthy runs (0.0 when none ran).
+    pub fn false_alarm_rate(&self) -> f64 {
+        if self.healthy_runs == 0 {
+            0.0
+        } else {
+            self.false_alarms as f64 / self.healthy_runs as f64
+        }
+    }
+
+    /// Detection rate restricted to `subset` (e.g.
+    /// [`gross_fault_set`]); corpus entries outside the subset are
+    /// ignored.
+    pub fn detection_rate_for(&self, subset: &[Fault]) -> f64 {
+        let (mut runs, mut detected) = (0usize, 0usize);
+        for f in &self.per_fault {
+            if subset.contains(&f.fault) {
+                runs += f.runs;
+                detected += f.detected;
+            }
+        }
+        if runs == 0 {
+            1.0
+        } else {
+            detected as f64 / runs as f64
+        }
+    }
+}
+
+/// The campaign's product: the per-standard detection-coverage /
+/// false-alarm matrix.
+#[derive(Clone, Debug)]
+pub struct CoverageMatrix {
+    /// One outcome per scored standard.
+    pub standards: Vec<StandardOutcome>,
+}
+
+impl CoverageMatrix {
+    /// Detected fraction over every fault run of every standard.
+    pub fn overall_detection_rate(&self) -> f64 {
+        let runs: usize = self.standards.iter().map(|s| s.fault_runs()).sum();
+        let det: usize = self.standards.iter().map(|s| s.detected()).sum();
+        if runs == 0 {
+            1.0
+        } else {
+            det as f64 / runs as f64
+        }
+    }
+
+    /// Minimum over standards of the gross-subset detection rate —
+    /// the acceptance headline (must be 1.0).
+    pub fn gross_detection_rate(&self) -> f64 {
+        let gross = gross_fault_set();
+        self.standards
+            .iter()
+            .map(|s| s.detection_rate_for(&gross))
+            .fold(1.0, f64::min)
+    }
+
+    /// False alarms over every healthy run of every standard.
+    pub fn overall_false_alarm_rate(&self) -> f64 {
+        let runs: usize = self.standards.iter().map(|s| s.healthy_runs).sum();
+        let fa: usize = self.standards.iter().map(|s| s.false_alarms).sum();
+        if runs == 0 {
+            0.0
+        } else {
+            fa as f64 / runs as f64
+        }
+    }
+
+    /// Worst `|D̂ − D|` across the whole campaign, seconds.
+    pub fn worst_skew_error(&self) -> f64 {
+        self.standards
+            .iter()
+            .map(|s| s.worst_skew_error)
+            .fold(0.0, f64::max)
+    }
+
+    /// Serializes the matrix as a self-describing JSON document (the
+    /// workspace vendors no serde; the schema is hand-written like the
+    /// perf harness's).
+    pub fn to_json(&self) -> String {
+        let mut standards = String::new();
+        for (i, s) in self.standards.iter().enumerate() {
+            let mut faults = String::new();
+            for (j, f) in s.per_fault.iter().enumerate() {
+                let _ = write!(
+                    faults,
+                    "{}\n      {{\"fault\": \"{:?}\", \"id\": \"{}\", \"runs\": {}, \
+                     \"verdict_detected\": {}, \"detected\": {}}}",
+                    if j == 0 { "" } else { "," },
+                    f.fault.kind,
+                    f.fault.kind.id(),
+                    f.runs,
+                    f.verdict_detected,
+                    f.detected
+                );
+            }
+            let _ = write!(
+                standards,
+                "{}\n    {{\"standard\": \"{}\", \"healthy_runs\": {}, \"false_alarms\": {}, \
+                 \"fault_runs\": {}, \"detected\": {}, \"detection_rate\": {:.4}, \
+                 \"false_alarm_rate\": {:.4}, \"worst_skew_error_ps\": {:.3}, \"faults\": [{}\n    ]}}",
+                if i == 0 { "" } else { "," },
+                s.standard,
+                s.healthy_runs,
+                s.false_alarms,
+                s.fault_runs(),
+                s.detected(),
+                s.detection_rate(),
+                s.false_alarm_rate(),
+                s.worst_skew_error * 1e12,
+                faults
+            );
+        }
+        format!(
+            "{{\n  \"schema\": \"rfbist-fault-coverage/v1\",\n  \
+             \"overall_detection_rate\": {:.4},\n  \
+             \"gross_detection_rate\": {:.4},\n  \
+             \"overall_false_alarm_rate\": {:.4},\n  \
+             \"worst_skew_error_ps\": {:.3},\n  \
+             \"standards\": [{}\n  ]\n}}\n",
+            self.overall_detection_rate(),
+            self.gross_detection_rate(),
+            self.overall_false_alarm_rate(),
+            self.worst_skew_error() * 1e12,
+            standards
+        )
+    }
+}
+
+/// Builds the stimulus baseband for one deployment: enough symbols at
+/// the given rate to cover the capture span.
+fn stimulus_baseband(span: f64, symbol_rate: f64, rolloff: f64, seed: u64) -> ShapedBaseband {
+    let n_sym = ((span * symbol_rate) as usize + 30).max(96);
+    ShapedBaseband::qpsk_prbs(symbol_rate, rolloff, 12, n_sym, seed)
+}
+
+/// Runs the campaign and returns the coverage matrix.
+///
+/// For each (deployment, jitter-profile) cell: optionally calibrate
+/// the sampler skew on a wideband burst, then for each trial run the
+/// healthy baseline followed by every corpus fault through the same
+/// engine and scratch, scoring detections against the trial's own
+/// healthy Δε floor.
+///
+/// # Panics
+///
+/// Panics if the configuration is empty (no deployments, faults,
+/// trials or jitter profiles), if a deployment names an unknown
+/// standard, or if `eps_ratio` is not a finite value above 1.
+pub fn run_campaign(cfg: &CampaignConfig) -> CoverageMatrix {
+    assert!(!cfg.deployments.is_empty(), "no deployments to score");
+    assert!(!cfg.faults.is_empty(), "empty fault corpus");
+    assert!(cfg.trials > 0, "at least one trial required");
+    assert!(!cfg.jitter_rms.is_empty(), "no jitter profiles");
+    assert!(
+        cfg.eps_ratio.is_finite() && cfg.eps_ratio > 1.0,
+        "eps ratio must be a finite multiplier above 1"
+    );
+    let library = MaskLibrary::builtin();
+
+    let standards = cfg
+        .deployments
+        .iter()
+        .map(|dep| {
+            let standard = library
+                .get(&dep.standard)
+                .unwrap_or_else(|| panic!("unknown standard `{}`", dep.standard));
+            let mut outcome = StandardOutcome {
+                standard: dep.standard.clone(),
+                healthy_runs: 0,
+                false_alarms: 0,
+                per_fault: cfg
+                    .faults
+                    .iter()
+                    .map(|&fault| FaultOutcome {
+                        fault,
+                        runs: 0,
+                        verdict_detected: 0,
+                        detected: 0,
+                    })
+                    .collect(),
+                worst_skew_error: 0.0,
+            };
+            let mut scratch = BistScratch::new();
+
+            for &jitter in &cfg.jitter_rms {
+                let mut base = dep.bist_config();
+                base.frontend_fast.jitter = JitterModel::Gaussian { rms: jitter };
+                base.frontend_slow.jitter = JitterModel::Gaussian { rms: jitter };
+                let span = dep.capture_span(base.fast_start);
+
+                let engine = if cfg.wideband_calibration {
+                    // one wideband burst per cell: skew is a hardware
+                    // property, so its estimate carries across every
+                    // stimulus this front-end configuration captures
+                    let burst_bb =
+                        stimulus_baseband(span, CALIBRATION_SYMBOL_RATE, 0.5, cfg.base_seed);
+                    let burst = HomodyneTx::builder(burst_bb, dep.carrier_hz)
+                        .impairments(TxImpairments::typical())
+                        .build();
+                    let cal = BistEngine::new(base.clone());
+                    let est = cal.calibrate_skew(&burst.rf_output());
+                    BistEngine::new(base.clone().with_calibrated_skew(est.delay))
+                } else {
+                    BistEngine::new(base.clone())
+                };
+
+                for trial in 0..cfg.trials {
+                    let bb = stimulus_baseband(
+                        span,
+                        standard.symbol_rate,
+                        standard.rolloff,
+                        cfg.trial_seed(trial),
+                    );
+
+                    let healthy_tx = HomodyneTx::builder(bb.clone(), dep.carrier_hz)
+                        .impairments(TxImpairments::typical())
+                        .build();
+                    let healthy = engine.run_with(
+                        &healthy_tx.rf_output(),
+                        &standard.mask,
+                        Some(&healthy_tx.ideal_rf_output()),
+                        &mut scratch,
+                    );
+                    outcome.healthy_runs += 1;
+                    if !healthy.passed() {
+                        outcome.false_alarms += 1;
+                    }
+                    outcome.worst_skew_error =
+                        outcome.worst_skew_error.max(healthy.skew_abs_error());
+                    let healthy_eps = healthy
+                        .reconstruction_error
+                        .expect("reference supplied for every campaign run");
+
+                    for (slot, &fault) in cfg.faults.iter().enumerate() {
+                        let tx = HomodyneTx::builder(bb.clone(), dep.carrier_hz)
+                            .impairments(fault.inject(TxImpairments::typical()))
+                            .build();
+                        let report = engine.run_with(
+                            &tx.rf_output(),
+                            &standard.mask,
+                            Some(&tx.ideal_rf_output()),
+                            &mut scratch,
+                        );
+                        let eps = report
+                            .reconstruction_error
+                            .expect("reference supplied for every campaign run");
+                        let verdict_flag = !report.passed();
+                        let eps_flag = eps > cfg.eps_ratio * healthy_eps;
+                        let tally = &mut outcome.per_fault[slot];
+                        tally.runs += 1;
+                        tally.verdict_detected += usize::from(verdict_flag);
+                        tally.detected += usize::from(verdict_flag || eps_flag);
+                        outcome.worst_skew_error =
+                            outcome.worst_skew_error.max(report.skew_abs_error());
+                    }
+                }
+            }
+            outcome
+        })
+        .collect();
+
+    CoverageMatrix { standards }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfbist_rfchain::faults::FaultKind;
+
+    fn one_cell_config() -> CampaignConfig {
+        // the paper standard only, two decisive faults, one trial —
+        // small enough for a unit test, real enough to exercise every
+        // code path including calibration
+        CampaignConfig {
+            deployments: vec![Deployment::builtin_five().remove(1)],
+            faults: vec![
+                Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.25 }),
+                Fault::new(FaultKind::IqGainImbalance { gain_db: 3.0 }),
+            ],
+            trials: 1,
+            base_seed: 0xACE1,
+            jitter_rms: vec![3e-12],
+            eps_ratio: 3.0,
+            wideband_calibration: true,
+        }
+    }
+
+    #[test]
+    fn single_cell_campaign_detects_and_stays_quiet() {
+        let matrix = run_campaign(&one_cell_config());
+        assert_eq!(matrix.standards.len(), 1);
+        let s = &matrix.standards[0];
+        assert_eq!(s.standard, "qpsk-10msym-srrc0.5");
+        assert_eq!(s.healthy_runs, 1);
+        assert_eq!(s.false_alarms, 0, "healthy unit condemned");
+        assert_eq!(s.fault_runs(), 2);
+        assert_eq!(s.detected(), 2, "both gross faults must be flagged");
+        // compression fails the verdict outright; IQ imbalance hides
+        // in-band and needs the golden comparison
+        assert_eq!(s.per_fault[0].verdict_detected, 1);
+        assert_eq!(s.per_fault[0].detected, 1);
+        assert_eq!(s.per_fault[1].detected, 1);
+        // calibrated skew stays at the sub-2.5 ps hardware floor
+        assert!(
+            s.worst_skew_error < 2.5e-12,
+            "skew error {} ps",
+            s.worst_skew_error * 1e12
+        );
+        assert_eq!(matrix.overall_false_alarm_rate(), 0.0);
+        assert_eq!(matrix.overall_detection_rate(), 1.0);
+    }
+
+    #[test]
+    fn matrix_json_is_self_describing() {
+        let matrix = CoverageMatrix {
+            standards: vec![StandardOutcome {
+                standard: "qpsk-10msym-srrc0.5".into(),
+                healthy_runs: 2,
+                false_alarms: 0,
+                per_fault: vec![FaultOutcome {
+                    fault: Fault::new(FaultKind::PaGainShift { delta_db: -3.0 }),
+                    runs: 2,
+                    verdict_detected: 1,
+                    detected: 2,
+                }],
+                worst_skew_error: 1.1e-12,
+            }],
+        };
+        let json = matrix.to_json();
+        assert!(
+            json.contains("\"schema\": \"rfbist-fault-coverage/v1\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"overall_detection_rate\": 1.0000"),
+            "{json}"
+        );
+        assert!(json.contains("\"false_alarm_rate\": 0.0000"), "{json}");
+        assert!(json.contains("\"id\": \"pa-gain-shift\""), "{json}");
+        assert!(json.contains("\"worst_skew_error_ps\": 1.100"), "{json}");
+        // parity of braces/brackets as a cheap well-formedness check
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn deployment_rows_name_library_standards() {
+        let library = MaskLibrary::builtin();
+        let deployments = Deployment::builtin_five();
+        assert_eq!(deployments.len(), library.len());
+        for dep in &deployments {
+            assert!(
+                library.get(&dep.standard).is_some(),
+                "unknown standard {}",
+                dep.standard
+            );
+            // the configured engine must construct (identifiability)
+            let cfg = dep.bist_config();
+            assert_eq!(cfg.grid_len, dep.grid_len);
+            assert!(dep.delay_target() > 0.0);
+        }
+    }
+
+    #[test]
+    fn gross_subset_rate_ignores_other_corpus_entries() {
+        let gross = gross_fault_set();
+        let outcome = StandardOutcome {
+            standard: "x".into(),
+            healthy_runs: 1,
+            false_alarms: 0,
+            per_fault: vec![
+                // a missed *marginal* fault must not drag the gross rate
+                FaultOutcome {
+                    fault: Fault::new(FaultKind::PaGainShift { delta_db: -1.0 }),
+                    runs: 1,
+                    verdict_detected: 0,
+                    detected: 0,
+                },
+                FaultOutcome {
+                    fault: gross[0],
+                    runs: 1,
+                    verdict_detected: 1,
+                    detected: 1,
+                },
+            ],
+            worst_skew_error: 0.0,
+        };
+        assert!(outcome.detection_rate() < 1.0);
+        assert_eq!(outcome.detection_rate_for(&gross), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown standard")]
+    fn unknown_standard_fails_fast() {
+        let mut cfg = one_cell_config();
+        cfg.deployments[0].standard = "no-such-standard".into();
+        let _ = run_campaign(&cfg);
+    }
+}

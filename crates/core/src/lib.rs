@@ -14,6 +14,9 @@
 //!   streaming consumer with early verdicts,
 //! - [`bist`]: the end-to-end engine (capture → calibrate → estimate →
 //!   reconstruct → mask check),
+//! - [`campaign`]: the Monte-Carlo fault-coverage campaign runner
+//!   (fault corpus × standards × jitter profiles → detection/false-alarm
+//!   matrix),
 //! - [`report`]: serializable result records.
 //!
 //! # Example: estimating a 180 ps skew
@@ -43,6 +46,7 @@
 //! ```
 
 pub mod bist;
+pub mod campaign;
 pub mod cost;
 pub mod jamal;
 pub mod lms;
@@ -51,7 +55,10 @@ pub mod report;
 pub mod scan;
 pub mod skew;
 
-pub use bist::{BistConfig, BistEngine, BistScratch, ScanStrategy};
+pub use bist::{BistConfig, BistEngine, BistScratch, NoiseFigureConfig, ScanStrategy, SkewGate};
+pub use campaign::{
+    run_campaign, CampaignConfig, CoverageMatrix, Deployment, FaultOutcome, StandardOutcome,
+};
 pub use cost::{CostEvaluator, DualRateCost};
 pub use lms::{estimate_skew_lms, LmsConfig, LmsResult};
 pub use mask::{MaskLibrary, MaskReport, MaskStandard, SpectralMask};

@@ -22,6 +22,21 @@ pub struct BistReport {
     /// reconstruction before the full analysis grid — the mask verdict
     /// is then a (failing) partial-capture verdict.
     pub early_exit: bool,
+    /// Whether the skew estimate met the engine's acceptance gate
+    /// ([`SkewGate`](crate::bist::SkewGate)): a diverged LMS or an
+    /// out-of-tolerance residual cost fails the overall verdict even
+    /// when the mask happens to pass on the mis-reconstructed
+    /// waveform. Always `true` for runs on an externally calibrated
+    /// skew (the calibration run carried the gate).
+    pub skew_ok: bool,
+    /// Measured noise figure in dB — excess of the measured
+    /// out-of-band noise density over the configured reference floor —
+    /// when the engine's [`NoiseFigureConfig`](crate::bist::NoiseFigureConfig)
+    /// is armed.
+    pub noise_figure_db: Option<f64>,
+    /// Whether the noise figure met its configured limit (`true` when
+    /// no NF measurement or no limit is configured).
+    pub nf_ok: bool,
 }
 
 impl BistReport {
@@ -30,9 +45,11 @@ impl BistReport {
         (self.skew.delay - self.true_delay).abs()
     }
 
-    /// Overall verdict: mask passed.
+    /// Overall verdict: the mask passed, the skew estimate met its
+    /// acceptance gate and the noise figure (when measured against a
+    /// limit) stayed within it.
     pub fn passed(&self) -> bool {
-        self.mask.passed
+        self.mask.passed && self.skew_ok && self.nf_ok
     }
 }
 
@@ -56,8 +73,19 @@ impl fmt::Display for BistReport {
                 .iterations
                 .map_or("?".to_string(), |i| i.to_string()),
         )?;
+        if !self.skew_ok {
+            writeln!(f, "  skew gate FAILED: estimate outside acceptance")?;
+        }
         if let Some(e) = self.reconstruction_error {
             writeln!(f, "  reconstruction Δε = {:.3} %", e * 100.0)?;
+        }
+        if let Some(nf) = self.noise_figure_db {
+            writeln!(
+                f,
+                "  noise figure {:.2} dB{}",
+                nf,
+                if self.nf_ok { "" } else { " — over limit" }
+            )?;
         }
         if self.early_exit {
             writeln!(f, "  early exit: verdict decided mid-capture")?;
@@ -91,6 +119,9 @@ mod tests {
             },
             reconstruction_error: Some(0.0084),
             early_exit: false,
+            skew_ok: true,
+            noise_figure_db: None,
+            nf_ok: true,
         }
     }
 
@@ -99,6 +130,26 @@ mod tests {
         let r = dummy_report(true);
         assert!((r.skew_abs_error() - 0.2e-12).abs() < 1e-18);
         assert!(r.passed());
+    }
+
+    #[test]
+    fn failed_gates_fail_the_overall_verdict() {
+        // a passing mask must not override a rejected skew estimate…
+        let mut r = dummy_report(true);
+        r.skew_ok = false;
+        assert!(!r.passed());
+        assert!(r.to_string().contains("skew gate FAILED"), "{r}");
+        // …or an out-of-limit noise figure
+        let mut r = dummy_report(true);
+        r.noise_figure_db = Some(9.5);
+        r.nf_ok = false;
+        assert!(!r.passed());
+        assert!(r.to_string().contains("over limit"), "{r}");
+        // an in-limit measurement is reported without failing
+        let mut r = dummy_report(true);
+        r.noise_figure_db = Some(3.2);
+        assert!(r.passed());
+        assert!(r.to_string().contains("noise figure 3.20 dB"), "{r}");
     }
 
     #[test]

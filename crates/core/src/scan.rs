@@ -36,6 +36,8 @@ struct ScanBin {
     limit_dbc: Option<f64>,
     /// Whether the bin lies inside the reference region.
     in_reference: bool,
+    /// Whether the bin lies inside the noise-figure measurement band.
+    in_noise: bool,
     /// One-sided density factor: 2 for interior bins, 1 for DC/Nyquist.
     one_sided: f64,
 }
@@ -132,18 +134,71 @@ impl MaskScanEngine {
         overlap: usize,
         window: Window,
     ) -> Self {
+        Self::build(mask, carrier_hz, fs, segment_len, overlap, window, None)
+    }
+
+    /// [`new`](Self::new) with an additional noise-figure measurement
+    /// band, given as absolute carrier offsets `(offset_lo, offset_hi)`
+    /// in Hz: bins with `offset_lo ≤ |f − carrier| ≤ offset_hi` (both
+    /// sidebands) are probed alongside the mask bins, and their mean
+    /// density is reported by
+    /// [`StreamingMaskScan::noise_density_dbhz`]. Probing them rides
+    /// the same banked Goertzel pass — the NF measurement is close to
+    /// free on top of the mask verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the [`new`](Self::new) contract, and additionally
+    /// when the noise band is malformed (`offset_lo < 0` or
+    /// `offset_hi ≤ offset_lo`) or puts no bin on the scan grid.
+    pub fn with_noise_band(
+        mask: &SpectralMask,
+        carrier_hz: f64,
+        fs: f64,
+        segment_len: usize,
+        overlap: usize,
+        window: Window,
+        noise_band: (f64, f64),
+    ) -> Self {
+        Self::build(
+            mask,
+            carrier_hz,
+            fs,
+            segment_len,
+            overlap,
+            window,
+            Some(noise_band),
+        )
+    }
+
+    fn build(
+        mask: &SpectralMask,
+        carrier_hz: f64,
+        fs: f64,
+        segment_len: usize,
+        overlap: usize,
+        window: Window,
+        noise_band: Option<(f64, f64)>,
+    ) -> Self {
         assert!(segment_len > 0, "segment length must be positive");
         assert!(
             overlap < segment_len,
             "overlap must be smaller than the segment"
         );
         assert!(fs > 0.0, "sample rate must be positive");
+        if let Some((lo, hi)) = noise_band {
+            assert!(
+                lo >= 0.0 && hi > lo,
+                "noise band offsets must satisfy 0 <= lo < hi"
+            );
+        }
 
         let nbins = segment_len / 2 + 1;
         let mut bins = Vec::new();
         let mut freqs = Vec::new();
         let mut masked_bins = 0usize;
         let mut reference_bins = 0usize;
+        let mut noise_bins = 0usize;
         for k in 0..nbins {
             // same expression as the PSD estimator's bin centers, so
             // boundary decisions cannot diverge by an ulp
@@ -151,16 +206,19 @@ impl MaskScanEngine {
             let offset = (freq - carrier_hz).abs();
             let in_reference = offset <= mask.reference_half_width();
             let limit_dbc = mask.limit_at(offset);
-            if !in_reference && limit_dbc.is_none() {
+            let in_noise = noise_band.is_some_and(|(lo, hi)| offset >= lo && offset <= hi);
+            if !in_reference && limit_dbc.is_none() && !in_noise {
                 continue;
             }
             masked_bins += usize::from(limit_dbc.is_some());
             reference_bins += usize::from(in_reference);
+            noise_bins += usize::from(in_noise);
             let is_nyquist = segment_len.is_multiple_of(2) && k == nbins - 1;
             bins.push(ScanBin {
                 freq,
                 limit_dbc,
                 in_reference,
+                in_noise,
                 one_sided: if k == 0 || is_nyquist { 1.0 } else { 2.0 },
             });
             freqs.push(k as f64 / segment_len as f64);
@@ -172,6 +230,10 @@ impl MaskScanEngine {
         assert!(
             masked_bins > 0,
             "scan grid has no bins within any mask segment — cannot produce a verdict"
+        );
+        assert!(
+            noise_band.is_none() || noise_bins > 0,
+            "scan grid has no bins within the noise-figure band"
         );
 
         let window = window.coefficients(segment_len);
@@ -188,9 +250,15 @@ impl MaskScanEngine {
         }
     }
 
-    /// Number of probed bins (mask + reference).
+    /// Number of probed bins (mask + reference + noise band).
     pub fn probed_bins(&self) -> usize {
         self.bins.len()
+    }
+
+    /// Number of bins inside the noise-figure measurement band (zero
+    /// when the scanner was built without one).
+    pub fn noise_bins(&self) -> usize {
+        self.bins.iter().filter(|b| b.in_noise).count()
     }
 
     /// The carrier frequency the mask is centered on, Hz.
@@ -277,6 +345,22 @@ impl MaskScanEngine {
             }),
         );
         report
+    }
+
+    /// Mean one-sided density over the noise-band bins in dB/Hz, from
+    /// per-bin accumulated segment powers — the same normalization as
+    /// [`report_from_acc`](Self::report_from_acc), so the NF
+    /// measurement and the mask verdict read the same estimator.
+    fn noise_density_from_acc(&self, acc: &[f64], count: usize) -> Option<f64> {
+        let norm = self.scale / count as f64;
+        let (mut sum, mut n) = (0.0f64, 0usize);
+        for (bin, &a) in self.bins.iter().zip(acc) {
+            if bin.in_noise {
+                sum += a * norm * bin.one_sided;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| 10.0 * (sum / n as f64).max(1e-30).log10())
     }
 
     /// Starts a push-style streaming scan over this engine's
@@ -490,6 +574,18 @@ impl StreamingMaskScan<'_> {
     /// Whether the early-verdict policy fired.
     pub fn early_stopped(&self) -> bool {
         self.early_stopped
+    }
+
+    /// Mean density over the noise-figure band in dB/Hz across the
+    /// segments completed so far, or `None` before the first segment
+    /// completes or when the scanner carries no noise band.
+    pub fn noise_density_dbhz(&self) -> Option<f64> {
+        (self.segments > 0)
+            .then(|| {
+                self.engine
+                    .noise_density_from_acc(&self.scratch.acc, self.segments)
+            })
+            .flatten()
     }
 
     /// The provisional verdict over the segments completed so far, or

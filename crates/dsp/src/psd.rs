@@ -53,6 +53,38 @@ impl PsdEstimate {
         self.psd.iter().map(|p| p * df).sum()
     }
 
+    /// Mean one-sided density (linear, per Hz) over the bins whose
+    /// offset from `carrier_hz` lies in `[offset_lo, offset_hi]` (both
+    /// sidebands) — the noise-floor estimator behind the BIST's
+    /// noise-figure verdict. Uses the same bin-center membership test
+    /// as the banked-Goertzel scan path, so the two strategies read
+    /// the same bins. Returns `None` when no bin falls in the band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band is malformed (`offset_lo < 0` or
+    /// `offset_hi <= offset_lo`).
+    pub fn mean_density_in_offset_band(
+        &self,
+        carrier_hz: f64,
+        offset_lo: f64,
+        offset_hi: f64,
+    ) -> Option<f64> {
+        assert!(
+            offset_lo >= 0.0 && offset_hi > offset_lo,
+            "noise band offsets must satisfy 0 <= lo < hi"
+        );
+        let (mut sum, mut n) = (0.0f64, 0usize);
+        for (f, p) in self.freqs.iter().zip(&self.psd) {
+            let offset = (f - carrier_hz).abs();
+            if offset >= offset_lo && offset <= offset_hi {
+                sum += p;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
     /// Frequency of the strongest bin.
     pub fn peak_frequency(&self) -> f64 {
         self.freqs
@@ -176,6 +208,52 @@ mod tests {
             let p = est.band_power(80.0, 120.0);
             assert!((p - 2.0).abs() < 0.05, "{w:?}: {p}");
         }
+    }
+
+    #[test]
+    fn offset_band_mean_density_recovers_white_noise_floor() {
+        // white noise of variance σ² has one-sided density σ²/(fs/2);
+        // a quiet offset band away from a strong tone must read it
+        let fs = 1000.0;
+        let n = 1 << 14;
+        let mut rng = rfbist_math::rng::Randomizer::from_seed(9);
+        let sigma = 0.01f64;
+        let x: Vec<f64> = tone(n, fs, 100.0, 1.0)
+            .into_iter()
+            .map(|v| v + rng.normal(0.0, sigma))
+            .collect();
+        let est = welch(&x, fs, 2048, 1024, Window::BlackmanHarris);
+        let want = sigma * sigma / (fs / 2.0);
+        let got = est
+            .mean_density_in_offset_band(100.0, 150.0, 300.0)
+            .expect("band has bins");
+        let err_db = 10.0 * (got / want).log10();
+        assert!(err_db.abs() < 1.0, "density off by {err_db} dB");
+    }
+
+    #[test]
+    fn offset_band_covers_both_sidebands() {
+        // a spur below the carrier must be seen by the offset band
+        let fs = 1000.0;
+        let x: Vec<f64> = tone(8192, fs, 300.0, 1.0)
+            .iter()
+            .zip(tone(8192, fs, 250.0, 0.1))
+            .map(|(a, b)| a + b)
+            .collect();
+        let est = welch(&x, fs, 2048, 1024, Window::BlackmanHarris);
+        let with_spur = est.mean_density_in_offset_band(300.0, 40.0, 60.0).unwrap();
+        let quiet = est
+            .mean_density_in_offset_band(300.0, 120.0, 140.0)
+            .unwrap();
+        assert!(with_spur > 100.0 * quiet, "{with_spur} vs {quiet}");
+        assert!(est.mean_density_in_offset_band(300.0, 0.01, 0.02).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "0 <= lo < hi")]
+    fn malformed_offset_band_panics() {
+        let est = periodogram(&tone(256, 1000.0, 100.0, 1.0), 1000.0, Window::Hann);
+        let _ = est.mean_density_in_offset_band(100.0, 50.0, 10.0);
     }
 
     #[test]

@@ -60,8 +60,36 @@ pub struct Fault {
 }
 
 impl Fault {
-    /// Wraps a fault kind.
+    /// Wraps a fault kind, validating its parameters so a bad corpus
+    /// fails when it is built, not mid-campaign inside
+    /// [`inject`](Self::inject).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault parameter is non-finite, or if
+    /// `v_sat_factor` lies outside `(0, 1]`.
     pub fn new(kind: FaultKind) -> Self {
+        match kind {
+            FaultKind::PaGainShift { delta_db } => {
+                assert!(delta_db.is_finite(), "gain shift must be finite");
+            }
+            FaultKind::PaEarlyCompression { v_sat_factor } => {
+                assert!(
+                    v_sat_factor > 0.0 && v_sat_factor <= 1.0,
+                    "v_sat factor must be in (0, 1]"
+                );
+            }
+            FaultKind::IqGainImbalance { gain_db } => {
+                assert!(gain_db.is_finite(), "gain imbalance must be finite");
+            }
+            FaultKind::IqPhaseImbalance { phase_deg } => {
+                assert!(phase_deg.is_finite(), "phase imbalance must be finite");
+            }
+            FaultKind::LoLeakage { level_dbc } => {
+                // NEG_INFINITY would mean "no leakage" — not a fault
+                assert!(level_dbc.is_finite(), "leakage level must be finite dBc");
+            }
+        }
         Fault { kind }
     }
 
@@ -100,6 +128,7 @@ impl Fault {
                 healthy.with_pa(pa)
             }
             FaultKind::PaEarlyCompression { v_sat_factor } => {
+                // `new` validates; this guards struct-literal construction
                 assert!(
                     v_sat_factor > 0.0 && v_sat_factor <= 1.0,
                     "v_sat factor must be in (0, 1]"
@@ -135,7 +164,10 @@ impl Fault {
             }
             FaultKind::LoLeakage { level_dbc } => {
                 let mut iq = healthy.iq;
-                iq.lo_leakage_dbc = level_dbc;
+                // A fault only ever adds carrier feed-through: clamp to
+                // the healthy residual so a level below the baseline
+                // cannot "repair" the device under injection.
+                iq.lo_leakage_dbc = level_dbc.max(iq.lo_leakage_dbc);
                 healthy.with_iq(iq)
             }
         }
@@ -156,6 +188,21 @@ pub fn standard_fault_set() -> Vec<Fault> {
         Fault::new(FaultKind::IqPhaseImbalance { phase_deg: 3.0 }),
         Fault::new(FaultKind::IqPhaseImbalance { phase_deg: 10.0 }),
         Fault::new(FaultKind::LoLeakage { level_dbc: -30.0 }),
+        Fault::new(FaultKind::LoLeakage { level_dbc: -15.0 }),
+    ]
+}
+
+/// The gross (unambiguously out-of-spec) subset of
+/// [`standard_fault_set`]: the severe grade of each fault family. A
+/// BIST worth shipping must detect every one of these — the
+/// fault-coverage campaign asserts 100 % detection on exactly this
+/// set, while the marginal grades are only scored.
+pub fn gross_fault_set() -> Vec<Fault> {
+    vec![
+        Fault::new(FaultKind::PaGainShift { delta_db: -3.0 }),
+        Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.25 }),
+        Fault::new(FaultKind::IqGainImbalance { gain_db: 3.0 }),
+        Fault::new(FaultKind::IqPhaseImbalance { phase_deg: 10.0 }),
         Fault::new(FaultKind::LoLeakage { level_dbc: -15.0 }),
     ]
 }
@@ -212,6 +259,16 @@ mod tests {
     }
 
     #[test]
+    fn lo_leakage_fault_never_improves_the_device() {
+        // typical() carries a −55 dBc residual; a "fault" below that
+        // must clamp to the healthy level, not reduce the leakage
+        let healthy = TxImpairments::typical();
+        let faulty = Fault::new(FaultKind::LoLeakage { level_dbc: -70.0 }).inject(healthy);
+        assert_eq!(faulty.iq.lo_leakage_dbc, healthy.iq.lo_leakage_dbc);
+        assert!(faulty.iq.leakage().abs() >= healthy.iq.leakage().abs());
+    }
+
+    #[test]
     fn standard_set_covers_all_kinds() {
         let set = standard_fault_set();
         assert!(set.len() >= 10);
@@ -220,9 +277,33 @@ mod tests {
     }
 
     #[test]
+    fn gross_set_is_a_subset_of_the_standard_set() {
+        let all = standard_fault_set();
+        let gross = gross_fault_set();
+        let ids: std::collections::BTreeSet<&str> = gross.iter().map(|f| f.kind.id()).collect();
+        assert_eq!(ids.len(), 5, "one gross grade per family");
+        for f in &gross {
+            assert!(all.contains(f), "{:?} missing from the standard set", f);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "(0, 1]")]
     fn invalid_compression_factor_panics() {
         let _ = Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.0 })
             .inject(TxImpairments::typical());
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn invalid_compression_factor_fails_at_construction() {
+        // must fail in `new`, before any campaign run reaches `inject`
+        let _ = Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 1.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_fault_parameter_fails_at_construction() {
+        let _ = Fault::new(FaultKind::IqGainImbalance { gain_db: f64::NAN });
     }
 }

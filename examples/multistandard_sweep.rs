@@ -5,114 +5,38 @@
 //! five named standards; per standard only software retunes: the DCDE
 //! delay target, the analysis grid (rate and length chosen for the
 //! mask's resolution bandwidth) and the emission mask pulled from the
-//! library. Every verdict runs the full streaming BIST pipeline:
-//! capture → calibrate → LMS skew → block-fed reconstruction → banked
-//! mask scan.
+//! library. The deployment table lives in `rfbist_core::campaign` —
+//! the same rows the fault-coverage campaign sweeps.
+//!
+//! Each deployment first fires a wideband calibration burst
+//! ([`BistEngine::calibrate_skew`]) and reuses the skew estimate for
+//! its verdict. This matters for the GSM-like row: its 270.833 ksym/s
+//! stimulus is too narrowband to excite the dual-rate cost (the LMS
+//! converges ~170 ps off while the mask still passes); the burst
+//! measures the same hardware with a 10 Msym/s payload and nails the
+//! skew to the picosecond floor.
 //!
 //! ```sh
 //! cargo run --release --example multistandard_sweep
 //! ```
 
 use rfbist::prelude::*;
-use rfbist::sampling::kohlenberg::optimal_delay;
 use rfbist::sampling::pbs;
-
-/// Per-standard deployment row: carrier and the analysis grid meeting
-/// the standard's resolution-bandwidth requirement
-/// (`MaskStandard::max_rbw_hz`) while keeping the grid's Nyquist above
-/// the carrier-plus-band edge.
-struct Deployment {
-    standard: &'static str,
-    fc: f64,
-    grid_rate: f64,
-    grid_len: usize,
-    /// Capture lengths covering the grid duration (pairs at B, B1).
-    fast_len: usize,
-    slow_len: usize,
-}
-
-const B: f64 = 90e6;
-const B1: f64 = 45e6;
-
-fn deployments() -> Vec<Deployment> {
-    vec![
-        // GSM-shaped narrowband at VHF/UHF: the 100-kHz-scale mask
-        // offsets need a ~70 kHz RBW, so the grid slows to 300 MHz and
-        // lengthens to 8192 points (27 µs of capture).
-        Deployment {
-            standard: "gsm-like-270k",
-            fc: 100e6,
-            grid_rate: 300e6,
-            grid_len: 8192,
-            fast_len: 2600,
-            slow_len: 1400,
-        },
-        // The paper's Section V configuration, unchanged.
-        Deployment {
-            standard: "qpsk-10msym-srrc0.5",
-            fc: 1e9,
-            grid_rate: 4e9,
-            grid_len: 12288,
-            fast_len: 380,
-            slow_len: 200,
-        },
-        Deployment {
-            standard: "wcdma-like-3g84",
-            fc: 1.55e9,
-            grid_rate: 4e9,
-            grid_len: 12288,
-            fast_len: 380,
-            slow_len: 200,
-        },
-        Deployment {
-            standard: "lte5-like",
-            fc: 2.175e9,
-            grid_rate: 5e9,
-            grid_len: 16384,
-            fast_len: 380,
-            slow_len: 200,
-        },
-        Deployment {
-            standard: "wb-20msym-srrc0.35",
-            fc: 2.85e9,
-            grid_rate: 6.5e9,
-            grid_len: 16384,
-            fast_len: 380,
-            slow_len: 200,
-        },
-    ]
-}
-
-/// Builds the per-standard engine configuration: same hardware, new
-/// software plan.
-fn engine_for(dep: &Deployment, d_target: f64) -> BistEngine {
-    let dual = DualRateConfig::new(dep.fc, B, B1, d_target)
-        .expect("deployment carriers satisfy the eq. 9 identifiability conditions");
-    let mut cfg = BistConfig::paper_default();
-    cfg.dual = dual;
-    cfg.frontend_fast = BpTiadcConfig::paper_section_v(dual.delay());
-    cfg.frontend_slow = BpTiadcConfig::paper_section_v(dual.delay())
-        .with_sample_rate(dual.slow_rate())
-        .with_seed(0x51DE);
-    cfg.fast_len = dep.fast_len;
-    cfg.slow_len = dep.slow_len;
-    cfg.grid_rate = dep.grid_rate;
-    cfg.grid_len = dep.grid_len;
-    cfg.lms_initial = 0.55 * d_target;
-    BistEngine::new(cfg)
-}
+use rfbist_core::campaign::{CALIBRATION_SYMBOL_RATE, CAMPAIGN_B};
 
 fn main() {
     let library = MaskLibrary::builtin();
     println!(
         "fixed BP-TIADC: two channels at B = {} MHz; per standard only software\n\
          retunes — DCDE target D = 1/(4 fc), analysis grid from the mask's RBW,\n\
-         emission mask from the library ({} standards)\n",
-        B / 1e6,
-        library.len()
+         emission mask from the library ({} standards); skew calibrated per\n\
+         deployment on a {} Msym/s wideband burst\n",
+        CAMPAIGN_B / 1e6,
+        library.len(),
+        CALIBRATION_SYMBOL_RATE / 1e6,
     );
     println!(
-        "{:<22} {:>9} {:>9} {:>10} {:>8} {:>13} {:>10} {:>14}",
+        "{:<22} {:>9} {:>9} {:>10} {:>8} {:>13} {:>10} {:>13} {:>14}",
         "standard",
         "fc [MHz]",
         "D [ps]",
@@ -120,12 +44,16 @@ fn main() {
         "verdict",
         "margin [dB]",
         "Δε [%]",
+        "skew err [ps]",
         "PBS needs ≈MHz"
     );
 
     // Each standard is independent: scoped worker threads, rows
-    // printed in deployment order once all have joined.
-    let deps = deployments();
+    // printed in deployment order once all have joined. The payload is
+    // the fault-coverage campaign's trial-0 PRBS, so this sweep shows
+    // exactly the healthy baseline the campaign scores.
+    let payload_seed = CampaignConfig::quick().trial_seed(0);
+    let deps = Deployment::builtin_five();
     let rows: Vec<String> = std::thread::scope(|scope| {
         let handles: Vec<_> = deps
             .iter()
@@ -133,17 +61,33 @@ fn main() {
                 let library = &library;
                 scope.spawn(move || {
                     let std = library
-                        .get(dep.standard)
+                        .get(&dep.standard)
                         .expect("deployment names a library standard");
-                    let d_target = optimal_delay(BandSpec::centered(dep.fc, B));
-                    let engine = engine_for(dep, d_target);
+                    let base = dep.bist_config();
+                    let span =
+                        (base.fast_start as f64 + base.fast_len as f64) / CAMPAIGN_B * 1.2;
+
+                    // Wideband calibration burst through the same
+                    // hardware; the estimate carries into the verdict.
+                    let n_cal = ((span * CALIBRATION_SYMBOL_RATE) as usize + 30).max(96);
+                    let burst_bb =
+                        ShapedBaseband::qpsk_prbs(CALIBRATION_SYMBOL_RATE, 0.5, 12, n_cal, 0xACE1);
+                    let burst = HomodyneTx::builder(burst_bb, dep.carrier_hz)
+                        .impairments(TxImpairments::typical())
+                        .build();
+                    let est = BistEngine::new(base.clone()).calibrate_skew(&burst.rf_output());
+                    let engine = BistEngine::new(base.with_calibrated_skew(est.delay));
 
                     // Stimulus long enough for the capture span.
-                    let span = (engine.config().fast_start as f64 + dep.fast_len as f64) / B * 1.2;
                     let n_sym = ((span * std.symbol_rate) as usize + 30).max(96);
-                    let bb =
-                        ShapedBaseband::qpsk_prbs(std.symbol_rate, std.rolloff, 12, n_sym, 0xACE1);
-                    let tx = HomodyneTx::builder(bb, dep.fc)
+                    let bb = ShapedBaseband::qpsk_prbs(
+                        std.symbol_rate,
+                        std.rolloff,
+                        12,
+                        n_sym,
+                        payload_seed,
+                    );
+                    let tx = HomodyneTx::builder(bb, dep.carrier_hz)
                         .impairments(TxImpairments::typical())
                         .build();
                     let report =
@@ -151,20 +95,23 @@ fn main() {
 
                     // What uniform bandpass sampling would demand for
                     // this standard's occupied band.
-                    let occupied =
-                        BandSpec::centered(dep.fc, std.symbol_rate * (1.0 + std.rolloff));
+                    let occupied = BandSpec::centered(
+                        dep.carrier_hz,
+                        std.symbol_rate * (1.0 + std.rolloff),
+                    );
                     let fs_min = pbs::minimum_rate(occupied);
                     let (seg, _) = rfbist::core::bist::welch_segmentation(dep.grid_len);
 
                     format!(
-                        "{:<22} {:>9.0} {:>9.1} {:>10.1} {:>8} {:>+13.2} {:>10.2} {:>14.1}",
+                        "{:<22} {:>9.0} {:>9.1} {:>10.1} {:>8} {:>+13.2} {:>10.2} {:>13.3} {:>14.1}",
                         std.name(),
-                        dep.fc / 1e6,
-                        d_target * 1e12,
+                        dep.carrier_hz / 1e6,
+                        dep.delay_target() * 1e12,
                         dep.grid_rate / seg as f64 / 1e3,
                         if report.passed() { "PASS" } else { "FAIL" },
                         report.mask.worst_margin_db,
                         report.reconstruction_error.unwrap() * 100.0,
+                        report.skew_abs_error() * 1e12,
                         fs_min / 1e6,
                     )
                 })
@@ -183,16 +130,13 @@ fn main() {
     // paper standard is decided at the first completed Welch segment,
     // before two thirds of the reconstruction is ever produced.
     let dep = &deps[1];
-    let std = library.get(dep.standard).unwrap();
-    let d_target = optimal_delay(BandSpec::centered(dep.fc, B));
+    let std = library.get(&dep.standard).unwrap();
     let engine = BistEngine::new(
-        engine_for(dep, d_target)
-            .config()
-            .clone()
+        dep.bist_config()
             .with_early_verdict(EarlyVerdict::paper_default()),
     );
     let bb = ShapedBaseband::qpsk_prbs(std.symbol_rate, std.rolloff, 12, 160, 0xACE1);
-    let faulty = HomodyneTx::builder(bb, dep.fc)
+    let faulty = HomodyneTx::builder(bb, dep.carrier_hz)
         .impairments(
             Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.05 })
                 .inject(TxImpairments::typical()),

@@ -50,7 +50,13 @@ pub use rfbist_signal as signal;
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig, JitterPlacement};
-    pub use rfbist_core::bist::{BistConfig, BistEngine, BistScratch, ProbeSchedule, ScanStrategy};
+    pub use rfbist_core::bist::{
+        BistConfig, BistEngine, BistScratch, NoiseFigureConfig, ProbeSchedule, ScanStrategy,
+        SkewGate,
+    };
+    pub use rfbist_core::campaign::{
+        run_campaign, CampaignConfig, CoverageMatrix, Deployment, FaultOutcome, StandardOutcome,
+    };
     pub use rfbist_core::cost::DualRateCost;
     pub use rfbist_core::jamal::{estimate_skew_jamal, test_tone_for_ratio};
     pub use rfbist_core::lms::{estimate_skew_lms, LmsConfig};
@@ -58,7 +64,7 @@ pub mod prelude {
     pub use rfbist_core::scan::{
         EarlyVerdict, MaskScanEngine, MaskScanScratch, ScanFeed, StreamScratch,
     };
-    pub use rfbist_rfchain::faults::{standard_fault_set, Fault, FaultKind};
+    pub use rfbist_rfchain::faults::{gross_fault_set, standard_fault_set, Fault, FaultKind};
     pub use rfbist_rfchain::impairments::TxImpairments;
     pub use rfbist_rfchain::iqmod::IqImbalance;
     pub use rfbist_rfchain::pa::PaModel;
