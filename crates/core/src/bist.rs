@@ -12,6 +12,8 @@
 //! points to; the engine makes them concrete.
 
 use crate::cost::DualRateCost;
+use crate::error::BistError;
+use crate::health::{CaptureHealth, HealthPolicy};
 use crate::lms::{estimate_skew_lms, LmsConfig};
 use crate::mask::SpectralMask;
 use crate::report::BistReport;
@@ -55,6 +57,22 @@ pub enum ScanStrategy {
     /// skipping the ~96 % of the spectrum the mask never reads.
     #[default]
     BankedGoertzel,
+}
+
+/// How the engine recovered the streaming block feed after a producer
+/// worker fault, surfaced on
+/// [`BistReport::stream_recovery`](crate::report::BistReport). The
+/// recovered verdict is bit-identical to the clean path either way —
+/// blocks re-seed exactly, so a retried or sequential feed produces
+/// the same bits; only the wall clock and this annotation change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamRecovery {
+    /// The first parallel feed lost a worker; a second parallel
+    /// attempt completed the verdict.
+    ParallelRetry,
+    /// Both parallel attempts lost workers; the in-thread sequential
+    /// feed (which cannot fault) completed the verdict.
+    SequentialFallback,
 }
 
 /// Acceptance gate on the per-run skew estimate, folded into
@@ -199,6 +217,11 @@ pub struct BistConfig {
     pub skew_gate: SkewGate,
     /// Optional noise-figure measurement and verdict limit.
     pub noise_figure: Option<NoiseFigureConfig>,
+    /// Capture health thresholds: every raw capture is pre-scanned
+    /// ([`CaptureHealth::scan`]) before calibration, and unusable
+    /// captures (NaN, saturation, dead channels) are rejected with a
+    /// typed error rather than scored.
+    pub health: HealthPolicy,
 }
 
 impl BistConfig {
@@ -228,6 +251,7 @@ impl BistConfig {
             calibrated_skew: None,
             skew_gate: SkewGate::paper_default(),
             noise_figure: None,
+            health: HealthPolicy::paper_default(),
         }
     }
 
@@ -284,6 +308,12 @@ impl BistConfig {
     /// Builder-style: arm the noise-figure measurement.
     pub fn with_noise_figure(mut self, nf: NoiseFigureConfig) -> Self {
         self.noise_figure = Some(nf);
+        self
+    }
+
+    /// Builder-style: set the capture health thresholds.
+    pub fn with_health_policy(mut self, health: HealthPolicy) -> Self {
+        self.health = health;
         self
     }
 
@@ -360,7 +390,7 @@ fn scan_engine_cached<'a>(
     segment_len: usize,
     overlap: usize,
     noise_band: Option<(f64, f64)>,
-) -> &'a MaskScanEngine {
+) -> Result<&'a MaskScanEngine, BistError> {
     let stale = !matches!(
         cache,
         Some(e)
@@ -372,6 +402,16 @@ fn scan_engine_cached<'a>(
                 && e.noise_band == noise_band
     );
     if stale {
+        *cache = None; // a failed rebuild must not leave a stale hit
+        let engine = MaskScanEngine::try_build(
+            mask,
+            carrier_hz,
+            fs,
+            segment_len,
+            overlap,
+            Window::BlackmanHarris,
+            noise_band,
+        )?;
         *cache = Some(ScanCacheEntry {
             mask: mask.clone(),
             carrier_hz,
@@ -379,28 +419,13 @@ fn scan_engine_cached<'a>(
             segment_len,
             overlap,
             noise_band,
-            engine: match noise_band {
-                Some(band) => MaskScanEngine::with_noise_band(
-                    mask,
-                    carrier_hz,
-                    fs,
-                    segment_len,
-                    overlap,
-                    Window::BlackmanHarris,
-                    band,
-                ),
-                None => MaskScanEngine::new(
-                    mask,
-                    carrier_hz,
-                    fs,
-                    segment_len,
-                    overlap,
-                    Window::BlackmanHarris,
-                ),
-            },
+            engine,
         });
     }
-    &cache.as_ref().expect("just filled").engine
+    match cache.as_ref() {
+        Some(e) => Ok(&e.engine),
+        None => unreachable!("cache filled above"),
+    }
 }
 
 /// The BIST engine.
@@ -435,6 +460,17 @@ impl BistEngine {
         self.run_with(dut, mask, reference, &mut BistScratch::new())
     }
 
+    /// [`run`](Self::run) returning a typed [`BistError`] instead of
+    /// panicking on unusable captures or undecidable scans.
+    pub fn try_run<S: ContinuousSignal, R: ContinuousSignal>(
+        &self,
+        dut: &S,
+        mask: &SpectralMask,
+        reference: Option<&R>,
+    ) -> Result<BistReport, BistError> {
+        self.try_run_with(dut, mask, reference, &mut BistScratch::new())
+    }
+
     /// [`run`](Self::run) with caller-owned [`BistScratch`], so
     /// repeated verdicts (fault sweeps, multi-standard loops, benches)
     /// reuse the scan buffers and the prepared scanner instead of
@@ -461,13 +497,41 @@ impl BistEngine {
         reference: Option<&R>,
         scratch: &mut BistScratch,
     ) -> BistReport {
+        self.try_run_with(dut, mask, reference, scratch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run_with`](Self::run_with) returning a typed [`BistError`]
+    /// instead of panicking — the fail-safe entry point:
+    ///
+    /// - raw captures are health-scanned **before** calibration
+    ///   ([`CaptureHealth::scan`]; NaN would poison the calibration
+    ///   means), rejecting NaN/saturated/dead captures and annotating
+    ///   marginal clipping on the report;
+    /// - geometry problems (capture too short for the tap window or
+    ///   the analysis grid, scan grid without mask coverage) come back
+    ///   as values;
+    /// - a panicking parallel-feed producer is supervised: the engine
+    ///   retries the parallel feed once, then falls back to the
+    ///   bit-identical sequential feed, and surfaces the recovery on
+    ///   [`BistReport::stream_recovery`] — the verdict itself is
+    ///   unchanged.
+    pub fn try_run_with<S: ContinuousSignal, R: ContinuousSignal>(
+        &self,
+        dut: &S,
+        mask: &SpectralMask,
+        reference: Option<&R>,
+        scratch: &mut BistScratch,
+    ) -> Result<BistReport, BistError> {
         let cfg = &self.config;
 
-        // 1 + 2. fast-rate capture and offset/gain background
-        //        calibration (the slow channel is only needed when the
-        //        skew must be estimated on this run)
+        // 1 + 2. fast-rate capture, pre-calibration health guard, and
+        //        offset/gain background calibration (the slow channel
+        //        is only needed when the skew must be estimated on
+        //        this run)
         let mut fast_adc = BpTiadc::new(cfg.frontend_fast);
         let fast_raw = fast_adc.capture(dut, cfg.fast_start, cfg.fast_len);
+        let capture_health = CaptureHealth::scan(&fast_raw, &cfg.frontend_fast, &cfg.health)?;
         let (fast_cap, _) = auto_calibrate(&fast_raw);
 
         // 3. skew: reuse the calibrated value when one is supplied
@@ -479,7 +543,13 @@ impl BistEngine {
             None => {
                 let mut slow_adc = BpTiadc::new(cfg.frontend_slow);
                 let slow_raw = slow_adc.capture(dut, cfg.slow_start, cfg.slow_len);
+                CaptureHealth::scan(&slow_raw, &cfg.frontend_slow, &cfg.health)?;
                 let (slow_cap, _) = auto_calibrate(&slow_raw);
+                // typed pre-check of the cost's coverage contract, so
+                // an undersized capture cannot panic inside the cost
+                // constructor
+                DualRateCost::try_probe_window(&fast_cap, &slow_cap, &cfg.dual)
+                    .map_err(|reason| BistError::CaptureTooShort { reason })?;
                 let cost = match cfg.probe_schedule {
                     ProbeSchedule::Random => DualRateCost::paper_probes(
                         fast_cap.clone(),
@@ -512,17 +582,22 @@ impl BistEngine {
             61,
             Window::Kaiser(8.0),
         );
-        let (lo, hi) = rec
-            .coverage(&fast_cap)
-            .expect("fast capture too short for reconstruction");
+        let Some((lo, hi)) = rec.coverage(&fast_cap) else {
+            return Err(BistError::CaptureTooShort {
+                reason: "fast capture too short for reconstruction".to_string(),
+            });
+        };
         let dt = 1.0 / cfg.grid_rate;
         let usable = ((hi - lo) / dt) as usize;
-        assert!(
-            usable > 0,
-            "capture too short for the analysis grid: reconstruction coverage \
-             [{lo:.3e}, {hi:.3e}] s spans less than one sample at {:.3e} Hz",
-            cfg.grid_rate
-        );
+        if usable == 0 {
+            return Err(BistError::CaptureTooShort {
+                reason: format!(
+                    "capture too short for the analysis grid: reconstruction coverage \
+                     [{lo:.3e}, {hi:.3e}] s spans less than one sample at {:.3e} Hz",
+                    cfg.grid_rate
+                ),
+            });
+        }
         let n_grid = cfg.grid_len.min(usable);
 
         // 4 + 5. reconstruction and mask verdict. Both strategies share
@@ -532,53 +607,64 @@ impl BistEngine {
         let (seg, overlap) = welch_segmentation(n_grid);
         let carrier = cfg.dual.fast_band().center();
         let noise_band = cfg.noise_figure.map(|nf| (nf.offset_lo, nf.offset_hi));
-        let (mask_report, reconstruction_error, early_exit, noise_density_dbhz) =
-            match cfg.scan_strategy {
-                // The preserved batch reference: materialize the full
-                // analysis grid (grid-aware plan, cross-point rotor reuse),
-                // estimate the complete PSD, check the mask — byte-identical
-                // to the pre-streaming pipeline.
-                ScanStrategy::FftWelch => {
-                    rec.reconstruct_grid(&fast_cap, lo, dt, n_grid, &mut scratch.grid);
-                    let wave = scratch.grid.values();
-                    let reconstruction_error = reference.map(|r| {
-                        let grid: Vec<f64> = (0..n_grid).map(|i| lo + i as f64 * dt).collect();
-                        nrmse(wave, &r.sample(&grid))
-                    });
-                    let psd = welch(wave, cfg.grid_rate, seg, overlap, Window::BlackmanHarris);
-                    let noise_density = noise_band.and_then(|(lo, hi)| {
-                        psd.mean_density_in_offset_band(carrier, lo, hi)
-                            .map(|d| 10.0 * d.max(1e-30).log10())
-                    });
-                    (
-                        mask.check(&psd, carrier),
-                        reconstruction_error,
-                        false,
-                        noise_density,
-                    )
-                }
-                // The streaming pipeline: the block-reseeded walk feeds the
-                // banked scan segment by segment — one pass, no full-grid
-                // buffer — and the early-verdict policy can stop
-                // reconstruction (the hottest loop of the whole run) as
-                // soon as the verdict is decided. Blocks re-seed exactly,
-                // so the verdict is bit-identical to scanning the batch
-                // reconstruction.
-                ScanStrategy::BankedGoertzel => {
-                    let BistScratch {
-                        grid,
-                        stream,
-                        scan_cache,
-                    } = scratch;
-                    let engine = scan_engine_cached(
-                        scan_cache,
-                        mask,
-                        carrier,
-                        cfg.grid_rate,
-                        seg,
-                        overlap,
-                        noise_band,
-                    );
+        let mut stream_recovery = None;
+        let (mask_report, reconstruction_error, early_exit, noise_density_dbhz) = match cfg
+            .scan_strategy
+        {
+            // The preserved batch reference: materialize the full
+            // analysis grid (grid-aware plan, cross-point rotor reuse),
+            // estimate the complete PSD, check the mask — byte-identical
+            // to the pre-streaming pipeline.
+            ScanStrategy::FftWelch => {
+                rec.reconstruct_grid(&fast_cap, lo, dt, n_grid, &mut scratch.grid);
+                let wave = scratch.grid.values();
+                let reconstruction_error = reference.map(|r| {
+                    let grid: Vec<f64> = (0..n_grid).map(|i| lo + i as f64 * dt).collect();
+                    nrmse(wave, &r.sample(&grid))
+                });
+                let psd = welch(wave, cfg.grid_rate, seg, overlap, Window::BlackmanHarris);
+                let noise_density = noise_band.and_then(|(lo, hi)| {
+                    psd.mean_density_in_offset_band(carrier, lo, hi)
+                        .map(|d| 10.0 * d.max(1e-30).log10())
+                });
+                (
+                    mask.try_check(&psd, carrier)?,
+                    reconstruction_error,
+                    false,
+                    noise_density,
+                )
+            }
+            // The streaming pipeline: the block-reseeded walk feeds the
+            // banked scan segment by segment — one pass, no full-grid
+            // buffer — and the early-verdict policy can stop
+            // reconstruction (the hottest loop of the whole run) as
+            // soon as the verdict is decided. Blocks re-seed exactly,
+            // so the verdict is bit-identical to scanning the batch
+            // reconstruction.
+            ScanStrategy::BankedGoertzel => {
+                let BistScratch {
+                    grid,
+                    stream,
+                    scan_cache,
+                } = scratch;
+                let engine = scan_engine_cached(
+                    scan_cache,
+                    mask,
+                    carrier,
+                    cfg.grid_rate,
+                    seg,
+                    overlap,
+                    noise_band,
+                )?;
+                let workers = cfg.resolved_stream_workers();
+                // Supervised feed: a panicking producer worker aborts
+                // the attempt, which is retried once in parallel and
+                // then degraded to the bit-identical sequential feed.
+                // The scan state and Δε accumulators are rebuilt per
+                // attempt, so a recovered run reproduces the
+                // clean-path verdict exactly.
+                let mut attempt = 0usize;
+                loop {
                     let mut scan = engine.stream(stream, cfg.early_verdict);
                     // Δε accumulators, summed in grid order so a full
                     // capture reproduces `nrmse` over the batch wave
@@ -594,13 +680,31 @@ impl BistEngine {
                         }
                         scan.push(block) == ScanFeed::Continue
                     };
-                    let workers = cfg.resolved_stream_workers();
-                    if workers > 1 {
-                        rec.grid_plan()
-                            .stream_blocks_parallel(&fast_cap, lo, dt, n_grid, workers, |idx, b| {
-                                consume(idx * GRID_BLOCK_LEN, b)
-                            })
-                            .expect("coverage verified above");
+                    if workers > 1 && attempt < 2 {
+                        match rec.grid_plan().try_stream_blocks_parallel(
+                            &fast_cap,
+                            lo,
+                            dt,
+                            n_grid,
+                            workers,
+                            |idx, b| consume(idx * GRID_BLOCK_LEN, b),
+                        ) {
+                            Ok(Some(_)) => {}
+                            Ok(None) => {
+                                return Err(BistError::CaptureTooShort {
+                                    reason: "fast capture too short for reconstruction".to_string(),
+                                });
+                            }
+                            Err(_) => {
+                                attempt += 1;
+                                stream_recovery = Some(if attempt == 1 {
+                                    StreamRecovery::ParallelRetry
+                                } else {
+                                    StreamRecovery::SequentialFallback
+                                });
+                                continue;
+                            }
+                        }
                     } else {
                         let mut produced = 0usize;
                         let mut blocks = rec.reconstruct_blocks(&fast_cap, lo, dt, n_grid, grid);
@@ -614,7 +718,7 @@ impl BistEngine {
                     }
                     let early_exit = scan.early_stopped();
                     let noise_density = scan.noise_density_dbhz();
-                    let mask_report = scan.finish();
+                    let mask_report = scan.try_finish()?;
                     let reconstruction_error = reference.map(|_| {
                         if err_den == 0.0 {
                             if err_num == 0.0 {
@@ -626,9 +730,10 @@ impl BistEngine {
                             (err_num / err_den).sqrt()
                         }
                     });
-                    (mask_report, reconstruction_error, early_exit, noise_density)
+                    break (mask_report, reconstruction_error, early_exit, noise_density);
                 }
-            };
+            }
+        };
 
         let (noise_figure_db, nf_ok) = match (cfg.noise_figure, noise_density_dbhz) {
             (Some(nf), Some(density)) => {
@@ -638,7 +743,7 @@ impl BistEngine {
             _ => (None, true),
         };
 
-        BistReport {
+        Ok(BistReport {
             skew,
             true_delay: fast_adc.true_delay(),
             mask: mask_report,
@@ -647,7 +752,9 @@ impl BistEngine {
             skew_ok,
             noise_figure_db,
             nf_ok,
-        }
+            capture_health: Some(capture_health),
+            stream_recovery,
+        })
     }
 
     /// Runs only the front half of the BIST — capture at both rates,
@@ -665,13 +772,29 @@ impl BistEngine {
     /// per-standard verdicts with
     /// [`BistConfig::with_calibrated_skew`].
     pub fn calibrate_skew<S: ContinuousSignal>(&self, stimulus: &S) -> SkewEstimate {
+        self.try_calibrate_skew(stimulus)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`calibrate_skew`](Self::calibrate_skew) returning a typed
+    /// [`BistError`] instead of panicking: both raw captures are
+    /// health-scanned before calibration, and the probe window is
+    /// verified before the cost is built.
+    pub fn try_calibrate_skew<S: ContinuousSignal>(
+        &self,
+        stimulus: &S,
+    ) -> Result<SkewEstimate, BistError> {
         let cfg = &self.config;
         let mut fast_adc = BpTiadc::new(cfg.frontend_fast);
         let mut slow_adc = BpTiadc::new(cfg.frontend_slow);
         let fast_raw = fast_adc.capture(stimulus, cfg.fast_start, cfg.fast_len);
         let slow_raw = slow_adc.capture(stimulus, cfg.slow_start, cfg.slow_len);
+        CaptureHealth::scan(&fast_raw, &cfg.frontend_fast, &cfg.health)?;
+        CaptureHealth::scan(&slow_raw, &cfg.frontend_slow, &cfg.health)?;
         let (fast_cap, _) = auto_calibrate(&fast_raw);
         let (slow_cap, _) = auto_calibrate(&slow_raw);
+        DualRateCost::try_probe_window(&fast_cap, &slow_cap, &cfg.dual)
+            .map_err(|reason| BistError::CaptureTooShort { reason })?;
         let cost = match cfg.probe_schedule {
             ProbeSchedule::Random => DualRateCost::paper_probes(
                 fast_cap,
@@ -684,7 +807,7 @@ impl BistEngine {
                 DualRateCost::grid_probes(fast_cap, slow_cap, cfg.dual, cfg.probe_count)
             }
         };
-        estimate_skew_lms(&cost, LmsConfig::paper_default(cfg.lms_initial)).to_estimate()
+        Ok(estimate_skew_lms(&cost, LmsConfig::paper_default(cfg.lms_initial)).to_estimate())
     }
 }
 

@@ -26,7 +26,8 @@
 //! feed-through stay inside the occupied band).
 
 use crate::bist::{BistConfig, BistEngine, BistScratch};
-use crate::mask::MaskLibrary;
+use crate::error::BistError;
+use crate::mask::{MaskLibrary, MaskStandard};
 use rfbist_converter::bptiadc::BpTiadcConfig;
 use rfbist_converter::clock::JitterModel;
 use rfbist_rfchain::faults::{gross_fault_set, standard_fault_set, Fault};
@@ -37,6 +38,10 @@ use rfbist_sampling::dualrate::DualRateConfig;
 use rfbist_sampling::kohlenberg::optimal_delay;
 use rfbist_signal::baseband::ShapedBaseband;
 use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::thread;
+use std::time::Duration;
 
 /// Fixed fast-channel rate shared by every deployment, Hz (the
 /// flexibility claim: hardware never retunes).
@@ -119,9 +124,21 @@ impl Deployment {
     /// Panics if the carrier violates the eq. 9 identifiability
     /// conditions for the fixed rate pair.
     pub fn bist_config(&self) -> BistConfig {
+        self.try_bist_config().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`bist_config`](Self::bist_config) returning a typed
+    /// [`BistError::InvalidConfig`] when the carrier violates the
+    /// eq. 9 identifiability conditions for the fixed rate pair.
+    pub fn try_bist_config(&self) -> Result<BistConfig, BistError> {
         let d_target = self.delay_target();
         let dual = DualRateConfig::new(self.carrier_hz, CAMPAIGN_B, CAMPAIGN_B1, d_target)
-            .expect("deployment carrier satisfies the eq. 9 identifiability conditions");
+            .map_err(|e| BistError::InvalidConfig {
+                reason: format!(
+                    "deployment `{}` violates the eq. 9 identifiability conditions: {e}",
+                    self.standard
+                ),
+            })?;
         let mut cfg = BistConfig::paper_default();
         cfg.dual = dual;
         cfg.frontend_fast = BpTiadcConfig::paper_section_v(dual.delay());
@@ -133,7 +150,7 @@ impl Deployment {
         cfg.grid_rate = self.grid_rate;
         cfg.grid_len = self.grid_len;
         cfg.lms_initial = 0.55 * d_target;
-        cfg
+        Ok(cfg)
     }
 
     /// Capture span in seconds (start margin plus length at the fast
@@ -233,6 +250,12 @@ pub struct StandardOutcome {
     pub healthy_runs: usize,
     /// Healthy runs the verdict condemned (should be zero).
     pub false_alarms: usize,
+    /// Runs (healthy or fault-injected) that produced no verdict at
+    /// all — a typed [`BistError`] that persisted through the bounded
+    /// per-trial retries. Errored runs are excluded from the
+    /// detection and false-alarm denominators but surfaced here so a
+    /// degraded campaign cannot masquerade as a clean one.
+    pub errored_runs: usize,
     /// Per-fault tallies, one per corpus entry.
     pub per_fault: Vec<FaultOutcome>,
     /// Worst `|D̂ − D|` across every run of this standard, seconds.
@@ -360,12 +383,14 @@ impl CoverageMatrix {
             let _ = write!(
                 standards,
                 "{}\n    {{\"standard\": \"{}\", \"healthy_runs\": {}, \"false_alarms\": {}, \
+                 \"errored_runs\": {}, \
                  \"fault_runs\": {}, \"detected\": {}, \"detection_rate\": {:.4}, \
                  \"false_alarm_rate\": {:.4}, \"worst_skew_error_ps\": {:.3}, \"faults\": [{}\n    ]}}",
                 if i == 0 { "" } else { "," },
                 s.standard,
                 s.healthy_runs,
                 s.false_alarms,
+                s.errored_runs,
                 s.fault_runs(),
                 s.detected(),
                 s.detection_rate(),
@@ -375,7 +400,7 @@ impl CoverageMatrix {
             );
         }
         format!(
-            "{{\n  \"schema\": \"rfbist-fault-coverage/v1\",\n  \
+            "{{\n  \"schema\": \"rfbist-fault-coverage/v2\",\n  \
              \"overall_detection_rate\": {:.4},\n  \
              \"gross_detection_rate\": {:.4},\n  \
              \"overall_false_alarm_rate\": {:.4},\n  \
@@ -397,41 +422,248 @@ fn stimulus_baseband(span: f64, symbol_rate: f64, rolloff: f64, seed: u64) -> Sh
     ShapedBaseband::qpsk_prbs(symbol_rate, rolloff, 12, n_sym, seed)
 }
 
-/// Runs the campaign and returns the coverage matrix.
-///
-/// For each (deployment, jitter-profile) cell: optionally calibrate
-/// the sampler skew on a wideband burst, then for each trial run the
-/// healthy baseline followed by every corpus fault through the same
-/// engine and scratch, scoring detections against the trial's own
-/// healthy Δε floor.
-///
-/// # Panics
-///
-/// Panics if the configuration is empty (no deployments, faults,
-/// trials or jitter profiles), if a deployment names an unknown
-/// standard, or if `eps_ratio` is not a finite value above 1.
-pub fn run_campaign(cfg: &CampaignConfig) -> CoverageMatrix {
-    assert!(!cfg.deployments.is_empty(), "no deployments to score");
-    assert!(!cfg.faults.is_empty(), "empty fault corpus");
-    assert!(cfg.trials > 0, "at least one trial required");
-    assert!(!cfg.jitter_rms.is_empty(), "no jitter profiles");
-    assert!(
-        cfg.eps_ratio.is_finite() && cfg.eps_ratio > 1.0,
-        "eps ratio must be a finite multiplier above 1"
-    );
-    let library = MaskLibrary::builtin();
+/// Progress report handed to the supervision observer after every
+/// completed (deployment, jitter) cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignProgress {
+    /// Cells completed so far (including restored ones at resume).
+    pub completed_cells: usize,
+    /// Total cells in the campaign
+    /// (`deployments.len() × jitter_rms.len()`).
+    pub total_cells: usize,
+    /// Standard of the cell that just completed.
+    pub standard: String,
+    /// Jitter profile of the cell that just completed, RMS seconds.
+    pub jitter_rms: f64,
+}
 
-    let standards = cfg
-        .deployments
-        .iter()
-        .map(|dep| {
-            let standard = library
-                .get(&dep.standard)
-                .unwrap_or_else(|| panic!("unknown standard `{}`", dep.standard));
+/// Per-fault tally of one completed campaign cell, positionally
+/// matching the configured corpus (ids may repeat across a corpus, so
+/// position — not id — is the join key; the id is stored for sanity
+/// checking at resume).
+#[derive(Clone, Debug, PartialEq)]
+struct CellFault {
+    id: String,
+    runs: usize,
+    verdict_detected: usize,
+    detected: usize,
+}
+
+/// One completed (deployment, jitter) cell — the checkpoint unit.
+#[derive(Clone, Debug, PartialEq)]
+struct CellRecord {
+    standard: String,
+    jitter_rms: f64,
+    healthy_runs: usize,
+    false_alarms: usize,
+    errored_runs: usize,
+    worst_skew_error: f64,
+    faults: Vec<CellFault>,
+}
+
+/// Runs `op` with bounded backoff: transient failures (per
+/// [`BistError::is_transient`]) are retried up to twice, sleeping
+/// 10 ms then 40 ms; anything else — or a third transient failure —
+/// is returned.
+fn with_retry<T>(mut op: impl FnMut() -> Result<T, BistError>) -> Result<T, BistError> {
+    const BACKOFF_MS: [u64; 2] = [10, 40];
+    let mut attempt = 0usize;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < BACKOFF_MS.len() => {
+                thread::sleep(Duration::from_millis(BACKOFF_MS[attempt]));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Validates a campaign configuration up front, so every rejection —
+/// empty axes, a bad threshold, an unknown standard, a carrier
+/// violating eq. 9 — happens before the first capture, not an hour
+/// into the sweep.
+fn validate(cfg: &CampaignConfig, library: &MaskLibrary) -> Result<(), BistError> {
+    let invalid = |reason: &str| {
+        Err(BistError::InvalidConfig {
+            reason: reason.to_string(),
+        })
+    };
+    if cfg.deployments.is_empty() {
+        return invalid("no deployments to score");
+    }
+    if cfg.faults.is_empty() {
+        return invalid("empty fault corpus");
+    }
+    if cfg.trials == 0 {
+        return invalid("at least one trial required");
+    }
+    if cfg.jitter_rms.is_empty() {
+        return invalid("no jitter profiles");
+    }
+    if !(cfg.eps_ratio.is_finite() && cfg.eps_ratio > 1.0) {
+        return invalid("eps ratio must be a finite multiplier above 1");
+    }
+    for dep in &cfg.deployments {
+        if library.get(&dep.standard).is_none() {
+            let mut known: Vec<String> = library.names().map(str::to_string).collect();
+            known.sort();
+            return Err(BistError::UnknownStandard {
+                name: dep.standard.clone(),
+                known,
+            });
+        }
+        dep.try_bist_config()?;
+    }
+    Ok(())
+}
+
+/// Runs one (deployment, jitter) cell. Infallible by design: a run
+/// whose typed error survives the bounded retries is tallied under
+/// `errored_runs` instead of aborting the campaign — a robustness
+/// campaign must outlive the failures it measures.
+fn run_cell(
+    cfg: &CampaignConfig,
+    dep: &Deployment,
+    standard: &MaskStandard,
+    jitter: f64,
+) -> CellRecord {
+    let mut record = CellRecord {
+        standard: dep.standard.clone(),
+        jitter_rms: jitter,
+        healthy_runs: 0,
+        false_alarms: 0,
+        errored_runs: 0,
+        worst_skew_error: 0.0,
+        faults: cfg
+            .faults
+            .iter()
+            .map(|f| CellFault {
+                id: f.kind.id().to_string(),
+                runs: 0,
+                verdict_detected: 0,
+                detected: 0,
+            })
+            .collect(),
+    };
+    let mut scratch = BistScratch::new();
+
+    let mut base = dep.bist_config();
+    base.frontend_fast.jitter = JitterModel::Gaussian { rms: jitter };
+    base.frontend_slow.jitter = JitterModel::Gaussian { rms: jitter };
+    let span = dep.capture_span(base.fast_start);
+
+    let engine = if cfg.wideband_calibration {
+        // one wideband burst per cell: skew is a hardware property, so
+        // its estimate carries across every stimulus this front-end
+        // configuration captures
+        let burst_bb = stimulus_baseband(span, CALIBRATION_SYMBOL_RATE, 0.5, cfg.base_seed);
+        let burst = HomodyneTx::builder(burst_bb, dep.carrier_hz)
+            .impairments(TxImpairments::typical())
+            .build();
+        let cal = BistEngine::new(base.clone());
+        match with_retry(|| cal.try_calibrate_skew(&burst.rf_output())) {
+            Ok(est) => BistEngine::new(base.clone().with_calibrated_skew(est.delay)),
+            Err(_) => {
+                // no skew estimate, no verdicts: the whole cell errors
+                record.errored_runs = cfg.trials * (cfg.faults.len() + 1);
+                return record;
+            }
+        }
+    } else {
+        BistEngine::new(base.clone())
+    };
+
+    for trial in 0..cfg.trials {
+        let bb = stimulus_baseband(
+            span,
+            standard.symbol_rate,
+            standard.rolloff,
+            cfg.trial_seed(trial),
+        );
+
+        let healthy_tx = HomodyneTx::builder(bb.clone(), dep.carrier_hz)
+            .impairments(TxImpairments::typical())
+            .build();
+        let healthy = match with_retry(|| {
+            engine.try_run_with(
+                &healthy_tx.rf_output(),
+                &standard.mask,
+                Some(&healthy_tx.ideal_rf_output()),
+                &mut scratch,
+            )
+        }) {
+            Ok(report) => report,
+            Err(_) => {
+                // without the healthy Δε floor the trial's fault runs
+                // cannot be scored either: the whole trial errors
+                record.errored_runs += cfg.faults.len() + 1;
+                continue;
+            }
+        };
+        record.healthy_runs += 1;
+        if !healthy.passed() {
+            record.false_alarms += 1;
+        }
+        record.worst_skew_error = record.worst_skew_error.max(healthy.skew_abs_error());
+        let Some(healthy_eps) = healthy.reconstruction_error else {
+            // a reference is supplied for every campaign run, so a
+            // missing Δε means the run itself was unusable
+            record.healthy_runs -= 1;
+            record.errored_runs += cfg.faults.len() + 1;
+            continue;
+        };
+
+        for (slot, &fault) in cfg.faults.iter().enumerate() {
+            let tx = HomodyneTx::builder(bb.clone(), dep.carrier_hz)
+                .impairments(fault.inject(TxImpairments::typical()))
+                .build();
+            let report = match with_retry(|| {
+                engine.try_run_with(
+                    &tx.rf_output(),
+                    &standard.mask,
+                    Some(&tx.ideal_rf_output()),
+                    &mut scratch,
+                )
+            }) {
+                Ok(report) => report,
+                Err(_) => {
+                    record.errored_runs += 1;
+                    continue;
+                }
+            };
+            let Some(eps) = report.reconstruction_error else {
+                record.errored_runs += 1;
+                continue;
+            };
+            let verdict_flag = !report.passed();
+            let eps_flag = eps > cfg.eps_ratio * healthy_eps;
+            let tally = &mut record.faults[slot];
+            tally.runs += 1;
+            tally.verdict_detected += usize::from(verdict_flag);
+            tally.detected += usize::from(verdict_flag || eps_flag);
+            record.worst_skew_error = record.worst_skew_error.max(report.skew_abs_error());
+        }
+    }
+    record
+}
+
+/// Folds completed cell records (deployment-major, jitter-minor order)
+/// into the per-standard coverage matrix. Integer tallies sum and the
+/// worst skew error maxes, so a resumed campaign folds to exactly the
+/// matrix an uninterrupted run would have produced.
+fn fold_records(cfg: &CampaignConfig, records: &[CellRecord]) -> CoverageMatrix {
+    let per_standard = cfg.jitter_rms.len();
+    let standards = records
+        .chunks(per_standard)
+        .zip(&cfg.deployments)
+        .map(|(chunk, dep)| {
             let mut outcome = StandardOutcome {
                 standard: dep.standard.clone(),
                 healthy_runs: 0,
                 false_alarms: 0,
+                errored_runs: 0,
                 per_fault: cfg
                     .faults
                     .iter()
@@ -444,86 +676,571 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CoverageMatrix {
                     .collect(),
                 worst_skew_error: 0.0,
             };
-            let mut scratch = BistScratch::new();
-
-            for &jitter in &cfg.jitter_rms {
-                let mut base = dep.bist_config();
-                base.frontend_fast.jitter = JitterModel::Gaussian { rms: jitter };
-                base.frontend_slow.jitter = JitterModel::Gaussian { rms: jitter };
-                let span = dep.capture_span(base.fast_start);
-
-                let engine = if cfg.wideband_calibration {
-                    // one wideband burst per cell: skew is a hardware
-                    // property, so its estimate carries across every
-                    // stimulus this front-end configuration captures
-                    let burst_bb =
-                        stimulus_baseband(span, CALIBRATION_SYMBOL_RATE, 0.5, cfg.base_seed);
-                    let burst = HomodyneTx::builder(burst_bb, dep.carrier_hz)
-                        .impairments(TxImpairments::typical())
-                        .build();
-                    let cal = BistEngine::new(base.clone());
-                    let est = cal.calibrate_skew(&burst.rf_output());
-                    BistEngine::new(base.clone().with_calibrated_skew(est.delay))
-                } else {
-                    BistEngine::new(base.clone())
-                };
-
-                for trial in 0..cfg.trials {
-                    let bb = stimulus_baseband(
-                        span,
-                        standard.symbol_rate,
-                        standard.rolloff,
-                        cfg.trial_seed(trial),
-                    );
-
-                    let healthy_tx = HomodyneTx::builder(bb.clone(), dep.carrier_hz)
-                        .impairments(TxImpairments::typical())
-                        .build();
-                    let healthy = engine.run_with(
-                        &healthy_tx.rf_output(),
-                        &standard.mask,
-                        Some(&healthy_tx.ideal_rf_output()),
-                        &mut scratch,
-                    );
-                    outcome.healthy_runs += 1;
-                    if !healthy.passed() {
-                        outcome.false_alarms += 1;
-                    }
-                    outcome.worst_skew_error =
-                        outcome.worst_skew_error.max(healthy.skew_abs_error());
-                    let healthy_eps = healthy
-                        .reconstruction_error
-                        .expect("reference supplied for every campaign run");
-
-                    for (slot, &fault) in cfg.faults.iter().enumerate() {
-                        let tx = HomodyneTx::builder(bb.clone(), dep.carrier_hz)
-                            .impairments(fault.inject(TxImpairments::typical()))
-                            .build();
-                        let report = engine.run_with(
-                            &tx.rf_output(),
-                            &standard.mask,
-                            Some(&tx.ideal_rf_output()),
-                            &mut scratch,
-                        );
-                        let eps = report
-                            .reconstruction_error
-                            .expect("reference supplied for every campaign run");
-                        let verdict_flag = !report.passed();
-                        let eps_flag = eps > cfg.eps_ratio * healthy_eps;
-                        let tally = &mut outcome.per_fault[slot];
-                        tally.runs += 1;
-                        tally.verdict_detected += usize::from(verdict_flag);
-                        tally.detected += usize::from(verdict_flag || eps_flag);
-                        outcome.worst_skew_error =
-                            outcome.worst_skew_error.max(report.skew_abs_error());
-                    }
+            for cell in chunk {
+                outcome.healthy_runs += cell.healthy_runs;
+                outcome.false_alarms += cell.false_alarms;
+                outcome.errored_runs += cell.errored_runs;
+                outcome.worst_skew_error = outcome.worst_skew_error.max(cell.worst_skew_error);
+                for (slot, f) in cell.faults.iter().enumerate() {
+                    let tally = &mut outcome.per_fault[slot];
+                    tally.runs += f.runs;
+                    tally.verdict_detected += f.verdict_detected;
+                    tally.detected += f.detected;
                 }
             }
             outcome
         })
         .collect();
-
     CoverageMatrix { standards }
+}
+
+/// A deterministic digest of everything that shapes the campaign's
+/// cell sequence and arithmetic. A checkpoint written under one
+/// fingerprint refuses to resume under another — resuming half a
+/// campaign against different parameters would silently splice two
+/// incomparable measurements.
+fn config_fingerprint(cfg: &CampaignConfig) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "v1;seed={};trials={};eps={};cal={};jitter=",
+        cfg.base_seed, cfg.trials, cfg.eps_ratio, cfg.wideband_calibration
+    );
+    for j in &cfg.jitter_rms {
+        let _ = write!(s, "{j},");
+    }
+    let _ = write!(s, ";deployments=");
+    for d in &cfg.deployments {
+        let _ = write!(
+            s,
+            "{}:{}:{}:{}:{}:{}|",
+            d.standard, d.carrier_hz, d.grid_rate, d.grid_len, d.fast_len, d.slow_len
+        );
+    }
+    let _ = write!(s, ";faults=");
+    for f in &cfg.faults {
+        let _ = write!(s, "{:?}|", f.kind);
+    }
+    s
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the checkpoint: schema header, config fingerprint, and
+/// one record per completed cell. Floats use Rust's shortest-exact
+/// `{}` formatting, which `parse::<f64>()` round-trips bit-for-bit —
+/// the property the resumed-equals-uninterrupted guarantee rests on.
+fn checkpoint_json(fingerprint: &str, records: &[CellRecord]) -> String {
+    let mut cells = String::new();
+    for (i, c) in records.iter().enumerate() {
+        let mut faults = String::new();
+        for (j, f) in c.faults.iter().enumerate() {
+            let _ = write!(
+                faults,
+                "{}{{\"id\": \"{}\", \"runs\": {}, \"verdict_detected\": {}, \"detected\": {}}}",
+                if j == 0 { "" } else { ", " },
+                json_escape(&f.id),
+                f.runs,
+                f.verdict_detected,
+                f.detected
+            );
+        }
+        let _ = write!(
+            cells,
+            "{}\n    {{\"standard\": \"{}\", \"jitter_rms\": {}, \"healthy_runs\": {}, \
+             \"false_alarms\": {}, \"errored_runs\": {}, \"worst_skew_error\": {}, \
+             \"faults\": [{}]}}",
+            if i == 0 { "" } else { "," },
+            json_escape(&c.standard),
+            c.jitter_rms,
+            c.healthy_runs,
+            c.false_alarms,
+            c.errored_runs,
+            c.worst_skew_error,
+            faults
+        );
+    }
+    format!(
+        "{{\n  \"schema\": \"{CHECKPOINT_SCHEMA}\",\n  \"fingerprint\": \"{}\",\n  \
+         \"cells\": [{}\n  ]\n}}\n",
+        json_escape(fingerprint),
+        cells
+    )
+}
+
+/// Checkpoint document schema identifier.
+const CHECKPOINT_SCHEMA: &str = "rfbist-campaign-checkpoint/v1";
+
+/// Atomically replaces the checkpoint file (write to a sibling temp
+/// file, then rename): a kill mid-write leaves the previous complete
+/// checkpoint, never a torn one.
+fn write_checkpoint(
+    path: &Path,
+    fingerprint: &str,
+    records: &[CellRecord],
+) -> Result<(), BistError> {
+    let doc = checkpoint_json(fingerprint, records);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, &doc).map_err(|e| BistError::Checkpoint {
+        reason: format!("cannot write `{}`: {e}", tmp.display()),
+    })?;
+    fs::rename(&tmp, path).map_err(|e| BistError::Checkpoint {
+        reason: format!("cannot move `{}` into place: {e}", tmp.display()),
+    })?;
+    Ok(())
+}
+
+/// Loads and validates a checkpoint against the running config:
+/// schema, fingerprint, and that the stored cells form a *prefix* of
+/// this campaign's cell sequence (position by position, including the
+/// per-cell fault-corpus ids).
+fn load_checkpoint(
+    path: &Path,
+    fingerprint: &str,
+    cfg: &CampaignConfig,
+) -> Result<Vec<CellRecord>, BistError> {
+    let err = |reason: String| BistError::Checkpoint { reason };
+    let text = fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read `{}`: {e}", path.display())))?;
+    let doc = minijson::parse(&text).map_err(|e| err(format!("`{}`: {e}", path.display())))?;
+    let schema = doc.get("schema").and_then(minijson::Value::as_str);
+    if schema != Some(CHECKPOINT_SCHEMA) {
+        return Err(err(format!(
+            "`{}` is not a campaign checkpoint (schema {:?})",
+            path.display(),
+            schema
+        )));
+    }
+    match doc.get("fingerprint").and_then(minijson::Value::as_str) {
+        Some(f) if f == fingerprint => {}
+        _ => {
+            return Err(err(format!(
+                "`{}` was written by a different campaign configuration — \
+                 refusing to splice incomparable runs",
+                path.display()
+            )))
+        }
+    }
+    let cells = doc
+        .get("cells")
+        .and_then(minijson::Value::as_arr)
+        .ok_or_else(|| err(format!("`{}` has no cells array", path.display())))?;
+    let total = cfg.deployments.len() * cfg.jitter_rms.len();
+    if cells.len() > total {
+        return Err(err(format!(
+            "`{}` holds {} cells but the campaign only has {total}",
+            path.display(),
+            cells.len()
+        )));
+    }
+    let expected_ids: Vec<&str> = cfg.faults.iter().map(|f| f.kind.id()).collect();
+    let mut records = Vec::with_capacity(cells.len());
+    for (i, cell) in cells.iter().enumerate() {
+        let dep = &cfg.deployments[i / cfg.jitter_rms.len()];
+        let jitter = cfg.jitter_rms[i % cfg.jitter_rms.len()];
+        let field = |k: &str| {
+            cell.get(k)
+                .and_then(minijson::Value::as_f64)
+                .ok_or_else(|| err(format!("cell {i} is missing numeric field `{k}`")))
+        };
+        let standard = cell
+            .get("standard")
+            .and_then(minijson::Value::as_str)
+            .ok_or_else(|| err(format!("cell {i} is missing `standard`")))?;
+        let jitter_rms = field("jitter_rms")?;
+        if standard != dep.standard || jitter_rms != jitter {
+            return Err(err(format!(
+                "cell {i} is ({standard}, {jitter_rms} s) but this campaign's cell {i} \
+                 is ({}, {jitter} s) — the checkpoint is not a prefix of this run",
+                dep.standard
+            )));
+        }
+        let faults = cell
+            .get("faults")
+            .and_then(minijson::Value::as_arr)
+            .ok_or_else(|| err(format!("cell {i} has no faults array")))?;
+        if faults.len() != expected_ids.len() {
+            return Err(err(format!(
+                "cell {i} tallies {} faults but the corpus has {}",
+                faults.len(),
+                expected_ids.len()
+            )));
+        }
+        let mut cell_faults = Vec::with_capacity(faults.len());
+        for (slot, f) in faults.iter().enumerate() {
+            let id = f
+                .get("id")
+                .and_then(minijson::Value::as_str)
+                .ok_or_else(|| err(format!("cell {i} fault {slot} is missing `id`")))?;
+            if id != expected_ids[slot] {
+                return Err(err(format!(
+                    "cell {i} fault {slot} is `{id}` but the corpus has \
+                     `{}` at that position",
+                    expected_ids[slot]
+                )));
+            }
+            let ffield = |k: &str| {
+                f.get(k)
+                    .and_then(minijson::Value::as_f64)
+                    .ok_or_else(|| err(format!("cell {i} fault {slot} is missing `{k}`")))
+            };
+            cell_faults.push(CellFault {
+                id: id.to_string(),
+                runs: ffield("runs")? as usize,
+                verdict_detected: ffield("verdict_detected")? as usize,
+                detected: ffield("detected")? as usize,
+            });
+        }
+        records.push(CellRecord {
+            standard: standard.to_string(),
+            jitter_rms,
+            healthy_runs: field("healthy_runs")? as usize,
+            false_alarms: field("false_alarms")? as usize,
+            errored_runs: field("errored_runs")? as usize,
+            worst_skew_error: field("worst_skew_error")?,
+            faults: cell_faults,
+        });
+    }
+    Ok(records)
+}
+
+/// Runs the campaign and returns the coverage matrix, or a typed
+/// [`BistError`] when the configuration is invalid.
+///
+/// For each (deployment, jitter-profile) cell: optionally calibrate
+/// the sampler skew on a wideband burst, then for each trial run the
+/// healthy baseline followed by every corpus fault through the same
+/// engine and scratch, scoring detections against the trial's own
+/// healthy Δε floor. Per-run failures never abort the sweep — see
+/// [`StandardOutcome::errored_runs`].
+pub fn try_run_campaign(cfg: &CampaignConfig) -> Result<CoverageMatrix, BistError> {
+    try_run_campaign_supervised(cfg, None, false, &mut |_| true)
+}
+
+/// The fully supervised campaign driver: optional checkpointing after
+/// every completed cell, resume from a compatible checkpoint, and an
+/// observer that can stop the sweep between cells.
+///
+/// - `checkpoint`: when `Some`, the partial cell sequence is
+///   atomically rewritten to this path after every completed cell
+///   (schema `rfbist-campaign-checkpoint/v1`).
+/// - `resume`: when `true` and the checkpoint file exists, its cells
+///   are restored (after schema/fingerprint/prefix validation) and
+///   the sweep continues from the first missing cell. Restored cells
+///   do not re-invoke the observer.
+/// - `after_cell`: invoked after each newly computed cell (its
+///   checkpoint already durable); returning `false` stops the sweep
+///   with [`BistError::Interrupted`].
+///
+/// A resumed campaign folds to exactly the matrix the uninterrupted
+/// run produces: cells are deterministic given the config, and the
+/// checkpoint round-trips every tally bit-for-bit.
+pub fn try_run_campaign_supervised(
+    cfg: &CampaignConfig,
+    checkpoint: Option<&Path>,
+    resume: bool,
+    after_cell: &mut dyn FnMut(&CampaignProgress) -> bool,
+) -> Result<CoverageMatrix, BistError> {
+    let library = MaskLibrary::builtin();
+    validate(cfg, &library)?;
+    let fingerprint = config_fingerprint(cfg);
+    let total_cells = cfg.deployments.len() * cfg.jitter_rms.len();
+
+    let mut records: Vec<CellRecord> = match checkpoint {
+        Some(path) if resume && path.exists() => load_checkpoint(path, &fingerprint, cfg)?,
+        _ => Vec::new(),
+    };
+
+    for index in records.len()..total_cells {
+        let dep = &cfg.deployments[index / cfg.jitter_rms.len()];
+        let jitter = cfg.jitter_rms[index % cfg.jitter_rms.len()];
+        let standard = match library.get(&dep.standard) {
+            Some(s) => s,
+            None => {
+                // validate() above checked every deployment
+                return Err(BistError::UnknownStandard {
+                    name: dep.standard.clone(),
+                    known: Vec::new(),
+                });
+            }
+        };
+        let record = run_cell(cfg, dep, standard, jitter);
+        records.push(record);
+        if let Some(path) = checkpoint {
+            write_checkpoint(path, &fingerprint, &records)?;
+        }
+        let progress = CampaignProgress {
+            completed_cells: records.len(),
+            total_cells,
+            standard: dep.standard.clone(),
+            jitter_rms: jitter,
+        };
+        if !after_cell(&progress) {
+            return Err(BistError::Interrupted {
+                completed_cells: records.len(),
+                total_cells,
+            });
+        }
+    }
+
+    Ok(fold_records(cfg, &records))
+}
+
+/// Runs the campaign and returns the coverage matrix.
+///
+/// Thin panicking wrapper over [`try_run_campaign`], kept for
+/// call-site compatibility.
+///
+/// # Panics
+///
+/// Panics if the configuration is empty (no deployments, faults,
+/// trials or jitter profiles), if a deployment names an unknown
+/// standard, or if `eps_ratio` is not a finite value above 1.
+pub fn run_campaign(cfg: &CampaignConfig) -> CoverageMatrix {
+    try_run_campaign(cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// A dependency-free recursive-descent JSON reader, just big enough
+/// for the checkpoint documents this module writes (the workspace
+/// vendors no serde). Numbers are lexed as text and converted with
+/// `parse::<f64>()`, the exact inverse of the `{}` formatting the
+/// writer uses.
+mod minijson {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup (first match).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document, rejecting trailing garbage.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unexpected end of document".to_string())
+        }
+
+        fn expect(&mut self, c: u8) -> Result<(), String> {
+            if self.peek()? == c {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {}", c as char, self.pos))
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(format!("malformed literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b't' => self.literal("true", Value::Bool(true)),
+                b'f' => self.literal("false", Value::Bool(false)),
+                b'n' => self.literal("null", Value::Null),
+                _ => self.number(),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                let value = self.value()?;
+                fields.push((key, value));
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.bytes.get(self.pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex)
+                                    .map_err(|_| "malformed \\u escape".to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "malformed \\u escape".to_string())?;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| "invalid \\u code point".to_string())?,
+                                );
+                                self.pos += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // consume one UTF-8 scalar (multi-byte safe)
+                        let rest = &self.bytes[self.pos..];
+                        let s = std::str::from_utf8(rest)
+                            .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                        let c = s.chars().next().ok_or("unterminated string")?;
+                        out.push(c);
+                        self.pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            let start = self.pos;
+            while matches!(
+                self.bytes.get(self.pos),
+                Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            ) {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| "invalid number".to_string())?;
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("malformed number `{text}` at byte {start}"))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -581,6 +1298,7 @@ mod tests {
                 standard: "qpsk-10msym-srrc0.5".into(),
                 healthy_runs: 2,
                 false_alarms: 0,
+                errored_runs: 0,
                 per_fault: vec![FaultOutcome {
                     fault: Fault::new(FaultKind::PaGainShift { delta_db: -3.0 }),
                     runs: 2,
@@ -592,9 +1310,10 @@ mod tests {
         };
         let json = matrix.to_json();
         assert!(
-            json.contains("\"schema\": \"rfbist-fault-coverage/v1\""),
+            json.contains("\"schema\": \"rfbist-fault-coverage/v2\""),
             "{json}"
         );
+        assert!(json.contains("\"errored_runs\": 0"), "{json}");
         assert!(
             json.contains("\"overall_detection_rate\": 1.0000"),
             "{json}"
@@ -632,6 +1351,7 @@ mod tests {
             standard: "x".into(),
             healthy_runs: 1,
             false_alarms: 0,
+            errored_runs: 0,
             per_fault: vec![
                 // a missed *marginal* fault must not drag the gross rate
                 FaultOutcome {
@@ -659,5 +1379,192 @@ mod tests {
         let mut cfg = one_cell_config();
         cfg.deployments[0].standard = "no-such-standard".into();
         let _ = run_campaign(&cfg);
+    }
+
+    #[test]
+    fn unknown_standard_error_lists_known_names() {
+        let mut cfg = one_cell_config();
+        cfg.deployments[0].standard = "no-such-standard".into();
+        match try_run_campaign(&cfg) {
+            Err(BistError::UnknownStandard { name, known }) => {
+                assert_eq!(name, "no-such-standard");
+                assert!(
+                    known.iter().any(|k| k == "qpsk-10msym-srrc0.5"),
+                    "{known:?}"
+                );
+            }
+            other => panic!("expected UnknownStandard, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_helper_retries_transients_and_gives_up() {
+        // two transient failures, then success
+        let mut calls = 0usize;
+        let out = with_retry(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(BistError::WorkerPanic {
+                    detail: "injected".into(),
+                })
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out, Ok(3));
+        // a non-transient error is returned immediately
+        let mut calls = 0usize;
+        let out: Result<(), _> = with_retry(|| {
+            calls += 1;
+            Err(BistError::InvalidConfig {
+                reason: "nope".into(),
+            })
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+        // a persistent transient error exhausts the backoff schedule
+        let mut calls = 0usize;
+        let out: Result<(), _> = with_retry(|| {
+            calls += 1;
+            Err(BistError::WorkerPanic {
+                detail: "stuck".into(),
+            })
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn minijson_round_trips_checkpoint_documents() {
+        let records = vec![
+            CellRecord {
+                standard: "qpsk-10msym-srrc0.5".into(),
+                jitter_rms: 3e-12,
+                healthy_runs: 2,
+                false_alarms: 0,
+                errored_runs: 1,
+                worst_skew_error: 1.234_567_890_123e-12,
+                faults: vec![CellFault {
+                    id: "pa-gain-shift".into(),
+                    runs: 2,
+                    verdict_detected: 1,
+                    detected: 2,
+                }],
+            },
+            CellRecord {
+                standard: "wcdma-like-3g84".into(),
+                jitter_rms: 1.5e-12,
+                healthy_runs: 1,
+                false_alarms: 1,
+                errored_runs: 0,
+                worst_skew_error: 0.0,
+                faults: vec![CellFault {
+                    id: "iq-gain-imbalance".into(),
+                    runs: 1,
+                    verdict_detected: 0,
+                    detected: 1,
+                }],
+            },
+        ];
+        let doc = checkpoint_json("fp \"quoted\"\\backslash", &records);
+        let parsed = minijson::parse(&doc).expect("parses");
+        assert_eq!(
+            parsed.get("schema").and_then(minijson::Value::as_str),
+            Some(CHECKPOINT_SCHEMA)
+        );
+        assert_eq!(
+            parsed.get("fingerprint").and_then(minijson::Value::as_str),
+            Some("fp \"quoted\"\\backslash")
+        );
+        let cells = parsed
+            .get("cells")
+            .and_then(minijson::Value::as_arr)
+            .expect("cells");
+        assert_eq!(cells.len(), 2);
+        // floats round-trip bit-exactly through {} + parse::<f64>()
+        let skew = cells[0]
+            .get("worst_skew_error")
+            .and_then(minijson::Value::as_f64)
+            .expect("skew");
+        assert_eq!(skew.to_bits(), 1.234_567_890_123e-12f64.to_bits());
+    }
+
+    #[test]
+    fn minijson_rejects_malformed_documents() {
+        assert!(minijson::parse("{\"a\": }").is_err());
+        assert!(minijson::parse("{\"a\": 1,}").is_err());
+        assert!(minijson::parse("[1, 2").is_err());
+        assert!(minijson::parse("{\"a\": 1} junk").is_err());
+        assert!(minijson::parse("\"unterminated").is_err());
+        assert!(minijson::parse("nul").is_err());
+    }
+
+    #[test]
+    fn checkpoint_load_validates_prefix_and_fingerprint() {
+        let cfg = one_cell_config();
+        let fp = config_fingerprint(&cfg);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rfbist-ckpt-test-{}.json", std::process::id()));
+        let records = vec![CellRecord {
+            standard: cfg.deployments[0].standard.clone(),
+            jitter_rms: cfg.jitter_rms[0],
+            healthy_runs: 1,
+            false_alarms: 0,
+            errored_runs: 0,
+            worst_skew_error: 2.5e-13,
+            faults: cfg
+                .faults
+                .iter()
+                .map(|f| CellFault {
+                    id: f.kind.id().to_string(),
+                    runs: 1,
+                    verdict_detected: 1,
+                    detected: 1,
+                })
+                .collect(),
+        }];
+        write_checkpoint(&path, &fp, &records).expect("write");
+        let restored = load_checkpoint(&path, &fp, &cfg).expect("load");
+        assert_eq!(restored, records);
+        // wrong fingerprint (e.g. a different base seed) is refused
+        let err = load_checkpoint(&path, "other", &cfg).unwrap_err();
+        assert!(
+            matches!(&err, BistError::Checkpoint { reason }
+                if reason.contains("different campaign configuration")),
+            "{err:?}"
+        );
+        // corruption is a typed error, not a panic
+        std::fs::write(&path, "{\"schema\": \"wrong\"").expect("corrupt");
+        assert!(matches!(
+            load_checkpoint(&path, &fp, &cfg),
+            Err(BistError::Checkpoint { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_up_front() {
+        let reason_of = |cfg: &CampaignConfig| match try_run_campaign(cfg) {
+            Err(BistError::InvalidConfig { reason }) => reason,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        };
+        let mut cfg = one_cell_config();
+        cfg.deployments.clear();
+        assert_eq!(reason_of(&cfg), "no deployments to score");
+        let mut cfg = one_cell_config();
+        cfg.faults.clear();
+        assert_eq!(reason_of(&cfg), "empty fault corpus");
+        let mut cfg = one_cell_config();
+        cfg.trials = 0;
+        assert_eq!(reason_of(&cfg), "at least one trial required");
+        let mut cfg = one_cell_config();
+        cfg.jitter_rms.clear();
+        assert_eq!(reason_of(&cfg), "no jitter profiles");
+        let mut cfg = one_cell_config();
+        cfg.eps_ratio = f64::NAN;
+        assert_eq!(
+            reason_of(&cfg),
+            "eps ratio must be a finite multiplier above 1"
+        );
     }
 }

@@ -103,19 +103,40 @@ impl DualRateCost {
         slow: &NonuniformCapture,
         config: &DualRateConfig,
     ) -> (f64, f64) {
+        Self::try_probe_window(fast, slow, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The coverage check behind every probe schedule, in typed form:
+    /// `Err` carries the same message the panicking constructors raise
+    /// ("… capture too short" / "captures do not overlap in time"), so
+    /// the engine's `try_*` paths can reject an undersized capture as
+    /// a value before the cost is built.
+    pub fn try_probe_window(
+        fast: &NonuniformCapture,
+        slow: &NonuniformCapture,
+        config: &DualRateConfig,
+    ) -> Result<(f64, f64), String> {
         let num_taps = PAPER_PROBE_TAPS;
         let window = PAPER_PROBE_WINDOW;
         let probe_delay = config.delay().min(config.m_bound() * 0.5);
         let fast_rec = PnbsReconstructor::new(config.fast_band(), probe_delay, num_taps, window)
-            .expect("valid probe delay");
+            .map_err(|_| "valid probe delay".to_string())?;
         let slow_rec = PnbsReconstructor::new(config.slow_band(), probe_delay, num_taps, window)
-            .expect("valid probe delay");
-        let (f_lo, f_hi) = fast_rec.coverage(fast).expect("fast capture too short");
-        let (s_lo, s_hi) = slow_rec.coverage(slow).expect("slow capture too short");
+            .map_err(|_| "valid probe delay".to_string())?;
+        let (f_lo, f_hi) = fast_rec
+            .coverage(fast)
+            .ok_or("fast capture too short")
+            .map_err(str::to_string)?;
+        let (s_lo, s_hi) = slow_rec
+            .coverage(slow)
+            .ok_or("slow capture too short")
+            .map_err(str::to_string)?;
         let lo = f_lo.max(s_lo);
         let hi = f_hi.min(s_hi);
-        assert!(hi > lo, "captures do not overlap in time");
-        (lo, hi)
+        if hi <= lo {
+            return Err("captures do not overlap in time".to_string());
+        }
+        Ok((lo, hi))
     }
 
     /// The paper's probe setup: `n` random times drawn uniformly from

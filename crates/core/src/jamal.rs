@@ -65,7 +65,7 @@ pub fn sine_fit_phase(samples: &[f64], times: &[f64], freq: f64) -> (f64, f64) {
     let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
     let beta = Matrix::from_rows(&row_refs)
         .lstsq(samples)
-        .expect("sine-fit normal equations are singular");
+        .unwrap_or_else(|_| panic!("sine-fit normal equations are singular"));
     let (a, b) = (beta[0], beta[1]);
     ((-b).atan2(a), (a * a + b * b).sqrt())
 }

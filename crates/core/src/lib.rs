@@ -16,7 +16,11 @@
 //!   reconstruct → mask check),
 //! - [`campaign`]: the Monte-Carlo fault-coverage campaign runner
 //!   (fault corpus × standards × jitter profiles → detection/false-alarm
-//!   matrix),
+//!   matrix), with checkpoint/resume,
+//! - [`error`]: the typed failure taxonomy behind every `try_*` entry
+//!   point,
+//! - [`health`]: pre-scan capture health guards (NaN/clip/dead-signal
+//!   rejection),
 //! - [`report`]: serializable result records.
 //!
 //! # Example: estimating a 180 ps skew
@@ -45,9 +49,16 @@
 //! assert!((result.estimate - 180e-12).abs() < 1e-12);
 //! ```
 
+// Production code must not take shortcuts through unwrap/expect: the
+// fail-safe pipeline treats every runtime fault as a typed value. Test
+// modules (cfg(test)) are exempt; CI promotes these to deny.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bist;
 pub mod campaign;
 pub mod cost;
+pub mod error;
+pub mod health;
 pub mod jamal;
 pub mod lms;
 pub mod mask;
@@ -55,11 +66,16 @@ pub mod report;
 pub mod scan;
 pub mod skew;
 
-pub use bist::{BistConfig, BistEngine, BistScratch, NoiseFigureConfig, ScanStrategy, SkewGate};
+pub use bist::{
+    BistConfig, BistEngine, BistScratch, NoiseFigureConfig, ScanStrategy, SkewGate, StreamRecovery,
+};
 pub use campaign::{
-    run_campaign, CampaignConfig, CoverageMatrix, Deployment, FaultOutcome, StandardOutcome,
+    run_campaign, try_run_campaign, try_run_campaign_supervised, CampaignConfig, CampaignProgress,
+    CoverageMatrix, Deployment, FaultOutcome, StandardOutcome,
 };
 pub use cost::{CostEvaluator, DualRateCost};
+pub use error::BistError;
+pub use health::{CaptureHealth, HealthPolicy};
 pub use lms::{estimate_skew_lms, LmsConfig, LmsResult};
 pub use mask::{MaskLibrary, MaskReport, MaskStandard, SpectralMask};
 pub use scan::{EarlyVerdict, MaskScanEngine, MaskScanScratch, StreamScratch, StreamingMaskScan};

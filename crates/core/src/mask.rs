@@ -9,10 +9,34 @@
 
 use rfbist_dsp::psd::PsdEstimate;
 
+use crate::error::BistError;
+
 /// Cap on the number of [`MaskViolation`] entries a [`MaskReport`]
 /// carries; [`MaskReport::violation_count`] always records the full
 /// total, so truncation is visible.
 pub const MAX_REPORTED_VIOLATIONS: usize = 64;
+
+/// Headroom (dB) the floor-lifted library masks keep above the eq. 4
+/// jitter-noise floor of their deployment carrier — see
+/// [`jitter_floor_dbc`].
+pub const MASK_FLOOR_HEADROOM_DB: f64 = 4.0;
+
+/// The BIST's own measurement floor (dBc, per mask segment) set by
+/// DCDE clock jitter at a given carrier: eq. 4's phase-noise pedestal
+/// `(2π·f_c·σ_jitter)²` spread over the reconstruction band. The
+/// factor `1/2` reflects the paper's DCDE-only jitter placement (only
+/// the odd channel's sampling instants jitter), and `occupied/band`
+/// converts total pedestal power to the fraction a segment-width
+/// density comparison sees relative to the occupied-band peak.
+///
+/// A mask limit below this floor is undecidable through the front end:
+/// a *healthy* unit's own instrument noise trips it. The thin
+/// `lte5-like` and `wb-20msym-srrc0.35` segments are floor-lifted to
+/// `floor + `[`MASK_FLOOR_HEADROOM_DB`] at their deployment carriers.
+pub fn jitter_floor_dbc(carrier_hz: f64, jitter_rms: f64, occupied_hz: f64, band_hz: f64) -> f64 {
+    let pedestal = (2.0 * std::f64::consts::PI * carrier_hz * jitter_rms).powi(2) / 2.0;
+    10.0 * (pedestal * occupied_hz / band_hz).log10()
+}
 
 /// One mask segment: limits on `offset_lo ≤ |f − f_c| ≤ offset_hi`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -42,8 +66,8 @@ impl SpectralMask {
     ///
     /// # Panics
     ///
-    /// Panics if `segments` is empty, any segment is inverted, or the
-    /// reference half-width is non-positive.
+    /// Panics if `segments` is empty, any segment is inverted or
+    /// non-finite, or the reference half-width is non-positive.
     pub fn new(
         name: impl Into<String>,
         reference_half_width: f64,
@@ -58,6 +82,12 @@ impl SpectralMask {
             assert!(
                 s.offset_hi > s.offset_lo && s.offset_lo >= 0.0,
                 "segment offsets must satisfy 0 <= lo < hi"
+            );
+            // Validated here so `limit_at`'s min-fold can never meet a
+            // NaN at verdict time.
+            assert!(
+                s.limit_dbc.is_finite(),
+                "segment limits must be finite dBc values"
             );
         }
         SpectralMask {
@@ -133,10 +163,14 @@ impl SpectralMask {
     /// An LTE-5-MHz-shaped mask (4.5 MHz occupied): three stepped
     /// operating-band-emission segments shaped after the general SEM
     /// of 3GPP TS 36.101 §6.6.2.1 (−30/−36/−43-style steps widening
-    /// away from the channel edge), floor-lifted like the other
-    /// library masks so a healthy unit resolves against the BIST's
-    /// measurement floor.
+    /// away from the channel edge). Every segment is floor-lifted to
+    /// [`MASK_FLOOR_HEADROOM_DB`] above the eq. 4 jitter floor of the
+    /// campaign's 2.175 GHz deployment carrier at the in-spec 3 ps
+    /// DCDE jitter ([`jitter_floor_dbc`] ≈ −43.8 dBc there), so a
+    /// healthy unit's own instrument noise can never trip the thin
+    /// far-out step (the nominal −43 dBc lifts to ≈ −39.8 dBc).
     pub fn lte5_like() -> Self {
+        let floor = jitter_floor_dbc(2.175e9, 3e-12, 4.5e6, 90e6) + MASK_FLOOR_HEADROOM_DB;
         SpectralMask::new(
             "lte5-like",
             2.5e6,
@@ -144,17 +178,17 @@ impl SpectralMask {
                 MaskSegment {
                     offset_lo: 3.5e6,
                     offset_hi: 5e6,
-                    limit_dbc: -30.0,
+                    limit_dbc: (-30.0f64).max(floor),
                 },
                 MaskSegment {
                     offset_lo: 5e6,
                     offset_hi: 10e6,
-                    limit_dbc: -36.0,
+                    limit_dbc: (-36.0f64).max(floor),
                 },
                 MaskSegment {
                     offset_lo: 10e6,
                     offset_hi: 20e6,
-                    limit_dbc: -43.0,
+                    limit_dbc: (-43.0f64).max(floor),
                 },
             ],
         )
@@ -199,11 +233,14 @@ impl SpectralMask {
     /// [`qpsk_10msym`](Self::qpsk_10msym) shape to the widest
     /// modulation the 90 MHz reconstruction band can carry — the upper
     /// segment edge stays inside the ±45 MHz band the PNBS
-    /// reconstruction covers, and the limits sit above the *elevated*
-    /// measurement floor of a multi-GHz carrier (eq. 4: 3 ps of DCDE
-    /// jitter costs π·B·(k+1)·ΔD, so the floor rises with the
-    /// carrier's spectral position k).
+    /// reconstruction covers, and every limit is floor-lifted to
+    /// [`MASK_FLOOR_HEADROOM_DB`] above the eq. 4 jitter floor of the
+    /// campaign's 2.85 GHz deployment carrier at the in-spec 3 ps DCDE
+    /// jitter ([`jitter_floor_dbc`] ≈ −33.6 dBc there — the floor
+    /// rises with the carrier's spectral position, so the nominal
+    /// −34 dBc far-out step lifts to ≈ −29.6 dBc).
     pub fn wideband_20msym() -> Self {
+        let floor = jitter_floor_dbc(2.85e9, 3e-12, 27e6, 90e6) + MASK_FLOOR_HEADROOM_DB;
         SpectralMask::new(
             "wb-20msym-srrc0.35",
             15e6,
@@ -211,12 +248,12 @@ impl SpectralMask {
                 MaskSegment {
                     offset_lo: 16e6,
                     offset_hi: 30e6,
-                    limit_dbc: -26.0,
+                    limit_dbc: (-26.0f64).max(floor),
                 },
                 MaskSegment {
                     offset_lo: 30e6,
                     offset_hi: 43e6,
-                    limit_dbc: -34.0,
+                    limit_dbc: (-34.0f64).max(floor),
                 },
             ],
         )
@@ -247,7 +284,9 @@ impl SpectralMask {
             .iter()
             .filter(|s| offset >= s.offset_lo && offset <= s.offset_hi)
             .map(|s| s.limit_dbc)
-            .min_by(|a, b| a.partial_cmp(b).expect("finite mask limits"))
+            // limits are validated finite at construction; total_cmp
+            // keeps the fold total regardless
+            .min_by(f64::total_cmp)
     }
 
     /// Checks a one-sided PSD (as produced by the reconstruction path)
@@ -262,8 +301,17 @@ impl SpectralMask {
     /// or none inside any mask segment — either way the estimate cannot
     /// support a verdict (resolution too coarse, or the mask lies
     /// outside the analysis band), and a silent `passed` would be a
-    /// false negative.
+    /// false negative. The typed form is
+    /// [`try_check`](Self::try_check).
     pub fn check(&self, psd: &PsdEstimate, carrier_hz: f64) -> MaskReport {
+        self.try_check(psd, carrier_hz)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`check`](Self::check) returning
+    /// [`BistError::NoMaskCoverage`] instead of panicking when the PSD
+    /// cannot support a verdict.
+    pub fn try_check(&self, psd: &PsdEstimate, carrier_hz: f64) -> Result<MaskReport, BistError> {
         let db: Vec<f64> = psd.psd_db();
         let reference_db = psd
             .freqs
@@ -272,10 +320,11 @@ impl SpectralMask {
             .filter(|(f, _)| (**f - carrier_hz).abs() <= self.reference_half_width)
             .map(|(_, p)| *p)
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(
-            reference_db.is_finite(),
-            "PSD has no bins within the mask reference region"
-        );
+        if !reference_db.is_finite() {
+            return Err(BistError::NoMaskCoverage {
+                reason: "PSD has no bins within the mask reference region".into(),
+            });
+        }
 
         let (report, masked_bins) = report_from_margins(
             self.name.clone(),
@@ -286,11 +335,12 @@ impl SpectralMask {
                     .map(|limit| (*f, limit, p - reference_db))
             }),
         );
-        assert!(
-            masked_bins > 0,
-            "PSD has no bins within any mask segment — cannot produce a verdict"
-        );
-        report
+        if masked_bins == 0 {
+            return Err(BistError::NoMaskCoverage {
+                reason: "PSD has no bins within any mask segment — cannot produce a verdict".into(),
+            });
+        }
+        Ok(report)
     }
 }
 
@@ -571,6 +621,58 @@ mod tests {
                 },
             ],
         )
+    }
+
+    #[test]
+    #[should_panic(expected = "finite dBc")]
+    fn non_finite_limits_are_rejected_at_construction() {
+        SpectralMask::new(
+            "bad",
+            5e6,
+            vec![MaskSegment {
+                offset_lo: 8e6,
+                offset_hi: 20e6,
+                limit_dbc: f64::NAN,
+            }],
+        );
+    }
+
+    #[test]
+    fn try_check_types_the_no_coverage_failures() {
+        let psd = psd_with_spur(15e6, -80.0);
+        // carrier far outside the analysis band: no reference bins
+        let err = test_mask().try_check(&psd, 5e9).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::BistError::NoMaskCoverage { .. }
+        ));
+        assert!(err.to_string().contains("reference region"));
+    }
+
+    #[test]
+    fn thin_library_masks_keep_headroom_over_the_jitter_floor() {
+        // the floor-lift relation: lifted limit == eq. 4 floor + headroom
+        let lte_floor = jitter_floor_dbc(2.175e9, 3e-12, 4.5e6, 90e6);
+        let lte = SpectralMask::lte5_like();
+        let far = lte.segments().last().unwrap().limit_dbc;
+        assert!(
+            (far - (lte_floor + MASK_FLOOR_HEADROOM_DB)).abs() < 1e-9,
+            "lte5 far-out limit {far} vs floor {lte_floor}"
+        );
+        assert!(far > -43.0, "the nominal −43 dBc step must have lifted");
+
+        let wb_floor = jitter_floor_dbc(2.85e9, 3e-12, 27e6, 90e6);
+        let wb = SpectralMask::wideband_20msym();
+        let far = wb.segments().last().unwrap().limit_dbc;
+        assert!(
+            (far - (wb_floor + MASK_FLOOR_HEADROOM_DB)).abs() < 1e-9,
+            "wb far-out limit {far} vs floor {wb_floor}"
+        );
+        assert!(far > -34.0, "the nominal −34 dBc step must have lifted");
+
+        // segments already above the floor are untouched
+        assert_eq!(lte.segments()[0].limit_dbc, -30.0);
+        assert_eq!(wb.segments()[0].limit_dbc, -26.0);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Structured BIST results.
 
+use crate::bist::StreamRecovery;
+use crate::health::CaptureHealth;
 use crate::mask::MaskReport;
 use crate::skew::SkewEstimate;
 use std::fmt;
@@ -37,6 +39,19 @@ pub struct BistReport {
     /// Whether the noise figure met its configured limit (`true` when
     /// no NF measurement or no limit is configured).
     pub nf_ok: bool,
+    /// Pre-calibration health scan of the fast-rate capture the
+    /// verdict was computed from. `None` only for reports built
+    /// outside the engine (e.g. hand-assembled in tests). A capture
+    /// bad enough to be rejected never reaches a report — see
+    /// [`BistError`](crate::error::BistError) — so a populated scan
+    /// here is at worst *marginal* (elevated but tolerable clipping).
+    pub capture_health: Option<CaptureHealth>,
+    /// Set when the streaming feed had to recover from a panicking
+    /// producer worker: the verdict is still the clean-path verdict
+    /// (attempts are rebuilt from scratch and the sequential fallback
+    /// is bit-identical), but the incident is surfaced here for
+    /// logging and maintenance triage.
+    pub stream_recovery: Option<StreamRecovery>,
 }
 
 impl BistReport {
@@ -90,6 +105,25 @@ impl fmt::Display for BistReport {
         if self.early_exit {
             writeln!(f, "  early exit: verdict decided mid-capture")?;
         }
+        if let Some(h) = &self.capture_health {
+            if h.marginal {
+                writeln!(
+                    f,
+                    "  capture health MARGINAL: clip fraction {:.4} ({} of {} samples at a rail)",
+                    h.clip_fraction, h.clipped, h.samples
+                )?;
+            }
+        }
+        if let Some(r) = self.stream_recovery {
+            writeln!(
+                f,
+                "  stream feed recovered: {}",
+                match r {
+                    StreamRecovery::ParallelRetry => "parallel retry",
+                    StreamRecovery::SequentialFallback => "sequential fallback",
+                }
+            )?;
+        }
         Ok(())
     }
 }
@@ -122,6 +156,8 @@ mod tests {
             skew_ok: true,
             noise_figure_db: None,
             nf_ok: true,
+            capture_health: None,
+            stream_recovery: None,
         }
     }
 
@@ -162,6 +198,36 @@ mod tests {
         assert!(s.contains("0.840 %"), "{s}");
         let f = dummy_report(false);
         assert!(f.to_string().contains("FAIL"));
+    }
+
+    #[test]
+    fn display_mentions_recovery_and_marginal_health() {
+        let mut r = dummy_report(true);
+        assert!(!r.to_string().contains("recovered"));
+        r.stream_recovery = Some(StreamRecovery::ParallelRetry);
+        assert!(r.to_string().contains("recovered: parallel retry"), "{r}");
+        r.stream_recovery = Some(StreamRecovery::SequentialFallback);
+        assert!(
+            r.to_string().contains("recovered: sequential fallback"),
+            "{r}"
+        );
+        // a healthy scan stays silent; a marginal one is surfaced
+        r.capture_health = Some(CaptureHealth {
+            samples: 4096,
+            non_finite: 0,
+            clipped: 0,
+            clip_fraction: 0.0,
+            min_channel_ac_rms: 0.3,
+            marginal: false,
+        });
+        assert!(!r.to_string().contains("MARGINAL"), "{r}");
+        if let Some(h) = r.capture_health.as_mut() {
+            h.clipped = 41;
+            h.clip_fraction = 0.01;
+            h.marginal = true;
+        }
+        assert!(r.to_string().contains("capture health MARGINAL"), "{r}");
+        assert!(r.to_string().contains("41 of 4096"), "{r}");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! workspace's radix-2 FFT sits near `N/8` probed bins
 //! (`BENCH_recon.json`, `mask_scan` section).
 
+use crate::error::BistError;
 use crate::mask::{report_from_margins, MaskReport, SpectralMask};
 use rfbist_dsp::goertzel::{GoertzelBank, GoertzelScratch, GoertzelState};
 use rfbist_dsp::window::Window;
@@ -171,7 +172,12 @@ impl MaskScanEngine {
         )
     }
 
-    fn build(
+    /// [`new`](Self::new)/[`with_noise_band`](Self::with_noise_band)
+    /// returning a typed [`BistError`] instead of panicking: parameter
+    /// violations surface as [`BistError::InvalidConfig`], empty
+    /// reference/segment/noise coverage as
+    /// [`BistError::NoMaskCoverage`].
+    pub fn try_build(
         mask: &SpectralMask,
         carrier_hz: f64,
         fs: f64,
@@ -179,18 +185,25 @@ impl MaskScanEngine {
         overlap: usize,
         window: Window,
         noise_band: Option<(f64, f64)>,
-    ) -> Self {
-        assert!(segment_len > 0, "segment length must be positive");
-        assert!(
-            overlap < segment_len,
-            "overlap must be smaller than the segment"
-        );
-        assert!(fs > 0.0, "sample rate must be positive");
+    ) -> Result<Self, BistError> {
+        let invalid = |reason: &str| {
+            Err(BistError::InvalidConfig {
+                reason: reason.into(),
+            })
+        };
+        if segment_len == 0 {
+            return invalid("segment length must be positive");
+        }
+        if overlap >= segment_len {
+            return invalid("overlap must be smaller than the segment");
+        }
+        if fs.is_nan() || fs <= 0.0 {
+            return invalid("sample rate must be positive");
+        }
         if let Some((lo, hi)) = noise_band {
-            assert!(
-                lo >= 0.0 && hi > lo,
-                "noise band offsets must satisfy 0 <= lo < hi"
-            );
+            if !(lo >= 0.0 && hi > lo) {
+                return invalid("noise band offsets must satisfy 0 <= lo < hi");
+            }
         }
 
         let nbins = segment_len / 2 + 1;
@@ -223,22 +236,26 @@ impl MaskScanEngine {
             });
             freqs.push(k as f64 / segment_len as f64);
         }
-        assert!(
-            reference_bins > 0,
-            "scan grid has no bins within the mask reference region"
-        );
-        assert!(
-            masked_bins > 0,
-            "scan grid has no bins within any mask segment — cannot produce a verdict"
-        );
-        assert!(
-            noise_band.is_none() || noise_bins > 0,
-            "scan grid has no bins within the noise-figure band"
-        );
+        let no_coverage = |reason: &str| {
+            Err(BistError::NoMaskCoverage {
+                reason: reason.into(),
+            })
+        };
+        if reference_bins == 0 {
+            return no_coverage("scan grid has no bins within the mask reference region");
+        }
+        if masked_bins == 0 {
+            return no_coverage(
+                "scan grid has no bins within any mask segment — cannot produce a verdict",
+            );
+        }
+        if noise_band.is_some() && noise_bins == 0 {
+            return no_coverage("scan grid has no bins within the noise-figure band");
+        }
 
         let window = window.coefficients(segment_len);
         let u: f64 = window.iter().map(|&v| v * v).sum();
-        MaskScanEngine {
+        Ok(MaskScanEngine {
             mask_name: mask.name().to_string(),
             carrier_hz,
             segment_len,
@@ -247,7 +264,28 @@ impl MaskScanEngine {
             scale: 1.0 / (fs * u),
             bank: GoertzelBank::new(&freqs),
             bins,
-        }
+        })
+    }
+
+    fn build(
+        mask: &SpectralMask,
+        carrier_hz: f64,
+        fs: f64,
+        segment_len: usize,
+        overlap: usize,
+        window: Window,
+        noise_band: Option<(f64, f64)>,
+    ) -> Self {
+        Self::try_build(
+            mask,
+            carrier_hz,
+            fs,
+            segment_len,
+            overlap,
+            window,
+            noise_band,
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of probed bins (mask + reference + noise band).
@@ -607,16 +645,27 @@ impl StreamingMaskScan<'_> {
     /// # Panics
     ///
     /// Panics if the streamed capture was shorter than one Welch
-    /// segment — the same contract as [`MaskScanEngine::scan`].
+    /// segment — the same contract as [`MaskScanEngine::scan`]. The
+    /// typed form is [`try_finish`](Self::try_finish).
     pub fn finish(self) -> MaskReport {
-        assert!(
-            self.segments > 0,
-            "streamed capture shorter ({}) than one scan segment ({})",
-            self.pushed,
-            self.engine.segment_len
-        );
-        self.engine
-            .report_from_acc(&self.scratch.acc, self.segments)
+        self.try_finish().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`finish`](Self::finish) returning
+    /// [`BistError::CaptureTooShort`] instead of panicking when no
+    /// segment completed.
+    pub fn try_finish(self) -> Result<MaskReport, BistError> {
+        if self.segments == 0 {
+            return Err(BistError::CaptureTooShort {
+                reason: format!(
+                    "streamed capture shorter ({}) than one scan segment ({})",
+                    self.pushed, self.engine.segment_len
+                ),
+            });
+        }
+        Ok(self
+            .engine
+            .report_from_acc(&self.scratch.acc, self.segments))
     }
 }
 

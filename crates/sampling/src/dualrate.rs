@@ -107,7 +107,10 @@ impl DualRateConfig {
     /// The paper's configuration: `fc = 1 GHz`, `B = 90 MHz`,
     /// `B1 = 45 MHz`, `D = 180 ps`.
     pub fn paper_section_v() -> Self {
-        DualRateConfig::new(1e9, 90e6, 45e6, 180e-12).expect("paper configuration is valid")
+        match DualRateConfig::new(1e9, 90e6, 45e6, 180e-12) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("paper configuration is valid: {e}"),
+        }
     }
 
     /// Fast-rate reconstruction band (width `B`).

@@ -112,7 +112,7 @@ impl FixedPointReconstructor {
     /// Panics outside the capture's coverage.
     pub fn reconstruct_at(&self, capture: &NonuniformCapture, t: f64) -> f64 {
         self.try_reconstruct_at(capture, t)
-            .expect("t outside capture coverage")
+            .unwrap_or_else(|| panic!("t outside capture coverage"))
     }
 }
 

@@ -648,8 +648,39 @@ impl PnbsGridPlan {
         step: f64,
         n: usize,
         workers: usize,
-        mut consume: F,
+        consume: F,
     ) -> Option<usize> {
+        self.try_stream_blocks_parallel(capture, t0, step, n, workers, consume)
+            .unwrap_or_else(|p| panic!("{p}"))
+    }
+
+    /// [`stream_blocks_parallel`](Self::stream_blocks_parallel) with
+    /// supervised producers: each worker body runs under
+    /// `catch_unwind`, the buffer pool tolerates poisoned locks
+    /// (surviving workers recover the pool with
+    /// [`PoisonError::into_inner`](std::sync::PoisonError::into_inner)
+    /// — the protected `Vec<Vec<f64>>` of recycled buffers is valid in
+    /// any state the panicking worker can leave it in), and the first
+    /// worker panic is returned as a typed [`StreamWorkerPanic`]
+    /// instead of unwinding through the caller. On a worker fault the
+    /// feed stops, the remaining producers drain, and no further
+    /// blocks reach `consume` — the caller decides whether to retry
+    /// in parallel or fall back to the bit-identical sequential feed.
+    ///
+    /// # Panics
+    ///
+    /// Still panics if `step` is not positive or `workers` is zero —
+    /// those are caller bugs, not runtime faults.
+    pub fn try_stream_blocks_parallel<F: FnMut(usize, &[f64]) -> bool>(
+        &self,
+        capture: &NonuniformCapture,
+        t0: f64,
+        step: f64,
+        n: usize,
+        workers: usize,
+        mut consume: F,
+    ) -> Result<Option<usize>, StreamWorkerPanic> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
         use std::sync::atomic::{AtomicBool, Ordering};
         use std::sync::mpsc::sync_channel;
         use std::sync::Mutex;
@@ -657,56 +688,87 @@ impl PnbsGridPlan {
         assert!(step > 0.0, "grid step must be positive");
         assert!(workers > 0, "need at least one producer");
         if n == 0 {
-            return Some(0);
+            return Ok(Some(0));
         }
-        let span = self.grid_sample_span(capture, t0, step, n)?;
+        let Some(span) = self.grid_sample_span(capture, t0, step, n) else {
+            return Ok(None);
+        };
         let nblocks = n.div_ceil(GRID_BLOCK_LEN);
         let workers = workers.min(nblocks);
         let stop = AtomicBool::new(false);
         // Recycled block buffers: the pool bounds steady-state
         // allocation to the in-flight window.
         let pool: Mutex<Vec<Vec<f64>>> = Mutex::new(Vec::new());
+        // First worker panic wins; later ones are redundant (the stop
+        // flag is already up by then).
+        let fault: Mutex<Option<StreamWorkerPanic>> = Mutex::new(None);
         let (tx, rx) = sync_channel::<(usize, Vec<f64>)>(2 * workers);
         let mut consumed = 0usize;
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let tx = tx.clone();
-                let (stop, pool) = (&stop, &pool);
+                let (stop, pool, fault) = (&stop, &pool, &fault);
                 let (first_n, span) = span;
                 scope.spawn(move || {
-                    let mut scratch = GridScratch::new();
-                    let h = self.plan.half_taps as i64;
-                    self.fill_sample_tables(capture, first_n, span, first_n + h, &mut scratch);
-                    // Static round-robin: uniform per-block cost makes
-                    // it within a few percent of optimal (the
-                    // rfbist-bench chunked-sweep argument).
-                    let mut idx = w;
-                    while idx < nblocks && !stop.load(Ordering::Relaxed) {
-                        let i_start = idx * GRID_BLOCK_LEN;
-                        let len = (n - i_start).min(GRID_BLOCK_LEN);
-                        scratch.out.clear();
-                        self.walk_span_dispatched(
-                            capture,
-                            t0,
-                            step,
-                            i_start,
-                            len,
-                            first_n,
-                            &mut scratch,
-                        );
-                        let mut buf = pool.lock().expect("pool").pop().unwrap_or_default();
-                        std::mem::swap(&mut buf, &mut scratch.out);
-                        if tx.send((idx, buf)).is_err() {
-                            break; // consumer hung up after an early stop
+                    let body = catch_unwind(AssertUnwindSafe(|| {
+                        let mut scratch = GridScratch::new();
+                        let h = self.plan.half_taps as i64;
+                        self.fill_sample_tables(capture, first_n, span, first_n + h, &mut scratch);
+                        // Static round-robin: uniform per-block cost makes
+                        // it within a few percent of optimal (the
+                        // rfbist-bench chunked-sweep argument).
+                        let mut idx = w;
+                        while idx < nblocks && !stop.load(Ordering::Relaxed) {
+                            let i_start = idx * GRID_BLOCK_LEN;
+                            let len = (n - i_start).min(GRID_BLOCK_LEN);
+                            scratch.out.clear();
+                            self.walk_span_dispatched(
+                                capture,
+                                t0,
+                                step,
+                                i_start,
+                                len,
+                                first_n,
+                                &mut scratch,
+                            );
+                            let mut guard = lock_unpoisoned(pool);
+                            if chaos::take_producer_panic() {
+                                // Deliberately panic while holding the
+                                // pool lock so the poison-recovery path
+                                // is exercised, not just catch_unwind.
+                                panic!("chaos: injected producer panic in worker {w}");
+                            }
+                            let mut buf = guard.pop().unwrap_or_default();
+                            drop(guard);
+                            std::mem::swap(&mut buf, &mut scratch.out);
+                            if tx.send((idx, buf)).is_err() {
+                                break; // consumer hung up after an early stop
+                            }
+                            idx += workers;
                         }
-                        idx += workers;
+                    }));
+                    if let Err(payload) = body {
+                        let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+                            (*s).to_string()
+                        } else if let Some(s) = payload.downcast_ref::<String>() {
+                            s.clone()
+                        } else {
+                            "non-string panic payload".to_string()
+                        };
+                        lock_unpoisoned(fault)
+                            .get_or_insert(StreamWorkerPanic { worker: w, detail });
+                        stop.store(true, Ordering::Relaxed);
                     }
                 });
             }
             drop(tx);
             // The consumer runs on the calling thread, re-ordering the
             // workers' blocks so `consume` always sees the grid in
-            // order.
+            // order. A dead worker leaves a hole in the round-robin
+            // sequence; `next` stalls there, blocks pile into
+            // `pending`, and the stop flag drains the survivors — the
+            // channel closes when the last sender drops, so this loop
+            // always terminates.
             let mut pending: std::collections::BTreeMap<usize, Vec<f64>> =
                 std::collections::BTreeMap::new();
             let mut next = 0usize;
@@ -720,7 +782,7 @@ impl PnbsGridPlan {
                             stop.store(true, Ordering::Relaxed);
                         }
                     }
-                    pool.lock().expect("pool").push(buf);
+                    lock_unpoisoned(&pool).push(buf);
                     next += 1;
                 }
                 if stop.load(Ordering::Relaxed) {
@@ -729,7 +791,65 @@ impl PnbsGridPlan {
                 }
             }
         });
-        Some(consumed)
+        match fault.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            Some(panic) => Err(panic),
+            None => Ok(Some(consumed)),
+        }
+    }
+}
+
+/// Lock a mutex, recovering from poisoning: every value protected by a
+/// pool/fault mutex in this module is valid in any state a panicking
+/// holder can leave it in (a `Vec` of owned buffers, an `Option`).
+fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A producer thread of
+/// [`try_stream_blocks_parallel`](PnbsGridPlan::try_stream_blocks_parallel)
+/// panicked; the feed stopped before completing the grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamWorkerPanic {
+    /// Zero-based index of the worker that died.
+    pub worker: usize,
+    /// The panic payload (or a placeholder for non-string payloads).
+    pub detail: String,
+}
+
+impl core::fmt::Display for StreamWorkerPanic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "stream producer worker {} panicked: {}",
+            self.worker, self.detail
+        )
+    }
+}
+
+impl std::error::Error for StreamWorkerPanic {}
+
+/// Fault-injection hooks for the chaos test suite. Not part of the
+/// public API contract; armed panics fire inside the parallel feed's
+/// producer loop **while the buffer-pool lock is held**, so a single
+/// armed panic exercises both `catch_unwind` supervision and poisoned
+/// pool recovery in the surviving workers.
+#[doc(hidden)]
+pub mod chaos {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static PRODUCER_PANICS: AtomicUsize = AtomicUsize::new(0);
+
+    /// Arm the next `n` producer block productions (across all
+    /// workers and calls) to panic. `0` disarms.
+    pub fn arm_producer_panics(n: usize) {
+        PRODUCER_PANICS.store(n, Ordering::SeqCst);
+    }
+
+    /// Consume one armed panic, if any.
+    pub(super) fn take_producer_panic() -> bool {
+        PRODUCER_PANICS
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
     }
 }
 

@@ -116,7 +116,7 @@ pub fn forbidden_delays(band: BandSpec, max_delay: f64) -> Vec<f64> {
             out.push(d);
         }
     }
-    out.sort_by(|a, b| a.partial_cmp(b).expect("finite delays"));
+    out.sort_by(|a, b| a.total_cmp(b));
     out.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
     out
 }

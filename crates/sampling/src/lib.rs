@@ -31,6 +31,11 @@
 //! assert_eq!(band.k_plus(), 23);
 //! ```
 
+// Production code must not take shortcuts through unwrap/expect: the
+// fail-safe pipeline treats every runtime fault as a typed value. Test
+// modules (cfg(test)) are exempt; CI promotes these to deny.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod band;
 pub mod dualrate;
 pub mod error;
@@ -43,6 +48,6 @@ pub mod reconstruct;
 pub mod uniform;
 
 pub use band::BandSpec;
-pub use gridplan::{GridScratch, PnbsGridPlan};
+pub use gridplan::{GridScratch, PnbsGridPlan, StreamWorkerPanic};
 pub use plan::{PnbsPlan, PnbsScratch};
 pub use reconstruct::{NonuniformCapture, PnbsReconstructor};

@@ -52,12 +52,15 @@ pub mod prelude {
     pub use rfbist_converter::bptiadc::{BpTiadc, BpTiadcConfig, JitterPlacement};
     pub use rfbist_core::bist::{
         BistConfig, BistEngine, BistScratch, NoiseFigureConfig, ProbeSchedule, ScanStrategy,
-        SkewGate,
+        SkewGate, StreamRecovery,
     };
     pub use rfbist_core::campaign::{
-        run_campaign, CampaignConfig, CoverageMatrix, Deployment, FaultOutcome, StandardOutcome,
+        run_campaign, try_run_campaign, try_run_campaign_supervised, CampaignConfig,
+        CampaignProgress, CoverageMatrix, Deployment, FaultOutcome, StandardOutcome,
     };
     pub use rfbist_core::cost::DualRateCost;
+    pub use rfbist_core::error::BistError;
+    pub use rfbist_core::health::{CaptureHealth, HealthPolicy};
     pub use rfbist_core::jamal::{estimate_skew_jamal, test_tone_for_ratio};
     pub use rfbist_core::lms::{estimate_skew_lms, LmsConfig};
     pub use rfbist_core::mask::{MaskLibrary, MaskSegment, MaskStandard, SpectralMask};
@@ -71,7 +74,9 @@ pub mod prelude {
     pub use rfbist_rfchain::txchain::HomodyneTx;
     pub use rfbist_sampling::band::BandSpec;
     pub use rfbist_sampling::dualrate::DualRateConfig;
-    pub use rfbist_sampling::gridplan::{GridBlocks, GridScratch, PnbsGridPlan, GRID_BLOCK_LEN};
+    pub use rfbist_sampling::gridplan::{
+        GridBlocks, GridScratch, PnbsGridPlan, StreamWorkerPanic, GRID_BLOCK_LEN,
+    };
     pub use rfbist_sampling::plan::{PnbsPlan, PnbsScratch};
     pub use rfbist_sampling::reconstruct::{NonuniformCapture, PnbsReconstructor};
     pub use rfbist_signal::prelude::*;

@@ -1,0 +1,426 @@
+//! Fault-injection ("chaos") suite for the fail-safe verdict
+//! pipeline: every injected failure — NaN/Inf corruption, saturation,
+//! dead channels, truncated captures, panicking stream producers,
+//! poisoned worker pools, malformed campaign configurations, killed
+//! campaigns — must surface as a typed [`BistError`] or as a verdict
+//! bit-identical to the clean path. A corrupted capture silently
+//! PASSing is the one outcome a self-test must never produce.
+
+mod common;
+
+use common::{paper_mask, paper_tx, paper_tx_seeded, PAPER_TX_SYMBOLS};
+use proptest::prelude::*;
+use rfbist::dsp::window::Window;
+use rfbist::prelude::*;
+use rfbist::sampling::gridplan::chaos;
+use std::sync::Mutex;
+
+/// Serializes every test that arms the global producer-panic hook:
+/// the hook is process-wide, so two armed tests running concurrently
+/// would steal each other's injections.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Engine configured like the paper's Section V run but with an
+/// externally calibrated skew (no slow-channel capture, so the chaos
+/// applies to exactly one capture path) and a short analysis grid.
+fn chaos_config() -> BistConfig {
+    let mut cfg = BistConfig::paper_default().with_calibrated_skew(180e-12);
+    cfg.grid_len = 2048;
+    cfg
+}
+
+/// Corruption kinds the proptest sweeps over, applied from `t = 0`
+/// (the whole capture).
+#[derive(Clone, Copy, Debug)]
+enum Corruption {
+    Nan,
+    Inf,
+    Dead,
+}
+
+struct Corrupt<S> {
+    inner: S,
+    kind: Corruption,
+}
+
+impl<S: ContinuousSignal> ContinuousSignal for Corrupt<S> {
+    fn eval(&self, t: f64) -> f64 {
+        match self.kind {
+            Corruption::Nan => f64::NAN,
+            Corruption::Inf => f64::INFINITY,
+            Corruption::Dead => 0.0 * self.inner.eval(t),
+        }
+    }
+}
+
+#[test]
+fn nan_capture_is_rejected_identically_by_both_strategies() {
+    let tx = paper_tx(TxImpairments::typical());
+    let dut = Corrupt {
+        inner: tx.rf_output(),
+        kind: Corruption::Nan,
+    };
+    let golden = tx.ideal_rf_output();
+    let banked = BistEngine::new(chaos_config())
+        .try_run(&dut, &paper_mask(), Some(&golden))
+        .unwrap_err();
+    let welch = BistEngine::new(chaos_config().with_scan_strategy(ScanStrategy::FftWelch))
+        .try_run(&dut, &paper_mask(), Some(&golden))
+        .unwrap_err();
+    assert!(
+        matches!(banked, BistError::NonFiniteCapture { first_index: 0, .. }),
+        "{banked:?}"
+    );
+    // the health guard runs before the strategies diverge, so the
+    // typed rejection is identical streamed vs batch
+    assert_eq!(banked, welch);
+    assert!(banked.to_string().contains("non-finite"), "{banked}");
+}
+
+#[test]
+fn saturated_capture_is_rejected_with_clip_statistics() {
+    let tx = paper_tx(TxImpairments::typical());
+    // ×50 drives nearly the whole capture onto the quantizer rails —
+    // far past the 2 % default budget
+    let dut = Gain::new(tx.rf_output(), 50.0);
+    let err = BistEngine::new(chaos_config())
+        .try_run(&dut, &paper_mask(), Some(&tx.ideal_rf_output()))
+        .unwrap_err();
+    match err {
+        BistError::SaturatedCapture {
+            clip_fraction,
+            max_clip_fraction,
+        } => {
+            assert!(clip_fraction > max_clip_fraction);
+            assert!(clip_fraction > 0.5, "clip fraction {clip_fraction}");
+        }
+        other => panic!("expected SaturatedCapture, got {other:?}"),
+    }
+}
+
+#[test]
+fn dead_capture_is_rejected_not_passed() {
+    // a dead transmitter emits nothing — trivially "inside" every
+    // emission mask, which is exactly the silent PASS the dead-signal
+    // guard exists to forbid
+    let tx = paper_tx(TxImpairments::typical());
+    let dut = Corrupt {
+        inner: tx.rf_output(),
+        kind: Corruption::Dead,
+    };
+    let err = BistEngine::new(chaos_config())
+        .try_run(&dut, &paper_mask(), Some(&tx.ideal_rf_output()))
+        .unwrap_err();
+    assert!(matches!(err, BistError::DeadCapture { .. }), "{err:?}");
+}
+
+#[test]
+fn truncated_capture_is_a_typed_error_on_both_paths() {
+    let tx = paper_tx(TxImpairments::typical());
+    let golden = tx.ideal_rf_output();
+    let mut cfg = chaos_config();
+    cfg.fast_len = 20; // far below the 61-tap reconstruction window
+    let banked = BistEngine::new(cfg.clone())
+        .try_run(&tx.rf_output(), &paper_mask(), Some(&golden))
+        .unwrap_err();
+    let welch = BistEngine::new(cfg.with_scan_strategy(ScanStrategy::FftWelch))
+        .try_run(&tx.rf_output(), &paper_mask(), Some(&golden))
+        .unwrap_err();
+    for err in [&banked, &welch] {
+        assert!(matches!(err, BistError::CaptureTooShort { .. }), "{err:?}");
+        assert!(err.to_string().contains("too short"), "{err}");
+    }
+    assert_eq!(banked, welch);
+}
+
+#[test]
+fn marginal_clipping_is_annotated_but_not_fatal() {
+    let tx = paper_tx(TxImpairments::typical());
+    // mild overdrive: some rail hits, nowhere near unusable
+    let dut = Gain::new(tx.rf_output(), 3.0);
+    let policy = HealthPolicy {
+        max_clip_fraction: 1.0,  // never reject on clipping…
+        warn_clip_fraction: 0.0, // …but annotate any rail hit
+        ..HealthPolicy::paper_default()
+    };
+    let report = BistEngine::new(chaos_config().with_health_policy(policy))
+        .try_run(&dut, &paper_mask(), Some(&tx.ideal_rf_output()))
+        .expect("marginal capture still produces a verdict");
+    let health = report.capture_health.expect("engine reports attach health");
+    assert!(health.clipped > 0, "{health:?}");
+    assert!(health.marginal, "{health:?}");
+    assert!(report.to_string().contains("MARGINAL"), "{report}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        ..ProptestConfig::default()
+    })]
+
+    /// Whatever the corruption and payload, both scan strategies
+    /// reject the capture with the *same* typed error — never a
+    /// verdict, never a panic, never a strategy-dependent answer.
+    #[test]
+    fn corrupted_captures_never_silently_pass(
+        kind_ix in 0usize..3,
+        seed in 0u64..4,
+    ) {
+        let kind = [Corruption::Nan, Corruption::Inf, Corruption::Dead][kind_ix];
+        let tx = paper_tx_seeded(TxImpairments::typical(), PAPER_TX_SYMBOLS, 0xACE1 + seed);
+        let dut = Corrupt { inner: tx.rf_output(), kind };
+        let golden = tx.ideal_rf_output();
+        let banked = BistEngine::new(chaos_config())
+            .try_run(&dut, &paper_mask(), Some(&golden));
+        let welch = BistEngine::new(chaos_config().with_scan_strategy(ScanStrategy::FftWelch))
+            .try_run(&dut, &paper_mask(), Some(&golden));
+        let banked = banked.expect_err("corrupted capture must not produce a verdict");
+        let welch = welch.expect_err("corrupted capture must not produce a verdict");
+        prop_assert_eq!(&banked, &welch);
+        match kind {
+            Corruption::Nan => prop_assert!(
+                matches!(banked, BistError::NonFiniteCapture { .. }), "{:?}", banked),
+            // Inf clamps onto the quantizer rails: a saturation fault
+            Corruption::Inf => prop_assert!(
+                matches!(banked, BistError::SaturatedCapture { .. }), "{:?}", banked),
+            Corruption::Dead => prop_assert!(
+                matches!(banked, BistError::DeadCapture { .. }), "{:?}", banked),
+        }
+    }
+}
+
+#[test]
+fn producer_panic_recovers_with_parallel_retry() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let tx = paper_tx(TxImpairments::typical());
+    let golden = tx.ideal_rf_output();
+    let mut cfg = chaos_config();
+    cfg.stream_workers = 4;
+    let engine = BistEngine::new(cfg);
+
+    chaos::arm_producer_panics(0);
+    let clean = engine.run(&tx.rf_output(), &paper_mask(), Some(&golden));
+    assert!(clean.stream_recovery.is_none());
+
+    // one injected panic: the first parallel attempt dies (while the
+    // worker holds the pool lock, poisoning it), the retry succeeds
+    chaos::arm_producer_panics(1);
+    let recovered = engine.run(&tx.rf_output(), &paper_mask(), Some(&golden));
+    chaos::arm_producer_panics(0);
+
+    assert_eq!(
+        recovered.stream_recovery,
+        Some(StreamRecovery::ParallelRetry)
+    );
+    assert_eq!(recovered.mask.passed, clean.mask.passed);
+    assert_eq!(recovered.mask.worst_margin_db, clean.mask.worst_margin_db);
+    assert_eq!(recovered.reconstruction_error, clean.reconstruction_error);
+}
+
+#[test]
+fn persistent_producer_panics_degrade_to_sequential_feed() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let tx = paper_tx(TxImpairments::typical());
+    let golden = tx.ideal_rf_output();
+    let mut cfg = chaos_config();
+    cfg.stream_workers = 4;
+    let engine = BistEngine::new(cfg);
+
+    chaos::arm_producer_panics(0);
+    let clean = engine.run(&tx.rf_output(), &paper_mask(), Some(&golden));
+
+    // effectively unlimited injections: both parallel attempts die,
+    // the engine falls back to the in-thread sequential feed (which
+    // never touches the worker pool)
+    chaos::arm_producer_panics(1_000_000);
+    let recovered = engine.run(&tx.rf_output(), &paper_mask(), Some(&golden));
+    chaos::arm_producer_panics(0);
+
+    assert_eq!(
+        recovered.stream_recovery,
+        Some(StreamRecovery::SequentialFallback)
+    );
+    // the sequential fallback is the bit-identical block walk, so the
+    // verdict numbers — not just the pass flag — must match
+    assert_eq!(recovered.mask.passed, clean.mask.passed);
+    assert_eq!(recovered.mask.worst_margin_db, clean.mask.worst_margin_db);
+    assert_eq!(recovered.reconstruction_error, clean.reconstruction_error);
+}
+
+#[test]
+fn gridplan_surfaces_worker_panics_and_recovers_after_poison() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let tone = Tone::unit(0.98e9);
+    let cap = NonuniformCapture::from_signal(&tone, 1.0 / 90e6, 180e-12, -50, 350);
+    let plan = PnbsGridPlan::new(
+        BandSpec::centered(1e9, 90e6),
+        180e-12,
+        61,
+        Window::Kaiser(8.0),
+    );
+    let (t0, step, n) = (0.6e-6, 2.5e-10, 2000);
+    let mut scratch = GridScratch::new();
+    let want = plan
+        .reconstruct_grid(&cap, t0, step, n, &mut scratch)
+        .to_vec();
+
+    chaos::arm_producer_panics(1);
+    let err = plan
+        .try_stream_blocks_parallel(&cap, t0, step, n, 3, |_, _| true)
+        .expect_err("armed producer panic must surface as a typed error");
+    chaos::arm_producer_panics(0);
+    assert!(err.to_string().contains("worker"), "{err}");
+    assert!(err.to_string().contains("panicked"), "{err}");
+
+    // the pool mutex was poisoned mid-panic; the next (unarmed) call
+    // must recover it and produce the bit-identical feed
+    let mut got = vec![f64::NAN; n];
+    let mut cursor = 0usize;
+    let consumed = plan
+        .try_stream_blocks_parallel(&cap, t0, step, n, 3, |idx, block| {
+            assert_eq!(idx * 256, cursor);
+            got[cursor..cursor + block.len()].copy_from_slice(block);
+            cursor += block.len();
+            true
+        })
+        .expect("no injection armed")
+        .expect("grid inside coverage");
+    assert_eq!(consumed, n);
+    assert_eq!(got, want);
+}
+
+/// A 2-standard, 1-trial, 1-jitter, gross-faults-only campaign: small
+/// enough for an integration test, real enough to cross a cell
+/// boundary (the checkpoint unit).
+fn two_cell_campaign() -> CampaignConfig {
+    let deployments: Vec<Deployment> = Deployment::builtin_five()
+        .into_iter()
+        .filter(|d| d.standard == "qpsk-10msym-srrc0.5" || d.standard == "wcdma-like-3g84")
+        .collect();
+    assert_eq!(deployments.len(), 2);
+    CampaignConfig {
+        deployments,
+        faults: vec![
+            Fault::new(FaultKind::PaEarlyCompression { v_sat_factor: 0.25 }),
+            Fault::new(FaultKind::IqGainImbalance { gain_db: 3.0 }),
+        ],
+        trials: 1,
+        base_seed: 0xACE1,
+        jitter_rms: vec![3e-12],
+        eps_ratio: 3.0,
+        wideband_calibration: true,
+    }
+}
+
+fn temp_checkpoint(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "rfbist-chaos-{tag}-{}.checkpoint.json",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn killed_campaign_resumes_to_the_uninterrupted_matrix() {
+    let cfg = two_cell_campaign();
+    let path = temp_checkpoint("resume");
+    let _ = std::fs::remove_file(&path);
+
+    // reference: the uninterrupted run
+    let uninterrupted =
+        try_run_campaign_supervised(&cfg, None, false, &mut |_| true).expect("clean run");
+
+    // run A: killed after the first cell — the observer refusing to
+    // continue models a SIGKILL between cells
+    let err = try_run_campaign_supervised(&cfg, Some(&path), false, &mut |p| p.completed_cells < 1)
+        .expect_err("interrupted run must not return a matrix");
+    match err {
+        BistError::Interrupted {
+            completed_cells,
+            total_cells,
+        } => {
+            assert_eq!(completed_cells, 1);
+            assert_eq!(total_cells, 2);
+        }
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+    assert!(path.exists(), "checkpoint must survive the kill");
+
+    // run B: resume — only the missing cell runs, and the folded
+    // matrix is byte-identical to the uninterrupted run
+    let mut resumed_cells = Vec::new();
+    let resumed = try_run_campaign_supervised(&cfg, Some(&path), true, &mut |p| {
+        resumed_cells.push((p.standard.clone(), p.completed_cells));
+        true
+    })
+    .expect("resumed run completes");
+    assert_eq!(
+        resumed_cells,
+        vec![("wcdma-like-3g84".to_string(), 2)],
+        "only the second cell should have run"
+    );
+    assert_eq!(resumed.to_json(), uninterrupted.to_json());
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_from_a_different_config_is_refused() {
+    let cfg = two_cell_campaign();
+    let path = temp_checkpoint("fingerprint");
+    let _ = std::fs::remove_file(&path);
+
+    // write a one-cell checkpoint under cfg…
+    let _ = try_run_campaign_supervised(&cfg, Some(&path), false, &mut |p| p.completed_cells < 1);
+    assert!(path.exists());
+
+    // …then try to resume it under a different base seed
+    let mut other = cfg.clone();
+    other.base_seed ^= 1;
+    let err = try_run_campaign_supervised(&other, Some(&path), true, &mut |_| true)
+        .expect_err("mismatched fingerprint must be refused");
+    assert!(
+        matches!(&err, BistError::Checkpoint { reason }
+            if reason.contains("different campaign configuration")),
+        "{err:?}"
+    );
+
+    // a corrupted checkpoint is a typed error too, not a panic
+    std::fs::write(&path, "{\"schema\": \"rfbist-campaign-checkpoint/v1\", ").expect("corrupt");
+    let err = try_run_campaign_supervised(&cfg, Some(&path), true, &mut |_| true)
+        .expect_err("corrupt checkpoint must be refused");
+    assert!(matches!(err, BistError::Checkpoint { .. }), "{err:?}");
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn malformed_campaign_configs_are_typed_errors() {
+    let base = two_cell_campaign();
+
+    let mut cfg = base.clone();
+    cfg.deployments.clear();
+    assert!(matches!(
+        try_run_campaign(&cfg),
+        Err(BistError::InvalidConfig { .. })
+    ));
+
+    let mut cfg = base.clone();
+    cfg.eps_ratio = 0.5;
+    assert!(matches!(
+        try_run_campaign(&cfg),
+        Err(BistError::InvalidConfig { .. })
+    ));
+
+    let mut cfg = base.clone();
+    cfg.deployments[0].standard = "no-such-standard".into();
+    match try_run_campaign(&cfg) {
+        Err(BistError::UnknownStandard { name, known }) => {
+            assert_eq!(name, "no-such-standard");
+            assert!(
+                known.iter().any(|k| k == "qpsk-10msym-srrc0.5"),
+                "known standards must be listed: {known:?}"
+            );
+        }
+        other => panic!("expected UnknownStandard, got {other:?}"),
+    }
+}
