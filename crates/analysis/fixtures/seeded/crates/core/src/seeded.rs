@@ -1,0 +1,79 @@
+//! Seeded violations for the linter's non-zero-exit check — at least
+//! one per shipped design rule. This tree sits under `fixtures/`, so
+//! the workspace walk never sees it; CI and the integration tests
+//! scan it explicitly, with the strict empty baseline:
+//!
+//! ```sh
+//! cargo run -p rfbist-analysis -- --root crates/analysis/fixtures/seeded crates
+//! ```
+//!
+//! Expected: exit code 1, with every lint represented in the report.
+
+/// Verdict margin with a contract assert — can panic but has no
+/// typed twin. (typed-error-parity: missing-try-twin)
+pub fn margin(level: f64) -> f64 {
+    assert!(level.is_finite(), "level must be finite");
+    level
+}
+
+/// Has a `try_scan` twin but re-implements the panicking body instead
+/// of delegating to it. (typed-error-parity: not-thin-delegate)
+pub fn scan(wave: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for w in wave {
+        assert!(w.is_finite(), "non-finite sample");
+        acc += w * w;
+    }
+    acc
+}
+
+/// The typed twin `scan` should have delegated to.
+pub fn try_scan(wave: &[f64]) -> Result<f64, String> {
+    let mut acc = 0.0;
+    for w in wave {
+        if !w.is_finite() {
+            return Err("non-finite sample".to_string());
+        }
+        acc += w * w;
+    }
+    Ok(acc)
+}
+
+/// Dereferences a raw pointer with no adjacent safety argument.
+/// (safety-comment: missing-safety-unsafe-block)
+fn read_first(wave: &[f64]) -> f64 {
+    unsafe { *wave.as_ptr() }
+}
+
+/// # Safety
+/// The caller must verify AVX2 support at runtime before calling.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum_avx2(wave: &[f64]) -> f64 {
+    wave.iter().sum()
+}
+
+/// Calls the kernel with no runtime feature dispatch in its body.
+/// (guarded-intrinsics: unguarded-call-sum_avx2)
+pub fn sum_fast(wave: &[f64]) -> f64 {
+    // SAFETY: this claim is the seeded violation — nothing here
+    // verified AVX2 support, which is exactly what the lint rejects.
+    unsafe { sum_avx2(wave) }
+}
+
+/// Unwraps outside any registered wrapper. (naked-panic: naked-unwrap)
+fn last(wave: &[f64]) -> f64 {
+    *wave.last().unwrap() + read_first(wave)
+}
+
+/// Butterfly step with dense manual indexing on one line.
+/// (naked-panic: indexing-heavy)
+fn butterfly(v: &mut [f64], i: usize, j: usize) {
+    v[i] = v[i] + v[j] * v[i + 1] - v[j + 1] + last(v);
+}
+
+/// Sets the carrier used by the seeded scan.
+/// (unit-discipline — the doc names neither the parameter nor its
+/// frequency unit)
+pub fn set_carrier(carrier_hz: f64) -> f64 {
+    carrier_hz
+}

@@ -1,0 +1,139 @@
+//! Baseline I/O: the committed `ANALYSIS_BASELINE.json` holds the
+//! fingerprints of grandfathered findings. A run fails only on
+//! findings whose fingerprint is absent from the baseline, so the
+//! design rules can be adopted on a living tree and ratcheted down —
+//! the same only-new-regressions contract as the CI perf gate.
+
+use crate::findings::Finding;
+use crate::json::{self, JsonValue};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Schema tag of the baseline document.
+pub const BASELINE_SCHEMA: &str = "rfbist-analysis-baseline/v1";
+
+/// A set of grandfathered finding fingerprints.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    fingerprints: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// An empty baseline (every finding is new).
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Builds the baseline that annotates exactly `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        Baseline {
+            fingerprints: findings.iter().map(Finding::fingerprint).collect(),
+        }
+    }
+
+    /// Loads a baseline file. A missing file is an empty baseline (the
+    /// bootstrap state); a malformed one is an error — silently
+    /// ignoring a corrupt baseline would re-grandfather nothing and
+    /// fail CI noisily, but the message should say why.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Baseline::empty());
+            }
+            Err(e) => return Err(format!("read `{}`: {e}", path.display())),
+        };
+        Self::parse(&text).map_err(|e| format!("`{}`: {e}", path.display()))
+    }
+
+    /// Parses a baseline document.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text)?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some(BASELINE_SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported baseline schema `{other}`")),
+            None => return Err("missing `schema` field".to_string()),
+        }
+        let arr = doc
+            .get("fingerprints")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing `fingerprints` array")?;
+        let mut fingerprints = BTreeSet::new();
+        for item in arr {
+            let fp = item.as_str().ok_or("non-string fingerprint")?;
+            fingerprints.insert(fp.to_string());
+        }
+        Ok(Baseline { fingerprints })
+    }
+
+    /// Serializes deterministically (sorted, deduplicated) so
+    /// `--update-baseline` twice in a row is byte-identical.
+    pub fn to_json(&self) -> String {
+        let doc = JsonValue::Obj(vec![
+            ("schema".into(), JsonValue::Str(BASELINE_SCHEMA.into())),
+            (
+                "fingerprints".into(),
+                JsonValue::Arr(
+                    self.fingerprints
+                        .iter()
+                        .map(|f| JsonValue::Str(f.clone()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let mut out = String::new();
+        doc.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Writes atomically (tmp-then-rename, like the campaign
+    /// checkpoint) so an interrupted update never leaves a truncated
+    /// baseline behind.
+    pub fn store(&self, path: &Path) -> Result<(), String> {
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())
+            .map_err(|e| format!("write `{}`: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("rename `{}` -> `{}`: {e}", tmp.display(), path.display()))
+    }
+
+    /// Number of grandfathered fingerprints.
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// True when no fingerprints are grandfathered.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+
+    pub fn contains(&self, fingerprint: &str) -> bool {
+        self.fingerprints.contains(fingerprint)
+    }
+
+    /// Fingerprints of `findings` that are **not** grandfathered —
+    /// the ones that fail the run — deduplicated, in first-seen order.
+    pub fn new_fingerprints(&self, findings: &[Finding]) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for f in findings {
+            let fp = f.fingerprint();
+            if !self.fingerprints.contains(&fp) && seen.insert(fp.clone()) {
+                out.push(fp);
+            }
+        }
+        out
+    }
+
+    /// Grandfathered fingerprints that no current finding matches —
+    /// candidates for pruning with `--update-baseline`.
+    pub fn stale_fingerprints(&self, findings: &[Finding]) -> Vec<String> {
+        let current: BTreeSet<String> = findings.iter().map(Finding::fingerprint).collect();
+        self.fingerprints
+            .iter()
+            .filter(|fp| !current.contains(*fp))
+            .cloned()
+            .collect()
+    }
+}

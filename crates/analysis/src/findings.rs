@@ -1,0 +1,102 @@
+//! The finding record every lint emits, and its stable fingerprint —
+//! the identity the baseline diff keys on. Fingerprints deliberately
+//! exclude line numbers so unrelated edits above a grandfathered
+//! finding do not churn the baseline.
+
+use crate::json::JsonValue;
+
+/// Schema tag written into every findings document.
+pub const FINDINGS_SCHEMA: &str = "rfbist-analysis-findings/v1";
+
+/// One design-rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint name (kebab-case, e.g. `typed-error-parity`).
+    pub lint: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the offending construct.
+    pub line: usize,
+    /// Enclosing symbol (fn name) when one exists.
+    pub symbol: String,
+    /// Short stable violation slug (no line numbers, no counts) —
+    /// part of the fingerprint.
+    pub slug: String,
+    /// Human explanation with the specific evidence.
+    pub message: String,
+}
+
+impl Finding {
+    /// The baseline identity: `lint|file|symbol|slug`.
+    pub fn fingerprint(&self) -> String {
+        format!("{}|{}|{}|{}", self.lint, self.file, self.symbol, self.slug)
+    }
+
+    /// One human-readable report line.
+    pub fn render(&self) -> String {
+        let sym = if self.symbol.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", self.symbol)
+        };
+        format!(
+            "{}:{}{} [{}] {}",
+            self.file, self.line, sym, self.lint, self.message
+        )
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("lint".into(), JsonValue::Str(self.lint.clone())),
+            ("file".into(), JsonValue::Str(self.file.clone())),
+            ("line".into(), JsonValue::Num(self.line as f64)),
+            ("symbol".into(), JsonValue::Str(self.symbol.clone())),
+            ("slug".into(), JsonValue::Str(self.slug.clone())),
+            ("message".into(), JsonValue::Str(self.message.clone())),
+            ("fingerprint".into(), JsonValue::Str(self.fingerprint())),
+        ])
+    }
+}
+
+/// Serializes a findings report (`rfbist-analysis-findings/v1`):
+/// every finding, plus which fingerprints are new against the
+/// baseline and how many were baselined away.
+pub fn findings_document(
+    findings: &[Finding],
+    new_fingerprints: &[String],
+    files_scanned: usize,
+) -> String {
+    let doc = JsonValue::Obj(vec![
+        ("schema".into(), JsonValue::Str(FINDINGS_SCHEMA.into())),
+        ("files_scanned".into(), JsonValue::Num(files_scanned as f64)),
+        (
+            "total_findings".into(),
+            JsonValue::Num(findings.len() as f64),
+        ),
+        (
+            "new_findings".into(),
+            JsonValue::Num(new_fingerprints.len() as f64),
+        ),
+        (
+            "baselined_findings".into(),
+            JsonValue::Num((findings.len() - new_fingerprints.len()) as f64),
+        ),
+        (
+            "new_fingerprints".into(),
+            JsonValue::Arr(
+                new_fingerprints
+                    .iter()
+                    .map(|f| JsonValue::Str(f.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "findings".into(),
+            JsonValue::Arr(findings.iter().map(Finding::to_json).collect()),
+        ),
+    ]);
+    let mut out = String::new();
+    doc.write_pretty(&mut out, 0);
+    out.push('\n');
+    out
+}

@@ -1,0 +1,82 @@
+//! Lint 3 — **guarded intrinsics**: a `#[target_feature]` function
+//! executes instructions the host may not have; calling one is only
+//! sound behind a runtime check. Every call site of a
+//! `#[target_feature]` fn must live inside a function whose body
+//! performs `is_x86_feature_detected!` dispatch (the
+//! `RFBIST_FORCE_SCALAR` escape hatch — a `force_scalar()` guard — is
+//! also recognized, since the workspace's dispatchers combine both).
+
+use super::{calls_fn, mentions};
+use crate::findings::Finding;
+use crate::registry::Lint;
+use crate::scanner::SourceFile;
+
+pub struct GuardedIntrinsics;
+
+impl Lint for GuardedIntrinsics {
+    fn name(&self) -> &'static str {
+        "guarded-intrinsics"
+    }
+
+    fn description(&self) -> &'static str {
+        "#[target_feature] fns may only be called behind is_x86_feature_detected! dispatch"
+    }
+
+    fn applies_to(&self, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let kernels: Vec<String> = file
+            .fns
+            .iter()
+            .filter(|f| f.attrs.iter().any(|a| a.contains("target_feature")))
+            .map(|f| f.name.clone())
+            .collect();
+        if kernels.is_empty() {
+            return;
+        }
+
+        for caller in &file.fns {
+            let Some((body_lo, _)) = caller.body else {
+                continue;
+            };
+            if caller.attrs.iter().any(|a| a.contains("target_feature")) {
+                // Kernel-to-kernel calls inherit the caller's guard.
+                continue;
+            }
+            if file.is_test_line(caller.sig_line) {
+                // Tests may force a path deliberately.
+                continue;
+            }
+            let body = file.body_text(caller);
+            let called: Vec<&String> = kernels
+                .iter()
+                .filter(|k| **k != caller.name && calls_fn(&body, k))
+                .collect();
+            if called.is_empty() {
+                continue;
+            }
+            let guarded = mentions(&body, "is_x86_feature_detected")
+                || mentions(&body, "force_scalar")
+                || mentions(&body, "RFBIST_FORCE_SCALAR");
+            if guarded {
+                continue;
+            }
+            for k in called {
+                out.push(Finding {
+                    lint: self.name().to_string(),
+                    file: file.rel_path.clone(),
+                    line: body_lo + 1,
+                    symbol: caller.name.clone(),
+                    slug: format!("unguarded-call-{k}"),
+                    message: format!(
+                        "`{}` calls #[target_feature] fn `{k}` without \
+                         is_x86_feature_detected!/RFBIST_FORCE_SCALAR dispatch in its body",
+                        caller.name
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The shipped design rules. Each lint is a pure function of the
+//! scanned [`SourceFile`](crate::scanner::SourceFile) model; scoping
+//! and waivers are handled by the [`registry`](crate::registry).
+
+pub mod guarded_intrinsics;
+pub mod naked_panic;
+pub mod safety_comment;
+pub mod typed_parity;
+pub mod unit_discipline;
+
+use crate::scanner::has_token;
+
+/// Macro invocations that abort: `name!`.
+pub const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Assertion macros — panicking contract checks. `debug_assert!` is
+/// deliberately excluded: it vanishes in release builds, so it cannot
+/// panic in the deployed pipeline.
+pub const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
+
+/// True when masked `text` invokes any of `macros` (token match, so
+/// `debug_assert!` does not count as `assert!`).
+pub fn calls_macro(text: &str, macros: &[&str]) -> bool {
+    macros.iter().any(|m| {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(*m) {
+            let abs = from + pos;
+            let before_ok = abs == 0 || {
+                let c = text.as_bytes()[abs - 1] as char;
+                !(c.is_alphanumeric() || c == '_')
+            };
+            let after = text[abs + m.len()..].trim_start();
+            if before_ok && after.starts_with('!') {
+                return true;
+            }
+            from = abs + m.len().max(1);
+        }
+        false
+    })
+}
+
+/// True when masked `text` calls `.unwrap()` or `.expect(` on some
+/// receiver.
+pub fn calls_unwrap_or_expect(text: &str) -> bool {
+    text.contains(".unwrap()") || text.contains(".expect(")
+}
+
+/// True when masked `text` can panic directly: panic-family macro,
+/// assertion macro, or unwrap/expect.
+pub fn panics_directly(text: &str) -> bool {
+    calls_unwrap_or_expect(text)
+        || calls_macro(text, PANIC_MACROS)
+        || calls_macro(text, ASSERT_MACROS)
+}
+
+/// True when masked `text` contains a call of `name` (i.e. the token
+/// followed by an opening paren, possibly via `Self::name(`).
+pub fn calls_fn(text: &str, name: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(name) {
+        let abs = from + pos;
+        let before_ok = abs == 0 || {
+            let c = text.as_bytes()[abs - 1] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        let after = text[abs + name.len()..].trim_start();
+        if before_ok && (after.starts_with('(') || after.starts_with("::<")) {
+            return true;
+        }
+        from = abs + name.len().max(1);
+    }
+    false
+}
+
+/// True when `text` mentions `token` at an identifier boundary —
+/// re-exported convenience over the scanner's matcher.
+pub fn mentions(text: &str, token: &str) -> bool {
+    has_token(text, token)
+}

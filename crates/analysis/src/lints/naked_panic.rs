@@ -1,0 +1,118 @@
+//! Lint 4 — **no naked panics**: `unwrap`/`expect`/`panic!`-family
+//! calls and indexing-heavy expressions in non-test library code,
+//! outside registered wrapper functions. The sanctioned place for a
+//! panic is a thin wrapper over a `try_*` twin (lint 1's shape);
+//! everything else should carry a typed error, a contract assert
+//! (which lint 1 forces to grow a twin on public API), or a waiver
+//! with its justification in the comment.
+
+use super::{calls_fn, calls_macro, PANIC_MACROS};
+use crate::findings::Finding;
+use crate::registry::{is_library_source, Lint};
+use crate::scanner::SourceFile;
+
+/// A line with this many subscript expressions is "indexing-heavy":
+/// dense manual indexing is where slice-bound panics hide, and the
+/// kernels that genuinely need it (hot DSP loops) should say so with
+/// a waiver or get a baseline entry a reviewer signed off once.
+const INDEXING_HEAVY: usize = 4;
+
+pub struct NakedPanic;
+
+impl Lint for NakedPanic {
+    fn name(&self) -> &'static str {
+        "naked-panic"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic! and indexing-heavy lines outside registered try_* wrappers"
+    }
+
+    fn applies_to(&self, rel_path: &str) -> bool {
+        is_library_source(rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        // Registered wrappers: fns whose body is the lint-1 delegate
+        // shape — their `unwrap_or_else(|e| panic!(..))` is the point.
+        let wrapper_spans: Vec<(usize, usize)> = file
+            .fns
+            .iter()
+            .filter(|f| {
+                let body = file.body_text(f);
+                body.contains("unwrap_or_else")
+                    && body.contains("panic!")
+                    && file
+                        .fns
+                        .iter()
+                        .any(|g| g.name.starts_with("try_") && calls_fn(&body, &g.name))
+            })
+            .filter_map(|f| f.body)
+            .collect();
+        let in_wrapper = |line: usize| {
+            wrapper_spans
+                .iter()
+                .any(|&(lo, hi)| lo <= line && line <= hi)
+        };
+
+        for (i, code) in file.code.iter().enumerate() {
+            if file.is_test_line(i) || in_wrapper(i) {
+                continue;
+            }
+            let symbol = file
+                .enclosing_fn(i)
+                .map(|f| f.name.clone())
+                .unwrap_or_default();
+            let mut push = |slug: &str, message: String| {
+                out.push(Finding {
+                    lint: "naked-panic".to_string(),
+                    file: file.rel_path.clone(),
+                    line: i + 1,
+                    symbol: symbol.clone(),
+                    slug: slug.to_string(),
+                    message,
+                });
+            };
+            if code.contains(".unwrap()") {
+                push("naked-unwrap", "`.unwrap()` outside a registered wrapper — use a `try_*` form or a typed error".into());
+            }
+            if code.contains(".expect(") {
+                push("naked-expect", "`.expect(..)` outside a registered wrapper — use a `try_*` form or a typed error".into());
+            }
+            if calls_macro(code, PANIC_MACROS) {
+                push(
+                    "naked-panic-macro",
+                    "panic-family macro outside a registered wrapper".into(),
+                );
+            }
+            let subs = subscript_count(code);
+            if subs >= INDEXING_HEAVY {
+                push(
+                    "indexing-heavy",
+                    format!(
+                        "indexing-heavy expression ({INDEXING_HEAVY}+ subscripts on one line) — \
+                         slice-bound panics hide here; prefer iterators or split_at"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Counts subscript expressions: `[` directly preceded by an
+/// identifier character, `]` or `)` (i.e. an index, not an array
+/// literal, attribute or slice pattern).
+fn subscript_count(code: &str) -> usize {
+    let bytes = code.as_bytes();
+    let mut n = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1] as char;
+        if prev.is_alphanumeric() || prev == '_' || prev == ']' || prev == ')' {
+            n += 1;
+        }
+    }
+    n
+}

@@ -1,0 +1,99 @@
+//! Lint 2 — **SAFETY-comment coverage**: every `unsafe` site must
+//! carry its safety argument where the reader meets it. `unsafe {`
+//! blocks and `unsafe impl`s need a `// SAFETY:` comment immediately
+//! above (same line, or directly above with only comments, attributes
+//! and blank lines between); `unsafe fn`s may alternatively state the
+//! contract in a `# Safety` doc section.
+
+use crate::findings::Finding;
+use crate::registry::Lint;
+use crate::scanner::{SourceFile, UnsafeKind};
+
+pub struct SafetyComment;
+
+impl Lint for SafetyComment {
+    fn name(&self) -> &'static str {
+        "safety-comment"
+    }
+
+    fn description(&self) -> &'static str {
+        "every unsafe block/fn/impl needs an adjacent SAFETY comment (or a `# Safety` doc section)"
+    }
+
+    fn applies_to(&self, _rel_path: &str) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for site in &file.unsafe_sites {
+            if has_safety_comment(file, site.line) {
+                continue;
+            }
+            if site.kind == UnsafeKind::Fn {
+                // An `unsafe fn` may document its contract instead.
+                if let Some(decl) = file
+                    .fns
+                    .iter()
+                    .find(|f| f.is_unsafe && f.sig_line == site.line)
+                {
+                    if decl.doc.contains("# Safety") || decl.doc.contains("SAFETY") {
+                        continue;
+                    }
+                }
+            }
+            let kind = match site.kind {
+                UnsafeKind::Block => "unsafe block",
+                UnsafeKind::Fn => "unsafe fn",
+                UnsafeKind::Impl => "unsafe impl",
+            };
+            let symbol = file
+                .enclosing_fn(site.line)
+                .map(|f| f.name.clone())
+                .unwrap_or_default();
+            out.push(Finding {
+                lint: self.name().to_string(),
+                file: file.rel_path.clone(),
+                line: site.line + 1,
+                symbol,
+                slug: format!("missing-safety-{kind}").replace(' ', "-"),
+                message: format!(
+                    "{kind} without an immediately preceding `// SAFETY:` comment{}",
+                    if site.kind == UnsafeKind::Fn {
+                        " (or a `# Safety` doc section)"
+                    } else {
+                        ""
+                    }
+                ),
+            });
+        }
+    }
+}
+
+/// True when a SAFETY marker sits on the site line itself or directly
+/// above it, with only comment, attribute and blank lines between.
+fn has_safety_comment(file: &SourceFile, line: usize) -> bool {
+    let marker = |l: usize| {
+        file.comments
+            .get(l)
+            .is_some_and(|c| c.contains("SAFETY:") || c.contains("Safety:"))
+    };
+    if marker(line) {
+        return true;
+    }
+    let mut i = line;
+    while i > 0 {
+        i -= 1;
+        if marker(i) {
+            return true;
+        }
+        let code = file.code.get(i).map(|l| l.trim()).unwrap_or("");
+        let raw = file.lines.get(i).map(|l| l.trim()).unwrap_or("");
+        let is_comment = raw.starts_with("//");
+        let is_attr = code.starts_with("#[");
+        let is_blank = code.is_empty() && raw.is_empty();
+        if !(is_comment || is_attr || is_blank) {
+            return false;
+        }
+    }
+    false
+}

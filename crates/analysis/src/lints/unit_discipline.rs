@@ -1,0 +1,86 @@
+//! Lint 5 — **unit discipline**: a raw `f64` parameter named `*_hz`,
+//! `*_db`, `*_dbc`, `*_dbhz`, `*_ps` or `*_s` on a public function is
+//! a latent unit bug (the type system cannot catch a caller passing
+//! MHz where Hz is meant). The convention this lint enforces is the
+//! documented one: either the parameter's unit appears in the fn's
+//! doc comment (by parameter name or unit word), or the API should
+//! move to a newtype. Undocumented raw-unit parameters are flagged.
+
+use crate::findings::Finding;
+use crate::registry::{is_library_source, Lint};
+use crate::scanner::SourceFile;
+
+/// Suffix → unit words any of which satisfies the doc requirement.
+const UNITS: &[(&str, &[&str])] = &[
+    ("_hz", &["Hz", "hertz"]),
+    ("_dbhz", &["dB/Hz"]),
+    ("_dbc", &["dBc"]),
+    ("_db", &["dB", "decibel"]),
+    ("_ps", &["ps", "picosecond"]),
+    ("_s", &["second", "sec", " s ", " s."]),
+];
+
+pub struct UnitDiscipline;
+
+impl Lint for UnitDiscipline {
+    fn name(&self) -> &'static str {
+        "unit-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "raw f64 unit-suffixed params on pub fns must document their unit (or use a newtype)"
+    }
+
+    fn applies_to(&self, rel_path: &str) -> bool {
+        is_library_source(rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for decl in &file.fns {
+            if !decl.is_pub || file.is_test_line(decl.sig_line) {
+                continue;
+            }
+            for (pname, ptype) in &decl.params {
+                if ptype != "f64" {
+                    continue;
+                }
+                let Some((suffix, words)) = UNITS.iter().find(|(s, _)| pname.ends_with(s)).copied()
+                else {
+                    continue;
+                };
+                let documented = decl.doc.contains(&format!("`{pname}`"))
+                    || decl.doc.contains(pname.as_str())
+                    || words.iter().any(|w| decl.doc.contains(w));
+                if documented {
+                    continue;
+                }
+                out.push(Finding {
+                    lint: self.name().to_string(),
+                    file: file.rel_path.clone(),
+                    line: decl.sig_line + 1,
+                    symbol: decl.name.clone(),
+                    slug: format!("undocumented-unit-{pname}"),
+                    message: format!(
+                        "pub fn `{}` takes raw `f64` parameter `{pname}` ({} suffix `{suffix}`) \
+                         without documenting the unit — mention `{pname}`/{} in the doc comment \
+                         or use a newtype",
+                        decl.name,
+                        unit_name(suffix),
+                        words[0],
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn unit_name(suffix: &str) -> &'static str {
+    match suffix {
+        "_hz" => "frequency",
+        "_dbhz" => "spectral density",
+        "_dbc" => "relative level",
+        "_db" => "level",
+        "_ps" => "time",
+        _ => "duration",
+    }
+}

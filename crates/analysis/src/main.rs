@@ -1,0 +1,178 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```sh
+//! rfbist-analysis --workspace                  # lint the tree, diff vs ANALYSIS_BASELINE.json
+//! rfbist-analysis --workspace --update-baseline
+//! rfbist-analysis --workspace --json findings.json
+//! rfbist-analysis path/to/dir-or-file.rs       # strict mode: empty baseline unless --baseline
+//! ```
+//!
+//! Exit codes: `0` clean (no new findings), `1` new findings, `2`
+//! usage or I/O error.
+
+use rfbist_analysis::baseline::Baseline;
+use rfbist_analysis::{registry, run_analysis, workspace_files};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Config {
+    workspace: bool,
+    paths: Vec<PathBuf>,
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    json_out: Option<PathBuf>,
+    list: bool,
+}
+
+const USAGE: &str = "usage: rfbist-analysis (--workspace | PATH...) \
+    [--root DIR] [--baseline FILE] [--update-baseline] [--json FILE] [--list]";
+
+fn parse_args() -> Result<Config, String> {
+    let mut cfg = Config {
+        workspace: false,
+        paths: Vec::new(),
+        root: PathBuf::from("."),
+        baseline: None,
+        update_baseline: false,
+        json_out: None,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => cfg.workspace = true,
+            "--root" => cfg.root = PathBuf::from(next(&mut args, "--root")?),
+            "--baseline" => cfg.baseline = Some(PathBuf::from(next(&mut args, "--baseline")?)),
+            "--update-baseline" => cfg.update_baseline = true,
+            "--json" => cfg.json_out = Some(PathBuf::from(next(&mut args, "--json")?)),
+            "--list" => cfg.list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => cfg.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !cfg.list && !cfg.workspace && cfg.paths.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    Ok(cfg)
+}
+
+fn next(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next()
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("rfbist-analysis: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let cfg = parse_args()?;
+
+    if cfg.list {
+        for lint in registry::default_lints() {
+            println!("{:<22} {}", lint.name(), lint.description());
+        }
+        return Ok(true);
+    }
+
+    // File set: the whole workspace, or the explicit paths (each a
+    // file or a directory to walk), all relative to --root.
+    let files: Vec<PathBuf> = if cfg.workspace {
+        workspace_files(&cfg.root)?
+    } else {
+        let mut out = Vec::new();
+        for p in &cfg.paths {
+            let abs = cfg.root.join(p);
+            if abs.is_dir() {
+                out.extend(workspace_files(&abs)?.into_iter().map(|f| p.join(f)));
+            } else {
+                out.push(p.clone());
+            }
+        }
+        out.sort();
+        out
+    };
+
+    // Baseline: the committed workspace file by default in
+    // --workspace mode; strict (empty) for explicit paths unless one
+    // is named, so fixture runs fail on every seeded violation.
+    let baseline_path = match (&cfg.baseline, cfg.workspace) {
+        (Some(p), _) => Some(cfg.root.join(p)),
+        (None, true) => Some(cfg.root.join("ANALYSIS_BASELINE.json")),
+        (None, false) => None,
+    };
+    let baseline = match &baseline_path {
+        Some(p) => Baseline::load(p)?,
+        None => Baseline::empty(),
+    };
+
+    let analysis = run_analysis(&cfg.root, &files, &baseline)?;
+
+    if let Some(json_path) = &cfg.json_out {
+        std::fs::write(json_path, analysis.to_json())
+            .map_err(|e| format!("write `{}`: {e}", json_path.display()))?;
+    }
+
+    if cfg.update_baseline {
+        let path = baseline_path.ok_or("--update-baseline requires --workspace or --baseline")?;
+        let updated = Baseline::from_findings(&analysis.findings);
+        updated.store(&path)?;
+        println!(
+            "baseline updated: {} fingerprint(s) ({} finding(s)) -> {}",
+            updated.len(),
+            analysis.findings.len(),
+            path.display()
+        );
+        return Ok(true);
+    }
+
+    // Human report: new findings in full, baselined ones as a count.
+    let new_set: std::collections::BTreeSet<&str> = analysis
+        .new_fingerprints
+        .iter()
+        .map(String::as_str)
+        .collect();
+    let mut shown = 0usize;
+    for f in &analysis.findings {
+        if new_set.contains(f.fingerprint().as_str()) {
+            println!("NEW  {}", f.render());
+            shown += 1;
+        }
+    }
+    println!(
+        "rfbist-analysis: {} file(s), {} finding(s) total, {} baselined, {} new{}",
+        analysis.files_scanned,
+        analysis.findings.len(),
+        analysis.findings.len() - shown,
+        analysis.new_fingerprints.len(),
+        if analysis.stale_fingerprints.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", {} stale baseline entr(ies) — consider --update-baseline",
+                analysis.stale_fingerprints.len()
+            )
+        }
+    );
+    if !analysis.passed() {
+        println!("new findings fail the run; annotate with `// analysis: allow(<lint>) — reason`, fix, or re-baseline deliberately with --update-baseline");
+    }
+    Ok(analysis.passed())
+}

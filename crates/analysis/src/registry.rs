@@ -1,0 +1,90 @@
+//! The lint registry: every design rule implements [`Lint`]; the
+//! registry owns the default set and runs them over scanned sources.
+//!
+//! Per-file scoping lives here (which crates a lint audits) so the
+//! lints themselves stay pure source-model checks. A source line may
+//! carry an inline waiver `// analysis: allow(<lint-name>) — reason`
+//! which suppresses that lint for the line's enclosing function; the
+//! waiver is visible in the diff, which is the point.
+
+use crate::findings::Finding;
+use crate::lints;
+use crate::scanner::SourceFile;
+
+/// One design rule.
+pub trait Lint {
+    /// Kebab-case lint name (stable: part of every fingerprint).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list`.
+    fn description(&self) -> &'static str;
+    /// Whether this lint audits `rel_path` at all.
+    fn applies_to(&self, rel_path: &str) -> bool;
+    /// Runs the rule, appending findings.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>);
+}
+
+/// True for paths inside the library crates the panic-discipline
+/// lints audit (the facade and every `crates/*` lib except the bench
+/// drivers; the linter audits itself too).
+pub fn is_library_source(rel_path: &str) -> bool {
+    if rel_path.starts_with("src/") {
+        return true;
+    }
+    if !rel_path.starts_with("crates/") {
+        return false;
+    }
+    // Bench drivers are CLI tools: `expect` on a missing flag is the
+    // correct behavior there, not a design-rule violation.
+    if rel_path.starts_with("crates/bench/") {
+        return false;
+    }
+    rel_path.contains("/src/")
+}
+
+/// The crates whose public API carries the typed-error contract.
+pub fn has_typed_error_contract(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/core/src/") || rel_path.starts_with("crates/sampling/src/")
+}
+
+/// The default registry: the five shipped design rules.
+pub fn default_lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(lints::typed_parity::TypedErrorParity),
+        Box::new(lints::safety_comment::SafetyComment),
+        Box::new(lints::guarded_intrinsics::GuardedIntrinsics),
+        Box::new(lints::naked_panic::NakedPanic),
+        Box::new(lints::unit_discipline::UnitDiscipline),
+    ]
+}
+
+/// Runs every applicable lint over `file`, dropping findings waived
+/// by an inline `// analysis: allow(<lint>)` comment on the finding
+/// line or on the enclosing fn's signature line.
+pub fn run_lints(lints: &[Box<dyn Lint>], file: &SourceFile, out: &mut Vec<Finding>) {
+    let mut raw = Vec::new();
+    for lint in lints {
+        if !lint.applies_to(&file.rel_path) {
+            continue;
+        }
+        lint.check(file, &mut raw);
+    }
+    out.extend(raw.into_iter().filter(|f| !is_waived(file, f)));
+}
+
+fn is_waived(file: &SourceFile, finding: &Finding) -> bool {
+    let marker = format!("analysis: allow({})", finding.lint);
+    let line = finding.line.saturating_sub(1);
+    let waived_at = |l: usize| {
+        file.comments
+            .get(l)
+            .is_some_and(|c| c.contains(&marker))
+            // A waiver may also sit on its own comment line directly
+            // above the construct.
+            || l > 0 && file.comments.get(l - 1).is_some_and(|c| c.contains(&marker))
+    };
+    if waived_at(line) {
+        return true;
+    }
+    file.enclosing_fn(line)
+        .is_some_and(|f| waived_at(f.sig_line))
+}

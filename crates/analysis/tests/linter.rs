@@ -1,0 +1,618 @@
+//! The linter's own test suite: per-lint fixture snippets (positive
+//! and negative), baseline round-trips, `--update-baseline`
+//! idempotence, and the seeded-violation tree that CI uses to prove
+//! the binary actually fails a dirty tree.
+
+use rfbist_analysis::baseline::Baseline;
+use rfbist_analysis::findings::Finding;
+use rfbist_analysis::{analyze_source, json, registry};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Lints one snippet as if it lived at `rel_path` in the workspace.
+fn lint(rel_path: &str, src: &str) -> Vec<Finding> {
+    analyze_source(&registry::default_lints(), rel_path, src)
+}
+
+fn slugs(findings: &[Finding]) -> Vec<String> {
+    findings.iter().map(|f| f.slug.clone()).collect()
+}
+
+/// A path inside the typed-error crates (activates every lint).
+const CORE: &str = "crates/core/src/snippet.rs";
+/// A path outside them (panic-discipline lints only).
+const DSP: &str = "crates/dsp/src/snippet.rs";
+
+// ---------------------------------------------------------------- lint 1
+
+#[test]
+fn typed_parity_flags_missing_twin() {
+    let f = lint(
+        CORE,
+        r#"
+pub fn margin(level: f64) -> f64 {
+    assert!(level.is_finite(), "level must be finite");
+    level
+}
+"#,
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.lint == "typed-error-parity" && x.slug == "missing-try-twin"),
+        "expected missing-try-twin, got {:?}",
+        slugs(&f)
+    );
+}
+
+#[test]
+fn typed_parity_accepts_thin_delegate_shape_a() {
+    let f = lint(
+        CORE,
+        r#"
+pub fn margin(level: f64) -> f64 {
+    try_margin(level).unwrap_or_else(|e| panic!("{e}"))
+}
+pub fn try_margin(level: f64) -> Result<f64, String> {
+    if level.is_finite() { Ok(level) } else { Err("bad".into()) }
+}
+"#,
+    );
+    assert!(
+        !f.iter().any(|x| x.lint == "typed-error-parity"),
+        "shape-A delegate must pass, got {:?}",
+        slugs(&f)
+    );
+}
+
+#[test]
+fn typed_parity_accepts_one_expression_forward_shape_b() {
+    // The real `run` -> `run_with` -> `try_run_with` chain.
+    let f = lint(
+        CORE,
+        r#"
+pub fn run(x: f64) -> f64 {
+    run_with(x, 0.0)
+}
+pub fn try_run(x: f64) -> Result<f64, String> {
+    try_run_with(x, 0.0)
+}
+pub fn run_with(x: f64, y: f64) -> f64 {
+    try_run_with(x, y).unwrap_or_else(|e| panic!("{e}"))
+}
+pub fn try_run_with(x: f64, y: f64) -> Result<f64, String> {
+    Ok(x + y)
+}
+"#,
+    );
+    assert!(
+        !f.iter().any(|x| x.lint == "typed-error-parity"),
+        "shape-B forward must pass, got {:?}",
+        slugs(&f)
+    );
+}
+
+#[test]
+fn typed_parity_flags_fat_body_next_to_twin() {
+    let f = lint(
+        CORE,
+        r#"
+pub fn scan(wave: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for w in wave {
+        assert!(w.is_finite());
+        acc += w * w;
+    }
+    acc
+}
+pub fn try_scan(wave: &[f64]) -> Result<f64, String> {
+    Ok(wave.iter().map(|w| w * w).sum())
+}
+"#,
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.lint == "typed-error-parity" && x.slug == "not-thin-delegate"),
+        "expected not-thin-delegate, got {:?}",
+        slugs(&f)
+    );
+}
+
+#[test]
+fn typed_parity_ignores_debug_assert_and_test_code() {
+    let f = lint(
+        CORE,
+        r#"
+pub fn margin(level: f64) -> f64 {
+    debug_assert!(level.is_finite());
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_freely() {
+        assert!(super::margin(1.0) > 0.0, "fine in tests");
+    }
+}
+"#,
+    );
+    assert!(
+        !f.iter().any(|x| x.lint == "typed-error-parity"),
+        "debug_assert cannot panic in release; tests are exempt — got {:?}",
+        slugs(&f)
+    );
+}
+
+#[test]
+fn typed_parity_scope_is_core_and_sampling_only() {
+    let snippet = r#"
+pub fn margin(level: f64) -> f64 {
+    assert!(level.is_finite());
+    level
+}
+"#;
+    assert!(lint(DSP, snippet)
+        .iter()
+        .all(|x| x.lint != "typed-error-parity"));
+    assert!(lint("crates/sampling/src/snippet.rs", snippet)
+        .iter()
+        .any(|x| x.lint == "typed-error-parity"));
+}
+
+// ---------------------------------------------------------------- lint 2
+
+#[test]
+fn safety_comment_flags_bare_unsafe_block() {
+    let f = lint(
+        DSP,
+        r#"
+fn read_first(wave: &[f64]) -> f64 {
+    unsafe { *wave.as_ptr() }
+}
+"#,
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.lint == "safety-comment" && x.slug == "missing-safety-unsafe-block"),
+        "expected missing-safety-unsafe-block, got {:?}",
+        slugs(&f)
+    );
+}
+
+#[test]
+fn safety_comment_accepts_adjacent_comment_and_safety_doc() {
+    let f = lint(
+        DSP,
+        r#"
+fn read_first(wave: &[f64]) -> f64 {
+    // SAFETY: the caller guarantees `wave` is non-empty, so the
+    // pointer is valid for one read.
+    unsafe { *wave.as_ptr() }
+}
+
+/// # Safety
+/// `wave` must be non-empty.
+pub unsafe fn read_unchecked(wave: &[f64]) -> f64 {
+    *wave.as_ptr()
+}
+"#,
+    );
+    assert!(
+        !f.iter().any(|x| x.lint == "safety-comment"),
+        "annotated sites must pass, got {:?}",
+        slugs(&f)
+    );
+}
+
+// ---------------------------------------------------------------- lint 3
+
+#[test]
+fn guarded_intrinsics_flags_undispatched_call() {
+    let f = lint(
+        DSP,
+        r#"
+/// # Safety
+/// Caller must verify AVX2 support.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum_avx2(wave: &[f64]) -> f64 {
+    wave.iter().sum()
+}
+
+pub fn sum_fast(wave: &[f64]) -> f64 {
+    // SAFETY: nothing verified the feature — the seeded violation.
+    unsafe { sum_avx2(wave) }
+}
+"#,
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.lint == "guarded-intrinsics" && x.slug == "unguarded-call-sum_avx2"),
+        "expected unguarded-call-sum_avx2, got {:?}",
+        slugs(&f)
+    );
+}
+
+#[test]
+fn guarded_intrinsics_accepts_detected_dispatch_and_kernel_chains() {
+    let f = lint(
+        DSP,
+        r#"
+/// # Safety
+/// Caller must verify AVX2 support.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum_avx2(wave: &[f64]) -> f64 {
+    sum_avx2_inner(wave)
+}
+
+/// # Safety
+/// Caller must verify AVX2 support.
+#[target_feature(enable = "avx2")]
+unsafe fn sum_avx2_inner(wave: &[f64]) -> f64 {
+    wave.iter().sum()
+}
+
+pub fn sum(wave: &[f64]) -> f64 {
+    if !force_scalar() && std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe { sum_avx2(wave) };
+    }
+    wave.iter().sum()
+}
+
+fn force_scalar() -> bool {
+    std::env::var_os("RFBIST_FORCE_SCALAR").is_some()
+}
+"#,
+    );
+    assert!(
+        !f.iter().any(|x| x.lint == "guarded-intrinsics"),
+        "dispatched + kernel-to-kernel calls must pass, got {:?}",
+        slugs(&f)
+    );
+}
+
+// ---------------------------------------------------------------- lint 4
+
+#[test]
+fn naked_panic_flags_unwrap_expect_macro_and_indexing() {
+    let f = lint(
+        DSP,
+        r#"
+fn verdict(wave: &[f64]) -> f64 {
+    let head = wave.first().unwrap();
+    let tail = wave.last().expect("non-empty");
+    if wave.len() > 64 {
+        panic!("capture too long");
+    }
+    head + tail
+}
+
+fn butterfly(v: &mut [f64], i: usize, j: usize) {
+    v[i] = v[i] + v[j] * v[i + 1] - v[j + 1];
+}
+"#,
+    );
+    for slug in [
+        "naked-unwrap",
+        "naked-expect",
+        "naked-panic-macro",
+        "indexing-heavy",
+    ] {
+        assert!(
+            f.iter().any(|x| x.lint == "naked-panic" && x.slug == slug),
+            "expected {slug}, got {:?}",
+            slugs(&f)
+        );
+    }
+}
+
+#[test]
+fn naked_panic_exempts_wrappers_tests_and_bench() {
+    let wrapper = r#"
+pub fn margin(level: f64) -> f64 {
+    try_margin(level).unwrap_or_else(|e| panic!("{e}"))
+}
+pub fn try_margin(level: f64) -> Result<f64, String> {
+    Ok(level)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_freely() {
+        let v: Option<f64> = Some(1.0);
+        v.unwrap();
+    }
+}
+"#;
+    let f = lint(CORE, wrapper);
+    assert!(
+        !f.iter().any(|x| x.lint == "naked-panic"),
+        "wrapper + test code must pass, got {:?}",
+        slugs(&f)
+    );
+    // Bench drivers are CLI tools, out of scope entirely.
+    let bench = lint(
+        "crates/bench/src/bin/tool.rs",
+        "fn main() { std::env::args().next().unwrap(); }",
+    );
+    assert!(bench.iter().all(|x| x.lint != "naked-panic"));
+}
+
+#[test]
+fn inline_waiver_suppresses_a_finding() {
+    let f = lint(
+        DSP,
+        r#"
+fn verdict(wave: &[f64]) -> f64 {
+    // analysis: allow(naked-panic) — startup config, fail-fast is the contract
+    wave.first().unwrap() + 1.0
+}
+"#,
+    );
+    assert!(
+        !f.iter().any(|x| x.lint == "naked-panic"),
+        "waived finding must be dropped, got {:?}",
+        slugs(&f)
+    );
+}
+
+// ---------------------------------------------------------------- lint 5
+
+#[test]
+fn unit_discipline_flags_undocumented_raw_unit_param() {
+    let f = lint(
+        DSP,
+        r#"
+/// Sets the carrier used by the scan.
+pub fn set_carrier(carrier_hz: f64) -> f64 {
+    carrier_hz
+}
+"#,
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.lint == "unit-discipline" && x.slug == "undocumented-unit-carrier_hz"),
+        "expected undocumented-unit-carrier_hz, got {:?}",
+        slugs(&f)
+    );
+}
+
+#[test]
+fn unit_discipline_accepts_documented_units_and_non_f64() {
+    let f = lint(
+        DSP,
+        r#"
+/// Sets the carrier; `carrier_hz` is the RF center in Hz.
+pub fn set_carrier(carrier_hz: f64) -> f64 {
+    carrier_hz
+}
+
+/// Bin count is dimensionless — the suffix heuristic must not fire
+/// on non-f64 parameters.
+pub fn set_bins(bins_hz: usize) -> usize {
+    bins_hz
+}
+"#,
+    );
+    assert!(
+        !f.iter().any(|x| x.lint == "unit-discipline"),
+        "documented / non-f64 params must pass, got {:?}",
+        slugs(&f)
+    );
+}
+
+// ------------------------------------------------------- baseline logic
+
+fn sample_findings() -> Vec<Finding> {
+    lint(
+        CORE,
+        r#"
+pub fn margin(level: f64) -> f64 {
+    assert!(level.is_finite());
+    level
+}
+fn verdict(wave: &[f64]) -> f64 {
+    wave.first().unwrap() + 1.0
+}
+"#,
+    )
+}
+
+#[test]
+fn baseline_round_trips_through_json() {
+    let findings = sample_findings();
+    assert!(!findings.is_empty());
+    let baseline = Baseline::from_findings(&findings);
+    let reparsed = Baseline::parse(&baseline.to_json()).expect("round-trip parse");
+    assert_eq!(baseline.to_json(), reparsed.to_json());
+    assert_eq!(baseline.len(), reparsed.len());
+    for f in &findings {
+        assert!(reparsed.contains(&f.fingerprint()));
+    }
+}
+
+#[test]
+fn baseline_diff_separates_new_and_stale() {
+    let findings = sample_findings();
+    let mut grandfathered = findings.clone();
+    let fresh = grandfathered.pop().expect("at least two findings");
+    // An entry nothing matches any more: stale, never failing.
+    let ghost = Finding {
+        lint: "naked-panic".into(),
+        file: "crates/core/src/removed.rs".into(),
+        line: 1,
+        symbol: "gone".into(),
+        slug: "naked-unwrap".into(),
+        message: String::new(),
+    };
+    let baseline = Baseline::parse(
+        &Baseline::from_findings(
+            &grandfathered
+                .iter()
+                .cloned()
+                .chain([ghost.clone()])
+                .collect::<Vec<_>>(),
+        )
+        .to_json(),
+    )
+    .expect("parse");
+    let new = baseline.new_fingerprints(&findings);
+    assert_eq!(new, vec![fresh.fingerprint()]);
+    let stale = baseline.stale_fingerprints(&findings);
+    assert_eq!(stale, vec![ghost.fingerprint()]);
+}
+
+#[test]
+fn fingerprints_exclude_line_numbers() {
+    let a = sample_findings();
+    // Shift everything down by a comment block: lines move, identity
+    // must not.
+    let shifted = lint(
+        CORE,
+        r#"
+// A freshly added explanatory comment.
+// It moves every construct below it.
+
+pub fn margin(level: f64) -> f64 {
+    assert!(level.is_finite());
+    level
+}
+fn verdict(wave: &[f64]) -> f64 {
+    wave.first().unwrap() + 1.0
+}
+"#,
+    );
+    let fps = |v: &[Finding]| {
+        let mut f: Vec<String> = v.iter().map(Finding::fingerprint).collect();
+        f.sort();
+        f
+    };
+    assert_eq!(fps(&a), fps(&shifted));
+    assert_ne!(
+        a.iter().map(|f| f.line).collect::<Vec<_>>(),
+        shifted.iter().map(|f| f.line).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn findings_document_parses_under_schema() {
+    let findings = sample_findings();
+    let fps: Vec<String> = findings.iter().map(Finding::fingerprint).collect();
+    let doc = rfbist_analysis::findings::findings_document(&findings, &fps, 1);
+    let parsed = json::parse(&doc).expect("valid JSON");
+    assert_eq!(
+        parsed.get("schema").and_then(json::JsonValue::as_str),
+        Some("rfbist-analysis-findings/v1")
+    );
+    assert_eq!(
+        parsed
+            .get("findings")
+            .and_then(json::JsonValue::as_arr)
+            .map(<[json::JsonValue]>::len),
+        Some(findings.len())
+    );
+}
+
+// ------------------------------------------------------ the binary, e2e
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rfbist-analysis"))
+}
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/seeded")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn seeded_fixture_fails_with_every_lint_represented() {
+    let out = bin()
+        .args(["--root"])
+        .arg(fixture_root())
+        .arg("crates")
+        .output()
+        .expect("run linter");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "seeded violations must exit 1; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for lint_name in [
+        "typed-error-parity",
+        "safety-comment",
+        "guarded-intrinsics",
+        "naked-panic",
+        "unit-discipline",
+    ] {
+        assert!(
+            stdout.contains(&format!("[{lint_name}]")),
+            "lint {lint_name} missing from seeded report:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn workspace_scan_is_clean_against_committed_baseline() {
+    let out = bin()
+        .args(["--workspace", "--root"])
+        .arg(repo_root())
+        .output()
+        .expect("run linter");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the shipped tree must be clean against ANALYSIS_BASELINE.json; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn update_baseline_is_idempotent_and_silences_the_run() {
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("seeded_baseline.json");
+    let _ = std::fs::remove_file(&tmp);
+
+    let update = |tmp: &Path| {
+        let out = bin()
+            .args(["--root"])
+            .arg(fixture_root())
+            .arg("crates")
+            .arg("--baseline")
+            .arg(tmp)
+            .arg("--update-baseline")
+            .output()
+            .expect("run linter");
+        assert_eq!(out.status.code(), Some(0), "--update-baseline exits 0");
+        std::fs::read(tmp).expect("baseline written")
+    };
+    let first = update(&tmp);
+    let second = update(&tmp);
+    assert_eq!(first, second, "--update-baseline must be byte-idempotent");
+
+    let parsed = Baseline::parse(&String::from_utf8(first).expect("utf-8")).expect("parses");
+    assert!(parsed.len() >= 5, "at least one fingerprint per lint");
+
+    // With everything grandfathered, the same scan is clean.
+    let out = bin()
+        .args(["--root"])
+        .arg(fixture_root())
+        .arg("crates")
+        .arg("--baseline")
+        .arg(&tmp)
+        .output()
+        .expect("run linter");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "baselined findings must not fail; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -15,11 +15,12 @@
 
 use rfbist_bench::{paper_tx, print_header, print_row};
 use rfbist_core::bist::{BistConfig, BistEngine, BistScratch};
+use rfbist_core::error::BistError;
 use rfbist_core::mask::MaskLibrary;
 use rfbist_rfchain::faults::standard_fault_set;
 use rfbist_rfchain::impairments::TxImpairments;
 
-fn main() {
+fn main() -> Result<(), BistError> {
     let engine = BistEngine::new(BistConfig::paper_default());
     let library = MaskLibrary::builtin();
     let mask = &library
@@ -53,10 +54,10 @@ fn main() {
     // loop is exactly the repeated-verdict workload `run_with` exists
     // for.
     let mut scratch = BistScratch::new();
-    let mut run = |imp: TxImpairments, label: &str| {
+    let mut run = |imp: TxImpairments, label: &str| -> Result<(), BistError> {
         let tx = paper_tx(imp, 160, 0xACE1);
         let golden = tx.ideal_rf_output();
-        let report = engine.run_with(&tx.rf_output(), mask, Some(&golden), &mut scratch);
+        let report = engine.try_run_with(&tx.rf_output(), mask, Some(&golden), &mut scratch)?;
         print_row(&[
             label.to_string(),
             if report.passed() {
@@ -69,15 +70,17 @@ fn main() {
             format!("{:.3}", report.skew_abs_error() * 1e12),
             format!("{:.2}", report.reconstruction_error.unwrap() * 100.0),
         ]);
+        Ok(())
     };
 
-    run(healthy, "healthy");
+    run(healthy, "healthy")?;
     for fault in standard_fault_set() {
         let label = format!("{:?}", fault.kind);
-        run(fault.inject(healthy), &label);
+        run(fault.inject(healthy), &label)?;
     }
 
     println!();
     println!("Reading: regrowth (PA) faults trip the mask; in-band (IQ/LO) faults are");
     println!("invisible to an emission mask but show up in the golden-comparison column.");
+    Ok(())
 }

@@ -268,7 +268,10 @@ fn bench_mask_scan(cfg: &Config) -> MaskScanResult {
     let fft_welch_ns = median_ns_per_op(cfg.reps, verdicts, || {
         for _ in 0..verdicts {
             let psd = welch(&wave, FS_GRID, seg, overlap, Window::BlackmanHarris);
-            fft_report = Some(black_box(mask.check(&psd, FC)));
+            fft_report = Some(black_box(
+                mask.try_check(&psd, FC)
+                    .expect("benchmark PSD is well-formed"),
+            ));
         }
     });
     let mut banked_report = None;
@@ -276,7 +279,10 @@ fn bench_mask_scan(cfg: &Config) -> MaskScanResult {
         for _ in 0..verdicts {
             let scan =
                 MaskScanEngine::new(&mask, FC, FS_GRID, seg, overlap, Window::BlackmanHarris);
-            banked_report = Some(black_box(scan.scan(&wave)));
+            banked_report = Some(black_box(
+                scan.try_scan(&wave)
+                    .expect("benchmark wave spans a segment"),
+            ));
         }
     });
     let scan = MaskScanEngine::new(&mask, FC, FS_GRID, seg, overlap, Window::BlackmanHarris);
@@ -362,7 +368,11 @@ fn bench_stream_bist(cfg: &Config) -> StreamBistResult {
             let wave = batch_grid.into_values();
             let batch_scan =
                 MaskScanEngine::new(&mask, FC, FS_GRID, seg, overlap, Window::BlackmanHarris);
-            batch_report = Some(black_box(batch_scan.scan(&wave)));
+            batch_report = Some(black_box(
+                batch_scan
+                    .try_scan(&wave)
+                    .expect("benchmark wave spans a segment"),
+            ));
         }
         samples[0].push(start.elapsed().as_nanos() as f64 / verdicts as f64);
 
@@ -377,7 +387,11 @@ fn bench_stream_bist(cfg: &Config) -> StreamBistResult {
                     break;
                 }
             }
-            stream_report = Some(black_box(stream.finish()));
+            stream_report = Some(black_box(
+                stream
+                    .try_finish()
+                    .expect("stream fed at least one segment"),
+            ));
         }
         samples[1].push(start.elapsed().as_nanos() as f64 / verdicts as f64);
 
@@ -390,7 +404,11 @@ fn bench_stream_bist(cfg: &Config) -> StreamBistResult {
                     stream.push(block) == ScanFeed::Continue
                 })
                 .expect("grid inside coverage");
-            black_box(stream.finish());
+            black_box(
+                stream
+                    .try_finish()
+                    .expect("stream fed at least one segment"),
+            );
         }
         samples[2].push(start.elapsed().as_nanos() as f64 / verdicts as f64);
 
@@ -408,7 +426,11 @@ fn bench_stream_bist(cfg: &Config) -> StreamBistResult {
             }
             early_fired = stream.early_stopped();
             early_points = produced;
-            black_box(stream.finish());
+            black_box(
+                stream
+                    .try_finish()
+                    .expect("stream fed at least one segment"),
+            );
         }
         samples[3].push(start.elapsed().as_nanos() as f64 / verdicts as f64);
     }

@@ -51,8 +51,8 @@
 
 // Production code must not take shortcuts through unwrap/expect: the
 // fail-safe pipeline treats every runtime fault as a typed value. Test
-// modules (cfg(test)) are exempt; CI promotes these to deny.
-#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+// modules (cfg(test)) are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod bist;
 pub mod campaign;

@@ -314,15 +314,36 @@ impl MaskScanEngine {
         self.scan_with(wave, &mut MaskScanScratch::new())
     }
 
+    /// [`scan`](Self::scan) returning a typed [`BistError`] instead of
+    /// panicking on a too-short waveform.
+    pub fn try_scan(&self, wave: &[f64]) -> Result<MaskReport, BistError> {
+        self.try_scan_with(wave, &mut MaskScanScratch::new())
+    }
+
     /// [`scan`](Self::scan) with caller-owned scratch buffers, so
     /// repeated scans (fault sweeps, benches) allocate nothing.
     pub fn scan_with(&self, wave: &[f64], scratch: &mut MaskScanScratch) -> MaskReport {
-        assert!(
-            wave.len() >= self.segment_len,
-            "waveform shorter ({}) than one scan segment ({})",
-            wave.len(),
-            self.segment_len
-        );
+        self.try_scan_with(wave, scratch)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`scan_with`](Self::scan_with) returning a typed [`BistError`]
+    /// instead of panicking — the form sweep drivers and services
+    /// should call.
+    pub fn try_scan_with(
+        &self,
+        wave: &[f64],
+        scratch: &mut MaskScanScratch,
+    ) -> Result<MaskReport, BistError> {
+        if wave.len() < self.segment_len {
+            return Err(BistError::CaptureTooShort {
+                reason: format!(
+                    "waveform shorter ({}) than one scan segment ({})",
+                    wave.len(),
+                    self.segment_len
+                ),
+            });
+        }
         // Welch-style segment averaging of banked Goertzel powers: the
         // same hop/window/normalization as `welch`, with only the
         // probed bins ever materialized.
@@ -348,7 +369,7 @@ impl MaskScanEngine {
             start += self.hop;
         }
 
-        self.report_from_acc(&scratch.acc, count)
+        Ok(self.report_from_acc(&scratch.acc, count))
     }
 
     /// Folds per-bin accumulated segment powers (`count` completed

@@ -202,15 +202,19 @@ impl GoertzelBank {
     fn advance_dispatch(&self, x: &[f64], s1: &mut [f64], s2: &mut [f64]) {
         #[cfg(target_arch = "x86_64")]
         {
-            // SAFETY: feature support verified at runtime; the kernel
-            // body is ordinary safe Rust, recompiled at wider vectors
-            // with hardware-FMA steps.
             if !force_scalar() && std::arch::is_x86_feature_detected!("fma") {
                 if std::arch::is_x86_feature_detected!("avx512f") {
+                    // SAFETY: AVX-512F + FMA support was just verified
+                    // at runtime by is_x86_feature_detected!; the
+                    // kernel body is ordinary safe Rust, recompiled at
+                    // wider vectors with hardware-FMA steps.
                     unsafe { Self::advance_avx512(&self.coeff, x, s1, s2) };
                     return;
                 }
                 if std::arch::is_x86_feature_detected!("avx2") {
+                    // SAFETY: AVX2 + FMA support was just verified at
+                    // runtime by is_x86_feature_detected!; same safe
+                    // kernel body as the scalar path.
                     unsafe { Self::advance_avx2(&self.coeff, x, s1, s2) };
                     return;
                 }
@@ -325,6 +329,13 @@ impl GoertzelBank {
     /// fused steps. Selected at runtime by `run_states`; agrees with
     /// the portable path to ~1 ulp per step (single rounding), far
     /// inside every consumer's tolerance.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 and FMA support on the
+    /// running CPU (`is_x86_feature_detected!`) before calling —
+    /// `#[target_feature]` recompilation emits those instructions
+    /// unconditionally. The body itself is safe Rust.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2,fma")]
     unsafe fn advance_avx2(coeff: &[f64], x: &[f64], s1: &mut [f64], s2: &mut [f64]) {
@@ -333,6 +344,12 @@ impl GoertzelBank {
 
     /// [`advance`](Self::advance) compiled with AVX-512F + FMA enabled
     /// — the AVX2 variant's contract at twice the lane count.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX-512F and FMA support on the
+    /// running CPU (`is_x86_feature_detected!`) before calling; the
+    /// body itself is safe Rust.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx512f,fma")]
     unsafe fn advance_avx512(coeff: &[f64], x: &[f64], s1: &mut [f64], s2: &mut [f64]) {

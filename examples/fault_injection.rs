@@ -10,7 +10,7 @@
 
 use rfbist::prelude::*;
 
-fn main() {
+fn main() -> Result<(), BistError> {
     // Deep dive on the paper's Section V standard: every graded
     // severity, one payload trial at the paper's 3 ps clock.
     let mut detail = CampaignConfig::quick();
@@ -18,7 +18,7 @@ fn main() {
         .deployments
         .retain(|d| d.standard == "qpsk-10msym-srrc0.5");
     detail.faults = standard_fault_set();
-    let matrix = run_campaign(&detail);
+    let matrix = try_run_campaign(&detail)?;
     let outcome = &matrix.standards[0];
 
     println!(
@@ -66,7 +66,7 @@ fn main() {
 
     // The cross-standard claim: gross grades across all five library
     // standards, wideband-calibrated skew, zero false alarms.
-    let quick = run_campaign(&CampaignConfig::quick());
+    let quick = try_run_campaign(&CampaignConfig::quick())?;
     println!(
         "\ngross grades across {} standards: detection {:.0} %, false alarms {:.0} %, \n\
          worst calibrated skew error {:.3} ps",
@@ -77,4 +77,5 @@ fn main() {
     );
     assert_eq!(quick.gross_detection_rate(), 1.0);
     assert_eq!(quick.overall_false_alarm_rate(), 0.0);
+    Ok(())
 }

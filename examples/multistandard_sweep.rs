@@ -24,7 +24,7 @@ use rfbist::prelude::*;
 use rfbist::sampling::pbs;
 use rfbist_core::campaign::{CALIBRATION_SYMBOL_RATE, CAMPAIGN_B};
 
-fn main() {
+fn main() -> Result<(), BistError> {
     let library = MaskLibrary::builtin();
     println!(
         "fixed BP-TIADC: two channels at B = {} MHz; per standard only software\n\
@@ -55,6 +55,8 @@ fn main() {
     let payload_seed = CampaignConfig::quick().trial_seed(0);
     let deps = Deployment::builtin_five();
     let rows: Vec<String> = std::thread::scope(|scope| {
+        // Each worker returns Result: a bad capture in any deployment
+        // surfaces as a typed BistError instead of unwinding a thread.
         let handles: Vec<_> = deps
             .iter()
             .map(|dep| {
@@ -75,7 +77,8 @@ fn main() {
                     let burst = HomodyneTx::builder(burst_bb, dep.carrier_hz)
                         .impairments(TxImpairments::typical())
                         .build();
-                    let est = BistEngine::new(base.clone()).calibrate_skew(&burst.rf_output());
+                    let est =
+                        BistEngine::new(base.clone()).try_calibrate_skew(&burst.rf_output())?;
                     let engine = BistEngine::new(base.with_calibrated_skew(est.delay));
 
                     // Stimulus long enough for the capture span.
@@ -91,7 +94,7 @@ fn main() {
                         .impairments(TxImpairments::typical())
                         .build();
                     let report =
-                        engine.run(&tx.rf_output(), &std.mask, Some(&tx.ideal_rf_output()));
+                        engine.try_run(&tx.rf_output(), &std.mask, Some(&tx.ideal_rf_output()))?;
 
                     // What uniform bandpass sampling would demand for
                     // this standard's occupied band.
@@ -102,7 +105,7 @@ fn main() {
                     let fs_min = pbs::minimum_rate(occupied);
                     let (seg, _) = rfbist::core::bist::welch_segmentation(dep.grid_len);
 
-                    format!(
+                    Ok(format!(
                         "{:<22} {:>9.0} {:>9.1} {:>10.1} {:>8} {:>+13.2} {:>10.2} {:>13.3} {:>14.1}",
                         std.name(),
                         dep.carrier_hz / 1e6,
@@ -113,15 +116,15 @@ fn main() {
                         report.reconstruction_error.unwrap() * 100.0,
                         report.skew_abs_error() * 1e12,
                         fs_min / 1e6,
-                    )
+                    ))
                 })
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("standard sweep worker panicked"))
-            .collect()
-    });
+            .collect::<Result<Vec<String>, BistError>>()
+    })?;
     for row in rows {
         println!("{row}");
     }
@@ -142,11 +145,11 @@ fn main() {
                 .inject(TxImpairments::typical()),
         )
         .build();
-    let report = engine.run(
+    let report = engine.try_run(
         &faulty.rf_output(),
         &std.mask,
         None::<&BandpassSignal<ShapedBaseband>>,
-    );
+    )?;
     println!(
         "\nstreaming early verdict (weak-PA unit, {} mask): {} with margin {:+.1} dB, \n\
          early_exit = {} — reconstruction stopped at the first completed segment",
@@ -160,4 +163,5 @@ fn main() {
         "\nPNBS + the mask library test every configuration from the same fixed-rate\n\
          hardware; PBS would need a different, precisely-placed clock per standard."
     );
+    Ok(())
 }

@@ -8,7 +8,7 @@
 use rfbist::fixtures;
 use rfbist::prelude::*;
 
-fn main() {
+fn main() -> Result<(), BistError> {
     // 1. The device under test: the paper's Section V transmitter —
     //    10 MHz QPSK symbols, SRRC α = 0.5, 1 GHz carrier — with a
     //    production-typical impairment budget. (`rfbist::fixtures`
@@ -20,9 +20,13 @@ fn main() {
     //    estimation, PNBS reconstruction, PSD + mask check.
     let engine = fixtures::paper_engine();
 
-    // 3. Run. The golden reference (simulation-only) adds the Δε metric.
+    // 3. Run. The golden reference (simulation-only) adds the Δε
+    //    metric. The typed `try_run` form surfaces an unusable capture
+    //    (NaN, saturation, too short) as a `BistError` value instead
+    //    of a panic — a production line acts on the error, it does not
+    //    unwind.
     let golden = tx.ideal_rf_output();
-    let report = engine.run(&tx.rf_output(), &fixtures::paper_mask(), Some(&golden));
+    let report = engine.try_run(&tx.rf_output(), &fixtures::paper_mask(), Some(&golden))?;
 
     println!("{report}");
     println!(
@@ -32,4 +36,5 @@ fn main() {
         report.true_delay * 1e12
     );
     assert!(report.passed(), "a healthy unit must pass the mask");
+    Ok(())
 }

@@ -9,7 +9,7 @@
 use rfbist::fixtures::{paper_engine, paper_mask, paper_tx};
 use rfbist::prelude::*;
 
-fn main() {
+fn main() -> Result<(), BistError> {
     let engine = paper_engine();
     let mask = paper_mask();
     println!("mask `{}`:", mask.name());
@@ -31,7 +31,9 @@ fn main() {
     );
 
     for (label, tx) in [("healthy", &healthy), ("early-compression PA", &weak_pa)] {
-        let report = engine.run(&tx.rf_output(), &mask, Some(&tx.ideal_rf_output()));
+        // Typed entry point: a corrupted capture comes back as a
+        // `BistError` value rather than a panic.
+        let report = engine.try_run(&tx.rf_output(), &mask, Some(&tx.ideal_rf_output()))?;
         println!("\n[{label}]");
         print!("{report}");
         if !report.mask.violations.is_empty() {
@@ -50,4 +52,5 @@ fn main() {
             }
         }
     }
+    Ok(())
 }
