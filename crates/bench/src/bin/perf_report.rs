@@ -49,6 +49,15 @@
 //!    producer workers exist (the core-gated analogue of the
 //!    mask_scan AVX2 gate; single-core machines report the ratio
 //!    without asserting).
+//! 7. **service** — the sharded verdict service: a batch of identical
+//!    calibrated-skew jobs through the persistent worker pool at 1, 2
+//!    and 4 workers vs the direct `try_run_with` loop on one reused
+//!    scratch. Every outcome is asserted bit-identical to the direct
+//!    verdict. The core-count-free gates are the 1-worker throughput
+//!    floor (verdicts/s) and `overhead_1w` ≥ 0.7 (the pool's queue,
+//!    clone and channel overhead must stay a small fraction of a
+//!    verdict); the `scaling_2w` > 1.3× gate is asserted only where
+//!    ≥ 2 cores exist to express it.
 
 use rfbist_bench::{paper_cost, paper_stimulus, par, Frontend};
 use rfbist_core::bist::welch_segmentation;
@@ -462,6 +471,112 @@ fn bench_stream_bist(cfg: &Config) -> StreamBistResult {
     }
 }
 
+struct ServiceResult {
+    available_workers: usize,
+    jobs_per_batch: usize,
+    direct_ns: f64,
+    /// `(workers, median ns/verdict through the service)`.
+    saturation: Vec<(usize, f64)>,
+}
+
+/// The verdict-service workload: a batch of identical calibrated-skew
+/// jobs (short 2048-point analysis grid, `stream_workers = 1` — the
+/// service's job-level sharding) through the persistent pool at 1, 2
+/// and 4 workers, against the direct `try_run_with` loop on one
+/// reused scratch. Each pool is warmed with one untimed batch (thread
+/// start + scratch growth), then timed over whole submit-all/collect-
+/// all batches; every outcome is asserted bit-identical to the direct
+/// verdict before any number is reported.
+fn bench_service(cfg: &Config) -> ServiceResult {
+    use rfbist_core::bist::{BistConfig, BistEngine, BistScratch};
+    use rfbist_core::service::{ServiceConfig, SharedSignal, VerdictJob, VerdictService};
+    use std::sync::Arc;
+
+    let mut bist = BistConfig::paper_default().with_calibrated_skew(D);
+    bist.grid_len = 2048;
+    bist.stream_workers = 1;
+    let mask = SpectralMask::qpsk_10msym();
+    let stimulus: SharedSignal = Arc::new(
+        rfbist_bench::paper_tx(
+            rfbist_rfchain::impairments::TxImpairments::typical(),
+            160,
+            0xACE1,
+        )
+        .rf_output(),
+    );
+    let jobs_per_batch = if cfg.quick { 4 } else { 8 };
+    let make_jobs = |n: usize| -> Vec<VerdictJob> {
+        (0..n as u64)
+            .map(|job_id| VerdictJob {
+                job_id,
+                dut: job_id as u32,
+                standard: "qpsk-10msym-srrc0.5".into(),
+                config: bist.clone(),
+                mask: mask.clone(),
+                stimulus: Arc::clone(&stimulus),
+                reference: None,
+            })
+            .collect()
+    };
+
+    // Direct single-shot loop on one warm scratch — what the service's
+    // workers do minus the queue, clones and channels.
+    let mut scratch = BistScratch::new();
+    let template = make_jobs(1).remove(0);
+    let mut direct_report = None;
+    let direct_ns = median_ns_per_op(cfg.reps, jobs_per_batch, || {
+        for _ in 0..jobs_per_batch {
+            direct_report = Some(black_box(
+                BistEngine::new(template.config.clone())
+                    .try_run_with(
+                        &template.stimulus,
+                        &template.mask,
+                        template.reference.as_ref(),
+                        &mut scratch,
+                    )
+                    .expect("clean direct verdict"),
+            ));
+        }
+    });
+    let direct_report = direct_report.expect("direct verdict");
+
+    let mut saturation = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let mut svc =
+            VerdictService::try_start(ServiceConfig::paper_default().with_workers(workers))
+                .expect("verdict service starts");
+        // warm batch: thread start, per-worker scratch growth — and the
+        // equivalence assertion, once per worker count
+        let outcomes = svc
+            .try_run_all(make_jobs(jobs_per_batch))
+            .expect("pool alive");
+        for outcome in &outcomes {
+            let report = outcome.result.as_ref().expect("clean service verdict");
+            assert_eq!(
+                report, &direct_report,
+                "service verdict diverged from the direct run at {workers} worker(s)"
+            );
+        }
+        let ns = median_ns_per_op(cfg.reps, jobs_per_batch, || {
+            let outcomes = svc
+                .try_run_all(make_jobs(jobs_per_batch))
+                .expect("pool alive");
+            black_box(&outcomes);
+        });
+        svc.shutdown();
+        saturation.push((workers, ns));
+    }
+
+    ServiceResult {
+        available_workers: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        jobs_per_batch,
+        direct_ns,
+        saturation,
+    }
+}
+
 fn main() {
     let mut cfg = Config {
         quick: false,
@@ -566,6 +681,37 @@ fn main() {
         stream.points,
     );
 
+    let service = bench_service(&cfg);
+    let service_1w_ns = service.saturation[0].1;
+    println!(
+        "service            {:>10.1} us/verdict direct     {:>10.1} us/verdict 1 worker ({:.2}x overhead ratio, {:.0} verdicts/s)",
+        service.direct_ns / 1e3,
+        service_1w_ns / 1e3,
+        service.direct_ns / service_1w_ns,
+        1e9 / service_1w_ns,
+    );
+    for &(workers, ns) in &service.saturation[1..] {
+        println!(
+            "service {workers}w         {:>10.1} us/verdict across {workers} worker(s) ({:.2}x vs 1 worker, {:.0} verdicts/s)",
+            ns / 1e3,
+            service_1w_ns / ns,
+            1e9 / ns,
+        );
+    }
+
+    let saturation_json = service
+        .saturation
+        .iter()
+        .map(|&(workers, ns)| {
+            format!(
+                r#"      {{ "workers": {workers}, "median_ns_per_verdict": {ns:.2}, "verdicts_per_sec": {vps:.2}, "speedup_vs_1w": {speedup:.3} }}"#,
+                vps = 1e9 / ns,
+                speedup = service_1w_ns / ns,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let json = format!(
         r#"{{
   "generator": "perf_report",
@@ -619,6 +765,18 @@ fn main() {
     "early_exit_speedup": {stream_early_speedup:.3},
     "early_exit_points": {stream_early_points},
     "worst_margin_delta_db": {stream_delta:.3e}
+  }},
+  "service": {{
+    "available_workers": {svc_workers},
+    "jobs_per_batch": {svc_jobs},
+    "direct_median_ns_per_verdict": {svc_direct:.2},
+    "service_1w_median_ns_per_verdict": {svc_1w:.2},
+    "verdicts_per_sec_1w": {svc_vps:.2},
+    "overhead_1w": {svc_overhead:.3},
+    "scaling_2w": {svc_scaling:.3},
+    "saturation": [
+{saturation_json}
+    ]
   }}
 }}
 "#,
@@ -661,6 +819,13 @@ fn main() {
         stream_early_speedup = stream.batch_ns / stream.early_ns,
         stream_early_points = stream.early_points,
         stream_delta = stream.margin_delta_db,
+        svc_workers = service.available_workers,
+        svc_jobs = service.jobs_per_batch,
+        svc_direct = service.direct_ns,
+        svc_1w = service_1w_ns,
+        svc_vps = 1e9 / service_1w_ns,
+        svc_overhead = service.direct_ns / service_1w_ns,
+        svc_scaling = service_1w_ns / service.saturation[1].1,
     );
     std::fs::write(&cfg.out, json).expect("write bench report");
     println!("wrote {}", cfg.out);
@@ -797,6 +962,39 @@ fn main() {
             "stream_bist parallel floor (>= {par_floor}x) not asserted: single producer \
              worker on this machine (measured {:.2}x)",
             stream.batch_ns / stream.stream_par_ns
+        );
+    }
+    // Verdict-service contracts. Equivalence was asserted inside the
+    // bench (every pool outcome bit-identical to the direct verdict);
+    // the gates here are throughput-shaped. The 1-worker floors are
+    // core-count-free: the absolute verdicts/s floor sits an order of
+    // magnitude under what one slow shared core measures (a real
+    // regression — a per-job reallocation storm, a serialized queue —
+    // collapses it by that much), and overhead_1w pins the pool's
+    // per-job queue/clone/channel cost to ≤ 30 % of a verdict.
+    let vps_floor = if cfg.quick { 25.0 } else { 50.0 };
+    assert!(
+        1e9 / service_1w_ns >= vps_floor,
+        "1-worker service throughput below the {vps_floor} verdicts/s floor: {:.1}/s",
+        1e9 / service_1w_ns
+    );
+    assert!(
+        service.direct_ns / service_1w_ns >= 0.7,
+        "verdict service overhead at 1 worker exceeds 30% of a verdict: {:.2}x",
+        service.direct_ns / service_1w_ns
+    );
+    // Scaling needs at least two cores to express; mirroring the other
+    // core-gated floors, single-core machines report without asserting.
+    let scaling_2w = service_1w_ns / service.saturation[1].1;
+    if service.available_workers >= 2 {
+        assert!(
+            scaling_2w > 1.3,
+            "2-worker service scaling below the 1.3x floor: {scaling_2w:.2}x"
+        );
+    } else {
+        println!(
+            "service scaling floor (> 1.3x at 2 workers) not asserted: single core \
+             (measured {scaling_2w:.2}x)"
         );
     }
 }

@@ -1,0 +1,231 @@
+//! Seeded wire-format fuzz harness for the verdict service's frame
+//! decoder: deterministic property sweeps (vendored proptest
+//! strategies, fixed seed) over three input classes —
+//!
+//! 1. **round-trip** — random well-formed [`WireFrame`]s (including
+//!    NaN/∞ sample payloads from raw bit patterns and multi-byte
+//!    UTF-8 names) encoded and replayed through the incremental
+//!    decoder under random transport chunking must decode to the
+//!    identical frame;
+//! 2. **mutation** — well-formed frames with random byte flips,
+//!    truncations and insertions must decode to *something* — another
+//!    valid frame, "need more bytes", or a typed [`BistError::Wire`]
+//!    — and never anything else;
+//! 3. **garbage** — raw random byte streams, same acceptance.
+//!
+//! The process exits 0 only when every case lands in its accepted
+//! outcome set; any panic (the decoder crashing on hostile input)
+//! aborts with a non-zero code, which is exactly what the CI smoke
+//! step asserts.
+//!
+//! ```sh
+//! cargo run --release -p rfbist-bench --bin wire_fuzz -- --cases 256 --seed 0xACE1
+//! ```
+
+use proptest::prelude::*;
+use rfbist_core::error::BistError;
+use rfbist_core::mask::{MaskReport, MaskViolation};
+use rfbist_core::wire::{FrameDecoder, WireFrame};
+
+fn usize_in(rng: &mut TestRng, range: std::ops::Range<usize>) -> usize {
+    range.sample(rng)
+}
+
+fn random_string(rng: &mut TestRng) -> String {
+    let pool = [
+        "qpsk-10msym-srrc0.5",
+        "gsm-like-270k",
+        "wideband μ-law Ω",
+        "",
+        "a-very-long-standard-name-that-spans-more-than-one-cache-line-of-bytes",
+    ];
+    pool[usize_in(rng, 0..pool.len())].to_string()
+}
+
+fn random_samples(rng: &mut TestRng) -> Vec<f64> {
+    let n = usize_in(rng, 0..64);
+    (0..n)
+        .map(|_| {
+            // raw bit patterns: NaNs, infinities, subnormals included —
+            // the decoder must pass them through bit-exactly
+            f64::from_bits(rng.next_u64())
+        })
+        .collect()
+}
+
+fn random_report(rng: &mut TestRng) -> MaskReport {
+    let listed = usize_in(rng, 0..5);
+    MaskReport {
+        mask_name: random_string(rng),
+        passed: rng.next_u64().is_multiple_of(2),
+        worst_margin_db: f64::from_bits(rng.next_u64()),
+        worst_frequency_hz: rng.next_f64() * 6.5e9,
+        reference_db: -40.0 + rng.next_f64() * 20.0,
+        violation_count: listed + usize_in(rng, 0..10),
+        violations: (0..listed)
+            .map(|_| MaskViolation {
+                frequency: rng.next_f64() * 6.5e9,
+                measured_dbc: -rng.next_f64() * 60.0,
+                limit_dbc: -33.0,
+            })
+            .collect(),
+        truncated: rng.next_u64().is_multiple_of(2),
+    }
+}
+
+fn random_frame(rng: &mut TestRng) -> WireFrame {
+    let job_id = rng.next_u64();
+    match usize_in(rng, 0..7) {
+        0 => WireFrame::JobOpen {
+            job_id,
+            standard: random_string(rng),
+        },
+        1 => WireFrame::SampleBlock {
+            job_id,
+            samples: random_samples(rng),
+        },
+        2 => WireFrame::ReportRequest { job_id },
+        3 => WireFrame::PartialReport {
+            job_id,
+            segments: rng.next_u64() % 1000,
+            report: random_report(rng),
+        },
+        4 => WireFrame::FinalReport {
+            job_id,
+            report: random_report(rng),
+        },
+        5 => WireFrame::JobClose { job_id },
+        _ => WireFrame::Error {
+            job_id,
+            reason: random_string(rng),
+        },
+    }
+}
+
+/// Drains the decoder after `bytes` arrives in `chunk`-byte reads.
+/// Returns the decoded frames, or the first typed wire error.
+fn drain(bytes: &[u8], chunk: usize) -> Result<Vec<WireFrame>, BistError> {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    for piece in bytes.chunks(chunk.max(1)) {
+        dec.feed(piece);
+        loop {
+            match dec.try_next_frame() {
+                Ok(Some(frame)) => frames.push(frame),
+                Ok(None) => break,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(frames)
+}
+
+fn main() {
+    let mut cases: u32 = 256;
+    let mut seed: u64 = 0xACE1_F0CC;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cases" => {
+                cases = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cases requires a count")
+            }
+            "--seed" => {
+                let v = args.next().expect("--seed requires a value");
+                seed = u64::from_str_radix(v.trim_start_matches("0x"), 16)
+                    .or_else(|_| v.parse())
+                    .expect("--seed takes hex or decimal");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: wire_fuzz [--cases N] [--seed HEX]");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("wire_fuzz: {cases} cases per property, seed {seed:#x}");
+    let mut rng = TestRng::from_seed(seed);
+
+    // Property 1: encode∘decode is the identity under any chunking.
+    for case in 0..cases {
+        let frames: Vec<WireFrame> = (0..usize_in(&mut rng, 1..5))
+            .map(|_| random_frame(&mut rng))
+            .collect();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&f.encode());
+        }
+        let chunk = usize_in(&mut rng, 1..bytes.len() + 2);
+        let got = drain(&bytes, chunk)
+            .unwrap_or_else(|e| panic!("case {case}: well-formed stream rejected: {e}"));
+        // compare re-encodings, not frames: payloads may carry NaN bit
+        // patterns, which `==` on f64 would spuriously reject
+        let reencoded: Vec<u8> = got.iter().flat_map(|f| f.encode()).collect();
+        assert_eq!(
+            reencoded,
+            bytes,
+            "case {case}: round-trip diverged ({} frames in, {} out)",
+            frames.len(),
+            got.len()
+        );
+    }
+    println!("  round-trip: {cases} cases ok");
+
+    // Property 2: mutated well-formed frames never panic the decoder
+    // and never produce a non-Wire error.
+    let mut mutation_outcomes = [0usize; 3]; // decoded / starved / rejected
+    for case in 0..cases {
+        let mut bytes = random_frame(&mut rng).encode();
+        for _ in 0..usize_in(&mut rng, 1..9) {
+            match usize_in(&mut rng, 0..4) {
+                0 if !bytes.is_empty() => {
+                    // flip one byte anywhere, length prefix included
+                    let at = usize_in(&mut rng, 0..bytes.len());
+                    bytes[at] ^= (rng.next_u64() % 255 + 1) as u8;
+                }
+                1 if bytes.len() > 1 => bytes.truncate(usize_in(&mut rng, 0..bytes.len())),
+                2 => bytes.push(rng.next_u64() as u8),
+                _ if !bytes.is_empty() => {
+                    let at = usize_in(&mut rng, 0..bytes.len());
+                    bytes.remove(at);
+                }
+                _ => bytes.push(rng.next_u64() as u8),
+            }
+        }
+        let chunk = usize_in(&mut rng, 1..bytes.len() + 2);
+        match drain(&bytes, chunk) {
+            Ok(frames) if frames.is_empty() => mutation_outcomes[1] += 1,
+            Ok(_) => mutation_outcomes[0] += 1,
+            Err(e) => {
+                assert!(
+                    matches!(e, BistError::Wire { .. }),
+                    "case {case}: malformed bytes produced a non-Wire error: {e}"
+                );
+                mutation_outcomes[2] += 1;
+            }
+        }
+    }
+    println!(
+        "  mutation:   {cases} cases ok ({} decoded, {} starved, {} rejected as Wire errors)",
+        mutation_outcomes[0], mutation_outcomes[1], mutation_outcomes[2]
+    );
+
+    // Property 3: raw garbage, same acceptance set.
+    let mut garbage_rejected = 0usize;
+    for case in 0..cases {
+        let n = usize_in(&mut rng, 0..2048);
+        let bytes: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+        let chunk = usize_in(&mut rng, 1..n + 2);
+        if let Err(e) = drain(&bytes, chunk) {
+            assert!(
+                matches!(e, BistError::Wire { .. }),
+                "case {case}: garbage produced a non-Wire error: {e}"
+            );
+            garbage_rejected += 1;
+        }
+    }
+    println!("  garbage:    {cases} cases ok ({garbage_rejected} rejected as Wire errors)");
+    println!("wire_fuzz: all properties hold");
+}

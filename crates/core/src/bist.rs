@@ -133,26 +133,39 @@ pub struct NoiseFigureConfig {
 
 impl NoiseFigureConfig {
     /// A measurement band over `[offset_lo, offset_hi]` Hz from the
-    /// carrier against the given reference floor, with no verdict
-    /// limit.
+    /// carrier against the reference noise floor
+    /// `reference_density_dbhz` (dB/Hz), with no verdict limit.
     ///
     /// # Panics
     ///
     /// Panics if the band is malformed.
     pub fn new(offset_lo: f64, offset_hi: f64, reference_density_dbhz: f64) -> Self {
-        assert!(
-            offset_lo >= 0.0 && offset_hi > offset_lo,
-            "noise band offsets must satisfy 0 <= lo < hi"
-        );
-        NoiseFigureConfig {
+        Self::try_new(offset_lo, offset_hi, reference_density_dbhz)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`new`](Self::new) (same `[offset_lo, offset_hi]` Hz band and
+    /// `reference_density_dbhz` dB/Hz floor) returning a typed
+    /// [`BistError::InvalidConfig`] on a malformed band.
+    pub fn try_new(
+        offset_lo: f64,
+        offset_hi: f64,
+        reference_density_dbhz: f64,
+    ) -> Result<Self, BistError> {
+        if !(offset_lo >= 0.0 && offset_hi > offset_lo) {
+            return Err(BistError::InvalidConfig {
+                reason: "noise band offsets must satisfy 0 <= lo < hi".into(),
+            });
+        }
+        Ok(NoiseFigureConfig {
             offset_lo,
             offset_hi,
             reference_density_dbhz,
             max_nf_db: None,
-        }
+        })
     }
 
-    /// Builder-style: arm the verdict limit.
+    /// Builder-style: arm the verdict limit `max_nf_db` (dB).
     pub fn with_max_nf(mut self, max_nf_db: f64) -> Self {
         self.max_nf_db = Some(max_nf_db);
         self
@@ -290,13 +303,26 @@ impl BistConfig {
 
     /// Builder-style: reuse an externally calibrated skew (seconds),
     /// bypassing the per-run LMS estimation.
-    pub fn with_calibrated_skew(mut self, delay: f64) -> Self {
-        assert!(
-            delay.is_finite() && delay > 0.0,
-            "calibrated skew must be a positive delay"
-        );
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is not a positive finite delay.
+    pub fn with_calibrated_skew(self, delay: f64) -> Self {
+        self.try_with_calibrated_skew(delay)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`with_calibrated_skew`](Self::with_calibrated_skew) returning
+    /// a typed [`BistError::InvalidConfig`] on a non-positive or
+    /// non-finite delay.
+    pub fn try_with_calibrated_skew(mut self, delay: f64) -> Result<Self, BistError> {
+        if !(delay.is_finite() && delay > 0.0) {
+            return Err(BistError::InvalidConfig {
+                reason: "calibrated skew must be a positive delay".into(),
+            });
+        }
         self.calibrated_skew = Some(delay);
-        self
+        Ok(self)
     }
 
     /// Builder-style: set the skew acceptance gate.
@@ -360,6 +386,7 @@ pub struct BistScratch {
 
 impl BistScratch {
     /// An empty scratch.
+    // analysis: allow(typed-error-parity) — infallible struct-literal constructor (panic capability is a same-file name match against `NoiseFigureConfig::new`)
     pub fn new() -> Self {
         Self::default()
     }
@@ -436,6 +463,7 @@ pub struct BistEngine {
 
 impl BistEngine {
     /// Creates an engine from a configuration.
+    // analysis: allow(typed-error-parity) — infallible struct-literal constructor (panic capability is a same-file name match against `NoiseFigureConfig::new`)
     pub fn new(config: BistConfig) -> Self {
         BistEngine { config }
     }

@@ -21,7 +21,12 @@
 //!   point,
 //! - [`health`]: pre-scan capture health guards (NaN/clip/dead-signal
 //!   rejection),
-//! - [`report`]: serializable result records.
+//! - [`report`]: serializable result records,
+//! - [`service`]: the persistent-worker verdict service (shards
+//!   (standard × carrier × DUT) jobs across long-lived workers with
+//!   bounded-queue backpressure),
+//! - [`wire`]: the length-prefixed wire format for feeding sample
+//!   blocks to a verdict worker and draining partial reports.
 //!
 //! # Example: estimating a 180 ps skew
 //!
@@ -64,7 +69,9 @@ pub mod lms;
 pub mod mask;
 pub mod report;
 pub mod scan;
+pub mod service;
 pub mod skew;
+pub mod wire;
 
 pub use bist::{
     BistConfig, BistEngine, BistScratch, NoiseFigureConfig, ScanStrategy, SkewGate, StreamRecovery,
@@ -79,3 +86,5 @@ pub use health::{CaptureHealth, HealthPolicy};
 pub use lms::{estimate_skew_lms, LmsConfig, LmsResult};
 pub use mask::{MaskLibrary, MaskReport, MaskStandard, SpectralMask};
 pub use scan::{EarlyVerdict, MaskScanEngine, MaskScanScratch, StreamScratch, StreamingMaskScan};
+pub use service::{DutSpec, ServiceConfig, VerdictJob, VerdictOutcome, VerdictService};
+pub use wire::{FrameDecoder, WireFrame, WireVerdictSession};

@@ -33,6 +33,10 @@ pub const MASK_FLOOR_HEADROOM_DB: f64 = 4.0;
 /// a *healthy* unit's own instrument noise trips it. The thin
 /// `lte5-like` and `wb-20msym-srrc0.35` segments are floor-lifted to
 /// `floor + `[`MASK_FLOOR_HEADROOM_DB`] at their deployment carriers.
+///
+/// `carrier_hz`, `occupied_hz` and `band_hz` are the carrier,
+/// occupied bandwidth and reconstruction bandwidth in Hz;
+/// `jitter_rms` is the DCDE clock jitter in seconds RMS.
 pub fn jitter_floor_dbc(carrier_hz: f64, jitter_rms: f64, occupied_hz: f64, band_hz: f64) -> f64 {
     let pedestal = (2.0 * std::f64::consts::PI * carrier_hz * jitter_rms).powi(2) / 2.0;
     10.0 * (pedestal * occupied_hz / band_hz).log10()
@@ -73,28 +77,46 @@ impl SpectralMask {
         reference_half_width: f64,
         segments: Vec<MaskSegment>,
     ) -> Self {
-        assert!(!segments.is_empty(), "mask needs at least one segment");
-        assert!(
-            reference_half_width > 0.0,
-            "reference width must be positive"
-        );
+        Self::try_new(name, reference_half_width, segments).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`new`](Self::new) returning a typed
+    /// [`BistError::InvalidConfig`] on a malformed mask instead of
+    /// panicking — for masks built from external (wire, config-file)
+    /// input.
+    pub fn try_new(
+        name: impl Into<String>,
+        reference_half_width: f64,
+        segments: Vec<MaskSegment>,
+    ) -> Result<Self, BistError> {
+        let invalid = |reason: &str| {
+            Err(BistError::InvalidConfig {
+                reason: reason.into(),
+            })
+        };
+        if segments.is_empty() {
+            return invalid("mask needs at least one segment");
+        }
+        // NaN must fail this check too, so the comparison is written
+        // to reject everything that is not strictly positive
+        if reference_half_width.is_nan() || reference_half_width <= 0.0 {
+            return invalid("reference width must be positive");
+        }
         for s in &segments {
-            assert!(
-                s.offset_hi > s.offset_lo && s.offset_lo >= 0.0,
-                "segment offsets must satisfy 0 <= lo < hi"
-            );
+            if !(s.offset_hi > s.offset_lo && s.offset_lo >= 0.0) {
+                return invalid("segment offsets must satisfy 0 <= lo < hi");
+            }
             // Validated here so `limit_at`'s min-fold can never meet a
             // NaN at verdict time.
-            assert!(
-                s.limit_dbc.is_finite(),
-                "segment limits must be finite dBc values"
-            );
+            if !s.limit_dbc.is_finite() {
+                return invalid("segment limits must be finite dBc values");
+            }
         }
-        SpectralMask {
+        Ok(SpectralMask {
             name: name.into(),
             reference_half_width,
             segments,
-        }
+        })
     }
 
     /// The emission mask used by this repository's experiments for the
@@ -290,7 +312,7 @@ impl SpectralMask {
     }
 
     /// Checks a one-sided PSD (as produced by the reconstruction path)
-    /// against the mask around the given carrier.
+    /// against the mask around the given carrier `carrier_hz` (Hz).
     ///
     /// The 0 dBc reference is the *peak density* within
     /// `±reference_half_width` of the carrier.
@@ -308,9 +330,9 @@ impl SpectralMask {
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// [`check`](Self::check) returning
-    /// [`BistError::NoMaskCoverage`] instead of panicking when the PSD
-    /// cannot support a verdict.
+    /// [`check`](Self::check) (same `carrier_hz` carrier in Hz)
+    /// returning [`BistError::NoMaskCoverage`] instead of panicking
+    /// when the PSD cannot support a verdict.
     pub fn try_check(&self, psd: &PsdEstimate, carrier_hz: f64) -> Result<MaskReport, BistError> {
         let db: Vec<f64> = psd.psd_db();
         let reference_db = psd
@@ -401,6 +423,7 @@ pub struct MaskLibrary {
 
 impl MaskLibrary {
     /// An empty library.
+    // analysis: allow(typed-error-parity) — infallible delegating constructor (panic capability is a same-file name match against `SpectralMask::new`)
     pub fn new() -> Self {
         Self::default()
     }
@@ -494,6 +517,8 @@ impl MaskLibrary {
 /// selection, violation counting and the [`MAX_REPORTED_VIOLATIONS`]
 /// truncation — shared by [`SpectralMask::check`] and the banked
 /// [`crate::scan::MaskScanEngine`], so the two paths cannot drift.
+/// `carrier_hz` is the carrier in Hz and `reference_db` the absolute
+/// 0 dBc reference density level in dB.
 pub(crate) fn report_from_margins<I>(
     mask_name: String,
     carrier_hz: f64,

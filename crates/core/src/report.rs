@@ -7,7 +7,12 @@ use crate::skew::SkewEstimate;
 use std::fmt;
 
 /// The complete record of one BIST run.
-#[derive(Clone, Debug)]
+///
+/// Derives `PartialEq` so equivalence harnesses (the verdict service
+/// must produce reports bit-identical to single-shot
+/// [`try_run_with`](crate::bist::BistEngine::try_run_with)) can compare
+/// whole reports directly.
+#[derive(Clone, Debug, PartialEq)]
 pub struct BistReport {
     /// The skew estimate the engine converged to.
     pub skew: SkewEstimate,

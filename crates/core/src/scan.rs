@@ -173,6 +173,7 @@ impl MaskScanEngine {
     }
 
     /// [`new`](Self::new)/[`with_noise_band`](Self::with_noise_band)
+    /// (same `carrier_hz` carrier and `fs` sample rate, both in Hz)
     /// returning a typed [`BistError`] instead of panicking: parameter
     /// violations surface as [`BistError::InvalidConfig`], empty
     /// reference/segment/noise coverage as
@@ -472,11 +473,19 @@ impl EarlyVerdict {
     ///
     /// Panics if `guard_db` is negative or non-finite.
     pub fn with_guard(guard_db: f64) -> Self {
-        assert!(
-            guard_db.is_finite() && guard_db >= 0.0,
-            "guard margin must be a non-negative dB value"
-        );
-        EarlyVerdict { guard_db }
+        Self::try_with_guard(guard_db).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`with_guard`](Self::with_guard) returning a typed
+    /// [`BistError::InvalidConfig`] on a negative or non-finite
+    /// `guard_db`.
+    pub fn try_with_guard(guard_db: f64) -> Result<Self, BistError> {
+        if !(guard_db.is_finite() && guard_db >= 0.0) {
+            return Err(BistError::InvalidConfig {
+                reason: "guard margin must be a non-negative dB value".into(),
+            });
+        }
+        Ok(EarlyVerdict { guard_db })
     }
 
     /// The default 6 dB guard: one-segment Welch estimates of the

@@ -1,0 +1,684 @@
+//! Length-prefixed wire format for the verdict service.
+//!
+//! A transport (socket, pipe, shared ring) feeds captured sample
+//! blocks *into* a verdict worker and drains partial
+//! [`MaskReport`]s back out mid-capture; this module defines the
+//! byte-level frames for both directions plus an incremental decoder
+//! that tolerates arbitrary chunking. Every frame is
+//!
+//! ```text
+//! ┌────────────┬─────────┬──────────────────────┐
+//! │ u32 LE len │ u8 type │ body (len − 1 bytes) │
+//! └────────────┴─────────┴──────────────────────┘
+//! ```
+//!
+//! where `len` counts the type byte plus the body. All integers are
+//! little-endian; floats are IEEE-754 `f64` little-endian bit
+//! patterns, so a report round-trips bit-exactly. Malformed bytes —
+//! truncated bodies, unknown frame types, oversized length prefixes,
+//! non-UTF-8 names — surface as [`BistError::Wire`]; the decoder
+//! never panics on attacker-controlled input.
+
+use crate::error::BistError;
+use crate::mask::{MaskReport, MaskViolation};
+use crate::scan::{ScanFeed, StreamingMaskScan};
+
+/// Hard ceiling on a single frame's `len` field. A sample block of
+/// the largest built-in deployment grid (32768 bins, 8 bytes each) is
+/// ~256 KiB; 16 MiB leaves generous headroom while keeping a hostile
+/// length prefix from forcing a giant allocation.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Byte budget of the fixed frame header (`u32` length prefix).
+const HEADER_LEN: usize = 4;
+
+const TYPE_JOB_OPEN: u8 = 0x01;
+const TYPE_SAMPLE_BLOCK: u8 = 0x02;
+const TYPE_REPORT_REQUEST: u8 = 0x03;
+const TYPE_PARTIAL_REPORT: u8 = 0x04;
+const TYPE_FINAL_REPORT: u8 = 0x05;
+const TYPE_JOB_CLOSE: u8 = 0x06;
+const TYPE_ERROR: u8 = 0x07;
+
+/// One frame of the verdict-service wire protocol.
+///
+/// `JobOpen`/`SampleBlock`/`ReportRequest`/`JobClose` flow from the
+/// capture side to a worker; `PartialReport`/`FinalReport`/`Error`
+/// flow back.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireFrame {
+    /// Opens a verdict job: subsequent `SampleBlock`s with the same
+    /// `job_id` feed its streaming mask scan.
+    JobOpen {
+        /// Caller-chosen job correlation id.
+        job_id: u64,
+        /// Mask-library standard name the job is scored against.
+        standard: String,
+    },
+    /// One captured block of reconstructed samples for an open job.
+    SampleBlock {
+        /// Job the block belongs to.
+        job_id: u64,
+        /// Reconstructed uniform-grid samples.
+        samples: Vec<f64>,
+    },
+    /// Asks the worker for a mid-capture partial verdict.
+    ReportRequest {
+        /// Job to report on.
+        job_id: u64,
+    },
+    /// A mid-capture partial verdict (response to `ReportRequest`).
+    PartialReport {
+        /// Job the report belongs to.
+        job_id: u64,
+        /// Welch segments folded into the partial PSD so far.
+        segments: u64,
+        /// The partial mask verdict.
+        report: MaskReport,
+    },
+    /// The final verdict after `JobClose`.
+    FinalReport {
+        /// Job the report belongs to.
+        job_id: u64,
+        /// The complete mask verdict.
+        report: MaskReport,
+    },
+    /// Ends a job's sample feed and requests the final verdict.
+    JobClose {
+        /// Job to finish.
+        job_id: u64,
+    },
+    /// A typed failure for one job (the session stays usable for
+    /// other jobs on the same transport).
+    Error {
+        /// Job the failure belongs to.
+        job_id: u64,
+        /// `Display` text of the underlying [`BistError`].
+        reason: String,
+    },
+}
+
+impl WireFrame {
+    /// Serializes the frame, header included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32);
+        match self {
+            WireFrame::JobOpen { job_id, standard } => {
+                body.push(TYPE_JOB_OPEN);
+                put_u64(&mut body, *job_id);
+                put_str(&mut body, standard);
+            }
+            WireFrame::SampleBlock { job_id, samples } => {
+                body.reserve(9 + 8 * samples.len());
+                body.push(TYPE_SAMPLE_BLOCK);
+                put_u64(&mut body, *job_id);
+                put_u32(&mut body, samples.len() as u32);
+                for s in samples {
+                    put_f64(&mut body, *s);
+                }
+            }
+            WireFrame::ReportRequest { job_id } => {
+                body.push(TYPE_REPORT_REQUEST);
+                put_u64(&mut body, *job_id);
+            }
+            WireFrame::PartialReport {
+                job_id,
+                segments,
+                report,
+            } => {
+                body.push(TYPE_PARTIAL_REPORT);
+                put_u64(&mut body, *job_id);
+                put_u64(&mut body, *segments);
+                put_report(&mut body, report);
+            }
+            WireFrame::FinalReport { job_id, report } => {
+                body.push(TYPE_FINAL_REPORT);
+                put_u64(&mut body, *job_id);
+                put_report(&mut body, report);
+            }
+            WireFrame::JobClose { job_id } => {
+                body.push(TYPE_JOB_CLOSE);
+                put_u64(&mut body, *job_id);
+            }
+            WireFrame::Error { job_id, reason } => {
+                body.push(TYPE_ERROR);
+                put_u64(&mut body, *job_id);
+                put_str(&mut body, reason);
+            }
+        }
+        let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// The frame's job correlation id.
+    pub fn job_id(&self) -> u64 {
+        match self {
+            WireFrame::JobOpen { job_id, .. }
+            | WireFrame::SampleBlock { job_id, .. }
+            | WireFrame::ReportRequest { job_id }
+            | WireFrame::PartialReport { job_id, .. }
+            | WireFrame::FinalReport { job_id, .. }
+            | WireFrame::JobClose { job_id }
+            | WireFrame::Error { job_id, .. } => *job_id,
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Report body layout: name, pass flag, three `f64` summary levels,
+/// total violation count, capped violation list, truncation flag —
+/// exactly the public fields of [`MaskReport`], so decode∘encode is
+/// the identity.
+fn put_report(out: &mut Vec<u8>, r: &MaskReport) {
+    put_str(out, &r.mask_name);
+    out.push(u8::from(r.passed));
+    put_f64(out, r.worst_margin_db);
+    put_f64(out, r.worst_frequency_hz);
+    put_f64(out, r.reference_db);
+    put_u64(out, r.violation_count as u64);
+    put_u32(out, r.violations.len() as u32);
+    for v in &r.violations {
+        put_f64(out, v.frequency);
+        put_f64(out, v.measured_dbc);
+        put_f64(out, v.limit_dbc);
+    }
+    out.push(u8::from(r.truncated));
+}
+
+/// Bounded cursor over one frame body. Every read is checked; running
+/// off the end is a typed [`BistError::Wire`], never a slice panic.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BistError> {
+        if self.remaining() < n {
+            return Err(BistError::Wire {
+                reason: format!(
+                    "frame body truncated: needed {n} more byte(s), {} left",
+                    self.remaining()
+                ),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, BistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, BistError> {
+        let mut a = [0u8; 4];
+        a.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    fn u64(&mut self) -> Result<u64, BistError> {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f64(&mut self) -> Result<f64, BistError> {
+        let mut a = [0u8; 8];
+        a.copy_from_slice(self.take(8)?);
+        Ok(f64::from_le_bytes(a))
+    }
+
+    fn string(&mut self) -> Result<String, BistError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| BistError::Wire {
+            reason: format!("string field is not valid UTF-8 ({n} bytes)"),
+        })
+    }
+
+    fn flag(&mut self) -> Result<bool, BistError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(BistError::Wire {
+                reason: format!("boolean field holds {other}, expected 0 or 1"),
+            }),
+        }
+    }
+
+    fn finish(self) -> Result<(), BistError> {
+        if self.remaining() != 0 {
+            return Err(BistError::Wire {
+                reason: format!("{} trailing byte(s) after frame body", self.remaining()),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn read_report(r: &mut Reader<'_>) -> Result<MaskReport, BistError> {
+    let mask_name = r.string()?;
+    let passed = r.flag()?;
+    let worst_margin_db = r.f64()?;
+    let worst_frequency_hz = r.f64()?;
+    let reference_db = r.f64()?;
+    let violation_count = r.u64()? as usize;
+    let listed = r.u32()? as usize;
+    if listed > violation_count {
+        return Err(BistError::Wire {
+            reason: format!(
+                "report lists {listed} violations but claims only {violation_count} total"
+            ),
+        });
+    }
+    if listed * 24 > r.remaining() {
+        return Err(BistError::Wire {
+            reason: format!(
+                "violation list claims {listed} entries but only {} byte(s) remain",
+                r.remaining()
+            ),
+        });
+    }
+    let mut violations = Vec::with_capacity(listed);
+    for _ in 0..listed {
+        violations.push(MaskViolation {
+            frequency: r.f64()?,
+            measured_dbc: r.f64()?,
+            limit_dbc: r.f64()?,
+        });
+    }
+    let truncated = r.flag()?;
+    Ok(MaskReport {
+        mask_name,
+        passed,
+        worst_margin_db,
+        worst_frequency_hz,
+        reference_db,
+        violation_count,
+        violations,
+        truncated,
+    })
+}
+
+/// Decodes one complete frame body (the bytes after the length
+/// prefix) into a [`WireFrame`].
+fn decode_body(body: &[u8]) -> Result<WireFrame, BistError> {
+    let mut r = Reader::new(body);
+    let kind = r.u8()?;
+    let frame = match kind {
+        TYPE_JOB_OPEN => WireFrame::JobOpen {
+            job_id: r.u64()?,
+            standard: r.string()?,
+        },
+        TYPE_SAMPLE_BLOCK => {
+            let job_id = r.u64()?;
+            let n = r.u32()? as usize;
+            if n * 8 != r.remaining() {
+                return Err(BistError::Wire {
+                    reason: format!(
+                        "sample block claims {n} samples but carries {} byte(s)",
+                        r.remaining()
+                    ),
+                });
+            }
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                samples.push(r.f64()?);
+            }
+            WireFrame::SampleBlock { job_id, samples }
+        }
+        TYPE_REPORT_REQUEST => WireFrame::ReportRequest { job_id: r.u64()? },
+        TYPE_PARTIAL_REPORT => WireFrame::PartialReport {
+            job_id: r.u64()?,
+            segments: r.u64()?,
+            report: read_report(&mut r)?,
+        },
+        TYPE_FINAL_REPORT => WireFrame::FinalReport {
+            job_id: r.u64()?,
+            report: read_report(&mut r)?,
+        },
+        TYPE_JOB_CLOSE => WireFrame::JobClose { job_id: r.u64()? },
+        TYPE_ERROR => WireFrame::Error {
+            job_id: r.u64()?,
+            reason: r.string()?,
+        },
+        other => {
+            return Err(BistError::Wire {
+                reason: format!("unknown frame type 0x{other:02x}"),
+            })
+        }
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Incremental frame decoder: feed it transport chunks of any size
+/// and drain complete frames as they materialize.
+///
+/// A decode error is sticky for the byte stream — framing is lost
+/// once a length prefix lies — so callers should drop the connection
+/// after the first [`BistError::Wire`].
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw transport bytes to the internal buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decodes the next complete frame, `Ok(None)` when more bytes
+    /// are needed, `Err` on a malformed frame.
+    pub fn try_next_frame(&mut self) -> Result<Option<WireFrame>, BistError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let mut a = [0u8; 4];
+        a.copy_from_slice(&self.buf[..HEADER_LEN]);
+        let len = u32::from_le_bytes(a) as usize;
+        if len == 0 {
+            return Err(BistError::Wire {
+                reason: "frame length 0 cannot hold a type byte".into(),
+            });
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(BistError::Wire {
+                reason: format!("frame length {len} exceeds limit {MAX_FRAME_LEN}"),
+            });
+        }
+        if self.buf.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let frame = decode_body(&self.buf[HEADER_LEN..HEADER_LEN + len])?;
+        self.buf.drain(..HEADER_LEN + len);
+        Ok(Some(frame))
+    }
+}
+
+/// One job's verdict session over the wire protocol: owns the
+/// borrowed [`StreamingMaskScan`] and translates inbound frames into
+/// scan operations and outbound report frames.
+///
+/// The scan borrows its engine and scratch, so the session is scoped
+/// the same way:
+///
+/// ```ignore
+/// let mut scratch = StreamScratch::new();
+/// let scan = engine.stream(&mut scratch, None);
+/// let mut session = WireVerdictSession::new(job_id, scan);
+/// while let Some(frame) = decoder.try_next_frame()? { /* … */ }
+/// let final_frame = session.try_close()?;
+/// ```
+pub struct WireVerdictSession<'a> {
+    job_id: u64,
+    scan: StreamingMaskScan<'a>,
+}
+
+impl<'a> WireVerdictSession<'a> {
+    /// Binds a streaming scan to a wire job id.
+    pub fn new(job_id: u64, scan: StreamingMaskScan<'a>) -> Self {
+        WireVerdictSession { job_id, scan }
+    }
+
+    /// The session's job id.
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// Whether the scan's early-verdict policy has already stopped
+    /// the capture (further sample blocks are ignored).
+    pub fn early_stopped(&self) -> bool {
+        self.scan.early_stopped()
+    }
+
+    /// Handles one inbound frame, returning the outbound response
+    /// frame when the protocol calls for one.
+    ///
+    /// `SampleBlock` feeds the scan (no response); `ReportRequest`
+    /// yields a `PartialReport` once at least one Welch segment is
+    /// complete. Frames for a different job, or frame types that only
+    /// flow worker→caller, are protocol violations and return a
+    /// [`BistError::Wire`].
+    pub fn try_handle(&mut self, frame: &WireFrame) -> Result<Option<WireFrame>, BistError> {
+        if frame.job_id() != self.job_id {
+            return Err(BistError::Wire {
+                reason: format!(
+                    "frame for job {} routed to session for job {}",
+                    frame.job_id(),
+                    self.job_id
+                ),
+            });
+        }
+        match frame {
+            WireFrame::SampleBlock { samples, .. } => {
+                let _: ScanFeed = self.scan.push(samples);
+                Ok(None)
+            }
+            WireFrame::ReportRequest { .. } => match self.scan.partial_report() {
+                Some(report) => Ok(Some(WireFrame::PartialReport {
+                    job_id: self.job_id,
+                    segments: self.scan.segments_completed() as u64,
+                    report,
+                })),
+                None => Err(BistError::Wire {
+                    reason: format!(
+                        "partial report requested for job {} before any Welch \
+                         segment completed",
+                        self.job_id
+                    ),
+                }),
+            },
+            WireFrame::JobOpen { .. } => Err(BistError::Wire {
+                reason: format!("job {} is already open", self.job_id),
+            }),
+            WireFrame::JobClose { .. } => Err(BistError::Wire {
+                reason: "JobClose must go through try_close (it consumes the session)".into(),
+            }),
+            WireFrame::PartialReport { .. }
+            | WireFrame::FinalReport { .. }
+            | WireFrame::Error { .. } => Err(BistError::Wire {
+                reason: "report/error frames flow worker to caller, not inbound".into(),
+            }),
+        }
+    }
+
+    /// Finishes the scan and returns the `FinalReport` frame.
+    pub fn try_close(self) -> Result<WireFrame, BistError> {
+        let job_id = self.job_id;
+        let report = self.scan.try_finish()?;
+        Ok(WireFrame::FinalReport { job_id, report })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report(violations: usize) -> MaskReport {
+        MaskReport {
+            mask_name: "gsm-like-270k".into(),
+            passed: violations == 0,
+            worst_margin_db: if violations == 0 { 4.25 } else { -1.5 },
+            worst_frequency_hz: 100.4e6,
+            reference_db: -38.7,
+            violation_count: violations,
+            violations: (0..violations)
+                .map(|i| MaskViolation {
+                    frequency: 100.0e6 + i as f64 * 1.0e5,
+                    measured_dbc: -30.0 - i as f64,
+                    limit_dbc: -33.0,
+                })
+                .collect(),
+            truncated: false,
+        }
+    }
+
+    fn all_frames() -> Vec<WireFrame> {
+        vec![
+            WireFrame::JobOpen {
+                job_id: 7,
+                standard: "lte5-like".into(),
+            },
+            WireFrame::SampleBlock {
+                job_id: 7,
+                samples: vec![0.0, -1.25, 3.5e-3, f64::MIN_POSITIVE],
+            },
+            WireFrame::ReportRequest { job_id: 7 },
+            WireFrame::PartialReport {
+                job_id: 7,
+                segments: 3,
+                report: sample_report(2),
+            },
+            WireFrame::FinalReport {
+                job_id: 7,
+                report: sample_report(0),
+            },
+            WireFrame::JobClose { job_id: 7 },
+            WireFrame::Error {
+                job_id: 7,
+                reason: "capture too short".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in all_frames() {
+            let bytes = frame.encode();
+            let mut dec = FrameDecoder::new();
+            dec.feed(&bytes);
+            let back = dec.try_next_frame().expect("decode").expect("complete");
+            assert_eq!(back, frame);
+            assert_eq!(dec.buffered(), 0);
+            assert!(dec.try_next_frame().expect("idle decode").is_none());
+        }
+    }
+
+    #[test]
+    fn decoder_handles_one_byte_chunking_and_concatenation() {
+        let frames = all_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in stream {
+            dec.feed(&[b]);
+            while let Some(f) = dec.try_next_frame().expect("decode") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_are_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&0u32.to_le_bytes());
+        let err = dec.try_next_frame().expect_err("zero length");
+        assert!(matches!(err, BistError::Wire { .. }), "{err}");
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&u32::MAX.to_le_bytes());
+        let err = dec.try_next_frame().expect_err("oversized length");
+        assert!(err.to_string().contains("exceeds limit"), "{err}");
+    }
+
+    #[test]
+    fn unknown_type_and_truncated_body_are_typed_errors() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&1u32.to_le_bytes());
+        dec.feed(&[0x7f]);
+        let err = dec.try_next_frame().expect_err("unknown type");
+        assert!(err.to_string().contains("unknown frame type 0x7f"), "{err}");
+
+        // a SampleBlock whose sample count lies about the body size
+        let mut body = vec![TYPE_SAMPLE_BLOCK];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&100u32.to_le_bytes()); // claims 100 samples, carries none
+        let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        let err = dec.try_next_frame().expect_err("short body");
+        assert!(err.to_string().contains("claims 100 samples"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_inside_a_frame_is_rejected() {
+        let mut bytes = WireFrame::JobClose { job_id: 1 }.encode();
+        // grow the length prefix by one and append a stray byte
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) + 1;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        bytes.push(0xAA);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        let err = dec.try_next_frame().expect_err("trailing byte");
+        assert!(err.to_string().contains("trailing byte"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_violation_counts_are_rejected() {
+        let mut report = sample_report(1);
+        report.violation_count = 0; // fewer than the listed violations
+        let frame = WireFrame::FinalReport { job_id: 3, report };
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame.encode());
+        let err = dec.try_next_frame().expect_err("bad counts");
+        assert!(err.to_string().contains("claims only 0 total"), "{err}");
+    }
+
+    #[test]
+    fn non_utf8_standard_name_is_rejected() {
+        let mut body = vec![TYPE_JOB_OPEN];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&2u32.to_le_bytes());
+        body.extend_from_slice(&[0xff, 0xfe]);
+        let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        let err = dec.try_next_frame().expect_err("bad utf8");
+        assert!(err.to_string().contains("not valid UTF-8"), "{err}");
+    }
+}

@@ -31,8 +31,9 @@ pub struct IqImbalance {
 }
 
 impl IqImbalance {
-    /// Creates an imbalance spec. `lo_leakage_dbc` of `-inf` disables
-    /// leakage.
+    /// Creates an imbalance spec from the gain mismatch `gain_db`
+    /// (dB), the phase mismatch `phase_deg` (degrees) and the LO
+    /// leakage `lo_leakage_dbc` (dBc; `-inf` disables leakage).
     pub fn new(gain_db: f64, phase_deg: f64, lo_leakage_dbc: f64) -> Self {
         IqImbalance {
             gain_db,

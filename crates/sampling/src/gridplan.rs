@@ -620,6 +620,66 @@ impl PnbsGridPlan {
             })
     }
 
+    /// Reconstructs every `stride`-th [`GRID_BLOCK_LEN`]-point block
+    /// of the `n`-point grid, starting at block `offset`, calling
+    /// `emit(block_index, &mut block)` for each. This is the single
+    /// producer body shared by the scoped workers of
+    /// [`try_stream_blocks_parallel`](Self::try_stream_blocks_parallel)
+    /// and the persistent workers of the `rfbist-core` verdict
+    /// service: one worker runs `(offset = w, stride = workers)` and
+    /// the union over workers covers the grid exactly once.
+    ///
+    /// `emit` receives the block through `&mut Vec<f64>` so a
+    /// consumer can `mem::swap` it against a recycled buffer —
+    /// steady state stays allocation-free — and returns `false` to
+    /// stop the walk early. Blocks re-seed exactly, so
+    /// `(offset = 0, stride = 1)` emits bit-identical blocks to
+    /// [`reconstruct_blocks`](Self::reconstruct_blocks).
+    ///
+    /// Returns the number of blocks emitted, or `None` when the grid
+    /// is not fully inside the capture's coverage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive or `stride` is zero — caller
+    /// bugs, not runtime faults.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_produce_blocks_strided<F: FnMut(usize, &mut Vec<f64>) -> bool>(
+        &self,
+        capture: &NonuniformCapture,
+        t0: f64,
+        step: f64,
+        n: usize,
+        offset: usize,
+        stride: usize,
+        scratch: &mut GridScratch,
+        mut emit: F,
+    ) -> Option<usize> {
+        assert!(step > 0.0, "grid step must be positive");
+        assert!(stride > 0, "stride must be positive");
+        if n == 0 {
+            return Some(0);
+        }
+        let (first_n, span) = self.grid_sample_span(capture, t0, step, n)?;
+        let h = self.plan.half_taps as i64;
+        self.fill_sample_tables(capture, first_n, span, first_n + h, scratch);
+        let nblocks = n.div_ceil(GRID_BLOCK_LEN);
+        let mut produced = 0usize;
+        let mut idx = offset;
+        while idx < nblocks {
+            let i_start = idx * GRID_BLOCK_LEN;
+            let len = (n - i_start).min(GRID_BLOCK_LEN);
+            scratch.out.clear();
+            self.walk_span_dispatched(capture, t0, step, i_start, len, first_n, scratch);
+            produced += 1;
+            if !emit(idx, &mut scratch.out) {
+                break;
+            }
+            idx += stride;
+        }
+        Some(produced)
+    }
+
     /// Drives `consume(block_index, block)` over every
     /// [`GRID_BLOCK_LEN`]-point block of the grid **in index order**,
     /// reconstructing blocks on `workers` scoped producer threads —
@@ -690,9 +750,9 @@ impl PnbsGridPlan {
         if n == 0 {
             return Ok(Some(0));
         }
-        let Some(span) = self.grid_sample_span(capture, t0, step, n) else {
+        if self.grid_sample_span(capture, t0, step, n).is_none() {
             return Ok(None);
-        };
+        }
         let nblocks = n.div_ceil(GRID_BLOCK_LEN);
         let workers = workers.min(nblocks);
         let stop = AtomicBool::new(false);
@@ -708,44 +768,43 @@ impl PnbsGridPlan {
             for w in 0..workers {
                 let tx = tx.clone();
                 let (stop, pool, fault) = (&stop, &pool, &fault);
-                let (first_n, span) = span;
                 scope.spawn(move || {
                     let body = catch_unwind(AssertUnwindSafe(|| {
                         let mut scratch = GridScratch::new();
-                        let h = self.plan.half_taps as i64;
-                        self.fill_sample_tables(capture, first_n, span, first_n + h, &mut scratch);
-                        // Static round-robin: uniform per-block cost makes
+                        // Static round-robin over the shared strided
+                        // producer body: uniform per-block cost makes
                         // it within a few percent of optimal (the
                         // rfbist-bench chunked-sweep argument).
-                        let mut idx = w;
-                        while idx < nblocks && !stop.load(Ordering::Relaxed) {
-                            let i_start = idx * GRID_BLOCK_LEN;
-                            let len = (n - i_start).min(GRID_BLOCK_LEN);
-                            scratch.out.clear();
-                            self.walk_span_dispatched(
-                                capture,
-                                t0,
-                                step,
-                                i_start,
-                                len,
-                                first_n,
-                                &mut scratch,
-                            );
-                            let mut guard = lock_unpoisoned(pool);
-                            if chaos::take_producer_panic() {
-                                // Deliberately panic while holding the
-                                // pool lock so the poison-recovery path
-                                // is exercised, not just catch_unwind.
-                                panic!("chaos: injected producer panic in worker {w}");
-                            }
-                            let mut buf = guard.pop().unwrap_or_default();
-                            drop(guard);
-                            std::mem::swap(&mut buf, &mut scratch.out);
-                            if tx.send((idx, buf)).is_err() {
-                                break; // consumer hung up after an early stop
-                            }
-                            idx += workers;
-                        }
+                        // Coverage was validated before spawning, so
+                        // the walk cannot return `None` here.
+                        let _ = self.try_produce_blocks_strided(
+                            capture,
+                            t0,
+                            step,
+                            n,
+                            w,
+                            workers,
+                            &mut scratch,
+                            |idx, out| {
+                                if stop.load(Ordering::Relaxed) {
+                                    return false;
+                                }
+                                let mut guard = lock_unpoisoned(pool);
+                                if chaos::take_producer_panic() {
+                                    // Deliberately panic while holding
+                                    // the pool lock so the
+                                    // poison-recovery path is
+                                    // exercised, not just catch_unwind.
+                                    panic!("chaos: injected producer panic in worker {w}");
+                                }
+                                let mut buf = guard.pop().unwrap_or_default();
+                                drop(guard);
+                                std::mem::swap(&mut buf, out);
+                                // `false` on send failure: the
+                                // consumer hung up after an early stop.
+                                tx.send((idx, buf)).is_ok()
+                            },
+                        );
                     }));
                     if let Err(payload) = body {
                         let detail = if let Some(s) = payload.downcast_ref::<&str>() {
@@ -1124,6 +1183,97 @@ mod tests {
         // blocks start on re-seed boundaries, so the feed is
         // bit-identical to the monolithic walk — not just close
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn strided_producer_with_unit_stride_matches_monolithic_grid() {
+        let tone = Tone::unit(0.98e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, -50, 350);
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let (t0, step, n) = (0.6e-6, 2.5e-10, 2000);
+        let mut scratch = GridScratch::new();
+        let want = plan
+            .reconstruct_grid(&cap, t0, step, n, &mut scratch)
+            .to_vec();
+        let mut got = Vec::new();
+        let mut next_idx = 0usize;
+        let mut stride_scratch = GridScratch::new();
+        let blocks = plan
+            .try_produce_blocks_strided(&cap, t0, step, n, 0, 1, &mut stride_scratch, |idx, out| {
+                assert_eq!(idx, next_idx, "unit stride walks blocks in order");
+                next_idx += 1;
+                got.extend_from_slice(out);
+                true
+            })
+            .expect("grid is inside coverage");
+        assert_eq!(blocks, n.div_ceil(GRID_BLOCK_LEN));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn strided_producers_partition_the_grid_exactly_once() {
+        let tone = Tone::unit(0.98e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, -50, 350);
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let (t0, step, n) = (0.6e-6, 2.5e-10, 2000);
+        let mut scratch = GridScratch::new();
+        let want = plan
+            .reconstruct_grid(&cap, t0, step, n, &mut scratch)
+            .to_vec();
+        let stride = 3usize;
+        let mut got = vec![f64::NAN; n];
+        let mut total_blocks = 0usize;
+        for offset in 0..stride {
+            let mut worker_scratch = GridScratch::new();
+            total_blocks += plan
+                .try_produce_blocks_strided(
+                    &cap,
+                    t0,
+                    step,
+                    n,
+                    offset,
+                    stride,
+                    &mut worker_scratch,
+                    |idx, out| {
+                        assert_eq!(idx % stride, offset, "block {idx} on wrong worker");
+                        let lo = idx * GRID_BLOCK_LEN;
+                        for (slot, &v) in got[lo..lo + out.len()].iter_mut().zip(out.iter()) {
+                            assert!(slot.is_nan(), "block {idx} emitted twice");
+                            *slot = v;
+                        }
+                        true
+                    },
+                )
+                .expect("grid is inside coverage");
+        }
+        assert_eq!(total_blocks, n.div_ceil(GRID_BLOCK_LEN));
+        // the union of the strided walks is the monolithic grid,
+        // bit-identical — every point written exactly once
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn strided_producer_early_stop_and_swap_are_supported() {
+        let tone = Tone::unit(0.98e9);
+        let cap = NonuniformCapture::from_signal(&tone, 1.0 / B, D, -50, 350);
+        let plan = PnbsGridPlan::new(band(), D, 61, Window::Kaiser(8.0));
+        let (t0, step, n) = (0.6e-6, 2.5e-10, 2000);
+        let mut scratch = GridScratch::new();
+        let mut stolen: Vec<Vec<f64>> = Vec::new();
+        let blocks = plan
+            .try_produce_blocks_strided(&cap, t0, step, n, 0, 1, &mut scratch, |_, out| {
+                let mut buf = Vec::new();
+                std::mem::swap(&mut buf, out);
+                stolen.push(buf);
+                stolen.len() < 3
+            })
+            .expect("grid is inside coverage");
+        assert_eq!(blocks, 3, "emit returning false stops the walk");
+        assert!(stolen.iter().all(|b| b.len() == GRID_BLOCK_LEN));
+        // out-of-coverage grids still surface as None
+        assert!(plan
+            .try_produce_blocks_strided(&cap, -1.0, 1e-9, 8, 0, 1, &mut scratch, |_, _| true)
+            .is_none());
     }
 
     #[test]

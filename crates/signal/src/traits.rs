@@ -34,6 +34,12 @@ impl<S: ContinuousSignal + ?Sized> ContinuousSignal for Box<S> {
     }
 }
 
+impl<S: ContinuousSignal + ?Sized> ContinuousSignal for std::sync::Arc<S> {
+    fn eval(&self, t: f64) -> f64 {
+        (**self).eval(t)
+    }
+}
+
 /// A complex baseband envelope `a(t) = I(t) + jQ(t)` defined for all time.
 pub trait ComplexEnvelope {
     /// Evaluates the envelope at time `t` (seconds).

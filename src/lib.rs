@@ -67,6 +67,10 @@ pub mod prelude {
     pub use rfbist_core::scan::{
         EarlyVerdict, MaskScanEngine, MaskScanScratch, ScanFeed, StreamScratch,
     };
+    pub use rfbist_core::service::{
+        try_campaign_jobs, DutSpec, ServiceConfig, VerdictJob, VerdictOutcome, VerdictService,
+    };
+    pub use rfbist_core::wire::{FrameDecoder, WireFrame, WireVerdictSession};
     pub use rfbist_rfchain::faults::{gross_fault_set, standard_fault_set, Fault, FaultKind};
     pub use rfbist_rfchain::impairments::TxImpairments;
     pub use rfbist_rfchain::iqmod::IqImbalance;

@@ -289,6 +289,61 @@ fn gridplan_surfaces_worker_panics_and_recovers_after_poison() {
     assert_eq!(got, want);
 }
 
+#[test]
+fn service_jobs_recover_from_producer_panics_with_identical_verdicts() {
+    let _guard = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // a service job whose verdict itself runs the parallel block
+    // producers: PR-7's in-verdict recovery must compose with the
+    // pool's job-level supervision
+    let mut cfg = chaos_config();
+    cfg.stream_workers = 2;
+    let job = |job_id| VerdictJob {
+        job_id,
+        dut: 0,
+        standard: "qpsk-10msym-srrc0.5".into(),
+        config: cfg.clone(),
+        mask: paper_mask(),
+        stimulus: std::sync::Arc::new(paper_tx(TxImpairments::typical()).rf_output()),
+        reference: None,
+    };
+    let mut svc =
+        VerdictService::try_start(ServiceConfig::paper_default().with_workers(1)).expect("start");
+
+    chaos::arm_producer_panics(0);
+    let clean = svc.try_run_all(vec![job(0)]).expect("pool alive");
+    let clean = clean[0].result.as_ref().expect("clean job");
+    assert!(clean.stream_recovery.is_none());
+
+    // one injected producer panic inside the verdict: the engine's
+    // parallel retry absorbs it — the service never even sees a panic
+    chaos::arm_producer_panics(1);
+    let recovered = svc.try_run_all(vec![job(1)]).expect("pool alive");
+    chaos::arm_producer_panics(0);
+    let outcome = &recovered[0];
+    assert_eq!(outcome.attempts, 1, "recovery happens inside the verdict");
+    assert!(!outcome.recovered_panic);
+    let report = outcome.result.as_ref().expect("recovered job");
+    assert_eq!(report.stream_recovery, Some(StreamRecovery::ParallelRetry));
+    assert_eq!(report.mask, clean.mask);
+    assert_eq!(report.reconstruction_error, clean.reconstruction_error);
+
+    // persistent producer panics: the verdict degrades to the
+    // sequential feed, still bit-identical, still attempt #1
+    chaos::arm_producer_panics(1_000_000);
+    let degraded = svc.try_run_all(vec![job(2)]).expect("pool alive");
+    chaos::arm_producer_panics(0);
+    let outcome = &degraded[0];
+    assert_eq!(outcome.attempts, 1);
+    let report = outcome.result.as_ref().expect("degraded job");
+    assert_eq!(
+        report.stream_recovery,
+        Some(StreamRecovery::SequentialFallback)
+    );
+    assert_eq!(report.mask, clean.mask);
+    assert_eq!(report.reconstruction_error, clean.reconstruction_error);
+    svc.shutdown();
+}
+
 /// A 2-standard, 1-trial, 1-jitter, gross-faults-only campaign: small
 /// enough for an integration test, real enough to cross a cell
 /// boundary (the checkpoint unit).
