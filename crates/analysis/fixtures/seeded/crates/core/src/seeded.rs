@@ -77,3 +77,13 @@ fn butterfly(v: &mut [f64], i: usize, j: usize) {
 pub fn set_carrier(carrier_hz: f64) -> f64 {
     carrier_hz
 }
+
+/// Scratch-taking hot path that still allocates a staging buffer per
+/// call instead of reusing the scratch. (scratch-reuse:
+/// alloc-in-hot-path)
+pub fn accumulate_with(wave: &[f64], scratch: &mut Vec<f64>) -> f64 {
+    let staged = wave.to_vec();
+    scratch.clear();
+    scratch.extend_from_slice(&staged);
+    scratch.iter().sum()
+}

@@ -5,6 +5,7 @@
 pub mod guarded_intrinsics;
 pub mod naked_panic;
 pub mod safety_comment;
+pub mod scratch_reuse;
 pub mod typed_parity;
 pub mod unit_discipline;
 

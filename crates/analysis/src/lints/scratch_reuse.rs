@@ -1,0 +1,75 @@
+//! Lint 6 — **scratch reuse**: the `*_with(.., scratch)` entry points
+//! exist precisely so steady-state callers pay zero allocation; an
+//! allocation inside one of those bodies silently re-introduces the
+//! per-call heap traffic the scratch parameter was added to remove.
+//! The rule audits the typed-error crates (the hot pipeline), flags
+//! allocating expressions on non-test lines of any function whose
+//! name ends in `_with` and takes a `scratch` parameter, and accepts
+//! a waiver when the allocation is genuinely once-per-call by design.
+
+use crate::findings::Finding;
+use crate::registry::{has_typed_error_contract, Lint};
+use crate::scanner::SourceFile;
+
+/// Expressions that allocate. Token-level on masked code, so strings
+/// and comments never match. `.collect()` covers the iterator path;
+/// `with_capacity(`/`vec![`/`Vec::new(`/`Box::new(` cover the direct
+/// constructors; `.to_vec()` covers slice cloning.
+const ALLOC_TOKENS: &[&str] = &[
+    "Vec::new(",
+    "vec![",
+    "with_capacity(",
+    "Box::new(",
+    ".to_vec(",
+    ".collect(",
+];
+
+pub struct ScratchReuse;
+
+impl Lint for ScratchReuse {
+    fn name(&self) -> &'static str {
+        "scratch-reuse"
+    }
+
+    fn description(&self) -> &'static str {
+        "allocation inside a *_with(.., scratch) hot path — reuse the caller's scratch instead"
+    }
+
+    fn applies_to(&self, rel_path: &str) -> bool {
+        has_typed_error_contract(rel_path)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for f in &file.fns {
+            if !f.name.ends_with("_with") || !f.params.iter().any(|(n, _)| n == "scratch") {
+                continue;
+            }
+            let Some((lo, hi)) = f.body else { continue };
+            for line in lo..=hi {
+                if file.is_test_line(line) {
+                    continue;
+                }
+                let Some(code) = file.code.get(line) else {
+                    continue;
+                };
+                for token in ALLOC_TOKENS {
+                    if code.contains(token) {
+                        out.push(Finding {
+                            lint: "scratch-reuse".to_string(),
+                            file: file.rel_path.clone(),
+                            line: line + 1,
+                            symbol: f.name.clone(),
+                            slug: "alloc-in-hot-path".to_string(),
+                            message: format!(
+                                "`{token}` inside `{}` — a scratch-taking hot path must not \
+                                 allocate; grow the scratch struct or hoist the buffer to the \
+                                 caller",
+                                f.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

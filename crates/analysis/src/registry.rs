@@ -46,7 +46,7 @@ pub fn has_typed_error_contract(rel_path: &str) -> bool {
     rel_path.starts_with("crates/core/src/") || rel_path.starts_with("crates/sampling/src/")
 }
 
-/// The default registry: the five shipped design rules.
+/// The default registry: the six shipped design rules.
 pub fn default_lints() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(lints::typed_parity::TypedErrorParity),
@@ -54,6 +54,7 @@ pub fn default_lints() -> Vec<Box<dyn Lint>> {
         Box::new(lints::guarded_intrinsics::GuardedIntrinsics),
         Box::new(lints::naked_panic::NakedPanic),
         Box::new(lints::unit_discipline::UnitDiscipline),
+        Box::new(lints::scratch_reuse::ScratchReuse),
     ]
 }
 

@@ -402,6 +402,66 @@ pub fn set_bins(bins_hz: usize) -> usize {
     );
 }
 
+// ---------------------------------------------------------------- lint 6
+
+#[test]
+fn scratch_reuse_flags_allocation_in_scratch_hot_path() {
+    let f = lint(
+        CORE,
+        r#"
+pub fn scan_with(wave: &[f64], scratch: &mut Vec<f64>) -> f64 {
+    let staged: Vec<f64> = wave.iter().map(|x| x * x).collect();
+    scratch.clear();
+    scratch.extend_from_slice(&staged);
+    scratch.iter().sum()
+}
+"#,
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.lint == "scratch-reuse" && x.slug == "alloc-in-hot-path"),
+        "expected alloc-in-hot-path, got {:?}",
+        slugs(&f)
+    );
+}
+
+#[test]
+fn scratch_reuse_ignores_clean_paths_other_fns_and_other_crates() {
+    // A scratch-taking hot path that only reuses its scratch passes.
+    let clean = lint(
+        CORE,
+        r#"
+pub fn scan_with(wave: &[f64], scratch: &mut Vec<f64>) -> f64 {
+    scratch.clear();
+    scratch.extend_from_slice(wave);
+    scratch.iter().sum()
+}
+
+pub fn build_plan(n: usize) -> Vec<f64> {
+    // Constructors allocate by design — no scratch param, no finding.
+    Vec::with_capacity(n)
+}
+"#,
+    );
+    assert!(
+        !clean.iter().any(|x| x.lint == "scratch-reuse"),
+        "clean scratch path + constructor must pass, got {:?}",
+        slugs(&clean)
+    );
+    // Outside the typed-error crates the rule does not apply at all.
+    let dsp = lint(
+        DSP,
+        r#"
+pub fn scan_with(wave: &[f64], scratch: &mut Vec<f64>) -> f64 {
+    let staged = wave.to_vec();
+    scratch.extend_from_slice(&staged);
+    scratch.iter().sum()
+}
+"#,
+    );
+    assert!(dsp.iter().all(|x| x.lint != "scratch-reuse"));
+}
+
 // ------------------------------------------------------- baseline logic
 
 fn sample_findings() -> Vec<Finding> {
@@ -552,6 +612,7 @@ fn seeded_fixture_fails_with_every_lint_represented() {
         "guarded-intrinsics",
         "naked-panic",
         "unit-discipline",
+        "scratch-reuse",
     ] {
         assert!(
             stdout.contains(&format!("[{lint_name}]")),

@@ -27,8 +27,13 @@
 //! 4. **grid_reconstruct** — the analysis-grid workload of
 //!    `BistEngine::run` (~12288 uniform points at 4 GHz): the
 //!    per-point planned batch vs the grid-aware plan
-//!    (`PnbsGridPlan::reconstruct_grid`, cross-point rotor reuse).
-//!    Asserted ≥ 2× (full) / ≥ 1.5× (quick) at ≤ 1e-9 NRMSE.
+//!    (`PnbsGridPlan::reconstruct_grid`, cross-point rotor reuse and
+//!    the runtime-dispatched SIMD walk kernels). Asserted ≥ 2× (full)
+//!    / ≥ 1.5× (quick) at ≤ 1e-9 NRMSE everywhere — the rotor-reuse
+//!    win the scalar walk already banks — and ≥ 5.5× (full) / ≥ 4×
+//!    (quick) where the AVX2/AVX-512+FMA walk kernels can dispatch
+//!    (the mask_scan-style feature gate; the ratio is reported either
+//!    way on scalar hardware or under `RFBIST_FORCE_SCALAR`).
 //! 5. **mask_scan** — one spectral-mask verdict, FFT-Welch vs the
 //!    banked Goertzel scan. The speedup floor is asserted only when
 //!    the AVX2+FMA kernels can dispatch (on plain SSE2/NEON the bank
@@ -40,9 +45,11 @@
 //!    engine-held scratch), plus the parallel-producer feed and the
 //!    early-exit case on a grossly failing unit. Verdict agreement is
 //!    asserted everywhere (the paths are bit-identical by
-//!    construction); the sequential stream must stay within ~15–20 %
-//!    of the batch (floor 0.8× quick / 0.85× full — on one core it
-//!    sits near 0.95×, paying L1 interleaving between walk and scan),
+//!    construction); the sequential stream must no longer regress
+//!    below the batch (floor 0.9× quick / 0.95× full — with the Welch
+//!    window folded inside the banked pass the streamed verdict sits
+//!    at ~0.95–1.0× of a batch that additionally pays per-verdict
+//!    allocation and scanner construction),
 //!    the early exit must beat the batch outright (SIMD-free and
 //!    core-count-free — reconstruction stops at the first completed
 //!    segment), and the parallel feed must beat it ≥ 1.2× wherever ≥ 2
@@ -851,12 +858,15 @@ fn main() {
         grid.reference_ns / grid.planned_ns
     );
     // Grid-reconstruct contracts: the grid-aware plan must agree with
-    // the per-point plan on the analysis-grid workload and more than
-    // halve its cost (full mode; quick mode gets noise headroom on
-    // shared runners). These are not SIMD-dependent — both paths are
-    // scalar — so they hold unconditionally; in CI the smoke only runs
-    // on the AVX2-capable default job regardless (the scalar-flags job
-    // runs the test suite alone).
+    // the per-point plan on the analysis-grid workload, and two floors
+    // pin its cost. The scalar floor (rotor reuse + factored tables,
+    // no vector width needed) holds unconditionally; the SIMD floor
+    // pins the runtime-dispatched walk kernels and is asserted only
+    // where they can engage — the mask_scan gate applied to the walk —
+    // with the ratio reported either way on scalar hardware or under
+    // RFBIST_FORCE_SCALAR. A quiet AVX-512 box measures ~8.5–12.5x;
+    // the 5.5x floor leaves room for shared-runner noise while still
+    // catching a kernel that silently falls back to scalar.
     assert!(
         grid_recon.nrmse <= 1e-9,
         "grid plan diverged from the per-point plan: nrmse {}",
@@ -868,6 +878,20 @@ fn main() {
         "grid-reconstruct speedup below the {grid_floor}x floor: {:.2}x",
         grid_recon.per_point_ns / grid_recon.grid_ns
     );
+    let grid_simd_floor = if cfg.quick { 4.0 } else { 5.5 };
+    if scan_simd_available() {
+        assert!(
+            grid_recon.per_point_ns / grid_recon.grid_ns >= grid_simd_floor,
+            "SIMD grid-reconstruct speedup below the {grid_simd_floor}x floor: {:.2}x",
+            grid_recon.per_point_ns / grid_recon.grid_ns
+        );
+    } else {
+        println!(
+            "grid_reconstruct SIMD floor (>= {grid_simd_floor}x) not asserted: no AVX2+FMA \
+             dispatch on this CPU (measured {:.2}x)",
+            grid_recon.per_point_ns / grid_recon.grid_ns
+        );
+    }
     // Mask-scan contracts: the banked Goertzel path must agree with the
     // FFT-Welch reference on the Section V fixture (they probe the same
     // bins, so the budgeted 0.5 dB is ~9 orders of magnitude of
@@ -904,10 +928,10 @@ fn main() {
     // Stream-BIST contracts. Agreement is structural — the block feed
     // reproduces the batch wave bit for bit and the streamed scan the
     // batched scan — so the margin delta must sit at exactly zero
-    // (budgeted 1e-9, the acceptance contract). All stream floors are
-    // SIMD-free: both pipelines run the same scalar reconstruction and
-    // the same (runtime-dispatched) scan kernels, so vector width
-    // cancels out of every ratio.
+    // (budgeted 1e-9, the acceptance contract). The stream floors are
+    // SIMD-*independent*: both pipelines run the same runtime-
+    // dispatched walk and scan kernels (whichever arm the CPU
+    // selects), so vector width cancels out of every ratio.
     assert!(
         stream.verdicts_agree && stream.margin_delta_db <= 1e-9,
         "streamed verdict diverged from batch: agree {}, |Δmargin| {} dB",
@@ -916,12 +940,13 @@ fn main() {
     );
     // The sequential single pass does the same arithmetic as the batch
     // minus the per-verdict allocation, wave materialization and
-    // scanner construction, plus a few percent of L1 working-set
-    // interleaving between the block walk and the scan (measured
-    // ~0.95x on a single shared core). The floor is a guard against
-    // real regressions (a quadratic carry, a per-block table rebuild),
-    // not a tolerance claim.
-    let seq_floor = if cfg.quick { 0.8 } else { 0.85 };
+    // scanner construction; with the Welch window folded inside the
+    // banked pass (no per-chunk staging copy) the streamed verdict no
+    // longer regresses below batch (measured ~0.95–1.0x on a single
+    // shared core). The floor guards against real regressions (a
+    // quadratic carry, a per-block table rebuild, a reintroduced
+    // staging pass), not noise.
+    let seq_floor = if cfg.quick { 0.9 } else { 0.95 };
     assert!(
         stream.batch_ns / stream.stream_ns >= seq_floor,
         "sequential streaming regressed below batch (>{seq_floor}x): {:.2}x",
@@ -999,10 +1024,19 @@ fn main() {
     }
 }
 
-/// Whether the banked Goertzel scan's runtime-dispatched AVX2+FMA
-/// kernels can engage on this CPU — the precondition for the scan's
-/// speedup floor (see `rfbist_dsp::goertzel`).
+/// Whether the runtime-dispatched AVX2+FMA kernels — the banked
+/// Goertzel scan (`rfbist_dsp::goertzel`) and the grid-walk kernels
+/// (`rfbist_sampling::gridplan`) share the dispatch predicate — can
+/// engage in this process: the precondition for the scan and SIMD
+/// grid-reconstruct speedup floors. False under `RFBIST_FORCE_SCALAR`
+/// regardless of hardware.
 fn scan_simd_available() -> bool {
+    if rfbist_dsp::simd::force_scalar() {
+        // RFBIST_FORCE_SCALAR pins every runtime dispatch to the
+        // portable kernels, so the SIMD floors cannot be expressed
+        // even on capable hardware.
+        return false;
+    }
     #[cfg(target_arch = "x86_64")]
     {
         std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")

@@ -13,6 +13,7 @@
 //! signal), and under the eq. (9) conditions has a *unique* minimum on
 //! `]0, m[` — no reference signal required.
 
+use crate::error::BistError;
 use rfbist_dsp::window::Window;
 use rfbist_math::rng::Randomizer;
 use rfbist_sampling::dualrate::DualRateConfig;
@@ -59,15 +60,35 @@ impl DualRateCost {
         num_taps: usize,
         window: Window,
     ) -> Self {
-        assert!(!times.is_empty(), "at least one probe time required");
-        assert!(
-            (1.0 / fast.period() - config.fast_rate()).abs() < 1e-3,
-            "fast capture rate disagrees with config"
-        );
-        assert!(
-            (1.0 / slow.period() - config.slow_rate()).abs() < 1e-3,
-            "slow capture rate disagrees with config"
-        );
+        Self::try_new(fast, slow, config, times, num_taps, window).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`new`](Self::new) in typed form: every contract violation
+    /// surfaces as [`BistError::InvalidConfig`] (with the same message
+    /// the panicking constructor raises) instead of a panic.
+    pub fn try_new(
+        fast: NonuniformCapture,
+        slow: NonuniformCapture,
+        config: DualRateConfig,
+        times: Vec<f64>,
+        num_taps: usize,
+        window: Window,
+    ) -> Result<Self, BistError> {
+        if times.is_empty() {
+            return Err(BistError::InvalidConfig {
+                reason: "at least one probe time required".to_string(),
+            });
+        }
+        if (1.0 / fast.period() - config.fast_rate()).abs() >= 1e-3 {
+            return Err(BistError::InvalidConfig {
+                reason: "fast capture rate disagrees with config".to_string(),
+            });
+        }
+        if (1.0 / slow.period() - config.slow_rate()).abs() >= 1e-3 {
+            return Err(BistError::InvalidConfig {
+                reason: "slow capture rate disagrees with config".to_string(),
+            });
+        }
         let cost = DualRateCost {
             fast,
             slow,
@@ -81,29 +102,18 @@ impl DualRateCost {
         let probe = cost.config.delay().min(cost.config.m_bound() * 0.5);
         let (fast_rec, slow_rec) = cost.reconstructors(probe);
         for &t in &cost.times {
-            assert!(
-                fast_rec.try_reconstruct_at(&cost.fast, t).is_some(),
-                "probe time {t:.3e} s outside fast-capture coverage"
-            );
-            assert!(
-                slow_rec.try_reconstruct_at(&cost.slow, t).is_some(),
-                "probe time {t:.3e} s outside slow-capture coverage"
-            );
+            if fast_rec.try_reconstruct_at(&cost.fast, t).is_none() {
+                return Err(BistError::InvalidConfig {
+                    reason: format!("probe time {t:.3e} s outside fast-capture coverage"),
+                });
+            }
+            if slow_rec.try_reconstruct_at(&cost.slow, t).is_none() {
+                return Err(BistError::InvalidConfig {
+                    reason: format!("probe time {t:.3e} s outside slow-capture coverage"),
+                });
+            }
         }
-        cost
-    }
-
-    /// The probe window shared by every generated schedule: the
-    /// intersection of both captures' paper-configuration (61-tap
-    /// Kaiser) coverage, evaluated at a representative valid delay.
-    /// One definition, so the random and uniform-grid schedules can
-    /// never drift onto different windows.
-    fn probe_window(
-        fast: &NonuniformCapture,
-        slow: &NonuniformCapture,
-        config: &DualRateConfig,
-    ) -> (f64, f64) {
-        Self::try_probe_window(fast, slow, config).unwrap_or_else(|e| panic!("{e}"))
+        Ok(cost)
     }
 
     /// The coverage check behind every probe schedule, in typed form:
@@ -149,11 +159,30 @@ impl DualRateCost {
         n: usize,
         seed: u64,
     ) -> Self {
-        assert!(n > 0, "at least one probe time required");
-        let (lo, hi) = Self::probe_window(&fast, &slow, &config);
+        Self::try_paper_probes(fast, slow, config, n, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`paper_probes`](Self::paper_probes) in typed form: an empty
+    /// schedule or an undersized capture surfaces as a
+    /// [`BistError`] (with the panicking constructor's message)
+    /// instead of a panic.
+    pub fn try_paper_probes(
+        fast: NonuniformCapture,
+        slow: NonuniformCapture,
+        config: DualRateConfig,
+        n: usize,
+        seed: u64,
+    ) -> Result<Self, BistError> {
+        if n == 0 {
+            return Err(BistError::InvalidConfig {
+                reason: "at least one probe time required".to_string(),
+            });
+        }
+        let (lo, hi) = Self::try_probe_window(&fast, &slow, &config)
+            .map_err(|reason| BistError::CaptureTooShort { reason })?;
         let mut rng = Randomizer::from_seed(seed);
         let times = (0..n).map(|_| rng.uniform(lo, hi)).collect();
-        DualRateCost {
+        Ok(DualRateCost {
             fast,
             slow,
             config,
@@ -161,7 +190,7 @@ impl DualRateCost {
             grid: None,
             num_taps: PAPER_PROBE_TAPS,
             window: PAPER_PROBE_WINDOW,
-        }
+        })
     }
 
     /// Uniform-grid probe schedule: `n` probe times at the midpoints of
@@ -182,12 +211,30 @@ impl DualRateCost {
         config: DualRateConfig,
         n: usize,
     ) -> Self {
-        assert!(n > 0, "at least one probe time required");
-        let (lo, hi) = Self::probe_window(&fast, &slow, &config);
+        Self::try_grid_probes(fast, slow, config, n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`grid_probes`](Self::grid_probes) in typed form: an empty
+    /// schedule or an undersized capture surfaces as a
+    /// [`BistError`] (with the panicking constructor's message)
+    /// instead of a panic.
+    pub fn try_grid_probes(
+        fast: NonuniformCapture,
+        slow: NonuniformCapture,
+        config: DualRateConfig,
+        n: usize,
+    ) -> Result<Self, BistError> {
+        if n == 0 {
+            return Err(BistError::InvalidConfig {
+                reason: "at least one probe time required".to_string(),
+            });
+        }
+        let (lo, hi) = Self::try_probe_window(&fast, &slow, &config)
+            .map_err(|reason| BistError::CaptureTooShort { reason })?;
         let step = (hi - lo) / n as f64;
         let t0 = lo + 0.5 * step;
         let times = (0..n).map(|i| t0 + i as f64 * step).collect();
-        DualRateCost {
+        Ok(DualRateCost {
             fast,
             slow,
             config,
@@ -195,7 +242,7 @@ impl DualRateCost {
             grid: Some((t0, step)),
             num_taps: PAPER_PROBE_TAPS,
             window: PAPER_PROBE_WINDOW,
-        }
+        })
     }
 
     /// `Some((t0, step))` when the probe times form a uniform grid (the
@@ -247,6 +294,7 @@ impl DualRateCost {
     /// Candidates are clamped into the open search interval `]0, m[`
     /// with a 0.1 ps margin, so optimizer overshoot cannot hit the
     /// kernel singularities at the interval ends.
+    // analysis: allow(typed-error-parity) — cannot panic: candidates are clamped into ]0, m[ and the `::new` tokens the fixpoint matches are the plan/scratch constructors, not the panicking sibling `new`
     pub fn evaluate(&self, d_hat: f64) -> f64 {
         self.evaluator().eval(d_hat)
     }
@@ -278,6 +326,7 @@ impl DualRateCost {
     /// A reusable evaluator holding the scratch buffers one cost
     /// evaluation needs, so grid sweeps and LMS runs allocate once
     /// instead of per candidate.
+    // analysis: allow(typed-error-parity) — cannot panic: candidates are clamped into ]0, m[ and the `::new` tokens the fixpoint matches are the plan/scratch constructors, not the panicking sibling `new`
     pub fn evaluator(&self) -> CostEvaluator<'_> {
         CostEvaluator {
             cost: self,
@@ -291,6 +340,7 @@ impl DualRateCost {
     /// Evaluates `ε(D̂)` for every candidate in `candidates`, reusing
     /// one pair of scratch buffers (and one plan per candidate) across
     /// the whole grid — the batched form of the Fig. 5 sweep.
+    // analysis: allow(typed-error-parity) — cannot panic: candidates are clamped into ]0, m[ and the `::new` tokens the fixpoint matches are the plan/scratch constructors, not the panicking sibling `new`
     pub fn eval_grid(&self, candidates: &[f64]) -> Vec<f64> {
         self.evaluator().eval_grid(candidates)
     }
@@ -299,17 +349,36 @@ impl DualRateCost {
     /// Fig. 5 sweeps (midpoint placement, so the singular endpoints are
     /// never touched).
     pub fn sweep_candidates(&self, n: usize) -> Vec<f64> {
-        assert!(n >= 2, "sweep needs at least two points");
+        self.try_sweep_candidates(n)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`sweep_candidates`](Self::sweep_candidates) in typed form:
+    /// returns [`BistError::InvalidConfig`] on a degenerate grid
+    /// instead of panicking.
+    pub fn try_sweep_candidates(&self, n: usize) -> Result<Vec<f64>, BistError> {
+        if n < 2 {
+            return Err(BistError::InvalidConfig {
+                reason: "sweep needs at least two points".to_string(),
+            });
+        }
         let m = self.config.m_bound();
-        (0..n).map(|i| m * (i as f64 + 0.5) / n as f64).collect()
+        Ok((0..n).map(|i| m * (i as f64 + 0.5) / n as f64).collect())
     }
 
     /// Evaluates the cost on a uniform grid of `n` candidates across
     /// `]0, m[` — the paper's Fig. 5 sweep.
     pub fn sweep(&self, n: usize) -> Vec<(f64, f64)> {
-        let candidates = self.sweep_candidates(n);
+        self.try_sweep(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`sweep`](Self::sweep) in typed form: returns
+    /// [`BistError::InvalidConfig`] on a degenerate grid instead of
+    /// panicking.
+    pub fn try_sweep(&self, n: usize) -> Result<Vec<(f64, f64)>, BistError> {
+        let candidates = self.try_sweep_candidates(n)?;
         let values = self.eval_grid(&candidates);
-        candidates.into_iter().zip(values).collect()
+        Ok(candidates.into_iter().zip(values).collect())
     }
 }
 
@@ -336,6 +405,7 @@ impl CostEvaluator<'_> {
     /// ([`DualRateCost::grid_probes`]) dispatch to the grid-aware
     /// reconstruction plan; random schedules use the per-point batch
     /// path. Both agree with the direct reference to ≤ 1e-9.
+    // analysis: allow(typed-error-parity) — cannot panic: candidates are clamped into ]0, m[ and the `::new` tokens the fixpoint matches are the plan/scratch constructors, not the panicking sibling `new`
     pub fn eval(&mut self, d_hat: f64) -> f64 {
         let cost = self.cost;
         let d = cost.clamp_candidate(d_hat);
@@ -362,6 +432,7 @@ impl CostEvaluator<'_> {
     /// buffers — the entry point [`DualRateCost::eval_grid`] and the
     /// LMS gradient probes share, so plan setup and scratch reuse
     /// amortize across every candidate of a descent or sweep.
+    // analysis: allow(typed-error-parity) — cannot panic: candidates are clamped into ]0, m[ and the `::new` tokens the fixpoint matches are the plan/scratch constructors, not the panicking sibling `new`
     pub fn eval_grid(&mut self, candidates: &[f64]) -> Vec<f64> {
         candidates.iter().map(|&d| self.eval(d)).collect()
     }

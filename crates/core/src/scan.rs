@@ -49,7 +49,6 @@ struct ScanBin {
 /// to the verdict path).
 #[derive(Clone, Debug, Default)]
 pub struct MaskScanScratch {
-    windowed: Vec<f64>,
     acc: Vec<f64>,
     goertzel: GoertzelScratch,
 }
@@ -353,16 +352,14 @@ impl MaskScanEngine {
         let mut count = 0usize;
         let mut start = 0usize;
         while start + self.segment_len <= wave.len() {
-            scratch.windowed.clear();
-            scratch.windowed.extend(
-                wave[start..start + self.segment_len]
-                    .iter()
-                    .zip(&self.window)
-                    .map(|(a, b)| a * b),
+            // Window fold inside the banked pass — the same `x·w`
+            // products a staging buffer would hold, formed in-register
+            // (bit-identical, see `GoertzelBank::windowed_powers_into`).
+            let powers = self.bank.windowed_powers_into(
+                &wave[start..start + self.segment_len],
+                &self.window,
+                &mut scratch.goertzel,
             );
-            let powers = self
-                .bank
-                .powers_into(&scratch.windowed, &mut scratch.goertzel);
             for (a, p) in scratch.acc.iter_mut().zip(powers) {
                 *a += *p;
             }
@@ -505,16 +502,15 @@ impl Default for EarlyVerdict {
 }
 
 /// Reusable buffers for [`MaskScanEngine::stream`]: per-segment
-/// Goertzel states, the running per-bin power accumulator and a
-/// windowed-chunk buffer. Memory is bounded by
-/// `ceil(segment/hop)` states of `2·probed_bins` values plus one
-/// chunk — independent of the capture length, which is the point of
-/// the streaming scan.
+/// Goertzel states and the running per-bin power accumulator. Memory
+/// is bounded by `ceil(segment/hop)` states of `2·probed_bins` values
+/// — independent of the capture length, which is the point of the
+/// streaming scan. (Window products are folded inside the banked pass,
+/// so no per-chunk staging buffer exists.)
 #[derive(Clone, Debug, Default)]
 pub struct StreamScratch {
     states: Vec<GoertzelState>,
     acc: Vec<f64>,
-    windowed: Vec<f64>,
 }
 
 impl StreamScratch {
@@ -567,11 +563,7 @@ impl StreamingMaskScan<'_> {
         let engine = self.engine;
         let seg = engine.segment_len;
         let hop = engine.hop;
-        let StreamScratch {
-            states,
-            acc,
-            windowed,
-        } = &mut *self.scratch;
+        let StreamScratch { states, acc } = &mut *self.scratch;
         let cap = states.len();
         let start_idx = self.pushed;
         let end_idx = start_idx + samples.len();
@@ -598,18 +590,16 @@ impl StreamingMaskScan<'_> {
             if a == seg_start {
                 engine.bank.reset_state(state);
             }
-            // Window the chunk at its position inside the segment —
-            // the same products `scan_with` forms for the whole
-            // segment at once.
+            // Window the chunk at its position inside the segment,
+            // folded into the banked pass itself — the same products
+            // `scan_with` forms for the whole segment at once, with no
+            // staging copy between the block feed and the recurrences.
             let wpos = a - seg_start;
-            windowed.clear();
-            windowed.extend(
-                samples[a - start_idx..b - start_idx]
-                    .iter()
-                    .zip(&engine.window[wpos..wpos + (b - a)])
-                    .map(|(x, w)| x * w),
+            engine.bank.advance_state_windowed(
+                state,
+                &samples[a - start_idx..b - start_idx],
+                &engine.window[wpos..wpos + (b - a)],
             );
-            engine.bank.advance_state(state, windowed);
             if b == seg_start + seg {
                 // segment complete: fold its powers into the Welch
                 // average (segments complete in start order, matching

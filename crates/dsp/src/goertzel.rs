@@ -5,6 +5,7 @@
 //! or sweeping the few dozen PSD bins a spectral mask actually
 //! constrains ([`GoertzelBank`]).
 
+use crate::simd::force_scalar;
 use rfbist_math::Complex64;
 use std::f64::consts::PI;
 
@@ -255,6 +256,36 @@ impl GoertzelBank {
         self.advance_dispatch(x, &mut state.s1, &mut state.s2);
     }
 
+    /// [`advance_state`](Self::advance_state) with the window applied
+    /// on the fly: sample `i` enters the recurrence as `x[i]·w[i]`.
+    /// The product is the same single rounding a caller staging
+    /// `x[i]·w[i]` into a buffer and feeding it to `advance_state`
+    /// would perform, at the same point of the recurrence — the
+    /// resulting states are **bit-identical** to the staged form
+    /// (pinned by the `windowed_advance_matches_staged` test) while
+    /// the staging buffer, and its round-trip through memory on every
+    /// chunk of every segment, disappears. This is what lets a
+    /// streaming consumer apply its Welch window inside the feed's
+    /// output pass instead of copying each block first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was not sized by
+    /// [`reset_state`](Self::reset_state) for this bank, or if `w` and
+    /// `x` differ in length.
+    pub fn advance_state_windowed(&self, state: &mut GoertzelState, x: &[f64], w: &[f64]) {
+        assert_eq!(
+            state.s1.len(),
+            self.len(),
+            "state not sized for this bank — call reset_state first"
+        );
+        assert_eq!(x.len(), w.len(), "window chunk must match the data chunk");
+        if x.is_empty() {
+            return;
+        }
+        self.advance_windowed_dispatch(x, w, &mut state.s1, &mut state.s2);
+    }
+
     /// Adds `|X(fⱼ)|²` of the segment accumulated in `state` onto
     /// `acc[j]` — the Welch-averaging form of the power extraction in
     /// [`powers_into`](Self::powers_into) (same per-bin expression, so
@@ -302,11 +333,38 @@ impl GoertzelBank {
     /// sₙ₊₁ = x₁ + c·sₙ − s₁      sₙ₊₃ = x₃ + c·sₙ₊₂ − sₙ₊₁
     /// (s₁, s₂) ← (sₙ₊₃, sₙ₊₂)
     /// ```
+    ///
+    /// `WINDOWED` folds a per-sample window product into the quad
+    /// head: sample `i` enters the recurrence as `x[i]·w[i]`, formed
+    /// *once per sample* (not per bin) as a plain multiply. That is
+    /// the exact operation a caller staging `x[i]·w[i]` into a buffer
+    /// would perform, so the windowed kernel is bit-identical to
+    /// staging + the unwindowed kernel while skipping the staging
+    /// buffer's round-trip through memory. `w` is ignored (and may
+    /// alias `x`) when `WINDOWED` is false.
     #[inline(always)]
-    fn advance<const FUSED: bool>(coeff: &[f64], x: &[f64], s1: &mut [f64], s2: &mut [f64]) {
+    // analysis: allow(naked-panic) — quad indices are bounded by chunks_exact(4); the subscripts cannot leave the chunk
+    fn advance_kernel<const FUSED: bool, const WINDOWED: bool>(
+        coeff: &[f64],
+        x: &[f64],
+        w: &[f64],
+        s1: &mut [f64],
+        s2: &mut [f64],
+    ) {
+        debug_assert!(!WINDOWED || w.len() == x.len());
         let mut quads = x.chunks_exact(4);
-        for quad in &mut quads {
-            let (x0, x1, x2, x3) = (quad[0], quad[1], quad[2], quad[3]);
+        let mut wins = if WINDOWED { w } else { x }.chunks_exact(4);
+        for (quad, wq) in (&mut quads).zip(&mut wins) {
+            let (x0, x1, x2, x3) = if WINDOWED {
+                (
+                    quad[0] * wq[0],
+                    quad[1] * wq[1],
+                    quad[2] * wq[2],
+                    quad[3] * wq[3],
+                )
+            } else {
+                (quad[0], quad[1], quad[2], quad[3])
+            };
             for ((c, p1), p2) in coeff.iter().zip(s1.iter_mut()).zip(s2.iter_mut()) {
                 let s_a = Self::step::<FUSED>(*c, *p1, *p2, x0);
                 let s_b = Self::step::<FUSED>(*c, s_a, *p1, x1);
@@ -316,13 +374,21 @@ impl GoertzelBank {
                 *p2 = s_c;
             }
         }
-        for &x0 in quads.remainder() {
+        for (&xr, &wr) in quads.remainder().iter().zip(wins.remainder()) {
+            let x0 = if WINDOWED { xr * wr } else { xr };
             for ((c, p1), p2) in coeff.iter().zip(s1.iter_mut()).zip(s2.iter_mut()) {
                 let s = Self::step::<FUSED>(*c, *p1, *p2, x0);
                 *p2 = *p1;
                 *p1 = s;
             }
         }
+    }
+
+    /// [`advance_kernel`](Self::advance_kernel) without the window
+    /// fold — the portable body behind the unwindowed wrappers.
+    #[inline(always)]
+    fn advance<const FUSED: bool>(coeff: &[f64], x: &[f64], s1: &mut [f64], s2: &mut [f64]) {
+        Self::advance_kernel::<FUSED, false>(coeff, x, x, s1, s2);
     }
 
     /// [`advance`](Self::advance) compiled with AVX2 + FMA enabled and
@@ -356,6 +422,81 @@ impl GoertzelBank {
         Self::advance::<true>(coeff, x, s1, s2)
     }
 
+    /// Window-folding [`advance_kernel`](Self::advance_kernel)
+    /// compiled with AVX2 + FMA enabled and fused steps — the
+    /// [`advance_avx2`](Self::advance_avx2) contract with the
+    /// `x[i]·w[i]` product formed in-register.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 and FMA support on the
+    /// running CPU (`is_x86_feature_detected!`) before calling —
+    /// `#[target_feature]` recompilation emits those instructions
+    /// unconditionally. The body itself is safe Rust.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn advance_windowed_avx2(
+        coeff: &[f64],
+        x: &[f64],
+        w: &[f64],
+        s1: &mut [f64],
+        s2: &mut [f64],
+    ) {
+        Self::advance_kernel::<true, true>(coeff, x, w, s1, s2)
+    }
+
+    /// Window-folding kernel compiled with AVX-512F + FMA enabled —
+    /// the [`advance_windowed_avx2`](Self::advance_windowed_avx2)
+    /// contract at twice the lane count.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX-512F and FMA support on the
+    /// running CPU (`is_x86_feature_detected!`) before calling; the
+    /// body itself is safe Rust.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f,fma")]
+    unsafe fn advance_windowed_avx512(
+        coeff: &[f64],
+        x: &[f64],
+        w: &[f64],
+        s1: &mut [f64],
+        s2: &mut [f64],
+    ) {
+        Self::advance_kernel::<true, true>(coeff, x, w, s1, s2)
+    }
+
+    /// One runtime-dispatched window-folding recurrence pass —
+    /// [`advance_dispatch`](Self::advance_dispatch) with the
+    /// `x[i]·w[i]` products formed inside the kernel instead of staged
+    /// through a buffer. Each dispatch arm performs the exact staged
+    /// products and recurrence steps of the corresponding
+    /// `advance_dispatch` arm, so callers swapping a staging buffer
+    /// for this pass see bit-identical states.
+    fn advance_windowed_dispatch(&self, x: &[f64], w: &[f64], s1: &mut [f64], s2: &mut [f64]) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if !force_scalar() && std::arch::is_x86_feature_detected!("fma") {
+                if std::arch::is_x86_feature_detected!("avx512f") {
+                    // SAFETY: AVX-512F + FMA support was just verified
+                    // at runtime by is_x86_feature_detected!; the
+                    // kernel body is ordinary safe Rust, recompiled at
+                    // wider vectors with hardware-FMA steps.
+                    unsafe { Self::advance_windowed_avx512(&self.coeff, x, w, s1, s2) };
+                    return;
+                }
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    // SAFETY: AVX2 + FMA support was just verified at
+                    // runtime by is_x86_feature_detected!; same safe
+                    // kernel body as the scalar path.
+                    unsafe { Self::advance_windowed_avx2(&self.coeff, x, w, s1, s2) };
+                    return;
+                }
+            }
+        }
+        Self::advance_kernel::<false, true>(&self.coeff, x, w, s1, s2);
+    }
+
     /// Evaluates `|X(fⱼ)|²` for every bin of the bank over `x` in one
     /// pass, writing into `scratch` and returning the filled slice.
     ///
@@ -367,7 +508,39 @@ impl GoertzelBank {
     /// Panics if `x` is empty.
     pub fn powers_into<'s>(&self, x: &[f64], scratch: &'s mut GoertzelScratch) -> &'s [f64] {
         self.run_states(x, scratch);
-        // |X|² = s₁² + s₂² − 2cos ω·s₁·s₂ (phase rotations drop out).
+        self.extract_powers(scratch)
+    }
+
+    /// [`powers_into`](Self::powers_into) with the window applied on
+    /// the fly, bit-identical to staging `x[i]·w[i]` first (see
+    /// [`advance_state_windowed`](Self::advance_state_windowed)) —
+    /// the batched form of the window fold, so a segment-averaging
+    /// scan and its streaming twin can both drop their staging
+    /// buffers without their verdicts drifting apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or `w` and `x` differ in length.
+    pub fn windowed_powers_into<'s>(
+        &self,
+        x: &[f64],
+        w: &[f64],
+        scratch: &'s mut GoertzelScratch,
+    ) -> &'s [f64] {
+        assert!(!x.is_empty(), "goertzel over empty data");
+        assert_eq!(x.len(), w.len(), "window must match the segment");
+        let m = self.len();
+        scratch.s1.clear();
+        scratch.s1.resize(m, 0.0);
+        scratch.s2.clear();
+        scratch.s2.resize(m, 0.0);
+        self.advance_windowed_dispatch(x, w, &mut scratch.s1, &mut scratch.s2);
+        self.extract_powers(scratch)
+    }
+
+    /// `|X|² = s₁² + s₂² − 2cos ω·s₁·s₂` per bin (phase rotations drop
+    /// out) from the final states in `scratch`, into `scratch.out`.
+    fn extract_powers<'s>(&self, scratch: &'s mut GoertzelScratch) -> &'s [f64] {
         scratch.out.clear();
         scratch.out.extend(
             scratch
@@ -395,24 +568,6 @@ impl GoertzelBank {
             })
             .collect()
     }
-}
-
-/// `true` when `RFBIST_FORCE_SCALAR` is set (to anything but `0` or
-/// empty): the runtime SIMD dispatch is skipped and the portable
-/// `advance::<false>` kernel runs instead. `RUSTFLAGS`-level feature
-/// flags cannot reach the `target_feature`-recompiled kernels (that is
-/// the whole point of runtime dispatch), so this is the hook CI's
-/// scalar-portability job uses to actually execute the fallback path
-/// on SIMD-capable runners. Read once and cached.
-#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
-fn force_scalar() -> bool {
-    use std::sync::OnceLock;
-    static FORCE: OnceLock<bool> = OnceLock::new();
-    *FORCE.get_or_init(|| {
-        std::env::var("RFBIST_FORCE_SCALAR")
-            .map(|v| !v.is_empty() && v != "0")
-            .unwrap_or(false)
-    })
 }
 
 #[cfg(test)]
@@ -538,6 +693,46 @@ mod tests {
         assert_eq!(bank.powers_into(&a, &mut scratch), &pa[..]);
         assert_eq!(bank.powers_into(&b, &mut scratch), &pb[..]);
         assert_eq!(scratch.values().len(), 2);
+    }
+
+    #[test]
+    fn windowed_advance_matches_staged_bit_for_bit() {
+        let n = 1000;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.17).sin() + 0.2 * (i as f64 * 0.051).cos())
+            .collect();
+        let w: Vec<f64> = (0..n)
+            .map(|i| 0.5 - 0.5 * (2.0 * PI * i as f64 / n as f64).cos())
+            .collect();
+        let staged: Vec<f64> = x.iter().zip(&w).map(|(a, b)| a * b).collect();
+        let bank = GoertzelBank::new(&[0.03, 0.125, 0.31, 0.499]);
+        let mut scratch = GoertzelScratch::new();
+        let batched = bank.powers_into(&staged, &mut scratch).to_vec();
+        // the on-the-fly window fold forms the same products at the
+        // same recurrence points as the staged form — bit-identical,
+        // batched and chunked (including off-unroll boundaries)
+        assert_eq!(
+            bank.windowed_powers_into(&x, &w, &mut scratch),
+            &batched[..],
+            "windowed batch pass diverged from staging"
+        );
+        for chunks in [vec![1000], vec![256, 256, 256, 232], vec![7, 501, 3, 489]] {
+            let mut state = GoertzelState::new();
+            bank.reset_state(&mut state);
+            let mut start = 0;
+            for len in chunks {
+                bank.advance_state_windowed(
+                    &mut state,
+                    &x[start..start + len],
+                    &w[start..start + len],
+                );
+                start += len;
+            }
+            assert_eq!(start, n);
+            let mut acc = vec![0.0; bank.len()];
+            bank.accumulate_powers(&state, &mut acc);
+            assert_eq!(acc, batched, "windowed chunked pass diverged");
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod goertzel;
 pub mod iir;
 pub mod psd;
 pub mod resample;
+pub mod simd;
 pub mod specmetrics;
 pub mod srrc;
 pub mod window;

@@ -33,6 +33,16 @@
 //!   row costs four contiguous loads and four fused multiply-adds per
 //!   tap (≤ 5e-12 from the exact sampler, with a direct fallback for
 //!   shapes the table cannot represent).
+//! - **Runtime-dispatched SIMD walk.** On x86-64 hosts with hardware
+//!   FMA the cubic-table walk runs as `#[target_feature]` (AVX2 or
+//!   AVX-512F) recompilations of a branch-free kernel over unit-stride
+//!   per-sample phasor planes — near-origin taps are patched exactly
+//!   after the vector pass — behind the same
+//!   `is_x86_feature_detected!` / `RFBIST_FORCE_SCALAR` dispatch as
+//!   `rfbist_dsp::goertzel`. The portable scalar walk is untouched, so
+//!   CI's forced-scalar job exercises exactly the code it always did,
+//!   and both paths re-seed identically: streamed blocks remain
+//!   bit-identical to the batch walk whichever kernel dispatch picks.
 //!
 //! Near the kernel origin (|τ| below [`NEAR_ORIGIN_FRACTION`] of a
 //! sample period) the `1/τ` pole amplifies the tables' bounded phase
@@ -75,9 +85,10 @@ const NEAR_ORIGIN_FRACTION: f64 = 1.0 / 16.0;
 #[derive(Clone, Debug, Default)]
 pub struct GridScratch {
     out: Vec<f64>,
-    /// Even-stream per-sample constants, interleaved
-    /// `[A₀, B₀, A₁, B₁, A₂, B₂]` per sample — one pair per cosine
-    /// family, `(αⱼ, βⱼ)` folded in.
+    /// Even-stream per-sample constants in plane-major layout: six
+    /// `span`-long planes `[A₀ | B₀ | A₁ | B₁ | A₂ | B₂]` — one
+    /// `(αⱼ, βⱼ)`-folded pair per cosine family, unit-stride in the
+    /// sample index so the walk kernels read each plane contiguously.
     even_tab: Vec<f64>,
     /// Odd-stream per-sample constants, same layout.
     odd_tab: Vec<f64>,
@@ -87,6 +98,11 @@ pub struct GridScratch {
     /// for every grid point.
     win_e: Vec<f64>,
     win_o: Vec<f64>,
+    /// Per-point branch-free tap contributions, written by the SIMD
+    /// walk kernels and reduced after the exact near-origin patch;
+    /// untouched on the scalar path.
+    contrib_e: Vec<f64>,
+    contrib_o: Vec<f64>,
 }
 
 impl GridScratch {
@@ -139,6 +155,32 @@ pub struct PnbsGridPlan {
     alpha: [f64; 3],
     /// Sine weights of the factored kernel numerator.
     beta: [f64; 3],
+    /// Residue-transposed cubic window table for the SIMD walk
+    /// kernels (`None` for shapes without a cubic table): the
+    /// node-aligned row fill reads every `stride`-th table node, so
+    /// transposing the table by node residue turns the strided
+    /// stencil into four unit-stride row reads. See [`WinRows`].
+    win_rows: Option<WinRows>,
+}
+
+/// The cubic window table of a [`PnbsGridPlan`] transposed by node
+/// residue: `data[r · cols + n] = vals[r + n · stride]` (zero-padded
+/// past the table end), for residues `r ∈ [0, stride + 3)` and node
+/// ranks `n ∈ [0, cols)`. A window row anchored at table position
+/// `i₀ = q·stride + r` then reads taps `k` as
+/// `data[(r + o) · cols + q + k]` for the four stencil offsets
+/// `o ∈ {0,1,2,3}` — four contiguous streams instead of a
+/// `stride`-strided gather, which is what lets the row fill vectorize
+/// alongside the tap kernel.
+#[derive(Clone, Debug)]
+struct WinRows {
+    /// Table nodes per tap step (the original stencil stride).
+    stride: usize,
+    /// Row length: one more than the table's node count per support
+    /// (`2(h+1) + 1`), covering every node rank a tap can anchor at.
+    cols: usize,
+    /// `(stride + 3) × cols` row-major residue planes.
+    data: Vec<f64>,
 }
 
 impl PnbsGridPlan {
@@ -175,11 +217,26 @@ impl PnbsGridPlan {
         // Node-align the table on the tap stride 1/(2(h+1)) so a whole
         // window row shares one interpolation-weight set per point.
         let alignment = 2 * (plan.half_taps + 1);
+        let window_table = window.tabulated_aligned(alignment);
+        let win_rows = window_table.cubic_parts().map(|(scale, vals)| {
+            let stride = (scale as usize) / alignment;
+            let cols = alignment + 1;
+            let mut data = vec![0.0; (stride + 3) * cols];
+            for (r, row) in data.chunks_exact_mut(cols).enumerate() {
+                for (n, slot) in row.iter_mut().enumerate() {
+                    if let Some(&v) = vals.get(r + n * stride) {
+                        *slot = v;
+                    }
+                }
+            }
+            WinRows { stride, cols, data }
+        });
         PnbsGridPlan {
             plan,
-            window_table: window.tabulated_aligned(alignment),
+            window_table,
             alpha,
             beta,
+            win_rows,
         }
     }
 
@@ -214,7 +271,8 @@ impl PnbsGridPlan {
         num * self.plan.inv_two_pi_b / tau
     }
 
-    /// Fills the per-sample factored phasor tables for samples
+    /// Fills the per-sample factored phasor tables (six plane-major
+    /// planes per stream, see [`GridScratch`]) for samples
     /// `first_n ..= first_n + span − 1`, phased relative to `n_ref` so
     /// the table and time-phasor arguments stay as small as the grid
     /// geometry allows.
@@ -243,14 +301,18 @@ impl PnbsGridPlan {
                 &mut scratch.cos_buf,
                 &mut scratch.sin_buf,
             );
-            for (k, (&cn, &sn)) in scratch
-                .cos_buf
-                .iter()
-                .zip(scratch.sin_buf.iter())
-                .enumerate()
             {
-                scratch.even_tab[k * 6 + 2 * j] = aj * cn - bj * sn;
-                scratch.even_tab[k * 6 + 2 * j + 1] = aj * sn + bj * cn;
+                let (a_plane, b_plane) =
+                    scratch.even_tab[2 * j * span..(2 * j + 2) * span].split_at_mut(span);
+                for (((a, b), &cn), &sn) in a_plane
+                    .iter_mut()
+                    .zip(b_plane.iter_mut())
+                    .zip(scratch.cos_buf.iter())
+                    .zip(scratch.sin_buf.iter())
+                {
+                    *a = aj * cn - bj * sn;
+                    *b = aj * sn + bj * cn;
+                }
             }
             // Odd stream: phasors of ωⱼ·((n − n_ref)·T + D̂).
             fill_phasor_table(
@@ -259,14 +321,18 @@ impl PnbsGridPlan {
                 &mut scratch.cos_buf,
                 &mut scratch.sin_buf,
             );
-            for (k, (&cn, &sn)) in scratch
-                .cos_buf
-                .iter()
-                .zip(scratch.sin_buf.iter())
-                .enumerate()
             {
-                scratch.odd_tab[k * 6 + 2 * j] = aj * cn + bj * sn;
-                scratch.odd_tab[k * 6 + 2 * j + 1] = aj * sn - bj * cn;
+                let (a_plane, b_plane) =
+                    scratch.odd_tab[2 * j * span..(2 * j + 2) * span].split_at_mut(span);
+                for (((a, b), &cn), &sn) in a_plane
+                    .iter_mut()
+                    .zip(b_plane.iter_mut())
+                    .zip(scratch.cos_buf.iter())
+                    .zip(scratch.sin_buf.iter())
+                {
+                    *a = aj * cn + bj * sn;
+                    *b = aj * sn - bj * cn;
+                }
             }
         }
     }
@@ -286,6 +352,37 @@ impl PnbsGridPlan {
         n: usize,
         scratch: &'s mut GridScratch,
     ) -> Option<&'s [f64]> {
+        self.try_reconstruct_grid_impl(capture, t0, step, n, true, scratch)
+    }
+
+    /// [`try_reconstruct_grid`](Self::try_reconstruct_grid) with the
+    /// SIMD dispatch bypassed unconditionally (not just under
+    /// `RFBIST_FORCE_SCALAR`): the scalar walk kernel runs regardless
+    /// of detected CPU features. A test hook — the equivalence suite
+    /// uses it to pin the dispatched walk against the scalar kernel
+    /// inside one process, where the latched environment flag cannot
+    /// flip between the two runs.
+    #[doc(hidden)]
+    pub fn try_reconstruct_grid_scalar<'s>(
+        &self,
+        capture: &NonuniformCapture,
+        t0: f64,
+        step: f64,
+        n: usize,
+        scratch: &'s mut GridScratch,
+    ) -> Option<&'s [f64]> {
+        self.try_reconstruct_grid_impl(capture, t0, step, n, false, scratch)
+    }
+
+    fn try_reconstruct_grid_impl<'s>(
+        &self,
+        capture: &NonuniformCapture,
+        t0: f64,
+        step: f64,
+        n: usize,
+        allow_simd: bool,
+        scratch: &'s mut GridScratch,
+    ) -> Option<&'s [f64]> {
         assert!(step > 0.0, "grid step must be positive");
         scratch.out.clear();
         if n == 0 {
@@ -294,15 +391,24 @@ impl PnbsGridPlan {
         let (first_n, span) = self.grid_sample_span(capture, t0, step, n)?;
         let h = self.plan.half_taps as i64;
         self.fill_sample_tables(capture, first_n, span, first_n + h, scratch);
-        self.walk_span_dispatched(capture, t0, step, 0, n, first_n, scratch);
+        self.walk_span_dispatched(capture, t0, step, 0, n, first_n, allow_simd, scratch);
         Some(&scratch.out)
     }
 
-    /// Monomorphizes the walk over the window-row filler: the aligned
-    /// cubic table shares one interpolation-weight set across a whole
-    /// row; kinked windows fall back to per-tap sampling. Shared by the
-    /// monolithic grid walk (`i_start = 0`, `len = n`) and the
-    /// streaming block producer (one re-seed chunk per call).
+    /// Monomorphizes the walk over the window-row filler and the SIMD
+    /// dispatch: the aligned cubic table shares one
+    /// interpolation-weight set across a whole row and — on x86-64
+    /// hosts with hardware FMA, unless `RFBIST_FORCE_SCALAR` is set —
+    /// runs through a `#[target_feature]` recompilation of the
+    /// branch-free [`walk_span_cubic`](Self::walk_span_cubic) kernel;
+    /// kinked windows fall back to per-tap sampling on the scalar
+    /// walk. Shared by the monolithic grid walk (`i_start = 0`,
+    /// `len = n`) and the streaming block producer (one re-seed chunk
+    /// per call), so batch and streamed reconstruction always pick the
+    /// same kernel and stay bit-identical. `allow_simd = false` pins
+    /// the scalar kernel unconditionally (the equivalence suite's
+    /// in-process scalar reference); production callers pass `true`
+    /// and let feature detection and `RFBIST_FORCE_SCALAR` decide.
     #[allow(clippy::too_many_arguments)]
     fn walk_span_dispatched(
         &self,
@@ -312,8 +418,12 @@ impl PnbsGridPlan {
         i_start: usize,
         len: usize,
         first_n: i64,
+        allow_simd: bool,
         scratch: &mut GridScratch,
     ) {
+        // Only the x86-64 dispatch below consults the flag.
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = allow_simd;
         let hw = self.plan.half_taps as f64 + 1.0;
         let inv_2hw = 1.0 / (2.0 * hw);
         let d_shift = self.plan.delay / capture.period() * inv_2hw;
@@ -325,6 +435,39 @@ impl PnbsGridPlan {
                     scale as usize,
                     "window table must be node-aligned on the tap stride"
                 );
+                #[cfg(target_arch = "x86_64")]
+                if let Some(wr) = self.win_rows.as_ref() {
+                    if allow_simd
+                        && !rfbist_dsp::simd::force_scalar()
+                        && std::arch::is_x86_feature_detected!("fma")
+                    {
+                        if std::arch::is_x86_feature_detected!("avx512f") {
+                            // SAFETY: AVX-512F + FMA support was just
+                            // verified at runtime by
+                            // is_x86_feature_detected!; the kernel body
+                            // is ordinary safe Rust, recompiled at wider
+                            // vectors with hardware-FMA steps.
+                            unsafe {
+                                self.walk_span_cubic_avx512(
+                                    capture, t0, step, i_start, len, first_n, scale, wr, scratch,
+                                )
+                            };
+                            return;
+                        }
+                        if std::arch::is_x86_feature_detected!("avx2") {
+                            // SAFETY: AVX2 + FMA support was just
+                            // verified at runtime by
+                            // is_x86_feature_detected!; same safe kernel
+                            // body as the scalar path.
+                            unsafe {
+                                self.walk_span_cubic_avx2(
+                                    capture, t0, step, i_start, len, first_n, scale, wr, scratch,
+                                )
+                            };
+                            return;
+                        }
+                    }
+                }
                 self.walk_span(
                     capture,
                     t0,
@@ -419,6 +562,7 @@ impl PnbsGridPlan {
         let out = &mut scratch.out;
         let even_tab = scratch.even_tab.as_slice();
         let odd_tab = scratch.odd_tab.as_slice();
+        let span = even_tab.len() / 6;
         scratch.win_e.resize(num_taps, 0.0);
         scratch.win_o.resize(num_taps, 0.0);
         let win_e = scratch.win_e.as_mut_slice();
@@ -442,21 +586,19 @@ impl PnbsGridPlan {
             let te0 = t - first as f64 * period;
             let to0 = first as f64 * period + self.plan.delay - t;
             let x0 = 0.5 + (first as f64 - t_idx) * inv_2hw;
-            let tab_base = (first - first_n) as usize * 6;
+            let tab_base = (first - first_n) as usize;
             let cap_base = (first - capture.n_start()) as usize;
             fill_windows(x0, win_e, win_o);
             let ev = &even[cap_base..cap_base + num_taps];
             let od = &odd[cap_base..cap_base + num_taps];
-            let etab = even_tab[tab_base..].chunks_exact(6);
-            let otab = odd_tab[tab_base..].chunks_exact(6);
+            let ea = plane_views(even_tab, span, tab_base, num_taps);
+            let oa = plane_views(odd_tab, span, tab_base, num_taps);
             // Two accumulators halve the floating-add dependency chain.
             let mut acc_e = 0.0;
             let mut acc_o = 0.0;
-            for (k, (((((&fe, &fo), et), ot), &w_e), &w_o)) in ev
+            for (k, (((&fe, &fo), &w_e), &w_o)) in ev
                 .iter()
                 .zip(od)
-                .zip(etab)
-                .zip(otab)
                 .zip(win_e.iter())
                 .zip(win_o.iter())
                 .enumerate()
@@ -467,12 +609,12 @@ impl PnbsGridPlan {
                     let s_e = if tau_e.abs() < tau_guard {
                         self.kernel_near_origin(tau_e)
                     } else {
-                        let num = ct[0] * et[0]
-                            + st[0] * et[1]
-                            + ct[1] * et[2]
-                            + st[1] * et[3]
-                            + ct[2] * et[4]
-                            + st[2] * et[5];
+                        let num = ct[0] * ea[0][k]
+                            + st[0] * ea[1][k]
+                            + ct[1] * ea[2][k]
+                            + st[1] * ea[3][k]
+                            + ct[2] * ea[4][k]
+                            + st[2] * ea[5][k];
                         num * inv_two_pi_b / tau_e
                     };
                     acc_e += fe * s_e * w_e;
@@ -482,12 +624,12 @@ impl PnbsGridPlan {
                     let s_o = if tau_o.abs() < tau_guard {
                         self.kernel_near_origin(tau_o)
                     } else {
-                        let num = ct[0] * ot[0]
-                            + st[0] * ot[1]
-                            + ct[1] * ot[2]
-                            + st[1] * ot[3]
-                            + ct[2] * ot[4]
-                            + st[2] * ot[5];
+                        let num = ct[0] * oa[0][k]
+                            + st[0] * oa[1][k]
+                            + ct[1] * oa[2][k]
+                            + st[1] * oa[3][k]
+                            + ct[2] * oa[4][k]
+                            + st[2] * oa[5][k];
                         num * inv_two_pi_b / tau_o
                     };
                     acc_o += fo * s_o * w_o;
@@ -501,6 +643,240 @@ impl PnbsGridPlan {
                 st[j] = s;
             }
         }
+    }
+
+    /// The cubic-table grid walk restructured for the loop vectorizer,
+    /// the body behind the `#[target_feature]` recompilations
+    /// ([`walk_span_cubic_avx2`](Self::walk_span_cubic_avx2),
+    /// [`walk_span_cubic_avx512`](Self::walk_span_cubic_avx512)):
+    ///
+    /// - the factored per-sample planes are read at unit stride, so
+    ///   the six-FMA kernel numerator vectorizes across taps;
+    /// - the per-tap pass is branch-free — every tap goes through the
+    ///   table path into a contribution buffer, zero-weight taps
+    ///   contribute signed zeros, and the `1/τ` poles land only on
+    ///   lanes the exact near-origin patch rewrites afterwards (at
+    ///   most one per stream per point, since the guard ring
+    ///   [`NEAR_ORIGIN_FRACTION`] is far narrower than the tap
+    ///   spacing);
+    /// - the contributions are reduced with a four-lane accumulator.
+    ///
+    /// Arithmetic differs from [`walk_span`](Self::walk_span) by
+    /// reassociation and FMA rounding only (≪ 1e-12 of kernel value,
+    /// pinned by `tests/grid_plan_equivalence.rs`), and is identical
+    /// whatever the span chunking — the rotor re-seed schedule matches
+    /// the scalar walk, so streamed blocks stay bit-identical to the
+    /// batch walk within either dispatch arm.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    // analysis: allow(naked-panic) — every slice is pre-bounded to num_taps before the branch-free tap loop; the k subscripts cannot leave it
+    fn walk_span_cubic(
+        &self,
+        capture: &NonuniformCapture,
+        t0: f64,
+        step: f64,
+        i_start: usize,
+        len: usize,
+        first_n: i64,
+        scale: f64,
+        wr: &WinRows,
+        scratch: &mut GridScratch,
+    ) {
+        debug_assert!(
+            i_start.is_multiple_of(TIME_RESEED_INTERVAL),
+            "spans must start on a re-seed boundary"
+        );
+        let period = capture.period();
+        let h = self.plan.half_taps as i64;
+        let num_taps = self.plan.num_taps();
+        let hw = self.plan.half_taps as f64 + 1.0;
+        let inv_2hw = 1.0 / (2.0 * hw);
+        let d_shift = self.plan.delay / period * inv_2hw;
+        let inv_two_pi_b = self.plan.inv_two_pi_b;
+        let tau_guard = NEAR_ORIGIN_FRACTION * period;
+        let t_ref = (first_n + h) as f64 * period;
+        let even = capture.even();
+        let odd = capture.odd();
+
+        // Grid-step rotations of the three time phasors.
+        let mut step_cos = [0.0; 3];
+        let mut step_sin = [0.0; 3];
+        for j in 0..3 {
+            let (s, c) = sincos(self.plan.w[j] * step);
+            step_cos[j] = c;
+            step_sin[j] = s;
+        }
+
+        // Field-disjoint borrows, as in the scalar walk.
+        let out = &mut scratch.out;
+        let even_tab = scratch.even_tab.as_slice();
+        let odd_tab = scratch.odd_tab.as_slice();
+        let span = even_tab.len() / 6;
+        scratch.win_e.resize(num_taps, 0.0);
+        scratch.win_o.resize(num_taps, 0.0);
+        scratch.contrib_e.resize(num_taps, 0.0);
+        scratch.contrib_o.resize(num_taps, 0.0);
+        let win_e = scratch.win_e.as_mut_slice();
+        let win_o = scratch.win_o.as_mut_slice();
+        let contrib_e = scratch.contrib_e.as_mut_slice();
+        let contrib_o = scratch.contrib_o.as_mut_slice();
+        out.reserve(len);
+        let mut ct = [0.0; 3];
+        let mut st = [0.0; 3];
+        for i in i_start..i_start + len {
+            let t = t0 + i as f64 * step;
+            if i % TIME_RESEED_INTERVAL == 0 {
+                // exact re-seed: bounds rotor phase drift on long grids
+                for j in 0..3 {
+                    let (s, c) = sincos(self.plan.w[j] * (t - t_ref));
+                    ct[j] = c;
+                    st[j] = s;
+                }
+            }
+            let t_idx = t / period;
+            let nc = t_idx.round() as i64;
+            let first = nc - h;
+            let te0 = t - first as f64 * period;
+            let to0 = first as f64 * period + self.plan.delay - t;
+            let x0 = 0.5 + (first as f64 - t_idx) * inv_2hw;
+            let tab_base = (first - first_n) as usize;
+            let cap_base = (first - capture.n_start()) as usize;
+            fill_window_row_planar(wr, scale, inv_2hw, x0, win_e);
+            fill_window_row_planar(wr, scale, inv_2hw, x0 + d_shift, win_o);
+            let ev = &even[cap_base..cap_base + num_taps];
+            let od = &odd[cap_base..cap_base + num_taps];
+            let ea = plane_views(even_tab, span, tab_base, num_taps);
+            let oa = plane_views(odd_tab, span, tab_base, num_taps);
+            // Branch-free vector pass over all taps of both streams.
+            // Every slice is pre-bounded to `num_taps`, so the loop
+            // carries no bounds checks and vectorizes cleanly.
+            for k in 0..num_taps {
+                let fk = k as f64;
+                let tau_e = te0 - fk * period;
+                let num_e = ct[0].mul_add(
+                    ea[0][k],
+                    st[0].mul_add(
+                        ea[1][k],
+                        ct[1].mul_add(
+                            ea[2][k],
+                            st[1].mul_add(ea[3][k], ct[2].mul_add(ea[4][k], st[2] * ea[5][k])),
+                        ),
+                    ),
+                );
+                contrib_e[k] = (ev[k] * win_e[k]) * (num_e * inv_two_pi_b / tau_e);
+                let tau_o = to0 + fk * period;
+                let num_o = ct[0].mul_add(
+                    oa[0][k],
+                    st[0].mul_add(
+                        oa[1][k],
+                        ct[1].mul_add(
+                            oa[2][k],
+                            st[1].mul_add(oa[3][k], ct[2].mul_add(oa[4][k], st[2] * oa[5][k])),
+                        ),
+                    ),
+                );
+                contrib_o[k] = (od[k] * win_o[k]) * (num_o * inv_two_pi_b / tau_o);
+            }
+            // Exact near-origin patches: the only lane per stream whose
+            // |τ| can sit inside the guard ring is the one nearest the
+            // pole, and rewriting it also repairs any inf/NaN the
+            // branch-free division put there (including τ = ±0).
+            let kg_e = (te0 / period).round();
+            if kg_e >= 0.0 && (kg_e as usize) < num_taps {
+                let k = kg_e as usize;
+                let tau_e = te0 - kg_e * period;
+                if tau_e.abs() < tau_guard {
+                    contrib_e[k] = (ev[k] * win_e[k]) * self.kernel_near_origin(tau_e);
+                }
+            }
+            let kg_o = (-to0 / period).round();
+            if kg_o >= 0.0 && (kg_o as usize) < num_taps {
+                let k = kg_o as usize;
+                let tau_o = to0 + kg_o * period;
+                if tau_o.abs() < tau_guard {
+                    contrib_o[k] = (od[k] * win_o[k]) * self.kernel_near_origin(tau_o);
+                }
+            }
+            // Four-lane reduction over both streams' contributions.
+            let mut acc = [0.0f64; 4];
+            let mut qe = contrib_e.chunks_exact(4);
+            let mut qo = contrib_o.chunks_exact(4);
+            for (e4, o4) in (&mut qe).zip(&mut qo) {
+                acc[0] += e4[0] + o4[0];
+                acc[1] += e4[1] + o4[1];
+                acc[2] += e4[2] + o4[2];
+                acc[3] += e4[3] + o4[3];
+            }
+            let mut tail = 0.0;
+            for (&e, &o) in qe.remainder().iter().zip(qo.remainder()) {
+                tail += e + o;
+            }
+            out.push((acc[0] + acc[1]) + (acc[2] + acc[3]) + tail);
+            for j in 0..3 {
+                let c = ct[j] * step_cos[j] - st[j] * step_sin[j];
+                let s = ct[j] * step_sin[j] + st[j] * step_cos[j];
+                ct[j] = c;
+                st[j] = s;
+            }
+        }
+    }
+
+    /// [`walk_span_cubic`](Self::walk_span_cubic) compiled with AVX2 +
+    /// FMA enabled. Selected at runtime by
+    /// [`walk_span_dispatched`](Self::walk_span_dispatched); agrees
+    /// with the scalar walk to FMA/reassociation rounding, far inside
+    /// every consumer's tolerance.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX2 and FMA support on the
+    /// running CPU (`is_x86_feature_detected!`) before calling —
+    /// `#[target_feature]` recompilation emits those instructions
+    /// unconditionally. The body itself is safe Rust.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn walk_span_cubic_avx2(
+        &self,
+        capture: &NonuniformCapture,
+        t0: f64,
+        step: f64,
+        i_start: usize,
+        len: usize,
+        first_n: i64,
+        scale: f64,
+        wr: &WinRows,
+        scratch: &mut GridScratch,
+    ) {
+        self.walk_span_cubic(capture, t0, step, i_start, len, first_n, scale, wr, scratch)
+    }
+
+    /// [`walk_span_cubic`](Self::walk_span_cubic) compiled with
+    /// AVX-512F + FMA enabled — the AVX2 variant's contract at twice
+    /// the lane count.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have verified AVX-512F and FMA support on the
+    /// running CPU (`is_x86_feature_detected!`) before calling; the
+    /// body itself is safe Rust.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f,fma")]
+    unsafe fn walk_span_cubic_avx512(
+        &self,
+        capture: &NonuniformCapture,
+        t0: f64,
+        step: f64,
+        i_start: usize,
+        len: usize,
+        first_n: i64,
+        scale: f64,
+        wr: &WinRows,
+        scratch: &mut GridScratch,
+    ) {
+        self.walk_span_cubic(capture, t0, step, i_start, len, first_n, scale, wr, scratch)
     }
 
     /// Reconstructs the `n` uniform grid instants `t0, t0 + step, …`
@@ -670,7 +1046,7 @@ impl PnbsGridPlan {
             let i_start = idx * GRID_BLOCK_LEN;
             let len = (n - i_start).min(GRID_BLOCK_LEN);
             scratch.out.clear();
-            self.walk_span_dispatched(capture, t0, step, i_start, len, first_n, scratch);
+            self.walk_span_dispatched(capture, t0, step, i_start, len, first_n, true, scratch);
             produced += 1;
             if !emit(idx, &mut scratch.out) {
                 break;
@@ -952,6 +1328,7 @@ impl GridBlocks<'_> {
             self.produced,
             len,
             self.first_n,
+            true,
             self.scratch,
         );
         self.produced += len;
@@ -967,6 +1344,61 @@ impl GridBlocks<'_> {
     pub fn grid_len(&self) -> usize {
         self.n
     }
+}
+
+/// The six per-sample factored planes of one stream's table (see
+/// [`GridScratch`]), each sliced to the `len`-tap window starting at
+/// sample offset `base` — pre-bounded so the walk kernels' tap loops
+/// carry no bounds checks.
+#[inline(always)]
+fn plane_views(tab: &[f64], span: usize, base: usize, len: usize) -> [&[f64]; 6] {
+    std::array::from_fn(|p| &tab[p * span + base..p * span + base + len])
+}
+
+/// [`fill_window_row`] against the residue-transposed table
+/// ([`WinRows`]): the four stencil nodes of every tap come from four
+/// *contiguous* residue rows, so the whole row fill is four
+/// unit-stride streams of fused multiply-adds and vectorizes with the
+/// tap kernel. Used only by the `#[target_feature]` walk kernels —
+/// same weights, same table nodes, FMA-rounded.
+#[inline(always)]
+// analysis: allow(naked-panic) — p0..p3 are pre-sliced to n_active; the k subscripts cannot leave them
+fn fill_window_row_planar(wr: &WinRows, scale: f64, inv_2hw: f64, x_start: f64, out: &mut [f64]) {
+    debug_assert!(x_start > 0.0 && x_start < 1.0);
+    let pos = x_start * scale;
+    let i0 = pos as usize;
+    let s = pos - i0 as f64;
+    // Shared cubic-Lagrange weights on the stencil at s ∈ {−1, 0, 1, 2}.
+    let sp = s + 1.0;
+    let sm = s - 1.0;
+    let s2 = s - 2.0;
+    let c0 = -(s * sm * s2) / 6.0;
+    let c1 = sp * sm * s2 * 0.5;
+    let c2 = -(sp * s * s2) * 0.5;
+    let c3 = sp * s * sm / 6.0;
+    // Taps past the support edge (odd stream, large D̂) are zero.
+    let k_hi = if x_start + (out.len() - 1) as f64 * inv_2hw <= 1.0 {
+        out.len() - 1
+    } else {
+        (((1.0 - x_start) / inv_2hw).floor().max(0.0) as usize).min(out.len() - 1)
+    };
+    let q = i0 / wr.stride;
+    let r = i0 - q * wr.stride;
+    let cols = wr.cols;
+    let n_active = k_hi + 1;
+    // Tap k's stencil node `i0 + k·stride + o` is row `r + o` at rank
+    // `q + k`; `q + k_hi ≤ cols − 1` because every active tap's
+    // position stays inside the table support.
+    let base = r * cols + q;
+    let p0 = &wr.data[base..base + n_active];
+    let p1 = &wr.data[base + cols..base + cols + n_active];
+    let p2 = &wr.data[base + 2 * cols..base + 2 * cols + n_active];
+    let p3 = &wr.data[base + 3 * cols..base + 3 * cols + n_active];
+    let (active, tail) = out.split_at_mut(n_active);
+    for (k, w) in active.iter_mut().enumerate() {
+        *w = c0.mul_add(p0[k], c1.mul_add(p1[k], c2.mul_add(p2[k], c3 * p3[k])));
+    }
+    tail.fill(0.0);
 }
 
 /// Fills one stream's per-tap window row for a grid point whose first

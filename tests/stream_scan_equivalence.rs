@@ -82,6 +82,32 @@ fn streamed_verdicts_match_batched_scan_on_section_v_fixtures() {
 }
 
 #[test]
+fn fused_window_scan_stays_bit_identical_across_scan_windows() {
+    // The window product is folded into the banked Goertzel advance at
+    // the quad head (no per-chunk staging buffer), so a chunk boundary
+    // can land anywhere inside a window row or the 4-sample unroll.
+    // Chunked streaming must remain bit-identical to the batch scan
+    // for every window shape the scan may carry.
+    let wave = section_v_wave(TxImpairments::typical(), 12288);
+    let (seg, overlap) = welch_segmentation(12288);
+    for window in [
+        Window::Rectangular,
+        Window::Hann,
+        Window::Hamming,
+        Window::BlackmanHarris,
+        Window::Kaiser(8.0),
+    ] {
+        let scan = MaskScanEngine::new(&paper_mask(), PAPER_CARRIER, 4e9, seg, overlap, window);
+        let batched = scan.scan(&wave);
+        for chunk in [1usize, 3, 255, 256, 257, 4096] {
+            let (streamed, stopped) = stream_chunks(&scan, &wave, chunk, None);
+            assert!(!stopped);
+            assert_eq!(streamed, batched, "window {window:?} chunk {chunk}");
+        }
+    }
+}
+
+#[test]
 fn early_exit_never_fires_on_passing_fixtures() {
     let wave = section_v_wave(TxImpairments::typical(), 12288);
     let scan = paper_scan_engine(12288);
